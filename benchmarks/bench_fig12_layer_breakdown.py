@@ -1,0 +1,56 @@
+"""Figure 12: per-layer dynamic energy and latency of ResNet18 / ImageNet (4b, 4b).
+
+Regenerates the layer-by-layer breakdown for both designs at 4-bit input /
+4-bit weight precision.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.system.networks import resnet18_imagenet
+from repro.system.performance import SystemPerformanceModel
+from conftest import emit
+
+
+def compute_breakdowns():
+    network = resnet18_imagenet()
+    results = {}
+    for design in ("curfe", "chgfe"):
+        model = SystemPerformanceModel(design, input_bits=4, weight_bits=4)
+        results[design] = model.evaluate(network)
+    return results
+
+
+def test_fig12_layer_breakdown(benchmark):
+    results = benchmark.pedantic(compute_breakdowns, rounds=1, iterations=1)
+    curfe_layers = {l.layer_name: l for l in results["curfe"].layers if l.macs > 0}
+    chgfe_layers = {l.layer_name: l for l in results["chgfe"].layers if l.macs > 0}
+    rows = []
+    for name, curfe_layer in curfe_layers.items():
+        chgfe_layer = chgfe_layers[name]
+        rows.append(
+            (
+                name,
+                f"{curfe_layer.dynamic_energy * 1e6:.2f}",
+                f"{chgfe_layer.dynamic_energy * 1e6:.2f}",
+                f"{curfe_layer.latency * 1e3:.3f}",
+                f"{chgfe_layer.latency * 1e3:.3f}",
+            )
+        )
+    emit(
+        "Fig. 12 — per-layer dynamic energy (uJ) and latency (ms), ResNet18/ImageNet @ (4b, 4b)",
+        render_table(
+            ("layer", "E CurFe (uJ)", "E ChgFe (uJ)", "t CurFe (ms)", "t ChgFe (ms)"),
+            rows,
+        ),
+    )
+
+    # Every weight layer appears, energies are positive, and the early
+    # high-resolution layers dominate latency (they have the most pixels).
+    assert len(rows) == 21
+    for name, layer in curfe_layers.items():
+        assert layer.dynamic_energy > 0 and layer.latency > 0
+        # ChgFe spends less macro energy but more time per layer.
+        assert chgfe_layers[name].dynamic_energy < layer.dynamic_energy * 1.05
+        assert chgfe_layers[name].latency > layer.latency
+    stem_latency = curfe_layers["stem"].latency
+    last_latency = curfe_layers["layer4.1.conv2"].latency
+    assert stem_latency > last_latency

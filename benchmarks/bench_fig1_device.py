@@ -1,0 +1,41 @@
+"""Figure 1(c): measured MLC Id-Vg family of the nFeFET.
+
+Reproduces the multi-level-cell characteristic: write pulses from 2 V to 4 V
+program four threshold states, and the resulting Id-Vg curves (VD = 0.1 V)
+span roughly four decades of ON current with an ON/OFF ratio near 1e5.
+"""
+
+import numpy as np
+
+from repro.devices.fefet import FeFET, mlc_states_from_write_voltages
+from conftest import emit
+
+WRITE_VOLTAGES = (2.0, 2.67, 3.33, 4.0)
+VG_SWEEP = np.linspace(-0.5, 1.5, 41)
+VD_READ = 0.1
+
+
+def compute_id_vg_family():
+    states = mlc_states_from_write_voltages(WRITE_VOLTAGES)
+    curves = {}
+    for write_voltage, vth in zip(WRITE_VOLTAGES, states):
+        device = FeFET([vth])
+        curves[write_voltage] = device.id_vg_curve(VG_SWEEP, vd=VD_READ)
+    return states, curves
+
+
+def test_fig1c_mlc_id_vg(benchmark):
+    states, curves = benchmark(compute_id_vg_family)
+    lines = [f"write {wv:.2f} V -> Vth {vth:+.3f} V" for wv, vth in zip(WRITE_VOLTAGES, states)]
+    for write_voltage, curve in curves.items():
+        lines.append(
+            f"  Vwrite={write_voltage:.2f} V: Id(VG=1.5V)={curve[-1]:.3e} A, "
+            f"Id(VG=0V)={curve[np.argmin(np.abs(VG_SWEEP))]:.3e} A"
+        )
+    emit("Fig. 1(c) — nFeFET MLC Id-Vg family", "\n".join(lines))
+
+    # Shape assertions: states ordered, currents span several decades.
+    assert all(b < a for a, b in zip(states, states[1:]))
+    on_current = curves[4.0][-1]
+    off_current = curves[2.0][np.argmin(np.abs(VG_SWEEP))]
+    assert on_current / off_current > 1e3

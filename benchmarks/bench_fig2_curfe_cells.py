@@ -1,0 +1,42 @@
+"""Figure 2(f): binary-weighted ON currents of the CurFe 1nFeFET1R cells.
+
+The drain resistances 5M/2.5M/1.25M/0.625M ohm give ON currents of 100, 200,
+400, 800 nA for cells 0-3 (and 4-7), with the sign cell's current flowing in
+the opposite direction.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.cells.curfe_cell import CurFeCell
+from conftest import emit
+
+
+def compute_cell_currents():
+    rows = []
+    for significance in range(4):
+        cell = CurFeCell(significance, stored_bit=1)
+        rows.append((f"cell{significance}/{significance + 4}", cell.bitline_current(1)))
+    sign = CurFeCell(3, is_sign_cell=True, stored_bit=1)
+    rows.append(("cell7 (sign)", sign.bitline_current(1)))
+    return rows
+
+
+def test_fig2f_binary_weighted_currents(benchmark):
+    rows = benchmark(compute_cell_currents)
+    table = render_table(
+        ("cell", "bitline current (nA)", "nominal (nA)"),
+        [
+            (name, f"{current * 1e9:.1f}", f"{100 * 2**min(i, 3):.0f}")
+            for i, (name, current) in enumerate(rows)
+        ],
+        title="CurFe ON currents",
+    )
+    emit("Fig. 2(f) — CurFe binary-weighted cell currents", table)
+
+    currents = [current for _, current in rows[:4]]
+    # Binary-weighted within 5%.
+    for i in range(3):
+        assert abs(currents[i + 1] / currents[i] - 2.0) < 0.1
+    # Sign cell inverted.
+    assert rows[4][1] < 0

@@ -1,0 +1,29 @@
+"""Figure 3: CurFe multiplication of a 1-bit input and the 8-bit weight '11111111'.
+
+Regenerates the transient example: the H4B currents sum to -100 nA, the L4B
+currents to +1.5 uA, and the two TIA outputs settle below / above Vcm.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.core.transients import curfe_mac_transient
+from conftest import emit
+
+
+def test_fig3_curfe_transient(benchmark):
+    summary = benchmark(curfe_mac_transient, -1)
+    waves = summary.waveforms
+    rows = [
+        ("sum I (H4B)", f"{summary.high_summed_current * 1e9:.1f} nA", "-100 nA"),
+        ("sum I (L4B)", f"{summary.low_summed_current * 1e6:.3f} uA", "1.5 uA"),
+        ("V_CurFe_H4", f"{summary.high_output_voltage:.4f} V", "< Vcm (0.5 V)"),
+        ("V_CurFe_L4", f"{summary.low_output_voltage:.4f} V", "> Vcm (0.5 V)"),
+        ("I_CurFe7 final", f"{waves['I_CurFe7'].final_value() * 1e9:.1f} nA", "-800 nA"),
+        ("I_CurFe3 final", f"{waves['I_CurFe3'].final_value() * 1e9:.1f} nA", "+800 nA"),
+    ]
+    emit(
+        "Fig. 3 — CurFe 1-bit x 8-bit MAC transient",
+        render_table(("signal", "measured", "paper"), rows),
+    )
+    assert summary.high_output_voltage < 0.5 < summary.low_output_voltage
+    assert abs(summary.high_summed_current + 100e-9) < 10e-9
+    assert abs(summary.low_summed_current - 1.5e-6) < 0.08e-6

@@ -1,0 +1,36 @@
+"""Figure 5: Id-Vg characteristics of the ChgFe cells.
+
+The MLC 1nFeFET data cells are programmed so their ON currents follow the
+binary-weighted pattern I, 2I, 4I, 8I (I = 250 nA), and the 1pFeFET sign
+cell's ON current matches the most-significant data cell.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.cells.chgfe_cell import ChgFeCellParameters, ChgFeNCell, ChgFePCell
+from conftest import emit
+
+
+def compute_chgfe_cell_currents():
+    params = ChgFeCellParameters()
+    data = [ChgFeNCell(sig, params=params, stored_bit=1).cell_current(1) for sig in range(4)]
+    sign = ChgFePCell(params=params, stored_bit=1).cell_current(1)
+    off = ChgFeNCell(3, params=params, stored_bit=0).cell_current(1)
+    return data, sign, off
+
+
+def test_fig5_chgfe_cell_currents(benchmark):
+    data, sign, off = benchmark(compute_chgfe_cell_currents)
+    rows = [
+        (f"1nFeFET sig {sig}", f"{current * 1e9:.0f} nA", f"{250 * 2**sig} nA")
+        for sig, current in enumerate(data)
+    ]
+    rows.append(("1pFeFET sign cell", f"{sign * 1e9:.0f} nA", "2000 nA"))
+    rows.append(("1nFeFET '0' state", f"{off * 1e12:.2f} pA", "~off"))
+    emit("Fig. 5 — ChgFe cell ON currents", render_table(("cell", "measured", "paper"), rows))
+
+    for sig in range(4):
+        np.testing.assert_allclose(data[sig], 250e-9 * 2**sig, rtol=0.05)
+    np.testing.assert_allclose(sign, 2e-6, rtol=0.05)
+    assert off < 1e-9

@@ -1,0 +1,31 @@
+"""Figure 6: ChgFe multiplication of a 1-bit input and the 8-bit weight '11111111'.
+
+Regenerates the three-phase transient (pre-charge, MAC discharge, charge
+sharing) with the binary-weighted bitline delta-Vs of -2.5/-5/-10/-20 mV and
++20 mV on the sign bitline.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.core.transients import chgfe_mac_transient
+from conftest import emit
+
+EXPECTED_MV = {0: -2.5, 1: -5.0, 2: -10.0, 3: -20.0, 4: -2.5, 5: -5.0, 6: -10.0, 7: 20.0}
+
+
+def test_fig6_chgfe_transient(benchmark):
+    summary = benchmark(chgfe_mac_transient, -1)
+    deltas = summary.bitline_delta_vs
+    rows = [
+        (f"BL{index}", f"{deltas[index] * 1e3:+.2f} mV", f"{EXPECTED_MV[index]:+.1f} mV")
+        for index in range(8)
+    ]
+    rows.append(("V_ChgFe_H4", f"{summary.high_output_voltage:.4f} V", "> Vpre for w_hi=-1"))
+    rows.append(("V_ChgFe_L4", f"{summary.low_output_voltage:.4f} V", "< Vpre for w_lo=15"))
+    emit(
+        "Fig. 6 — ChgFe 1-bit x 8-bit MAC transient",
+        render_table(("signal", "measured", "paper"), rows),
+    )
+    for index, expected in EXPECTED_MV.items():
+        assert abs(deltas[index] * 1e3 - expected) < abs(expected) * 0.07
+    # Charge sharing: H4B average rises above Vpre (weight -1), L4B falls below.
+    assert summary.high_output_voltage > 1.5 > summary.low_output_voltage

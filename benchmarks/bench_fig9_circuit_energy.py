@@ -1,0 +1,61 @@
+"""Figure 9: circuit-level energy efficiency vs input/weight precision.
+
+Regenerates the five-corner precision sweep (1b/2b/4b inputs with 4-bit
+weights, 4b/8b inputs with 8-bit weights) for CurFe and ChgFe.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.energy.circuit_energy import PRECISION_SWEEP, CircuitEnergyModel, efficiency_sweep
+from conftest import emit
+
+
+def test_fig9_efficiency_sweep(benchmark):
+    points = benchmark(efficiency_sweep)
+    rows = []
+    for input_bits, weight_bits in PRECISION_SWEEP:
+        row = [f"{input_bits}b-IN {weight_bits}b-W"]
+        for design in ("curfe", "chgfe"):
+            point = next(
+                p
+                for p in points
+                if p.design == design
+                and p.input_bits == input_bits
+                and p.weight_bits == weight_bits
+            )
+            row.append(f"{point.tops_per_watt:.2f}")
+        rows.append(tuple(row))
+    emit(
+        "Fig. 9 — circuit-level energy efficiency (TOPS/W) for 32 accumulations",
+        render_table(("precision", "CurFe", "ChgFe"), rows),
+    )
+
+    curfe = CircuitEnergyModel("curfe")
+    chgfe = CircuitEnergyModel("chgfe")
+    # Efficiency decreases with precision and ChgFe always leads CurFe.
+    for design_model in (curfe, chgfe):
+        values = [design_model.tops_per_watt(i, w) for i, w in PRECISION_SWEEP]
+        assert all(b < a for a, b in zip(values, values[1:]))
+    for input_bits, weight_bits in PRECISION_SWEEP:
+        assert chgfe.tops_per_watt(input_bits, weight_bits) > curfe.tops_per_watt(
+            input_bits, weight_bits
+        )
+
+
+def test_fig9_energy_breakdown(benchmark):
+    """Supplementary: per-component energy breakdown behind the Fig. 9 bars."""
+    breakdowns = benchmark(
+        lambda: {
+            design: CircuitEnergyModel(design).bit_plane_breakdown(8).as_dict()
+            for design in ("curfe", "chgfe")
+        }
+    )
+    components = [k for k in breakdowns["curfe"] if k != "total"]
+    rows = [
+        (name, f"{breakdowns['curfe'][name] * 1e15:.1f} fJ", f"{breakdowns['chgfe'][name] * 1e15:.1f} fJ")
+        for name in components
+    ]
+    rows.append(("total", f"{breakdowns['curfe']['total'] * 1e15:.1f} fJ",
+                 f"{breakdowns['chgfe']['total'] * 1e15:.1f} fJ"))
+    emit("Fig. 9 (supplementary) — per-bank, per-bit-plane energy breakdown",
+         render_table(("component", "CurFe", "ChgFe"), rows))
+    assert breakdowns["chgfe"]["total"] < breakdowns["curfe"]["total"]

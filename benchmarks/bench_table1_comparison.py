@@ -1,0 +1,84 @@
+"""Table 1: comparison with the state-of-the-art analog IMC designs.
+
+Recomputes our macro-level (8b, 8b) and system-level (4b, 8b on
+CIFAR10-ResNet18) energy efficiencies and places them against the six
+published designs, reproducing the headline ratios: ~1.56x over the best
+SRAM macro [10], ~2.22x over the best ReRAM macro [16], and ~1.37x at the
+system level over [9].
+"""
+
+from repro.analysis.reporting import ComparisonRow, render_comparison, render_table
+from repro.baselines.designs import (
+    PAPER_CHGFE,
+    PAPER_CURFE,
+    PUBLISHED_DESIGNS,
+    best_reram_baseline,
+    best_sram_baseline,
+    efficiency_ratios,
+)
+from repro.energy.circuit_energy import CircuitEnergyModel
+from repro.system.networks import resnet18_cifar10
+from repro.system.performance import SystemPerformanceModel
+from conftest import emit
+
+
+def compute_table1():
+    curfe_circuit = CircuitEnergyModel("curfe").tops_per_watt(8, 8)
+    chgfe_circuit = CircuitEnergyModel("chgfe").tops_per_watt(8, 8)
+    network = resnet18_cifar10()
+    curfe_system = SystemPerformanceModel("curfe", input_bits=4, weight_bits=8).evaluate(network)
+    chgfe_system = SystemPerformanceModel("chgfe", input_bits=4, weight_bits=8).evaluate(network)
+    return curfe_circuit, chgfe_circuit, curfe_system.tops_per_watt, chgfe_system.tops_per_watt
+
+
+def test_table1_comparison(benchmark):
+    curfe_circuit, chgfe_circuit, curfe_system, chgfe_system = benchmark.pedantic(
+        compute_table1, rounds=1, iterations=1
+    )
+
+    rows = []
+    for record in list(PUBLISHED_DESIGNS.values()):
+        rows.append(
+            (
+                record.key,
+                record.technology,
+                record.cell_type,
+                f"{record.node_nm:.0f} nm",
+                record.computing_mode,
+                record.shift_add,
+                f"{record.circuit_tops_per_watt_scaled:.2f}",
+                "n/a" if record.system_tops_per_watt is None else f"{record.system_tops_per_watt:.2f}",
+            )
+        )
+    rows.append(
+        ("CurFe (ours)", "FeFET", "1nFeFET1R", "40 nm", "current", "inherent",
+         f"{curfe_circuit:.2f}", f"{curfe_system:.2f}")
+    )
+    rows.append(
+        ("ChgFe (ours)", "FeFET", "1nFeFET/1pFeFET", "40 nm", "charge", "inherent",
+         f"{chgfe_circuit:.2f}", f"{chgfe_system:.2f}")
+    )
+    emit(
+        "Table 1 — comparison with state-of-the-art analog IMC designs",
+        render_table(
+            ("design", "tech", "cell", "node", "mode", "shift-add",
+             "circuit TOPS/W @(8b,8b)", "system TOPS/W @(4b,8b)"),
+            rows,
+        ),
+    )
+
+    comparison = [
+        ComparisonRow("CurFe circuit TOPS/W", PAPER_CURFE.circuit_tops_per_watt_scaled, curfe_circuit),
+        ComparisonRow("ChgFe circuit TOPS/W", PAPER_CHGFE.circuit_tops_per_watt_scaled, chgfe_circuit),
+        ComparisonRow("CurFe system TOPS/W", PAPER_CURFE.system_tops_per_watt, curfe_system),
+        ComparisonRow("ChgFe system TOPS/W", PAPER_CHGFE.system_tops_per_watt, chgfe_system),
+    ]
+    emit("Table 1 — paper vs measured", render_comparison(comparison))
+
+    ratios = efficiency_ratios(chgfe_circuit, chgfe_system)
+    assert abs(ratios["vs_best_sram"] - 1.56) < 0.1
+    assert abs(ratios["vs_best_reram"] - 2.22) < 0.15
+    assert abs(ratios["system_vs_[9]"] - 1.37) < 0.15
+    # Our macros beat every 8b/8b baseline without sparsity tricks.
+    assert chgfe_circuit > best_sram_baseline().circuit_tops_per_watt_scaled
+    assert curfe_circuit > best_reram_baseline().circuit_tops_per_watt_scaled

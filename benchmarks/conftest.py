@@ -1,0 +1,22 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark prints the rows/series it regenerates (the text analogue of
+the paper's figure) in addition to timing the underlying computation with
+pytest-benchmark, so a ``pytest benchmarks/ --benchmark-only -s`` run doubles
+as a reproduction report.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for benchmark workloads."""
+    return np.random.default_rng(2024)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a titled block (kept visible with pytest -s)."""
+    print(f"\n=== {title} ===")
+    print(body)

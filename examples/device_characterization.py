@@ -1,0 +1,87 @@
+"""Device / cell characterisation: the circuit-level story of the paper.
+
+Regenerates, in text form, the device-level evidence the dual designs build
+on (Figs. 1(c), 2(f), 5, 6, 7): the MLC Id-Vg family of the FeFET, the
+binary-weighted ON currents of both bit-cell styles, the transient MAC
+examples, and the Monte-Carlo current spread comparison.
+
+Run with:  python examples/device_characterization.py
+"""
+
+import numpy as np
+
+from repro.analog.montecarlo import MonteCarloRunner
+from repro.analysis.histograms import ascii_histogram, summarize_samples
+from repro.cells.chgfe_cell import ChgFeNCell, ChgFePCell
+from repro.cells.curfe_cell import CurFeCell
+from repro.core.transients import chgfe_mac_transient, curfe_mac_transient
+from repro.devices.fefet import FeFET, mlc_states_from_write_voltages
+from repro.devices.variation import DEFAULT_VARIATION
+
+
+def mlc_id_vg() -> None:
+    print("=== nFeFET MLC programming (Fig. 1(c)) ===")
+    write_voltages = (2.0, 2.67, 3.33, 4.0)
+    states = mlc_states_from_write_voltages(write_voltages)
+    for write_voltage, vth in zip(write_voltages, states):
+        device = FeFET([vth])
+        on = device.drain_current(1.5, 0.1)
+        print(f"  write {write_voltage:4.2f} V -> Vth {vth:+.3f} V -> Id(1.5 V, 0.1 V) = {on:.3e} A")
+
+
+def cell_currents() -> None:
+    print("\n=== Binary-weighted cell currents (Figs. 2(f) and 5) ===")
+    print("  CurFe 1nFeFET1R (drain resistor 5M/2^i ohm):")
+    for sig in range(4):
+        cell = CurFeCell(sig, stored_bit=1)
+        print(f"    significance {sig}: {cell.bitline_current(1) * 1e9:7.1f} nA")
+    sign = CurFeCell(3, is_sign_cell=True, stored_bit=1)
+    print(f"    sign cell      : {sign.bitline_current(1) * 1e9:7.1f} nA (inverted)")
+    print("  ChgFe MLC 1nFeFET / 1pFeFET:")
+    for sig in range(4):
+        cell = ChgFeNCell(sig, stored_bit=1)
+        print(f"    significance {sig}: {cell.cell_current(1) * 1e9:7.1f} nA")
+    print(f"    pFeFET sign    : {ChgFePCell(stored_bit=1).cell_current(1) * 1e9:7.1f} nA (charging)")
+
+
+def transient_examples() -> None:
+    print("\n=== MAC transient examples (Figs. 3 and 6), weight = '11111111' ===")
+    curfe = curfe_mac_transient(weight=-1)
+    print(
+        f"  CurFe: sum(I_H4B) = {curfe.high_summed_current * 1e9:6.1f} nA, "
+        f"sum(I_L4B) = {curfe.low_summed_current * 1e6:5.3f} uA, "
+        f"V_H4 = {curfe.high_output_voltage:.3f} V, V_L4 = {curfe.low_output_voltage:.3f} V"
+    )
+    chgfe = chgfe_mac_transient(weight=-1)
+    deltas = ", ".join(f"{chgfe.bitline_delta_vs[i] * 1e3:+.1f}" for i in range(8))
+    print(f"  ChgFe: per-bitline dV (mV) = [{deltas}]")
+    print(
+        f"         shared V_H4 = {chgfe.high_output_voltage:.4f} V, "
+        f"shared V_L4 = {chgfe.low_output_voltage:.4f} V"
+    )
+
+
+def variation_histograms() -> None:
+    print("\n=== Monte-Carlo ON-current spread (Fig. 7), sigma(Vth) = 40 mV ===")
+    runner = MonteCarloRunner(150, seed=3)
+    curfe = runner.run(
+        lambda rng: CurFeCell.sample(3, stored_bit=1, variation=DEFAULT_VARIATION, rng=rng).on_current()
+    )
+    chgfe = runner.run(
+        lambda rng: ChgFeNCell.sample(3, stored_bit=1, variation=DEFAULT_VARIATION, rng=rng).on_current()
+    )
+    for name, result in (("CurFe MSB cell", curfe), ("ChgFe MSB cell", chgfe)):
+        summary = summarize_samples(name, result.samples)
+        print(
+            f"  {name}: mean {summary.mean * 1e9:7.1f} nA, sigma {summary.std * 1e9:6.2f} nA "
+            f"({summary.coefficient_of_variation * 100:.2f} %)"
+        )
+    print("\n  ChgFe MSB-cell current histogram:")
+    print(ascii_histogram(np.array(chgfe.samples) * 1e6, bins=12, width=30, unit="uA"))
+
+
+if __name__ == "__main__":
+    mlc_id_vg()
+    cell_currents()
+    transient_examples()
+    variation_histograms()

@@ -1,0 +1,76 @@
+"""System-level evaluation: ResNet18 on CIFAR10 / ImageNet (Figs. 11-12, Table 1).
+
+Builds the NeuroSim-style chip model around both macro designs, evaluates
+ResNet18 at several precisions, prints the per-layer breakdown for the
+ImageNet configuration, and closes with the Table 1 comparison against the
+published state-of-the-art macros.
+
+Run with:  python examples/system_performance.py
+"""
+
+from repro.analysis.reporting import render_table
+from repro.baselines.designs import PUBLISHED_DESIGNS, efficiency_ratios
+from repro.energy.circuit_energy import CircuitEnergyModel
+from repro.system.networks import resnet18_cifar10, resnet18_imagenet
+from repro.system.performance import SystemPerformanceModel
+
+
+def system_sweep() -> None:
+    print("=== ResNet18 system performance (Fig. 11) ===")
+    for network in (resnet18_cifar10(), resnet18_imagenet()):
+        rows = []
+        for design in ("curfe", "chgfe"):
+            for input_bits, weight_bits in ((4, 4), (4, 8), (8, 8)):
+                result = SystemPerformanceModel(
+                    design, input_bits=input_bits, weight_bits=weight_bits
+                ).evaluate(network)
+                rows.append(
+                    (
+                        design,
+                        f"{input_bits}b/{weight_bits}b",
+                        f"{result.tops_per_watt:.2f}",
+                        f"{result.frames_per_second:.1f}",
+                        f"{result.area_mm2:.1f}",
+                        f"{result.total_macros}",
+                    )
+                )
+        print(
+            render_table(
+                ("design", "IN/W", "TOPS/W", "FPS", "area (mm^2)", "macros"),
+                rows,
+                title=f"\n{network.name} on {network.dataset}",
+            )
+        )
+
+
+def layer_breakdown() -> None:
+    print("\n=== Per-layer breakdown, ResNet18 / ImageNet @ (4b, 4b) (Fig. 12) ===")
+    result = SystemPerformanceModel("chgfe", input_bits=4, weight_bits=4).evaluate(
+        resnet18_imagenet()
+    )
+    rows = [
+        (layer.layer_name, f"{layer.dynamic_energy * 1e6:.2f}", f"{layer.latency * 1e3:.3f}")
+        for layer in result.layers
+        if layer.macs > 0
+    ]
+    print(render_table(("layer", "dynamic energy (uJ)", "latency (ms)"), rows))
+
+
+def table1_summary() -> None:
+    print("\n=== Table 1 headline comparison ===")
+    chgfe_circuit = CircuitEnergyModel("chgfe").tops_per_watt(8, 8)
+    chgfe_system = SystemPerformanceModel("chgfe", input_bits=4, weight_bits=8).evaluate(
+        resnet18_cifar10()
+    ).tops_per_watt
+    ratios = efficiency_ratios(chgfe_circuit, chgfe_system)
+    print(f"  ChgFe circuit-level : {chgfe_circuit:.2f} TOPS/W @ (8b, 8b)")
+    print(f"  ChgFe system-level  : {chgfe_system:.2f} TOPS/W @ (4b, 8b), CIFAR10-ResNet18")
+    print(f"  vs best SRAM macro [10] ({PUBLISHED_DESIGNS['[10]'].circuit_tops_per_watt_scaled} TOPS/W): {ratios['vs_best_sram']:.2f}x")
+    print(f"  vs best ReRAM macro [16] ({PUBLISHED_DESIGNS['[16]'].circuit_tops_per_watt_scaled} TOPS/W): {ratios['vs_best_reram']:.2f}x")
+    print(f"  vs system baseline [9] (9.40 TOPS/W): {ratios['system_vs_[9]']:.2f}x")
+
+
+if __name__ == "__main__":
+    system_sweep()
+    layer_breakdown()
+    table1_summary()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that fully-offline environments (no ``wheel`` package available for PEP 517
+editable builds) can still do ``python setup.py develop`` / ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

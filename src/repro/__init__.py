@@ -1,0 +1,21 @@
+"""repro — reproduction of the DAC 2024 FeFET analog IMC dual designs.
+
+The package implements, in pure Python, the CurFe (current-mode) and ChgFe
+(charge-mode) FeFET-based analog in-memory-computing macros with inherent
+weight shift-add capability, together with every substrate the paper's
+evaluation depends on: the FeFET device physics, peripheral circuits, energy
+and area models, a NeuroSim-style system-level performance estimator, and a
+functional quantised-DNN inference path.
+
+Typical entry points:
+
+* ``repro.core`` — the macros (``CurFeMacro`` / ``ChgFeMacro``), the fast
+  functional model, and the exact integer references.
+* ``repro.energy`` — circuit-level energy efficiency (Fig. 9, Table 1).
+* ``repro.system`` — system-level performance and accuracy (Figs. 10-12).
+* ``repro.baselines`` — the state-of-the-art comparison designs of Table 1.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

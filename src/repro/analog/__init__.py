@@ -1,0 +1,27 @@
+"""Behavioural analog simulation substrate: waveforms, transients, Monte-Carlo."""
+
+from .montecarlo import MonteCarloResult, MonteCarloRunner
+from .transient import (
+    CurrentIntegration,
+    ExponentialSettle,
+    Hold,
+    LinearRamp,
+    NodeUpdate,
+    Phase,
+    TransientEngine,
+)
+from .waveform import Waveform, WaveformBundle
+
+__all__ = [
+    "MonteCarloResult",
+    "MonteCarloRunner",
+    "CurrentIntegration",
+    "ExponentialSettle",
+    "Hold",
+    "LinearRamp",
+    "NodeUpdate",
+    "Phase",
+    "TransientEngine",
+    "Waveform",
+    "WaveformBundle",
+]

@@ -1,0 +1,213 @@
+"""Waveform container used by the behavioural transient engine.
+
+The transient plots of the paper (Figs. 3(c) and 6(c)) show node voltages and
+branch currents versus time over a few nanoseconds.  :class:`Waveform` is a
+small immutable-ish time-series wrapper with the handful of operations the
+experiments need: sampling, algebra between aligned waveforms, settling
+detection, and summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["Waveform", "WaveformBundle"]
+
+
+class Waveform:
+    """A sampled analog waveform: a value as a function of time.
+
+    Args:
+        times: Monotonically non-decreasing sample times (s).
+        values: Sample values (same length as ``times``).
+        name: Optional label (node or branch name).
+        unit: Physical unit string, e.g. ``"V"`` or ``"A"``.
+    """
+
+    def __init__(
+        self,
+        times: Iterable[float],
+        values: Iterable[float],
+        *,
+        name: str = "",
+        unit: str = "",
+    ) -> None:
+        self.times = np.asarray(list(times), dtype=float)
+        self.values = np.asarray(list(values), dtype=float)
+        if self.times.ndim != 1 or self.values.ndim != 1:
+            raise ValueError("times and values must be one-dimensional")
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have the same length")
+        if len(self.times) == 0:
+            raise ValueError("waveform must contain at least one sample")
+        if np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be monotonically non-decreasing")
+        self.name = name
+        self.unit = unit
+
+    # ----------------------------------------------------------------- basics
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def start_time(self) -> float:
+        """First sample time (s)."""
+        return float(self.times[0])
+
+    @property
+    def end_time(self) -> float:
+        """Last sample time (s)."""
+        return float(self.times[-1])
+
+    @property
+    def duration(self) -> float:
+        """Total spanned time (s)."""
+        return self.end_time - self.start_time
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated value at ``time`` (clamped to the range)."""
+        return float(np.interp(time, self.times, self.values))
+
+    def final_value(self) -> float:
+        """Value of the last sample."""
+        return float(self.values[-1])
+
+    def initial_value(self) -> float:
+        """Value of the first sample."""
+        return float(self.values[0])
+
+    def minimum(self) -> float:
+        """Smallest sample value."""
+        return float(np.min(self.values))
+
+    def maximum(self) -> float:
+        """Largest sample value."""
+        return float(np.max(self.values))
+
+    def peak_to_peak(self) -> float:
+        """Difference between the largest and smallest sample values."""
+        return self.maximum() - self.minimum()
+
+    # ---------------------------------------------------------------- algebra
+
+    def _check_aligned(self, other: "Waveform") -> None:
+        if len(self) != len(other) or not np.allclose(self.times, other.times):
+            raise ValueError("waveforms must share the same time base")
+
+    def __add__(self, other: "Waveform | float") -> "Waveform":
+        if isinstance(other, Waveform):
+            self._check_aligned(other)
+            return Waveform(
+                self.times, self.values + other.values, name=self.name, unit=self.unit
+            )
+        return Waveform(
+            self.times, self.values + float(other), name=self.name, unit=self.unit
+        )
+
+    def __sub__(self, other: "Waveform | float") -> "Waveform":
+        if isinstance(other, Waveform):
+            self._check_aligned(other)
+            return Waveform(
+                self.times, self.values - other.values, name=self.name, unit=self.unit
+            )
+        return Waveform(
+            self.times, self.values - float(other), name=self.name, unit=self.unit
+        )
+
+    def __mul__(self, scale: float) -> "Waveform":
+        return Waveform(
+            self.times, self.values * float(scale), name=self.name, unit=self.unit
+        )
+
+    __rmul__ = __mul__
+
+    def map(self, func: Callable[[np.ndarray], np.ndarray]) -> "Waveform":
+        """Apply ``func`` to the value array and return a new waveform."""
+        return Waveform(self.times, func(self.values), name=self.name, unit=self.unit)
+
+    # --------------------------------------------------------------- analysis
+
+    def settled_value(self, window_fraction: float = 0.1) -> float:
+        """Mean over the trailing ``window_fraction`` of the waveform."""
+        if not 0 < window_fraction <= 1:
+            raise ValueError("window_fraction must lie in (0, 1]")
+        count = max(1, int(round(window_fraction * len(self))))
+        return float(np.mean(self.values[-count:]))
+
+    def settling_time(self, tolerance: float) -> Optional[float]:
+        """Time after which the waveform stays within ``tolerance`` of its final value.
+
+        Returns None if the waveform never settles inside the tolerance band.
+        """
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        final = self.final_value()
+        inside = np.abs(self.values - final) <= tolerance
+        if not inside[-1]:
+            return None
+        # Find the last sample that is outside the band.
+        outside_indices = np.nonzero(~inside)[0]
+        if len(outside_indices) == 0:
+            return self.start_time
+        return float(self.times[outside_indices[-1] + 1])
+
+    def integral(self) -> float:
+        """Trapezoidal integral of the waveform over time (value·s)."""
+        # numpy renamed trapz -> trapezoid in 2.0; support both.
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(self.values, self.times))
+
+    def average(self) -> float:
+        """Time-averaged value."""
+        if self.duration == 0:
+            return self.final_value()
+        return self.integral() / self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Waveform({self.name or 'unnamed'}, n={len(self)}, "
+            f"t=[{self.start_time:.3g}, {self.end_time:.3g}] s, "
+            f"final={self.final_value():.4g} {self.unit})"
+        )
+
+
+class WaveformBundle:
+    """A named collection of waveforms sharing one simulation run.
+
+    Behaves like a read-only mapping from signal name to :class:`Waveform`,
+    with helpers for listing signals by unit.
+    """
+
+    def __init__(self, waveforms: Mapping[str, Waveform]) -> None:
+        self._waveforms: Dict[str, Waveform] = dict(waveforms)
+
+    def __getitem__(self, name: str) -> Waveform:
+        return self._waveforms[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._waveforms
+
+    def __len__(self) -> int:
+        return len(self._waveforms)
+
+    def __iter__(self):
+        return iter(self._waveforms)
+
+    def names(self) -> tuple:
+        """All signal names in insertion order."""
+        return tuple(self._waveforms)
+
+    def voltages(self) -> Dict[str, Waveform]:
+        """All waveforms whose unit is volts."""
+        return {k: w for k, w in self._waveforms.items() if w.unit == "V"}
+
+    def currents(self) -> Dict[str, Waveform]:
+        """All waveforms whose unit is amperes."""
+        return {k: w for k, w in self._waveforms.items() if w.unit == "A"}
+
+    def final_values(self) -> Dict[str, float]:
+        """Final value of every waveform."""
+        return {k: w.final_value() for k, w in self._waveforms.items()}

@@ -1,0 +1,109 @@
+"""Histogram utilities for Monte-Carlo current / voltage distributions (Fig. 7).
+
+The ON-current histograms of Fig. 7 compare how tightly the binary-weighted
+cell currents cluster in CurFe (resistor-limited, very narrow) versus ChgFe
+(FeFET-limited, visibly spread).  These helpers build text-renderable
+histograms and the per-level statistics (mean, sigma, coefficient of
+variation, overlap between adjacent levels) the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["HistogramSummary", "summarize_samples", "ascii_histogram", "level_separation"]
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Summary statistics of one sample population.
+
+    Attributes:
+        label: Population name (e.g. ``"I_CurFe0"``).
+        mean: Sample mean.
+        std: Sample standard deviation (ddof=1).
+        coefficient_of_variation: std / |mean| (0 when the mean is zero).
+        minimum: Smallest sample.
+        maximum: Largest sample.
+        count: Number of samples.
+    """
+
+    label: str
+    mean: float
+    std: float
+    coefficient_of_variation: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+def summarize_samples(label: str, samples: Sequence[float]) -> HistogramSummary:
+    """Compute the summary statistics of one population."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("samples must not be empty")
+    mean = float(np.mean(data))
+    std = float(np.std(data, ddof=1)) if data.size > 1 else 0.0
+    cov = std / abs(mean) if mean != 0 else 0.0
+    return HistogramSummary(
+        label=label,
+        mean=mean,
+        std=std,
+        coefficient_of_variation=cov,
+        minimum=float(np.min(data)),
+        maximum=float(np.max(data)),
+        count=int(data.size),
+    )
+
+
+def ascii_histogram(
+    samples: Sequence[float],
+    *,
+    bins: int = 24,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII histogram of the samples.
+
+    Args:
+        samples: Sample values.
+        bins: Number of histogram bins.
+        width: Maximum bar width in characters.
+        unit: Unit string appended to the bin labels.
+
+    Returns:
+        A multi-line string, one line per bin.
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("samples must not be empty")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = max(int(np.max(counts)), 1)
+    lines: List[str] = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{edges[i]:12.4g}-{edges[i + 1]:<12.4g} {unit:>3} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def level_separation(
+    populations: Mapping[str, Sequence[float]]
+) -> Dict[Tuple[str, str], float]:
+    """Separation (in sigmas) between adjacent populations ordered by mean.
+
+    For each adjacent pair of populations (ordered by their mean) this
+    returns ``(mean_hi - mean_lo) / sqrt(sigma_hi² + sigma_lo²)`` — the
+    resolvability of the two current levels, which is what determines
+    whether the binary-weighted pattern survives device variation.
+    """
+    summaries = [summarize_samples(k, v) for k, v in populations.items()]
+    summaries.sort(key=lambda s: s.mean)
+    separations: Dict[Tuple[str, str], float] = {}
+    for low, high in zip(summaries, summaries[1:]):
+        denom = float(np.hypot(low.std, high.std))
+        gap = high.mean - low.mean
+        separations[(low.label, high.label)] = gap / denom if denom > 0 else float("inf")
+    return separations

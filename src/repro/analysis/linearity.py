@@ -1,0 +1,93 @@
+"""Linearity metrics for MAC transfer curves (Fig. 8).
+
+The paper's Fig. 8 plots the analog readout voltage against the ideal integer
+MAC value for every representable code, with and without device variation.
+The quantities that summarise those plots are the least-squares gain/offset,
+the R² of the linear fit, and the integral non-linearity (INL) expressed in
+least-significant-bit units of the eventual ADC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearityReport", "linear_fit", "linearity_report"]
+
+
+@dataclass(frozen=True)
+class LinearityReport:
+    """Summary of how linear a measured transfer curve is.
+
+    Attributes:
+        gain: Fitted slope (output units per MAC unit).
+        offset: Fitted intercept (output units).
+        r_squared: Coefficient of determination of the linear fit.
+        max_inl: Maximum absolute deviation from the fit (output units).
+        max_inl_lsb: Maximum absolute deviation expressed in ADC LSBs (only
+            meaningful when ``lsb`` was provided; 0 otherwise).
+        rms_error: Root-mean-square deviation from the fit (output units).
+    """
+
+    gain: float
+    offset: float
+    r_squared: float
+    max_inl: float
+    max_inl_lsb: float
+    rms_error: float
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> tuple:
+    """Ordinary least-squares fit ``y ≈ gain · x + offset``.
+
+    Returns:
+        Tuple ``(gain, offset)``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of the same length")
+    if len(x) < 2:
+        raise ValueError("at least two points are required")
+    gain, offset = np.polyfit(x, y, 1)
+    return float(gain), float(offset)
+
+
+def linearity_report(
+    mac_values: Sequence[float],
+    outputs: Sequence[float],
+    *,
+    lsb: float = 0.0,
+) -> LinearityReport:
+    """Build a :class:`LinearityReport` for a measured transfer curve.
+
+    Args:
+        mac_values: Ideal integer MAC values (x axis).
+        outputs: Measured analog outputs (y axis).
+        lsb: Optional ADC LSB size in output units, used to express INL in
+            LSBs.
+
+    Returns:
+        The linearity summary.
+    """
+    x = np.asarray(mac_values, dtype=float)
+    y = np.asarray(outputs, dtype=float)
+    gain, offset = linear_fit(x, y)
+    fitted = gain * x + offset
+    residuals = y - fitted
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    max_inl = float(np.max(np.abs(residuals)))
+    rms = float(np.sqrt(np.mean(residuals**2)))
+    max_inl_lsb = max_inl / lsb if lsb > 0 else 0.0
+    return LinearityReport(
+        gain=gain,
+        offset=offset,
+        r_squared=r_squared,
+        max_inl=max_inl,
+        max_inl_lsb=max_inl_lsb,
+        rms_error=rms,
+    )

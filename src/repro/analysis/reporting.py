@@ -1,0 +1,119 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+Every benchmark regenerates its table/figure as text so runs are directly
+comparable with the paper.  These helpers keep the formatting in one place:
+fixed-width tables, labelled bar charts (the closest text analogue of the
+paper's bar figures), and a small "paper vs. measured" comparison layout
+used by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "render_bar_chart", "ComparisonRow", "render_comparison"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values; every row must have the same length as ``headers``.
+        title: Optional title printed above the table.
+
+    Returns:
+        The formatted table as a string.
+    """
+    materialised: List[List[str]] = []
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        materialised.append(cells)
+    widths = [len(str(h)) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt([str(h) for h in headers]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+    precision: int = 2,
+) -> str:
+    """Render a labelled horizontal bar chart (text analogue of a bar figure)."""
+    if not values:
+        raise ValueError("values must not be empty")
+    peak = max(abs(v) for v in values.values())
+    peak = peak if peak > 0 else 1.0
+    label_width = max(len(k) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar = "#" * int(round(width * abs(value) / peak))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:.{precision}f} {unit}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured comparison entry.
+
+    Attributes:
+        metric: What is being compared.
+        paper: Value reported by the paper (None when not reported).
+        measured: Value produced by this reproduction.
+        unit: Unit string.
+    """
+
+    metric: str
+    paper: Optional[float]
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / paper, or None when the paper value is unavailable/zero."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return self.measured / self.paper
+
+
+def render_comparison(rows: Sequence[ComparisonRow], *, title: str = "") -> str:
+    """Render a paper-vs-measured table with ratios."""
+    table_rows = []
+    for row in rows:
+        paper = "n/a" if row.paper is None else f"{row.paper:.4g}"
+        ratio = "n/a" if row.ratio is None else f"{row.ratio:.2f}x"
+        table_rows.append(
+            (row.metric, paper, f"{row.measured:.4g}", row.unit, ratio)
+        )
+    return render_table(
+        ("metric", "paper", "measured", "unit", "measured/paper"),
+        table_rows,
+        title=title,
+    )

@@ -1,0 +1,27 @@
+"""Comparison baselines: published SOTA macros and conventional shift-add schemes."""
+
+from .analog_shift_add import AnalogShiftAddParameters, AnalogShiftAddUnit
+from .designs import (
+    PAPER_CHGFE,
+    PAPER_CURFE,
+    PUBLISHED_DESIGNS,
+    DesignRecord,
+    best_reram_baseline,
+    best_sram_baseline,
+    efficiency_ratios,
+)
+from .digital_shift_add import DigitalShiftAddParameters, DigitalShiftAddUnit
+
+__all__ = [
+    "AnalogShiftAddParameters",
+    "AnalogShiftAddUnit",
+    "PAPER_CHGFE",
+    "PAPER_CURFE",
+    "PUBLISHED_DESIGNS",
+    "DesignRecord",
+    "best_reram_baseline",
+    "best_sram_baseline",
+    "efficiency_ratios",
+    "DigitalShiftAddParameters",
+    "DigitalShiftAddUnit",
+]

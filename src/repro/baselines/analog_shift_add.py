@@ -1,0 +1,115 @@
+"""Analog shift-add baseline: binary-weighted capacitor combining before the ADC.
+
+The "analog shift-add" organisation ([6], [7], [9] in the paper) keeps one
+conversion per weight but adds a dedicated analog combining stage: each
+weight-bit column drives a capacitor whose size is proportional to the bit
+significance (1C, 2C, 4C, 8C, ...), and charge sharing across the weighted
+capacitors produces the combined partial MAC.  Its costs relative to the
+inherent scheme are
+
+* the binary-weighted capacitor bank itself (area grows as 2^n − 1 unit
+  capacitors; the MSB/LSB capacitance ratio limits scalability — the
+  scalability complaint the paper raises about [7]),
+* the switching energy of charging/discharging those capacitors every cycle.
+
+This model is used in the ablation benchmark alongside the digital baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.adc import ADCParameters, SARADC
+
+__all__ = ["AnalogShiftAddParameters", "AnalogShiftAddUnit"]
+
+
+@dataclass(frozen=True)
+class AnalogShiftAddParameters:
+    """Cost parameters of the capacitor-based analog shift-add stage.
+
+    Attributes:
+        adc: Parameters of the (single) ADC digitising the combined value.
+        unit_capacitance: The 1C unit of the binary-weighted bank (F).
+        unit_capacitor_area: Layout area of one unit capacitor (µm²).
+        swing_voltage: Typical voltage swing across the combining caps (V).
+        weight_bits: Number of weight-bit columns combined.
+    """
+
+    adc: ADCParameters = field(default_factory=ADCParameters)
+    unit_capacitance: float = 1.0e-15
+    unit_capacitor_area: float = 1.2
+    swing_voltage: float = 0.5
+    weight_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.unit_capacitance <= 0:
+            raise ValueError("unit_capacitance must be positive")
+        if self.weight_bits < 1:
+            raise ValueError("weight_bits must be at least 1")
+        if self.swing_voltage <= 0:
+            raise ValueError("swing_voltage must be positive")
+
+
+class AnalogShiftAddUnit:
+    """Behaviour and cost of the pre-ADC capacitor-weighted shift-add."""
+
+    def __init__(self, params: AnalogShiftAddParameters | None = None) -> None:
+        self.params = params or AnalogShiftAddParameters()
+        self._adc = SARADC(self.params.adc)
+
+    # -------------------------------------------------------------- behaviour
+
+    def combine_voltages(self, column_voltages: Sequence[float]) -> float:
+        """Charge-share column voltages across binary-weighted capacitors.
+
+        Args:
+            column_voltages: Analog partial-MAC voltage of each weight-bit
+                column, least-significant column first.
+
+        Returns:
+            The capacitance-weighted average voltage — the analog combined
+            partial MAC presented to the ADC.
+        """
+        voltages = np.asarray(list(column_voltages), dtype=float)
+        if voltages.size == 0:
+            raise ValueError("column_voltages must not be empty")
+        weights = 2.0 ** np.arange(voltages.size)
+        return float(np.dot(voltages, weights) / np.sum(weights))
+
+    # ------------------------------------------------------------- cost model
+
+    def total_unit_capacitors(self) -> int:
+        """Number of unit capacitors in the binary-weighted bank (2^n − 1)."""
+        return 2**self.params.weight_bits - 1
+
+    def capacitor_ratio(self) -> int:
+        """MSB/LSB capacitance ratio (the scalability limiter)."""
+        return 2 ** (self.params.weight_bits - 1)
+
+    def combining_energy(self) -> float:
+        """Switching energy of the capacitor bank for one combine (J)."""
+        total_cap = self.total_unit_capacitors() * self.params.unit_capacitance
+        return total_cap * self.params.swing_voltage**2
+
+    def energy_per_weight(self) -> float:
+        """Periphery energy per multi-bit weight: combining + one conversion (J)."""
+        return self.combining_energy() + self._adc.conversion_energy()
+
+    def latency_per_weight(self) -> float:
+        """Latency per multi-bit weight: one settling + one conversion (s)."""
+        settle = 5.0 * self.params.adc.conversion_time_per_bit
+        return settle + self._adc.conversion_time()
+
+    def area_overhead_um2(self) -> float:
+        """Layout area of the capacitor bank per output column (µm²)."""
+        return self.total_unit_capacitors() * self.params.unit_capacitor_area
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"AnalogShiftAddUnit(bits={self.params.weight_bits}, "
+            f"caps={self.total_unit_capacitors()})"
+        )

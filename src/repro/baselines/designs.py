@@ -1,0 +1,233 @@
+"""Published state-of-the-art analog IMC designs used in Table 1.
+
+The paper compares CurFe / ChgFe against six published macros — three
+SRAM-based ([8] Si ISSCC'20, [9] Yue ISSCC'20, [10] Su ISSCC'21) and three
+ReRAM-based ([14] Xue ISSCC'21, [15] Hung Nature Electronics'21, [16] Hung
+JSSC'22).  Table 1 reports their energy efficiency already *scaled to 40 nm*
+(energy ∝ node²) at 8-bit input / 8-bit weight, except [9] which is quoted
+at (4b, 8b) with its sparsity optimisation, plus the system-level efficiency
+of [9] on CIFAR10-ResNet18.
+
+This module encodes those records verbatim so the comparison table can be
+regenerated and the headline ratios (1.56× over the best SRAM macro, 2.22×
+over the best ReRAM macro, 1.37× at system level over [9]) recomputed from
+our measured numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..energy.technology import scale_efficiency_to_node
+
+__all__ = [
+    "DesignRecord",
+    "PUBLISHED_DESIGNS",
+    "PAPER_CURFE",
+    "PAPER_CHGFE",
+    "best_sram_baseline",
+    "best_reram_baseline",
+    "efficiency_ratios",
+]
+
+
+@dataclass(frozen=True)
+class DesignRecord:
+    """One row of the Table 1 comparison.
+
+    Attributes:
+        key: Short reference key used in the paper (e.g. ``"[10]"``).
+        technology: Memory technology ("CMOS", "ReRAM", "FeFET").
+        cell_type: Bit-cell description.
+        node_nm: Technology node in nanometres.
+        input_precision: Supported input precisions (bits).
+        weight_precision: Supported weight precisions (bits).
+        computing_mode: "current" or "charge".
+        shift_add: Multi-bit weight processing scheme ("digital", "analog",
+            or "inherent").
+        circuit_tops_per_watt_scaled: Macro-level energy efficiency scaled to
+            40 nm, at the precision given by ``circuit_precision``.
+        circuit_precision: (input bits, weight bits) of the circuit number.
+        system_tops_per_watt: System-level efficiency on CIFAR10-ResNet18 at
+            (4b, 8b), or None when not reported.
+        notes: Free-text caveats (e.g. sparsity optimisation).
+    """
+
+    key: str
+    technology: str
+    cell_type: str
+    node_nm: float
+    input_precision: Tuple[int, ...]
+    weight_precision: Tuple[int, ...]
+    computing_mode: str
+    shift_add: str
+    circuit_tops_per_watt_scaled: float
+    circuit_precision: Tuple[int, int]
+    system_tops_per_watt: Optional[float] = None
+    notes: str = ""
+
+    def circuit_tops_per_watt_at_native_node(self) -> float:
+        """Undo the paper's 40 nm scaling to recover the as-published value."""
+        return scale_efficiency_to_node(
+            self.circuit_tops_per_watt_scaled, source_nm=40.0, target_nm=self.node_nm
+        )
+
+
+#: The six comparison designs, keyed by their reference number in the paper.
+PUBLISHED_DESIGNS: Dict[str, DesignRecord] = {
+    "[8]": DesignRecord(
+        key="[8]",
+        technology="CMOS",
+        cell_type="6T-SRAM+LLC",
+        node_nm=28.0,
+        input_precision=(4, 8),
+        weight_precision=(4, 8),
+        computing_mode="current",
+        shift_add="digital",
+        circuit_tops_per_watt_scaled=6.90,
+        circuit_precision=(8, 8),
+    ),
+    "[9]": DesignRecord(
+        key="[9]",
+        technology="CMOS",
+        cell_type="8T-SRAM",
+        node_nm=65.0,
+        input_precision=(2, 4, 6, 8),
+        weight_precision=(4, 8),
+        computing_mode="current",
+        shift_add="analog",
+        circuit_tops_per_watt_scaled=41.67,
+        circuit_precision=(4, 8),
+        system_tops_per_watt=9.40,
+        notes="includes sparsity optimisation",
+    ),
+    "[10]": DesignRecord(
+        key="[10]",
+        technology="CMOS",
+        cell_type="6T-SRAM+LMC",
+        node_nm=28.0,
+        input_precision=(4, 8),
+        weight_precision=(4, 8),
+        computing_mode="charge",
+        shift_add="digital",
+        circuit_tops_per_watt_scaled=9.26,
+        circuit_precision=(8, 8),
+    ),
+    "[14]": DesignRecord(
+        key="[14]",
+        technology="ReRAM",
+        cell_type="1T1R",
+        node_nm=22.0,
+        input_precision=(1, 4, 8),
+        weight_precision=(2, 4, 8),
+        computing_mode="current",
+        shift_add="digital",
+        circuit_tops_per_watt_scaled=3.60,
+        circuit_precision=(8, 8),
+    ),
+    "[15]": DesignRecord(
+        key="[15]",
+        technology="ReRAM",
+        cell_type="1T1R",
+        node_nm=22.0,
+        input_precision=(1, 2, 4, 8),
+        weight_precision=(2, 4, 8),
+        computing_mode="current",
+        shift_add="digital",
+        circuit_tops_per_watt_scaled=4.72,
+        circuit_precision=(8, 8),
+    ),
+    "[16]": DesignRecord(
+        key="[16]",
+        technology="ReRAM",
+        cell_type="1T1R",
+        node_nm=22.0,
+        input_precision=tuple(range(1, 9)),
+        weight_precision=tuple(range(1, 9)),
+        computing_mode="charge",
+        shift_add="digital",
+        circuit_tops_per_watt_scaled=6.53,
+        circuit_precision=(8, 8),
+    ),
+}
+
+#: The paper's own reported numbers for the two proposed designs (used for
+#: paper-vs-measured comparison; our numbers are recomputed by the models).
+PAPER_CURFE = DesignRecord(
+    key="CurFe",
+    technology="FeFET",
+    cell_type="1nFeFET1R",
+    node_nm=40.0,
+    input_precision=tuple(range(1, 9)),
+    weight_precision=(4, 8),
+    computing_mode="current",
+    shift_add="inherent",
+    circuit_tops_per_watt_scaled=12.18,
+    circuit_precision=(8, 8),
+    system_tops_per_watt=12.41,
+)
+
+PAPER_CHGFE = DesignRecord(
+    key="ChgFe",
+    technology="FeFET",
+    cell_type="1nFeFET/1pFeFET",
+    node_nm=40.0,
+    input_precision=tuple(range(1, 9)),
+    weight_precision=(4, 8),
+    computing_mode="charge",
+    shift_add="inherent",
+    circuit_tops_per_watt_scaled=14.47,
+    circuit_precision=(8, 8),
+    system_tops_per_watt=12.92,
+)
+
+
+def best_sram_baseline(exclude_sparse: bool = True) -> DesignRecord:
+    """The best (highest-efficiency) SRAM baseline at (8b, 8b).
+
+    The paper excludes [9] from the headline ratio because its number
+    includes sparsity optimisation and is quoted at (4b, 8b).
+    """
+    candidates = [
+        d
+        for d in PUBLISHED_DESIGNS.values()
+        if d.technology == "CMOS"
+        and (not exclude_sparse or d.circuit_precision == (8, 8))
+    ]
+    return max(candidates, key=lambda d: d.circuit_tops_per_watt_scaled)
+
+
+def best_reram_baseline() -> DesignRecord:
+    """The best ReRAM baseline at (8b, 8b)."""
+    candidates = [
+        d for d in PUBLISHED_DESIGNS.values() if d.technology == "ReRAM"
+    ]
+    return max(candidates, key=lambda d: d.circuit_tops_per_watt_scaled)
+
+
+def efficiency_ratios(
+    circuit_tops_per_watt: float, system_tops_per_watt: Optional[float] = None
+) -> Dict[str, float]:
+    """Headline improvement ratios of a proposed design over the baselines.
+
+    Args:
+        circuit_tops_per_watt: Our macro-level efficiency at (8b, 8b).
+        system_tops_per_watt: Our system-level efficiency at (4b, 8b) on
+            CIFAR10-ResNet18 (optional).
+
+    Returns:
+        Mapping with ``"vs_best_sram"``, ``"vs_best_reram"``, and (when a
+        system number is supplied) ``"system_vs_[9]"``.
+    """
+    ratios = {
+        "vs_best_sram": circuit_tops_per_watt
+        / best_sram_baseline().circuit_tops_per_watt_scaled,
+        "vs_best_reram": circuit_tops_per_watt
+        / best_reram_baseline().circuit_tops_per_watt_scaled,
+    }
+    if system_tops_per_watt is not None:
+        reference = PUBLISHED_DESIGNS["[9]"].system_tops_per_watt
+        if reference:
+            ratios["system_vs_[9]"] = system_tops_per_watt / reference
+    return ratios

@@ -1,0 +1,112 @@
+"""Conventional digital shift-add baseline (the scheme CurFe/ChgFe eliminate).
+
+In the "digital shift-add" organisation (Section 2.3), one ADC is shared by
+the ``n`` columns that hold the ``n`` bits of a weight: a column multiplexer
+steers one column's partial MAC to the ADC per cycle, and a digital
+shift-and-add unit combines the ``n`` digitised partial sums according to
+their bit significance.  The cost relative to the inherent scheme is
+
+* ``n`` sequential conversions per weight (time multiplexing → n× latency),
+* an ``n``-term digital shift-add datapath (adders + registers, and in some
+  macros multipliers) per output,
+* the column multiplexer.
+
+This behavioural + cost model is used for the ablation benchmark that
+quantifies what the inherent shift-add saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuits.accumulator import AccumulatorParameters
+from ..circuits.adc import ADCParameters, SARADC
+
+__all__ = ["DigitalShiftAddParameters", "DigitalShiftAddUnit"]
+
+
+@dataclass(frozen=True)
+class DigitalShiftAddParameters:
+    """Cost parameters of the digital shift-add periphery.
+
+    Attributes:
+        adc: Parameters of the shared column ADC.
+        accumulator: Parameters of the digital shift-add datapath.
+        mux_energy_per_switch: Energy of reconfiguring the column MUX (J).
+        weight_bits_per_column_group: Columns (weight bits) sharing one ADC.
+    """
+
+    adc: ADCParameters = field(default_factory=ADCParameters)
+    accumulator: AccumulatorParameters = field(default_factory=AccumulatorParameters)
+    mux_energy_per_switch: float = 3.0e-15
+    weight_bits_per_column_group: int = 8
+
+    def __post_init__(self) -> None:
+        if self.weight_bits_per_column_group < 1:
+            raise ValueError("weight_bits_per_column_group must be at least 1")
+        if self.mux_energy_per_switch < 0:
+            raise ValueError("mux_energy_per_switch must be non-negative")
+
+
+class DigitalShiftAddUnit:
+    """Behaviour and cost of the digital (post-ADC) weight shift-add."""
+
+    def __init__(self, params: DigitalShiftAddParameters | None = None) -> None:
+        self.params = params or DigitalShiftAddParameters()
+        self._adc = SARADC(self.params.adc)
+
+    # -------------------------------------------------------------- behaviour
+
+    def combine(self, column_values: Sequence[float], signed_msb: bool = True) -> float:
+        """Digitally shift-add per-column partial MACs (LSB column first).
+
+        Args:
+            column_values: Digitised partial MAC of each weight-bit column,
+                least-significant column first.
+            signed_msb: When True the most-significant column carries the 2's
+                complement sign weight (−2^(n−1)).
+
+        Returns:
+            The combined MAC value.
+        """
+        values = list(column_values)
+        if not values:
+            raise ValueError("column_values must not be empty")
+        total = 0.0
+        for bit, value in enumerate(values):
+            weight = float(2**bit)
+            if signed_msb and bit == len(values) - 1:
+                weight = -weight
+            total += weight * value
+        return total
+
+    # ------------------------------------------------------------- cost model
+
+    def conversions_per_weight(self) -> int:
+        """ADC conversions needed per multi-bit weight (one per column)."""
+        return self.params.weight_bits_per_column_group
+
+    def energy_per_weight(self) -> float:
+        """Periphery energy to digitise and combine one multi-bit weight (J)."""
+        n = self.params.weight_bits_per_column_group
+        adc_energy = n * self._adc.conversion_energy()
+        mux_energy = n * self.params.mux_energy_per_switch
+        datapath = n * (
+            self.params.accumulator.adder_energy_per_bit
+            + self.params.accumulator.register_energy_per_bit
+        ) * self.params.accumulator.accumulator_width_bits
+        return adc_energy + mux_energy + datapath
+
+    def latency_per_weight(self) -> float:
+        """Latency to digitise and combine one multi-bit weight (s)."""
+        n = self.params.weight_bits_per_column_group
+        return n * (self._adc.conversion_time() + self.params.accumulator.cycle_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DigitalShiftAddUnit(bits={self.params.weight_bits_per_column_group}, "
+            f"adc={self.params.adc.resolution_bits}b)"
+        )

@@ -1,0 +1,24 @@
+"""Bit-cell models for the CurFe (1nFeFET1R) and ChgFe (1nFeFET / 1pFeFET) arrays."""
+
+from .chgfe_cell import (
+    CHGFE_NFEFET_PARAMS,
+    CHGFE_PFEFET_PARAMS,
+    ChgFeCellParameters,
+    ChgFeNCell,
+    ChgFePCell,
+    calibrated_nfefet_vth_states,
+    calibrated_pfefet_on_vth,
+)
+from .curfe_cell import CurFeCell, CurFeCellParameters
+
+__all__ = [
+    "CHGFE_NFEFET_PARAMS",
+    "CHGFE_PFEFET_PARAMS",
+    "ChgFeCellParameters",
+    "ChgFeNCell",
+    "ChgFePCell",
+    "calibrated_nfefet_vth_states",
+    "calibrated_pfefet_on_vth",
+    "CurFeCell",
+    "CurFeCellParameters",
+]

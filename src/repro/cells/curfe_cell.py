@@ -1,0 +1,251 @@
+"""CurFe bit-cell: 1nFeFET1R with a binary-weighted drain resistor.
+
+Each CurFe cell stores one weight bit in an SLC nFeFET (low Vth = '1',
+high Vth = '0') and conducts, when selected by its wordline and storing '1',
+an ON current set almost entirely by its series drain resistor — 5 MΩ / 2^i
+for bit significance ``i`` giving the binary-weighted currents 100 nA,
+200 nA, 400 nA, 800 nA of Fig. 2(f).  The resistor is the reason CurFe is so
+robust to FeFET threshold variation (Fig. 7(a)): the FeFET merely acts as a
+low-impedance switch in series with a much larger resistance.
+
+Bias conventions (Fig. 2(d)/(e) and Section 3.1):
+
+* ordinary cells (cell0-cell6): source line grounded, bitline held at the
+  TIA virtual ground ``Vcm`` = 0.5 V → current flows from the bitline into
+  the cell (positive "bitline current" here),
+* the sign-bit cell (cell7): source line at ``VDDi`` = 1 V → current flows
+  from the source line into the bitline (negative bitline current), which is
+  what realises the −8·y7 term of the 2's-complement weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..devices.fefet import DEFAULT_NFEFET_PARAMS, FeFET, FeFETParameters
+from ..devices.passives import CURFE_BASE_RESISTANCE, Resistor
+from ..devices.variation import VariationModel
+
+__all__ = ["CurFeCellParameters", "CurFeCell"]
+
+
+@dataclass(frozen=True)
+class CurFeCellParameters:
+    """Bias and device parameters shared by every CurFe cell.
+
+    Attributes:
+        read_voltage: Wordline voltage applied for an input bit of '1' (V).
+        idle_voltage: Wordline voltage for an input bit of '0' (V).
+        common_mode_voltage: Bitline voltage enforced by the TIA (V).
+        sign_supply_voltage: Source-line supply of the sign-bit column
+            ``VDDi`` (V).
+        low_vth: Threshold voltage of the '1' (conducting) state (V).
+        high_vth: Threshold voltage of the '0' (blocking) state (V).
+        base_resistance: Drain resistance of the least-significant cell (Ω).
+        fefet_params: Channel parameters of the SLC nFeFET.
+    """
+
+    read_voltage: float = 1.2
+    idle_voltage: float = 0.0
+    common_mode_voltage: float = 0.5
+    sign_supply_voltage: float = 1.0
+    low_vth: float = 0.3
+    high_vth: float = 2.0
+    base_resistance: float = CURFE_BASE_RESISTANCE
+    fefet_params: FeFETParameters = DEFAULT_NFEFET_PARAMS
+
+    def __post_init__(self) -> None:
+        if self.low_vth >= self.high_vth:
+            raise ValueError("low_vth must be below high_vth")
+        if self.read_voltage <= self.low_vth:
+            raise ValueError("read_voltage must exceed low_vth to turn the cell on")
+        if self.read_voltage >= self.high_vth:
+            raise ValueError("read_voltage must stay below high_vth to keep '0' cells off")
+        if self.base_resistance <= 0:
+            raise ValueError("base_resistance must be positive")
+        if not 0 < self.common_mode_voltage < self.sign_supply_voltage:
+            raise ValueError("common_mode_voltage must lie below the sign supply")
+
+    def resistance_for_significance(self, significance: int) -> float:
+        """Drain resistance of a cell with the given bit significance (Ω)."""
+        if not 0 <= significance <= 3:
+            raise ValueError("significance must be in 0..3")
+        return self.base_resistance / (2**significance)
+
+    def nominal_unit_current(self) -> float:
+        """Nominal ON current of the least-significant cell (A): Vcm / R_base."""
+        return self.common_mode_voltage / self.base_resistance
+
+
+class CurFeCell:
+    """One 1nFeFET1R cell of the CurFe array.
+
+    Args:
+        significance: Bit significance 0..3 inside its 4-bit block; sets the
+            drain resistance (5 MΩ / 2^significance).
+        is_sign_cell: True for the ``cell7`` position (sign bit of the H4B),
+            whose source line sits at ``VDDi`` and whose current direction is
+            therefore inverted.
+        params: Shared bias/device parameters.
+        stored_bit: Initially stored weight bit (0 or 1).
+        vth_offset: Threshold-voltage deviation of this device instance (V).
+        resistor_tolerance: Fractional mismatch of this cell's drain resistor.
+    """
+
+    def __init__(
+        self,
+        significance: int,
+        *,
+        is_sign_cell: bool = False,
+        params: CurFeCellParameters | None = None,
+        stored_bit: int = 0,
+        vth_offset: float = 0.0,
+        resistor_tolerance: float = 0.0,
+    ) -> None:
+        self.params = params or CurFeCellParameters()
+        if not 0 <= significance <= 3:
+            raise ValueError("significance must be in 0..3")
+        self.significance = int(significance)
+        self.is_sign_cell = bool(is_sign_cell)
+        self.resistor = Resistor(
+            self.params.resistance_for_significance(significance),
+            tolerance=resistor_tolerance,
+        )
+        self.fefet = FeFET(
+            [self.params.low_vth, self.params.high_vth],
+            params=self.params.fefet_params,
+            state=0,
+            vth_offset=vth_offset,
+        )
+        self._stored_bit = 0
+        self.program(stored_bit)
+
+    # ---------------------------------------------------------------- storage
+
+    @property
+    def stored_bit(self) -> int:
+        """Weight bit currently stored in the cell (0 or 1)."""
+        return self._stored_bit
+
+    def program(self, bit: int) -> None:
+        """Write a weight bit: 1 → low-Vth (conducting), 0 → high-Vth."""
+        if bit not in (0, 1):
+            raise ValueError("stored bit must be 0 or 1")
+        self._stored_bit = int(bit)
+        # State index 0 is the low-Vth state.
+        self.fefet.program(0 if bit == 1 else 1)
+
+    # -------------------------------------------------------------- behaviour
+
+    def _series_current(self, total_drop: float, gate_voltage: float, source_voltage: float) -> float:
+        """Solve the series FeFET + resistor operating point.
+
+        The cell is a resistor in series with the FeFET channel; the total
+        voltage across the series pair is ``total_drop`` (>= 0) and the FeFET
+        source sits at ``source_voltage``.  Bisection on the intermediate
+        node voltage finds the current where the resistor and FeFET agree.
+        """
+        if total_drop <= 0:
+            return 0.0
+        resistance = self.resistor.effective_resistance
+
+        def mismatch(v_fefet: float) -> float:
+            i_resistor = (total_drop - v_fefet) / resistance
+            i_fefet = self.fefet.drain_current(
+                gate_voltage, source_voltage + v_fefet, source_voltage
+            )
+            return i_resistor - i_fefet
+
+        lo, hi = 0.0, total_drop
+        f_lo = mismatch(lo)
+        f_hi = mismatch(hi)
+        if f_lo <= 0:
+            # FeFET cannot conduct even the smallest resistor current → the
+            # cell is effectively off; current equals the FeFET current with
+            # the full drop across it.
+            return self.fefet.drain_current(
+                gate_voltage, source_voltage + total_drop, source_voltage
+            )
+        if f_hi >= 0:
+            # Resistor limits entirely (FeFET is a perfect switch).
+            return total_drop / resistance
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            f_mid = mismatch(mid)
+            if f_mid > 0:
+                lo = mid
+            else:
+                hi = mid
+        v_fefet = 0.5 * (lo + hi)
+        return (total_drop - v_fefet) / resistance
+
+    def bitline_current(self, input_bit: int) -> float:
+        """Signed current drawn *out of* the bitline (TIA summing node), in A.
+
+        Ordinary cells pull current from the bitline toward their grounded
+        source line (positive sign); the sign-bit cell pushes current into
+        the bitline from ``VDDi`` (negative sign).  An input bit of '0'
+        leaves only leakage.
+        """
+        if input_bit not in (0, 1):
+            raise ValueError("input_bit must be 0 or 1")
+        p = self.params
+        gate = p.read_voltage if input_bit == 1 else p.idle_voltage
+        if self.is_sign_cell:
+            drop = p.sign_supply_voltage - p.common_mode_voltage
+            current = self._series_current(drop, gate, p.common_mode_voltage)
+            return -current
+        drop = p.common_mode_voltage
+        current = self._series_current(drop, gate, 0.0)
+        return current
+
+    def on_current(self) -> float:
+        """Magnitude of the cell current when storing '1' and selected (A)."""
+        saved = self._stored_bit
+        try:
+            self.program(1)
+            return abs(self.bitline_current(1))
+        finally:
+            self.program(saved)
+
+    def nominal_current(self) -> float:
+        """Ideal binary-weighted current of this significance (A), no device effects."""
+        return self.params.nominal_unit_current() * (2**self.significance)
+
+    # -------------------------------------------------------------- variation
+
+    @classmethod
+    def sample(
+        cls,
+        significance: int,
+        *,
+        is_sign_cell: bool = False,
+        params: CurFeCellParameters | None = None,
+        stored_bit: int = 0,
+        variation: VariationModel | None = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "CurFeCell":
+        """Create a cell with variation drawn from ``variation`` using ``rng``."""
+        vth_offset = 0.0
+        resistor_tolerance = 0.0
+        if variation is not None and rng is not None:
+            vth_offset = float(variation.draw_vth_offset(rng))
+            resistor_tolerance = float(variation.draw_resistor_tolerance(rng))
+        return cls(
+            significance,
+            is_sign_cell=is_sign_cell,
+            params=params,
+            stored_bit=stored_bit,
+            vth_offset=vth_offset,
+            resistor_tolerance=resistor_tolerance,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        role = "sign" if self.is_sign_cell else "data"
+        return (
+            f"CurFeCell(sig={self.significance}, {role}, bit={self._stored_bit}, "
+            f"R={self.resistor.effective_resistance:.3g} Ω)"
+        )

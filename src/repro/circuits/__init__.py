@@ -1,0 +1,30 @@
+"""Peripheral circuit substrate: TIA, SAR ADC, TGs, PCTs, accumulators, drivers."""
+
+from .accumulator import AccumulationModule, AccumulatorParameters
+from .adc import ADCMode, ADCParameters, MACQuantizer, SARADC
+from .precharge import PrechargeCircuit, PrechargeParameters
+from .reference_bank import ReferenceBank, ReferenceBankParameters
+from .switch_matrix import SwitchMatrix, SwitchMatrixParameters
+from .tia import TIAParameters, TransimpedanceAmplifier
+from .transmission_gate import TransmissionGate
+from .wordline_driver import WordlineDriver, WordlineDriverParameters
+
+__all__ = [
+    "AccumulationModule",
+    "AccumulatorParameters",
+    "ADCMode",
+    "ADCParameters",
+    "MACQuantizer",
+    "SARADC",
+    "PrechargeCircuit",
+    "PrechargeParameters",
+    "ReferenceBank",
+    "ReferenceBankParameters",
+    "SwitchMatrix",
+    "SwitchMatrixParameters",
+    "TIAParameters",
+    "TransimpedanceAmplifier",
+    "TransmissionGate",
+    "WordlineDriver",
+    "WordlineDriverParameters",
+]

@@ -1,0 +1,154 @@
+"""Digital accumulation module.
+
+Each bank owns one accumulation module (Figs. 2(a) and 4(a)).  It performs
+the two *remaining* shift-add tasks that are not inherent to the array:
+
+1. **Weight-nibble combining** — the 2CM ADC reports the partial MAC of the
+   signed high 4-bit weight nibble and the N2CM ADC reports the partial MAC
+   of the unsigned low nibble; an 8-bit-weight MAC is
+   ``mac = (mac_high << 4) + mac_low`` (Eq. (2)).  For 4-bit weights only the
+   2CM result is used.
+2. **Input bit-serial shift-add** — inputs are streamed LSB-first, one bit
+   plane per cycle; the accumulator adds each cycle's MAC shifted by the bit
+   position: ``total += mac_cycle << bit``.
+
+The module also carries a simple energy/area model (adders and registers) so
+that the peripheral cost shows up in the circuit-level efficiency roll-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["AccumulatorParameters", "AccumulationModule"]
+
+
+@dataclass(frozen=True)
+class AccumulatorParameters:
+    """Energy/timing parameters of the digital accumulation module.
+
+    Attributes:
+        adder_energy_per_bit: Energy of one full-adder bit operation (J).
+        register_energy_per_bit: Energy of one register bit update (J).
+        accumulator_width_bits: Width of the accumulation register.
+        cycle_time: Time to perform one accumulate step (s).
+        supply_voltage: Digital supply (V).
+    """
+
+    adder_energy_per_bit: float = 0.25e-15
+    register_energy_per_bit: float = 0.15e-15
+    accumulator_width_bits: int = 24
+    cycle_time: float = 0.5e-9
+    supply_voltage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.adder_energy_per_bit < 0 or self.register_energy_per_bit < 0:
+            raise ValueError("energies must be non-negative")
+        if self.accumulator_width_bits < 8:
+            raise ValueError("accumulator_width_bits must be at least 8")
+        if self.cycle_time <= 0:
+            raise ValueError("cycle_time must be positive")
+
+
+class AccumulationModule:
+    """Stateful digital accumulator for one bank.
+
+    The module is deliberately integer-exact: all analog non-idealities are
+    upstream (array, TIA/charge-sharing, ADC).
+    """
+
+    def __init__(self, params: AccumulatorParameters | None = None) -> None:
+        self.params = params or AccumulatorParameters()
+        self._total = 0.0
+        self._cycles = 0
+
+    # ---------------------------------------------------------------- control
+
+    def reset(self) -> None:
+        """Clear the accumulated total and cycle count."""
+        self._total = 0.0
+        self._cycles = 0
+
+    @property
+    def total(self) -> float:
+        """Current accumulated MAC value."""
+        return self._total
+
+    @property
+    def cycles(self) -> int:
+        """Number of accumulate operations performed since the last reset."""
+        return self._cycles
+
+    # ------------------------------------------------------------- operations
+
+    @staticmethod
+    def combine_weight_nibbles(
+        mac_high: float, mac_low: Optional[float], weight_bits: int
+    ) -> float:
+        """Combine the 2CM (high) and N2CM (low) partial MACs.
+
+        Args:
+            mac_high: Partial MAC of the signed high nibble (2CM ADC output).
+            mac_low: Partial MAC of the unsigned low nibble (N2CM ADC
+                output); ignored (may be None) for 4-bit weights.
+            weight_bits: 4 or 8.
+
+        Returns:
+            The combined MAC value for this input bit plane.
+        """
+        if weight_bits not in (4, 8):
+            raise ValueError("weight_bits must be 4 or 8")
+        if weight_bits == 4:
+            return float(mac_high)
+        if mac_low is None:
+            raise ValueError("8-bit weights require the low-nibble MAC")
+        return float(mac_high) * 16.0 + float(mac_low)
+
+    def accumulate_input_bit(self, mac_value: float, bit_position: int) -> float:
+        """Add one input-bit-plane MAC, shifted by the bit significance.
+
+        Args:
+            mac_value: Combined MAC value for this bit plane.
+            bit_position: Input bit index (0 = LSB).
+
+        Returns:
+            The running total after the addition.
+        """
+        if bit_position < 0:
+            raise ValueError("bit_position must be non-negative")
+        self._total += float(mac_value) * float(2**bit_position)
+        self._cycles += 1
+        return self._total
+
+    def accumulate_bit_serial(
+        self,
+        mac_values: Sequence[float],
+    ) -> float:
+        """Accumulate a whole bit-serial sequence (index = bit position, LSB first)."""
+        for bit_position, mac_value in enumerate(mac_values):
+            self.accumulate_input_bit(mac_value, bit_position)
+        return self._total
+
+    # ----------------------------------------------------------- cost models
+
+    def energy_per_accumulate(self) -> float:
+        """Energy of one shift-add accumulate step (J)."""
+        p = self.params
+        per_bit = p.adder_energy_per_bit + p.register_energy_per_bit
+        return per_bit * p.accumulator_width_bits
+
+    def energy(self, num_accumulates: int) -> float:
+        """Energy of ``num_accumulates`` accumulate steps (J)."""
+        if num_accumulates < 0:
+            raise ValueError("num_accumulates must be non-negative")
+        return self.energy_per_accumulate() * num_accumulates
+
+    def latency(self, num_accumulates: int) -> float:
+        """Latency of ``num_accumulates`` sequential accumulate steps (s)."""
+        if num_accumulates < 0:
+            raise ValueError("num_accumulates must be non-negative")
+        return self.params.cycle_time * num_accumulates
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"AccumulationModule(total={self._total}, cycles={self._cycles})"

@@ -1,0 +1,252 @@
+"""SAR ADC model with 2's-complement (2CM) and non-2's-complement (N2CM) modes.
+
+The paper adopts the flexible SAR-ADC of Yue et al. [9]: the ADC attached to
+an H4B column group interprets the analog partial-MAC voltage as a *signed*
+quantity (2CM mode, because the H4B stores the signed high nibble of the
+weight), while the ADC attached to an L4B column group interprets it as an
+*unsigned* quantity (N2CM mode, for the unsigned low nibble).  Both are
+successive-approximation converters whose references are produced by the
+reference bank.
+
+Two classes are provided:
+
+* :class:`SARADC` — the raw voltage-in / code-out converter with the usual
+  non-idealities (quantisation, input noise, offset, clipping) and an
+  energy/latency model (CDAC switching + comparator + logic per bit).
+* :class:`MACQuantizer` — a thin wrapper that maps between the *MAC-value
+  domain* (integer partial sums) and the voltage domain, so the dataflow can
+  ask "what integer MAC does the ADC report for this column voltage?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ADCMode", "ADCParameters", "SARADC", "MACQuantizer"]
+
+
+class ADCMode:
+    """Enumeration of the two conversion modes (plain strings for simplicity)."""
+
+    TWOS_COMPLEMENT = "2cm"
+    NON_TWOS_COMPLEMENT = "n2cm"
+
+    ALL = (TWOS_COMPLEMENT, NON_TWOS_COMPLEMENT)
+
+
+@dataclass(frozen=True)
+class ADCParameters:
+    """Electrical, energy, and timing parameters of the SAR ADC.
+
+    Attributes:
+        resolution_bits: Number of output bits (the paper settles on 5).
+        v_min: Lower end of the input full-scale range (V).
+        v_max: Upper end of the input full-scale range (V).
+        mode: ``ADCMode.TWOS_COMPLEMENT`` or ``ADCMode.NON_TWOS_COMPLEMENT``.
+        unit_capacitance: Unit capacitor of the capacitive DAC (F).
+        supply_voltage: ADC supply (V).
+        comparator_energy: Energy of one comparator decision (J).
+        logic_energy_per_bit: SAR logic energy per resolved bit (J).
+        conversion_time_per_bit: Time per SAR bit cycle (s).
+        input_noise_sigma: RMS input-referred noise (V).
+        offset_sigma: Standard deviation of the comparator offset (V) used
+            for Monte-Carlo instances.
+    """
+
+    resolution_bits: int = 5
+    v_min: float = 0.05
+    v_max: float = 0.95
+    mode: str = ADCMode.NON_TWOS_COMPLEMENT
+    unit_capacitance: float = 1.0e-15
+    supply_voltage: float = 1.0
+    comparator_energy: float = 6.0e-15
+    logic_energy_per_bit: float = 4.0e-15
+    conversion_time_per_bit: float = 0.5e-9
+    input_noise_sigma: float = 0.0
+    offset_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError("resolution_bits must be at least 1")
+        if self.v_max <= self.v_min:
+            raise ValueError("v_max must exceed v_min")
+        if self.mode not in ADCMode.ALL:
+            raise ValueError(f"mode must be one of {ADCMode.ALL}")
+        if self.unit_capacitance <= 0:
+            raise ValueError("unit_capacitance must be positive")
+        if self.conversion_time_per_bit <= 0:
+            raise ValueError("conversion_time_per_bit must be positive")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of output codes."""
+        return 2**self.resolution_bits
+
+    @property
+    def lsb_voltage(self) -> float:
+        """Input-referred voltage of one LSB (V)."""
+        return (self.v_max - self.v_min) / (self.num_levels - 1)
+
+    @property
+    def code_min(self) -> int:
+        """Smallest output code (signed in 2CM mode)."""
+        if self.mode == ADCMode.TWOS_COMPLEMENT:
+            return -(2 ** (self.resolution_bits - 1))
+        return 0
+
+    @property
+    def code_max(self) -> int:
+        """Largest output code."""
+        if self.mode == ADCMode.TWOS_COMPLEMENT:
+            return 2 ** (self.resolution_bits - 1) - 1
+        return self.num_levels - 1
+
+
+class SARADC:
+    """Behavioural successive-approximation ADC.
+
+    Args:
+        params: Converter parameters.
+        offset_voltage: Comparator offset of this instance (V).
+        rng: Optional random generator used to draw per-conversion input
+            noise when ``params.input_noise_sigma`` is non-zero.
+    """
+
+    def __init__(
+        self,
+        params: ADCParameters | None = None,
+        *,
+        offset_voltage: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.params = params or ADCParameters()
+        self.offset_voltage = float(offset_voltage)
+        self._rng = rng
+
+    # ------------------------------------------------------------ conversion
+
+    def convert(self, voltage: float) -> int:
+        """Convert an input voltage to an output code.
+
+        The code is unsigned (0 .. 2^n - 1) in N2CM mode and signed
+        (-2^(n-1) .. 2^(n-1) - 1) in 2CM mode, where the signed zero code
+        corresponds to the middle of the input range.
+        """
+        p = self.params
+        effective = voltage + self.offset_voltage
+        if p.input_noise_sigma > 0 and self._rng is not None:
+            effective += self._rng.normal(0.0, p.input_noise_sigma)
+        normalized = (effective - p.v_min) / (p.v_max - p.v_min)
+        raw = int(round(normalized * (p.num_levels - 1)))
+        raw = min(max(raw, 0), p.num_levels - 1)
+        if p.mode == ADCMode.TWOS_COMPLEMENT:
+            return raw - 2 ** (p.resolution_bits - 1)
+        return raw
+
+    def code_to_voltage(self, code: int) -> float:
+        """Center voltage of the given output code (V)."""
+        p = self.params
+        if p.mode == ADCMode.TWOS_COMPLEMENT:
+            raw = code + 2 ** (p.resolution_bits - 1)
+        else:
+            raw = code
+        if not 0 <= raw < p.num_levels:
+            raise ValueError(f"code {code} out of range for mode {p.mode}")
+        return p.v_min + raw * p.lsb_voltage
+
+    def transfer_curve(self, voltages: np.ndarray) -> np.ndarray:
+        """Vectorised conversion of an array of input voltages."""
+        return np.array([self.convert(float(v)) for v in np.asarray(voltages)])
+
+    # -------------------------------------------------------- cost modelling
+
+    def conversion_energy(self) -> float:
+        """Energy of one full conversion (J).
+
+        The capacitive-DAC switching energy is approximated by the classic
+        monotonic-switching bound ``(2^n - 1) * C_unit * Vref^2 / 2`` plus a
+        comparator decision and SAR-logic update per bit.
+        """
+        p = self.params
+        cdac = 0.5 * (p.num_levels - 1) * p.unit_capacitance * p.supply_voltage**2
+        per_bit = p.resolution_bits * (p.comparator_energy + p.logic_energy_per_bit)
+        return cdac + per_bit
+
+    def conversion_time(self) -> float:
+        """Latency of one conversion (s): one bit cycle per resolved bit plus sample."""
+        p = self.params
+        return (p.resolution_bits + 1) * p.conversion_time_per_bit
+
+    def with_offset(self, offset_voltage: float) -> "SARADC":
+        """Return a copy of this ADC with the given comparator offset."""
+        return SARADC(self.params, offset_voltage=offset_voltage, rng=self._rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SARADC({self.params.resolution_bits}b, mode={self.params.mode}, "
+            f"range=[{self.params.v_min}, {self.params.v_max}] V)"
+        )
+
+
+class MACQuantizer:
+    """Maps between integer partial-MAC values and ADC codes.
+
+    The macro dataflow produces column voltages that are linear in the
+    integer partial-MAC value (Eq. (3)-(6)).  The quantiser knows this linear
+    map (the MAC value at ``v_min`` and at ``v_max``) and returns the integer
+    MAC estimate that the ADC code corresponds to, which is what the digital
+    accumulation module consumes.
+
+    Args:
+        adc: The underlying converter.
+        mac_at_v_min: Integer MAC value corresponding to the bottom of the
+            ADC input range.
+        mac_at_v_max: Integer MAC value corresponding to the top of the ADC
+            input range.
+    """
+
+    def __init__(self, adc: SARADC, *, mac_at_v_min: float, mac_at_v_max: float) -> None:
+        if mac_at_v_max == mac_at_v_min:
+            raise ValueError("mac_at_v_max must differ from mac_at_v_min")
+        self.adc = adc
+        self.mac_at_v_min = float(mac_at_v_min)
+        self.mac_at_v_max = float(mac_at_v_max)
+
+    @property
+    def mac_per_lsb(self) -> float:
+        """Change in MAC value represented by one ADC LSB."""
+        return (self.mac_at_v_max - self.mac_at_v_min) / (
+            self.adc.params.num_levels - 1
+        )
+
+    def voltage_for_mac(self, mac_value: float) -> float:
+        """Ideal column voltage for a given integer MAC value (V)."""
+        p = self.adc.params
+        fraction = (mac_value - self.mac_at_v_min) / (
+            self.mac_at_v_max - self.mac_at_v_min
+        )
+        return p.v_min + fraction * (p.v_max - p.v_min)
+
+    def quantize_voltage(self, voltage: float) -> float:
+        """Convert a column voltage to the ADC-reported MAC estimate."""
+        code = self.adc.convert(voltage)
+        p = self.adc.params
+        if p.mode == ADCMode.TWOS_COMPLEMENT:
+            raw = code + 2 ** (p.resolution_bits - 1)
+        else:
+            raw = code
+        return self.mac_at_v_min + raw * self.mac_per_lsb
+
+    def quantize_mac(self, mac_value: float) -> float:
+        """Round-trip an ideal MAC value through the ADC (quantisation only)."""
+        return self.quantize_voltage(self.voltage_for_mac(mac_value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MACQuantizer(mac_range=[{self.mac_at_v_min}, {self.mac_at_v_max}], "
+            f"lsb={self.mac_per_lsb:.3f})"
+        )

@@ -1,0 +1,98 @@
+"""Reference bank model.
+
+The ADC reference voltages in both designs are generated internally by a
+dedicated reference bank (an extra column group of cells programmed to known
+patterns), an approach borrowed from the SRAM macros [6, 8, 10].  The
+reference bank produces the voltage that corresponds to a known MAC value
+(e.g. the mid-scale and full-scale references of the SAR search), which makes
+the conversion ratiometric — supply and temperature drifts that shift the
+array output shift the references in the same direction.
+
+Behaviourally, the reference bank provides:
+
+* the ADC input-range endpoints (``v_min`` / ``v_max``) for a column group,
+  given the readout transfer function of the design, and
+* a replica-current/charge energy cost proportional to the number of
+  reference levels generated per conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+__all__ = ["ReferenceBankParameters", "ReferenceBank"]
+
+
+@dataclass(frozen=True)
+class ReferenceBankParameters:
+    """Parameters of the reference bank.
+
+    Attributes:
+        num_reference_rows: Rows in the replica column used to synthesise
+            references (32, matching the activated-row parallelism).
+        replica_energy_per_level: Energy of generating one reference level
+            for one conversion (J) — replica cell current or charge plus the
+            buffer that drives the comparator.
+        settling_time: Time for a reference level to settle (s).
+    """
+
+    num_reference_rows: int = 32
+    replica_energy_per_level: float = 1.5e-15
+    settling_time: float = 0.5e-9
+
+    def __post_init__(self) -> None:
+        if self.num_reference_rows < 1:
+            raise ValueError("num_reference_rows must be at least 1")
+        if self.replica_energy_per_level < 0:
+            raise ValueError("replica_energy_per_level must be non-negative")
+        if self.settling_time <= 0:
+            raise ValueError("settling_time must be positive")
+
+
+class ReferenceBank:
+    """Generates ratiometric ADC reference endpoints from a readout transfer function."""
+
+    def __init__(self, params: ReferenceBankParameters | None = None) -> None:
+        self.params = params or ReferenceBankParameters()
+
+    def reference_range(
+        self,
+        transfer: Callable[[float], float],
+        mac_min: float,
+        mac_max: float,
+    ) -> Tuple[float, float]:
+        """Compute the ADC input range for a column group.
+
+        Args:
+            transfer: The design's MAC-value-to-voltage transfer function
+                (e.g. the TIA output or post-charge-sharing voltage for a
+                given integer MAC).
+            mac_min: Smallest representable MAC value of the column group.
+            mac_max: Largest representable MAC value of the column group.
+
+        Returns:
+            ``(v_min, v_max)`` ordered so that ``v_min < v_max`` regardless
+            of the transfer function's slope sign.
+        """
+        if mac_max <= mac_min:
+            raise ValueError("mac_max must exceed mac_min")
+        v_a = transfer(mac_min)
+        v_b = transfer(mac_max)
+        return (v_a, v_b) if v_a < v_b else (v_b, v_a)
+
+    def generation_energy(self, resolution_bits: int) -> float:
+        """Energy of producing the references for one SAR conversion (J).
+
+        A SAR search touches one reference level per resolved bit.
+        """
+        if resolution_bits < 1:
+            raise ValueError("resolution_bits must be at least 1")
+        return resolution_bits * self.params.replica_energy_per_level
+
+    def latency(self) -> float:
+        """Settling latency of the reference levels (s)."""
+        return self.params.settling_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ReferenceBank(rows={self.params.num_reference_rows})"

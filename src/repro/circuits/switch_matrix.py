@@ -1,0 +1,99 @@
+"""Bitline / sourceline switch matrix model.
+
+The BL/SL switch matrix (Figs. 2(a), 4(a)) sets the static bias of every
+column for the MAC operation: in both designs the sign-bit column's source
+line is tied to the positive supply (``VDDi`` for CurFe, ``VDDq`` for ChgFe)
+while all other source lines are grounded, and it steers bitlines to the
+readout path (TIA summing node or charge-sharing bus).  Behaviourally it is
+a static biasing block; its cost contribution is the switching energy of
+reconfiguring the matrix and a small leakage term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["SwitchMatrixParameters", "SwitchMatrix"]
+
+
+@dataclass(frozen=True)
+class SwitchMatrixParameters:
+    """Parameters of the BL/SL switch matrix.
+
+    Attributes:
+        sign_column_supply: Voltage applied to the sign-bit column's source
+            line (V) — ``VDDi`` = 1.0 V for CurFe, ``VDDq`` for ChgFe.
+        line_capacitance: Capacitance of one source line (F).
+        switch_energy_per_line: Gate energy of reconfiguring one line's
+            switches (J).
+        leakage_power_per_line: Leakage of one line's switch stack (W).
+    """
+
+    sign_column_supply: float = 1.0
+    line_capacitance: float = 40e-15
+    switch_energy_per_line: float = 1.0e-15
+    leakage_power_per_line: float = 1.0e-9
+
+    def __post_init__(self) -> None:
+        if self.sign_column_supply <= 0:
+            raise ValueError("sign_column_supply must be positive")
+        if self.line_capacitance <= 0:
+            raise ValueError("line_capacitance must be positive")
+
+
+class SwitchMatrix:
+    """Static column-bias generator for a bank.
+
+    Args:
+        num_columns: Number of columns handled by the matrix (8 per bank
+            group: 4 H4B + 4 L4B).
+        sign_column: Index of the column whose source line is tied to the
+            positive supply (the sign-bit column, cell7 / index 7).
+        params: Electrical parameters.
+    """
+
+    def __init__(
+        self,
+        num_columns: int = 8,
+        *,
+        sign_column: int = 7,
+        params: SwitchMatrixParameters | None = None,
+    ) -> None:
+        if num_columns < 1:
+            raise ValueError("num_columns must be at least 1")
+        if not 0 <= sign_column < num_columns:
+            raise ValueError("sign_column out of range")
+        self.num_columns = int(num_columns)
+        self.sign_column = int(sign_column)
+        self.params = params or SwitchMatrixParameters()
+
+    def sourceline_voltages(self) -> Dict[int, float]:
+        """Source-line voltage of every column (V)."""
+        voltages = {column: 0.0 for column in range(self.num_columns)}
+        voltages[self.sign_column] = self.params.sign_column_supply
+        return voltages
+
+    def sourceline_voltage(self, column: int) -> float:
+        """Source-line voltage of a single column (V)."""
+        if not 0 <= column < self.num_columns:
+            raise ValueError("column out of range")
+        if column == self.sign_column:
+            return self.params.sign_column_supply
+        return 0.0
+
+    def configuration_energy(self) -> float:
+        """Energy of (re)configuring the matrix once (J)."""
+        p = self.params
+        line_charge = p.line_capacitance * p.sign_column_supply**2
+        return self.num_columns * p.switch_energy_per_line + line_charge
+
+    def leakage_power(self) -> float:
+        """Total leakage power of the matrix (W)."""
+        return self.num_columns * self.params.leakage_power_per_line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SwitchMatrix(columns={self.num_columns}, "
+            f"sign_column={self.sign_column})"
+        )

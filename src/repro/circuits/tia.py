@@ -1,0 +1,156 @@
+"""Trans-impedance amplifier (TIA) model for the CurFe current-mode readout.
+
+In CurFe every bank contains two TIAs (one for the H4B column group, one for
+the L4B column group).  The TIA holds its inverting input at the common-mode
+bias ``Vcm`` (0.5 V) — a virtual ground — so that each selected 1nFeFET1R
+cell sees a fixed voltage across its series resistor, and the cell currents
+sum at the node by Kirchhoff's current law.  The TIA converts the summed
+current to an output voltage through its feedback resistor ``Rout``::
+
+    V_out = Vcm + I_sum * Rout          (Eqs. (3) and (4) of the paper)
+
+The behavioural model adds the practical limits that matter for accuracy and
+energy: output swing clamping against the rails, finite settling time, input
+offset, and static power draw (the reason CurFe is less energy-efficient
+than ChgFe in Fig. 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TIAParameters", "TransimpedanceAmplifier"]
+
+
+@dataclass(frozen=True)
+class TIAParameters:
+    """Electrical and energy parameters of the TIA.
+
+    Attributes:
+        feedback_resistance: Feedback resistor ``Rout`` (Ω).  Chosen so the
+            full-scale column current maps onto the ADC input range.
+        common_mode_voltage: Virtual-ground bias ``Vcm`` at the
+            non-inverting input (V); 0.5 V in the paper.
+        supply_voltage: Analog supply (V).
+        output_swing_margin: Margin kept from each rail (V).
+        static_current: Quiescent bias current of the amplifier (A).
+        gain_bandwidth: Gain-bandwidth product (Hz), sets settling time.
+        input_offset_sigma: Standard deviation of the input-referred offset
+            voltage (V) for Monte-Carlo runs.
+    """
+
+    feedback_resistance: float = 100e3
+    common_mode_voltage: float = 0.5
+    supply_voltage: float = 1.0
+    output_swing_margin: float = 0.05
+    static_current: float = 12e-6
+    gain_bandwidth: float = 2.0e9
+    input_offset_sigma: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if self.feedback_resistance <= 0:
+            raise ValueError("feedback_resistance must be positive")
+        if not 0 < self.common_mode_voltage < self.supply_voltage:
+            raise ValueError("common_mode_voltage must lie inside the supply range")
+        if self.static_current < 0:
+            raise ValueError("static_current must be non-negative")
+        if self.gain_bandwidth <= 0:
+            raise ValueError("gain_bandwidth must be positive")
+
+
+class TransimpedanceAmplifier:
+    """Behavioural TIA: current-to-voltage conversion with rail clamping.
+
+    Args:
+        params: Electrical parameters.
+        offset_voltage: Input-referred offset of this instance (V), typically
+            drawn from ``params.input_offset_sigma`` for Monte-Carlo runs.
+    """
+
+    def __init__(
+        self,
+        params: TIAParameters | None = None,
+        *,
+        offset_voltage: float = 0.0,
+    ) -> None:
+        self.params = params or TIAParameters()
+        self.offset_voltage = float(offset_voltage)
+
+    # ------------------------------------------------------------- behaviour
+
+    @property
+    def virtual_ground_voltage(self) -> float:
+        """Voltage the inverting input is regulated to (V)."""
+        return self.params.common_mode_voltage + self.offset_voltage
+
+    def output_voltage(self, input_current: float) -> float:
+        """Convert a summed input current to the TIA output voltage (V).
+
+        The sign convention matches Eq. (3)/(4): a positive ``input_current``
+        (net current flowing *out of* the summing node into the array, i.e.
+        cells pulling current from the virtual ground toward grounded source
+        lines) raises the output above ``Vcm``; the H4B sign-bit cell pushes
+        current *into* the node and lowers the output.
+        """
+        ideal = (
+            self.virtual_ground_voltage
+            + input_current * self.params.feedback_resistance
+        )
+        low = self.params.output_swing_margin
+        high = self.params.supply_voltage - self.params.output_swing_margin
+        return min(max(ideal, low), high)
+
+    def is_clipped(self, input_current: float) -> bool:
+        """True when the ideal output would exceed the available swing."""
+        ideal = (
+            self.virtual_ground_voltage
+            + input_current * self.params.feedback_resistance
+        )
+        low = self.params.output_swing_margin
+        high = self.params.supply_voltage - self.params.output_swing_margin
+        return ideal < low or ideal > high
+
+    def full_scale_current(self) -> float:
+        """Largest current magnitude converted without clipping (A)."""
+        swing = (
+            self.params.supply_voltage
+            - self.params.output_swing_margin
+            - self.params.common_mode_voltage
+        )
+        return swing / self.params.feedback_resistance
+
+    def settling_time(self, accuracy_bits: int = 7) -> float:
+        """Time to settle within half an LSB of ``accuracy_bits`` (s).
+
+        A single-pole closed-loop response settles as ``exp(-t * 2*pi*GBW)``
+        (unity feedback factor for the transimpedance configuration), so
+        settling to 2^-(n+1) takes ``(n+1) * ln2 / (2*pi*GBW)``.
+        """
+        if accuracy_bits < 1:
+            raise ValueError("accuracy_bits must be at least 1")
+        return (accuracy_bits + 1) * math.log(2.0) / (
+            2.0 * math.pi * self.params.gain_bandwidth
+        )
+
+    # ---------------------------------------------------------------- energy
+
+    def static_power(self) -> float:
+        """Quiescent power draw while the amplifier is enabled (W)."""
+        return self.params.static_current * self.params.supply_voltage
+
+    def energy(self, duration: float) -> float:
+        """Energy consumed over ``duration`` seconds of operation (J)."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return self.static_power() * duration
+
+    def with_offset(self, offset_voltage: float) -> "TransimpedanceAmplifier":
+        """Return a copy of this TIA with a different input offset."""
+        return TransimpedanceAmplifier(self.params, offset_voltage=offset_voltage)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TransimpedanceAmplifier(Rout={self.params.feedback_resistance:.3g} Ω, "
+            f"Vcm={self.params.common_mode_voltage} V)"
+        )

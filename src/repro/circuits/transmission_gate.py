@@ -1,0 +1,88 @@
+"""Transmission-gate (TG) model.
+
+Both designs route bitlines through transmission gates: CurFe uses TGs to
+connect the four bitlines of an H4B/L4B group to the shared TIA summing node
+(Fig. 2(b)/(c)); ChgFe uses TGs to short the four bitline capacitors
+together for the charge-sharing step (Fig. 4(b)/(c)).  A TG is an nMOS and a
+pMOS switch in parallel, giving a roughly constant ON resistance across the
+signal range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.mosfet import MOSFETParameters, MOSSwitch, TECH_40NM_NMOS, TECH_40NM_PMOS
+
+__all__ = ["TransmissionGate"]
+
+
+@dataclass
+class TransmissionGate:
+    """A complementary pass gate built from one nMOS and one pMOS switch.
+
+    Attributes:
+        nmos_params: Parameters of the nMOS half.
+        pmos_params: Parameters of the pMOS half.
+    """
+
+    nmos_params: MOSFETParameters = TECH_40NM_NMOS
+    pmos_params: MOSFETParameters = TECH_40NM_PMOS
+
+    def __post_init__(self) -> None:
+        self._nmos = MOSSwitch(self.nmos_params)
+        self._pmos = MOSSwitch(self.pmos_params)
+        self._enabled = False
+
+    @property
+    def is_on(self) -> bool:
+        """True when the gate is enabled (both halves conducting)."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn the gate on."""
+        self._enabled = True
+        self._nmos.set_gate(True)
+        self._pmos.set_gate(True)
+
+    def disable(self) -> None:
+        """Turn the gate off."""
+        self._enabled = False
+        self._nmos.set_gate(False)
+        self._pmos.set_gate(False)
+
+    def set_state(self, on: bool) -> None:
+        """Enable or disable the gate."""
+        if on:
+            self.enable()
+        else:
+            self.disable()
+
+    @property
+    def resistance(self) -> float:
+        """Effective resistance in the current state (Ω): parallel of both halves."""
+        rn = self._nmos.resistance
+        rp = self._pmos.resistance
+        return rn * rp / (rn + rp)
+
+    @property
+    def on_resistance(self) -> float:
+        """ON resistance regardless of the current state (Ω)."""
+        rn = self.nmos_params.on_resistance
+        rp = self.pmos_params.on_resistance
+        return rn * rp / (rn + rp)
+
+    def switching_energy(self, vdd: float) -> float:
+        """Dynamic energy of toggling both gate terminals once (J)."""
+        return self._nmos.switching_energy(vdd) + self._pmos.switching_energy(vdd)
+
+    def parasitic_capacitance(self) -> float:
+        """Junction capacitance loading the signal path (F)."""
+        return (
+            self.nmos_params.junction_capacitance
+            + self.pmos_params.junction_capacitance
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "on" if self._enabled else "off"
+        return f"TransmissionGate({state}, Ron={self.on_resistance:.3g} Ω)"

@@ -1,0 +1,87 @@
+"""Wordline (input) driver model.
+
+The wordline driver converts each input bit into the gate drive of a row:
+for CurFe / ChgFe, an input bit of '1' raises the row's WL (or WLS for the
+sign-bit cells) to the read voltage within 0.5 ns; a '0' keeps it at the
+inactive level.  The driver's dynamic energy scales with the number of rows
+that actually toggle, which is how input activity enters the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["WordlineDriverParameters", "WordlineDriver"]
+
+
+@dataclass(frozen=True)
+class WordlineDriverParameters:
+    """Parameters of a bank's wordline driver.
+
+    Attributes:
+        read_voltage: WL voltage applied for an input bit of '1' (V).
+        idle_voltage: WL voltage applied for an input bit of '0' (V).
+        wordline_capacitance: Total capacitance of one wordline, including
+            every gate hanging on it (F).
+        driver_energy_overhead: Fixed energy of the driver logic per row
+            toggle (decoder + level shifter), in J.
+        rise_time: Time for the WL to reach the read voltage (s); 0.5 ns in
+            the paper's operation sequence.
+    """
+
+    read_voltage: float = 1.0
+    idle_voltage: float = 0.0
+    wordline_capacitance: float = 60e-15
+    driver_energy_overhead: float = 2.0e-15
+    rise_time: float = 0.5e-9
+
+    def __post_init__(self) -> None:
+        if self.wordline_capacitance <= 0:
+            raise ValueError("wordline_capacitance must be positive")
+        if self.rise_time <= 0:
+            raise ValueError("rise_time must be positive")
+        if self.driver_energy_overhead < 0:
+            raise ValueError("driver_energy_overhead must be non-negative")
+
+
+class WordlineDriver:
+    """Drives a set of wordlines from a vector of input bits."""
+
+    def __init__(self, params: WordlineDriverParameters | None = None) -> None:
+        self.params = params or WordlineDriverParameters()
+
+    def wordline_voltages(self, input_bits: Sequence[int]) -> np.ndarray:
+        """Map input bits (0/1) to wordline voltages (V)."""
+        bits = np.asarray(input_bits)
+        if bits.size and not np.all(np.isin(bits, (0, 1))):
+            raise ValueError("input bits must be 0 or 1")
+        return np.where(
+            bits == 1, self.params.read_voltage, self.params.idle_voltage
+        ).astype(float)
+
+    def toggle_energy_per_row(self) -> float:
+        """Dynamic energy of raising and lowering one wordline once (J)."""
+        p = self.params
+        swing = p.read_voltage - p.idle_voltage
+        return p.wordline_capacitance * swing * swing + p.driver_energy_overhead
+
+    def energy(self, input_bits: Sequence[int]) -> float:
+        """Energy of applying one input bit plane (J): only '1' rows toggle."""
+        bits = np.asarray(input_bits)
+        if bits.size and not np.all(np.isin(bits, (0, 1))):
+            raise ValueError("input bits must be 0 or 1")
+        num_toggles = int(np.sum(bits))
+        return num_toggles * self.toggle_energy_per_row()
+
+    def latency(self) -> float:
+        """Time for the wordlines to settle after a new bit plane is applied (s)."""
+        return self.params.rise_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WordlineDriver(Vread={self.params.read_voltage} V, "
+            f"Cwl={self.params.wordline_capacitance:.3g} F)"
+        )

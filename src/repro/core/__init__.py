@@ -1,0 +1,79 @@
+"""Core of the reproduction: the CurFe / ChgFe IMC designs themselves.
+
+Layering inside the package:
+
+* :mod:`weights`, :mod:`inputs`, :mod:`readout` — encodings and nominal
+  transfer functions,
+* :mod:`curfe`, :mod:`chgfe` — detailed per-device 4-bit blocks,
+* :mod:`bank`, :mod:`macro` — the bank and 128×128 macro hierarchy,
+* :mod:`dataflow` — exact integer references for every decomposition,
+* :mod:`functional` — the fast vectorised model used by DNN-scale studies,
+* :mod:`transients` — builders for the paper's transient MAC examples.
+"""
+
+from .bank import BankConversion, IMCBank
+from .chgfe import ChgFeBlock, ChgFeBlockConfig
+from .curfe import CurFeBlock, CurFeBlockConfig
+from .dataflow import (
+    bit_serial_matvec,
+    blocked_matvec,
+    ideal_matvec,
+    nibble_decomposed_matvec,
+)
+from .functional import (
+    CHGFE_DESIGN,
+    CURFE_DESIGN,
+    IDEAL_DESIGN,
+    FunctionalIMCModel,
+    FunctionalModelConfig,
+    SignificanceSigmas,
+    estimate_relative_current_sigmas,
+)
+from .inputs import InputVector
+from .macro import ChgFeMacro, CurFeMacro, IMCMacro, IMCMacroConfig
+from .readout import ChgFeReadout, CurFeReadout, MACRange, mac_range_for_group
+from .transients import TransientSummary, chgfe_mac_transient, curfe_mac_transient
+from .weights import (
+    WeightPlan,
+    bits_to_nibble,
+    decode_weight_plan,
+    encode_weight_matrix,
+    nibble_to_bits,
+)
+
+__all__ = [
+    "BankConversion",
+    "IMCBank",
+    "ChgFeBlock",
+    "ChgFeBlockConfig",
+    "CurFeBlock",
+    "CurFeBlockConfig",
+    "bit_serial_matvec",
+    "blocked_matvec",
+    "ideal_matvec",
+    "nibble_decomposed_matvec",
+    "CHGFE_DESIGN",
+    "CURFE_DESIGN",
+    "IDEAL_DESIGN",
+    "FunctionalIMCModel",
+    "FunctionalModelConfig",
+    "SignificanceSigmas",
+    "estimate_relative_current_sigmas",
+    "InputVector",
+    "ChgFeMacro",
+    "CurFeMacro",
+    "IMCMacro",
+    "IMCMacroConfig",
+    "ChgFeReadout",
+    "CurFeReadout",
+    "MACRange",
+    "mac_range_for_group",
+    "TransientSummary",
+    "chgfe_mac_transient",
+    "curfe_mac_transient",
+    "WeightPlan",
+    "bits_to_nibble",
+    "decode_weight_plan",
+    "encode_weight_matrix",
+    "nibble_to_bits",
+]

@@ -1,0 +1,218 @@
+"""A bank: one H4B + one L4B with their ADCs and accumulation module.
+
+The bank is the unit that produces one digital MAC result per activated
+32-row block: it reads the H4B through a 2's-complement-mode (2CM) ADC, the
+L4B through a non-2's-complement-mode (N2CM) ADC, combines the two nibble
+partial MACs (``mac = 16·mac_hi + mac_lo`` for 8-bit weights), and shift-adds
+across input bit planes in its accumulation module.
+
+The class is design-agnostic: it accepts any pair of blocks exposing the
+small protocol shared by :class:`~repro.core.curfe.CurFeBlock` and
+:class:`~repro.core.chgfe.ChgFeBlock` (``output_voltage``, ``ideal_mac``,
+``mac_range``, ``nominal_voltage_for_mac``, ``program``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..circuits.accumulator import AccumulationModule
+from ..circuits.adc import ADCMode, ADCParameters, MACQuantizer, SARADC
+from ..circuits.reference_bank import ReferenceBank
+from .inputs import InputVector
+from .readout import MACRange
+
+__all__ = ["IMCBlock", "BankConversion", "IMCBank"]
+
+
+class IMCBlock(Protocol):
+    """Structural protocol every 4-bit block implementation satisfies."""
+
+    def program(self, bit_matrix: np.ndarray) -> None:  # pragma: no cover
+        ...
+
+    def output_voltage(self, input_bits: Sequence[int]) -> float:  # pragma: no cover
+        ...
+
+    def ideal_mac(self, input_bits: Sequence[int]) -> int:  # pragma: no cover
+        ...
+
+    def mac_range(self) -> MACRange:  # pragma: no cover
+        ...
+
+    def nominal_voltage_for_mac(self, mac_value: float) -> float:  # pragma: no cover
+        ...
+
+    @property
+    def rows(self) -> int:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class BankConversion:
+    """Result of converting one input bit plane in a bank.
+
+    Attributes:
+        mac_high: ADC-reported partial MAC of the H4B (signed nibble).
+        mac_low: ADC-reported partial MAC of the L4B (unsigned nibble), or
+            None when only 4-bit weights are in use.
+        combined: The nibble-combined MAC value for this bit plane.
+        ideal: The exact integer MAC value (no analog or ADC error).
+        voltage_high: Analog H4B readout voltage (V).
+        voltage_low: Analog L4B readout voltage (V), or None.
+    """
+
+    mac_high: float
+    mac_low: Optional[float]
+    combined: float
+    ideal: int
+    voltage_high: float
+    voltage_low: Optional[float]
+
+
+class IMCBank:
+    """One bank of the macro: an H4B/L4B pair plus converters and accumulator.
+
+    Args:
+        high_block: The signed (2CM) block.
+        low_block: The unsigned (N2CM) block.
+        adc_bits: SAR ADC resolution (5 in the paper's final configuration).
+        weight_bits: 4 or 8; with 4-bit weights the low block is unused.
+        reference_bank: Optional reference-bank model used to derive the ADC
+            input ranges from the blocks' nominal transfer functions.
+    """
+
+    def __init__(
+        self,
+        high_block: IMCBlock,
+        low_block: Optional[IMCBlock],
+        *,
+        adc_bits: int = 5,
+        weight_bits: int = 8,
+        reference_bank: Optional[ReferenceBank] = None,
+    ) -> None:
+        if weight_bits not in (4, 8):
+            raise ValueError("weight_bits must be 4 or 8")
+        if weight_bits == 8 and low_block is None:
+            raise ValueError("8-bit weights require a low (N2CM) block")
+        self.high_block = high_block
+        self.low_block = low_block
+        self.adc_bits = int(adc_bits)
+        self.weight_bits = int(weight_bits)
+        self.reference_bank = reference_bank or ReferenceBank()
+        self.accumulator = AccumulationModule()
+        self._quantizer_high = self._build_quantizer(
+            high_block, ADCMode.TWOS_COMPLEMENT
+        )
+        self._quantizer_low = (
+            self._build_quantizer(low_block, ADCMode.NON_TWOS_COMPLEMENT)
+            if low_block is not None
+            else None
+        )
+
+    # ------------------------------------------------------------ construction
+
+    def _build_quantizer(self, block: IMCBlock, mode: str) -> MACQuantizer:
+        mac_range = block.mac_range()
+        v_at_min = block.nominal_voltage_for_mac(mac_range.minimum)
+        v_at_max = block.nominal_voltage_for_mac(mac_range.maximum)
+        v_min, v_max = self.reference_bank.reference_range(
+            block.nominal_voltage_for_mac, mac_range.minimum, mac_range.maximum
+        )
+        if v_at_min < v_at_max:
+            mac_at_v_min, mac_at_v_max = mac_range.minimum, mac_range.maximum
+        else:
+            mac_at_v_min, mac_at_v_max = mac_range.maximum, mac_range.minimum
+        adc = SARADC(
+            ADCParameters(
+                resolution_bits=self.adc_bits,
+                v_min=v_min,
+                v_max=v_max,
+                mode=mode,
+            )
+        )
+        return MACQuantizer(adc, mac_at_v_min=mac_at_v_min, mac_at_v_max=mac_at_v_max)
+
+    # ---------------------------------------------------------------- storage
+
+    @property
+    def rows(self) -> int:
+        """Number of rows per block in this bank."""
+        return self.high_block.rows
+
+    def program(
+        self, high_bits: np.ndarray, low_bits: Optional[np.ndarray] = None
+    ) -> None:
+        """Program the H4B (and, for 8-bit weights, the L4B) bit matrices."""
+        self.high_block.program(high_bits)
+        if self.weight_bits == 8:
+            if low_bits is None:
+                raise ValueError("8-bit weights require low-nibble bits")
+            assert self.low_block is not None
+            self.low_block.program(low_bits)
+
+    # -------------------------------------------------------------- behaviour
+
+    def convert_bit_plane(self, input_bits: Sequence[int]) -> BankConversion:
+        """Run one input bit plane through the analog path and both ADCs."""
+        voltage_high = self.high_block.output_voltage(input_bits)
+        mac_high = self._quantizer_high.quantize_voltage(voltage_high)
+        ideal = self.high_block.ideal_mac(input_bits)
+        mac_low = None
+        voltage_low = None
+        if self.weight_bits == 8:
+            assert self.low_block is not None and self._quantizer_low is not None
+            voltage_low = self.low_block.output_voltage(input_bits)
+            mac_low = self._quantizer_low.quantize_voltage(voltage_low)
+            ideal = 16 * ideal + self.low_block.ideal_mac(input_bits)
+        combined = AccumulationModule.combine_weight_nibbles(
+            mac_high, mac_low, self.weight_bits
+        )
+        return BankConversion(
+            mac_high=mac_high,
+            mac_low=mac_low,
+            combined=combined,
+            ideal=ideal,
+            voltage_high=voltage_high,
+            voltage_low=voltage_low,
+        )
+
+    def mac_bit_serial(self, inputs: InputVector) -> float:
+        """Full bit-serial MAC of one input vector against the stored weights.
+
+        The accumulation module is reset, every input bit plane is converted,
+        and the per-plane MACs are shift-added by input significance.
+        """
+        if inputs.rows != self.rows:
+            raise ValueError(
+                f"input vector has {inputs.rows} rows but the bank has {self.rows}"
+            )
+        self.accumulator.reset()
+        for bit_position, plane in inputs.iter_bit_planes():
+            conversion = self.convert_bit_plane(plane)
+            self.accumulator.accumulate_input_bit(conversion.combined, bit_position)
+        return self.accumulator.total
+
+    def ideal_mac_bit_serial(self, inputs: InputVector) -> int:
+        """Exact integer MAC of one input vector against the stored weights."""
+        if inputs.rows != self.rows:
+            raise ValueError(
+                f"input vector has {inputs.rows} rows but the bank has {self.rows}"
+            )
+        total = 0
+        for bit_position, plane in inputs.iter_bit_planes():
+            ideal = self.high_block.ideal_mac(plane)
+            if self.weight_bits == 8:
+                assert self.low_block is not None
+                ideal = 16 * ideal + self.low_block.ideal_mac(plane)
+            total += ideal << bit_position
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"IMCBank(rows={self.rows}, weight_bits={self.weight_bits}, "
+            f"adc_bits={self.adc_bits})"
+        )

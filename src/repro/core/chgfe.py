@@ -1,0 +1,269 @@
+"""ChgFe: charge-mode FeFET IMC blocks.
+
+Architecture recap (Section 3.2, Fig. 4):
+
+* same 128×128b / 16-bank / H4B+L4B floorplan as CurFe, but every bitline
+  carries a pre-charge transistor and a 50 fF capacitor instead of feeding a
+  TIA;
+* the sign-bit position (cell7) is a single-level 1pFeFET that *charges* its
+  bitline from ``VDDq``, while all other cells are MLC 1nFeFETs programmed
+  to binary-weighted ON currents that *discharge* their bitlines;
+* a MAC operation is pre-charge (1 ns) → apply input bits / MAC discharge
+  (0.5 ns) → charge sharing across the four bitlines of the group, whose
+  average realises the inherent shift-add, Eqs. (5)/(6).
+
+The block model caches per-cell ΔV contributions (current × MAC time /
+bitline capacitance) so that evaluating a MAC is a vectorised reduction, and
+models bitline-capacitor mismatch in the charge-sharing average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..cells.chgfe_cell import ChgFeCellParameters, ChgFeNCell, ChgFePCell
+from ..devices.passives import Capacitor
+from ..devices.variation import NO_VARIATION, VariationModel
+from .readout import ChgFeReadout, MACRange, mac_range_for_group
+from .weights import bits_to_nibble
+
+__all__ = ["ChgFeBlock", "ChgFeBlockConfig"]
+
+
+@dataclass(frozen=True)
+class ChgFeBlockConfig:
+    """Configuration of one ChgFe 4-bit block (H4B or L4B).
+
+    Attributes:
+        rows: Number of rows in the block (32 in the paper).
+        signed: True for an H4B (sign column uses the 1pFeFET), False for an
+            L4B (all columns are MLC 1nFeFETs).
+        cell_params: Shared cell bias/storage/timing parameters.
+        variation: Device-variation statistics used when sampling cells.
+    """
+
+    rows: int = 32
+    signed: bool = True
+    cell_params: ChgFeCellParameters = field(default_factory=ChgFeCellParameters)
+    variation: VariationModel = NO_VARIATION
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise ValueError("rows must be at least 1")
+
+
+class ChgFeBlock:
+    """A 32-row × 4-column ChgFe block with pre-charge and charge-sharing readout.
+
+    Args:
+        config: Block configuration.
+        rng: Random generator used to draw device variation; required when
+            ``config.variation`` is enabled.
+    """
+
+    NUM_COLUMNS = 4
+
+    def __init__(
+        self,
+        config: ChgFeBlockConfig | None = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config or ChgFeBlockConfig()
+        if self.config.variation.enabled and rng is None:
+            raise ValueError("an rng is required when device variation is enabled")
+        self._rng = rng
+        cell_params = self.config.cell_params
+        self.readout = ChgFeReadout(
+            precharge_voltage=cell_params.precharge_voltage,
+            unit_delta_v=abs(cell_params.nominal_delta_v(0)),
+            sharing_columns=self.NUM_COLUMNS,
+        )
+        self._bits = np.zeros((self.config.rows, self.NUM_COLUMNS), dtype=np.int64)
+        self._build_bitline_capacitors()
+        self._build_cells()
+
+    # ------------------------------------------------------------ construction
+
+    def _build_bitline_capacitors(self) -> None:
+        params = self.config.cell_params
+        tolerances = np.zeros(self.NUM_COLUMNS)
+        if self.config.variation.enabled and self._rng is not None:
+            tolerances = np.asarray(
+                self.config.variation.draw_capacitor_tolerance(
+                    self._rng, self.NUM_COLUMNS
+                )
+            )
+        self.bitline_capacitors: List[Capacitor] = [
+            Capacitor(params.bitline_capacitance, tolerance=float(tol))
+            for tol in tolerances
+        ]
+
+    def _build_cells(self) -> None:
+        config = self.config
+        rows, cols = config.rows, self.NUM_COLUMNS
+        self.cells: List[List[Union[ChgFeNCell, ChgFePCell]]] = []
+        self._dv_on = np.zeros((rows, cols))
+        self._dv_off_selected = np.zeros((rows, cols))
+        self._dv_unselected = np.zeros((rows, cols))
+
+        use_templates = not config.variation.enabled
+        templates: List[Tuple[float, float, float]] = []
+        if use_templates:
+            for col in range(cols):
+                cell = self._make_cell(col, rng=None)
+                templates.append(self._characterise(cell, col))
+
+        for row in range(rows):
+            row_cells: List[Union[ChgFeNCell, ChgFePCell]] = []
+            for col in range(cols):
+                cell = self._make_cell(col, rng=self._rng if not use_templates else None)
+                row_cells.append(cell)
+                if use_templates:
+                    on, off_sel, unsel = templates[col]
+                else:
+                    on, off_sel, unsel = self._characterise(cell, col)
+                self._dv_on[row, col] = on
+                self._dv_off_selected[row, col] = off_sel
+                self._dv_unselected[row, col] = unsel
+            self.cells.append(row_cells)
+
+    def _is_sign_column(self, col: int) -> bool:
+        return self.config.signed and col == self.NUM_COLUMNS - 1
+
+    def _make_cell(
+        self, col: int, *, rng: Optional[np.random.Generator]
+    ) -> Union[ChgFeNCell, ChgFePCell]:
+        params = self.config.cell_params
+        if self._is_sign_column(col):
+            if rng is None:
+                return ChgFePCell(params=params)
+            return ChgFePCell.sample(
+                params=params, variation=self.config.variation, rng=rng
+            )
+        if rng is None:
+            return ChgFeNCell(col, params=params)
+        return ChgFeNCell.sample(
+            col, params=params, variation=self.config.variation, rng=rng
+        )
+
+    def _characterise(
+        self, cell: Union[ChgFeNCell, ChgFePCell], col: int
+    ) -> Tuple[float, float, float]:
+        """Return (stored-1 selected, stored-0 selected, unselected) ΔV contributions.
+
+        The ΔV is referenced to the cell's *own* nominal bitline capacitance;
+        capacitor mismatch is applied separately in :meth:`bitline_voltages`.
+        """
+        saved = cell.stored_bit
+        try:
+            cell.program(1)
+            on = cell.bitline_delta_v(1)
+            unselected = cell.bitline_delta_v(0)
+            cell.program(0)
+            off_selected = cell.bitline_delta_v(1)
+        finally:
+            cell.program(saved)
+        return on, off_selected, unselected
+
+    # ---------------------------------------------------------------- storage
+
+    @property
+    def rows(self) -> int:
+        """Number of rows in the block."""
+        return self.config.rows
+
+    @property
+    def signed(self) -> bool:
+        """True when this block is a 2's-complement (H4B) group."""
+        return self.config.signed
+
+    @property
+    def stored_bits(self) -> np.ndarray:
+        """Currently programmed bit matrix, shape (rows, 4), significance 0..3."""
+        return self._bits.copy()
+
+    def program(self, bit_matrix: np.ndarray) -> None:
+        """Program the block with a (rows, 4) bit matrix (significance 0..3)."""
+        bits = np.asarray(bit_matrix, dtype=np.int64)
+        if bits.shape != (self.config.rows, self.NUM_COLUMNS):
+            raise ValueError(
+                f"bit matrix must have shape ({self.config.rows}, {self.NUM_COLUMNS})"
+            )
+        if np.any((bits != 0) & (bits != 1)):
+            raise ValueError("bits must be 0 or 1")
+        self._bits = bits.copy()
+        for row in range(self.config.rows):
+            for col in range(self.NUM_COLUMNS):
+                self.cells[row][col].program(int(bits[row, col]))
+
+    def stored_nibbles(self) -> np.ndarray:
+        """Per-row nibble values implied by the stored bits (signed for H4B)."""
+        return bits_to_nibble(self._bits, signed=self.config.signed)
+
+    # -------------------------------------------------------------- behaviour
+
+    def _validate_inputs(self, input_bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(input_bits, dtype=np.int64)
+        if bits.shape != (self.config.rows,):
+            raise ValueError(f"input bits must have shape ({self.config.rows},)")
+        if np.any((bits != 0) & (bits != 1)):
+            raise ValueError("input bits must be 0 or 1")
+        return bits
+
+    def bitline_delta_vs(self, input_bits: Sequence[int]) -> np.ndarray:
+        """Total ΔV of each bitline after the MAC phase (V), shape (4,).
+
+        Positive for a net-charging bitline (sign column), negative for a
+        net-discharging one.
+        """
+        x = self._validate_inputs(np.asarray(input_bits))[:, None]
+        stored = self._bits
+        selected = x * (
+            stored * self._dv_on + (1 - stored) * self._dv_off_selected
+        )
+        unselected = (1 - x) * self._dv_unselected
+        return np.sum(selected + unselected, axis=0)
+
+    def bitline_voltages(self, input_bits: Sequence[int]) -> np.ndarray:
+        """Bitline voltages at the end of the MAC phase (V), shape (4,).
+
+        Voltages are clamped to the physical rails [0, VDDq]: a bitline
+        cannot discharge below ground nor charge above the sign supply.
+        """
+        params = self.config.cell_params
+        voltages = params.precharge_voltage + self.bitline_delta_vs(input_bits)
+        return np.clip(voltages, 0.0, params.sign_supply_voltage)
+
+    def shared_voltage(self, input_bits: Sequence[int]) -> float:
+        """Charge-sharing result: capacitance-weighted average of the bitlines (V)."""
+        voltages = self.bitline_voltages(input_bits)
+        capacitances = np.array(
+            [cap.effective_capacitance for cap in self.bitline_capacitors]
+        )
+        return float(np.dot(voltages, capacitances) / np.sum(capacitances))
+
+    def output_voltage(self, input_bits: Sequence[int]) -> float:
+        """Alias of :meth:`shared_voltage` (the group's analog pMACV), Eq. (5)/(6)."""
+        return self.shared_voltage(input_bits)
+
+    def ideal_mac(self, input_bits: Sequence[int]) -> int:
+        """Exact integer partial MAC of this block for one input bit plane."""
+        x = self._validate_inputs(np.asarray(input_bits))
+        nibbles = self.stored_nibbles()
+        return int(np.dot(x, nibbles))
+
+    def mac_range(self) -> MACRange:
+        """Representable partial-MAC range of this block."""
+        return mac_range_for_group(self.config.signed, self.config.rows)
+
+    def nominal_voltage_for_mac(self, mac_value: float) -> float:
+        """Nominal (variation-free) shared voltage for an integer MAC value (V)."""
+        return self.readout.voltage(mac_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "H4B" if self.config.signed else "L4B"
+        return f"ChgFeBlock({kind}, rows={self.config.rows})"

@@ -1,0 +1,263 @@
+"""CurFe: current-mode FeFET IMC blocks, banks, and the 128×128 macro.
+
+Architecture recap (Section 3.1, Fig. 2):
+
+* the 128×128b array is split into 16 **banks** of 8 columns;
+* a bank's 8 columns form, per 32-row block row, one **H4B** (4 columns
+  storing the signed high nibble of 32 weights, cell7 = sign bit) and one
+  **L4B** (4 columns storing the unsigned low nibble);
+* the four bitlines of an active H4B (L4B) are tied through transmission
+  gates to a shared TIA whose output voltage is the inherent shift-added
+  partial MAC, Eq. (3) (Eq. (4));
+* a 2CM SAR-ADC digitises the H4B voltage, an N2CM SAR-ADC the L4B voltage,
+  and the accumulation module combines nibbles and input bit positions.
+
+The classes below model this hierarchy explicitly.  Cell currents are
+evaluated once per device instance (they depend only on the stored bit and
+the applied input bit, not on the rest of the array, thanks to the TIA's
+virtual ground) and cached, so MAC evaluation is a handful of vectorised
+numpy reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cells.curfe_cell import CurFeCell, CurFeCellParameters
+from ..circuits.adc import ADCMode, ADCParameters, MACQuantizer, SARADC
+from ..circuits.tia import TIAParameters, TransimpedanceAmplifier
+from ..devices.variation import NO_VARIATION, VariationModel
+from .readout import CurFeReadout, MACRange, mac_range_for_group
+from .weights import bits_to_nibble
+
+__all__ = ["CurFeBlock", "CurFeBlockConfig"]
+
+#: Default TIA feedback resistance for a signed (H4B, 2CM) group (Ω): maps the
+#: [-256, 224] MAC range of 32 activated rows into the ADC input window.
+DEFAULT_SIGNED_FEEDBACK_OHMS = 16e3
+
+#: Default TIA feedback resistance for an unsigned (L4B, N2CM) group (Ω): maps
+#: the [0, 480] MAC range of 32 activated rows into the ADC input window.
+DEFAULT_UNSIGNED_FEEDBACK_OHMS = 8.5e3
+
+
+@dataclass(frozen=True)
+class CurFeBlockConfig:
+    """Configuration of one CurFe 4-bit block (H4B or L4B).
+
+    Attributes:
+        rows: Number of rows in the block (32 in the paper).
+        signed: True for an H4B (2's-complement group with a sign column),
+            False for an L4B (unsigned group).
+        cell_params: Shared cell bias/device parameters.
+        feedback_resistance: TIA feedback resistor for this group (Ω); if
+            None a sensible default is chosen from ``signed``.
+        variation: Device-variation statistics used when sampling cells.
+    """
+
+    rows: int = 32
+    signed: bool = True
+    cell_params: CurFeCellParameters = field(default_factory=CurFeCellParameters)
+    feedback_resistance: Optional[float] = None
+    variation: VariationModel = NO_VARIATION
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise ValueError("rows must be at least 1")
+
+    @property
+    def resolved_feedback_resistance(self) -> float:
+        """Feedback resistance after applying the signed/unsigned default (Ω)."""
+        if self.feedback_resistance is not None:
+            return self.feedback_resistance
+        return (
+            DEFAULT_SIGNED_FEEDBACK_OHMS
+            if self.signed
+            else DEFAULT_UNSIGNED_FEEDBACK_OHMS
+        )
+
+
+class CurFeBlock:
+    """A 32-row × 4-column CurFe block with its shared TIA readout.
+
+    Args:
+        config: Block configuration.
+        rng: Random generator used to draw device variation; required when
+            ``config.variation`` is enabled.
+    """
+
+    NUM_COLUMNS = 4
+
+    def __init__(
+        self,
+        config: CurFeBlockConfig | None = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config or CurFeBlockConfig()
+        if self.config.variation.enabled and rng is None:
+            raise ValueError("an rng is required when device variation is enabled")
+        self._rng = rng
+        cell_params = self.config.cell_params
+        rout = self.config.resolved_feedback_resistance
+        self.tia = TransimpedanceAmplifier(
+            TIAParameters(
+                feedback_resistance=rout,
+                common_mode_voltage=cell_params.common_mode_voltage,
+            )
+        )
+        self.readout = CurFeReadout(
+            common_mode_voltage=cell_params.common_mode_voltage,
+            unit_current=cell_params.nominal_unit_current(),
+            feedback_resistance=rout,
+        )
+        self._bits = np.zeros((self.config.rows, self.NUM_COLUMNS), dtype=np.int64)
+        self._build_cells()
+
+    # ------------------------------------------------------------ construction
+
+    def _build_cells(self) -> None:
+        """Instantiate cells and cache their current contributions."""
+        config = self.config
+        rows, cols = config.rows, self.NUM_COLUMNS
+        self.cells: List[List[CurFeCell]] = []
+        self._current_on = np.zeros((rows, cols))
+        self._current_off_selected = np.zeros((rows, cols))
+        self._current_unselected = np.zeros((rows, cols))
+
+        # Without variation, every cell of a column is electrically identical:
+        # evaluate one template per column and broadcast.
+        use_templates = not config.variation.enabled
+        templates: List[Tuple[float, float, float]] = []
+        if use_templates:
+            for col in range(cols):
+                cell = self._make_cell(col, rng=None)
+                templates.append(self._characterise(cell))
+
+        for row in range(rows):
+            row_cells: List[CurFeCell] = []
+            for col in range(cols):
+                cell = self._make_cell(col, rng=self._rng if not use_templates else None)
+                row_cells.append(cell)
+                if use_templates:
+                    on, off_sel, unsel = templates[col]
+                else:
+                    on, off_sel, unsel = self._characterise(cell)
+                self._current_on[row, col] = on
+                self._current_off_selected[row, col] = off_sel
+                self._current_unselected[row, col] = unsel
+            self.cells.append(row_cells)
+
+    def _make_cell(self, col: int, *, rng: Optional[np.random.Generator]) -> CurFeCell:
+        is_sign = self.config.signed and col == self.NUM_COLUMNS - 1
+        if rng is None:
+            return CurFeCell(
+                col,
+                is_sign_cell=is_sign,
+                params=self.config.cell_params,
+            )
+        return CurFeCell.sample(
+            col,
+            is_sign_cell=is_sign,
+            params=self.config.cell_params,
+            variation=self.config.variation,
+            rng=rng,
+        )
+
+    @staticmethod
+    def _characterise(cell: CurFeCell) -> Tuple[float, float, float]:
+        """Return (stored-1 selected, stored-0 selected, unselected) bitline currents."""
+        saved = cell.stored_bit
+        try:
+            cell.program(1)
+            on = cell.bitline_current(1)
+            unselected = cell.bitline_current(0)
+            cell.program(0)
+            off_selected = cell.bitline_current(1)
+        finally:
+            cell.program(saved)
+        return on, off_selected, unselected
+
+    # ---------------------------------------------------------------- storage
+
+    @property
+    def rows(self) -> int:
+        """Number of rows in the block."""
+        return self.config.rows
+
+    @property
+    def signed(self) -> bool:
+        """True when this block is a 2's-complement (H4B) group."""
+        return self.config.signed
+
+    @property
+    def stored_bits(self) -> np.ndarray:
+        """Currently programmed bit matrix, shape (rows, 4), significance 0..3."""
+        return self._bits.copy()
+
+    def program(self, bit_matrix: np.ndarray) -> None:
+        """Program the block with a (rows, 4) bit matrix (significance 0..3)."""
+        bits = np.asarray(bit_matrix, dtype=np.int64)
+        if bits.shape != (self.config.rows, self.NUM_COLUMNS):
+            raise ValueError(
+                f"bit matrix must have shape ({self.config.rows}, {self.NUM_COLUMNS})"
+            )
+        if np.any((bits != 0) & (bits != 1)):
+            raise ValueError("bits must be 0 or 1")
+        self._bits = bits.copy()
+        for row in range(self.config.rows):
+            for col in range(self.NUM_COLUMNS):
+                self.cells[row][col].program(int(bits[row, col]))
+
+    def stored_nibbles(self) -> np.ndarray:
+        """Per-row nibble values implied by the stored bits (signed for H4B)."""
+        return bits_to_nibble(self._bits, signed=self.config.signed)
+
+    # -------------------------------------------------------------- behaviour
+
+    def _validate_inputs(self, input_bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(input_bits, dtype=np.int64)
+        if bits.shape != (self.config.rows,):
+            raise ValueError(f"input bits must have shape ({self.config.rows},)")
+        if np.any((bits != 0) & (bits != 1)):
+            raise ValueError("input bits must be 0 or 1")
+        return bits
+
+    def column_currents(self, input_bits: Sequence[int]) -> np.ndarray:
+        """Signed bitline currents per column for one input bit plane (A), shape (4,)."""
+        x = self._validate_inputs(np.asarray(input_bits))[:, None]
+        stored = self._bits
+        selected = x * (
+            stored * self._current_on + (1 - stored) * self._current_off_selected
+        )
+        unselected = (1 - x) * self._current_unselected
+        return np.sum(selected + unselected, axis=0)
+
+    def summed_current(self, input_bits: Sequence[int]) -> float:
+        """Total current at the TIA summing node for one input bit plane (A)."""
+        return float(np.sum(self.column_currents(input_bits)))
+
+    def output_voltage(self, input_bits: Sequence[int]) -> float:
+        """TIA output voltage for one input bit plane (V), Eq. (3)/(4)."""
+        return self.tia.output_voltage(self.summed_current(input_bits))
+
+    def ideal_mac(self, input_bits: Sequence[int]) -> int:
+        """Exact integer partial MAC of this block for one input bit plane."""
+        x = self._validate_inputs(np.asarray(input_bits))
+        nibbles = self.stored_nibbles()
+        return int(np.dot(x, nibbles))
+
+    def mac_range(self) -> MACRange:
+        """Representable partial-MAC range of this block."""
+        return mac_range_for_group(self.config.signed, self.config.rows)
+
+    def nominal_voltage_for_mac(self, mac_value: float) -> float:
+        """Nominal (variation-free) readout voltage for an integer MAC value (V)."""
+        return self.readout.voltage(mac_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "H4B" if self.config.signed else "L4B"
+        return f"CurFeBlock({kind}, rows={self.config.rows})"

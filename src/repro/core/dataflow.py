@@ -1,0 +1,121 @@
+"""Golden-reference dataflow: the integer arithmetic the macros must realise.
+
+The macros decompose ``y = W^T x`` three ways — weight nibbles (inherent
+shift-add in the array), input bits (bit-serial shift-add in the
+accumulation module), and 32-row blocks (digital accumulation across block
+activations).  This module provides exact integer implementations of each
+decomposition so tests can verify that (a) the decompositions are lossless
+and (b) the hardware models converge to them when non-idealities are turned
+off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..quant.quantize import signed_range, unsigned_range
+from .weights import encode_weight_matrix
+
+__all__ = [
+    "ideal_matvec",
+    "nibble_decomposed_matvec",
+    "bit_serial_matvec",
+    "blocked_matvec",
+]
+
+
+def _validate(weights: np.ndarray, inputs: np.ndarray, weight_bits: int, input_bits: int):
+    weights = np.asarray(weights, dtype=np.int64)
+    inputs = np.asarray(inputs, dtype=np.int64)
+    if weights.ndim != 2:
+        raise ValueError("weights must be 2-D (rows, columns)")
+    if inputs.ndim != 1:
+        raise ValueError("inputs must be 1-D (rows,)")
+    if weights.shape[0] != inputs.shape[0]:
+        raise ValueError("weights and inputs must agree on the row dimension")
+    w_lo, w_hi = signed_range(weight_bits)
+    if np.any(weights < w_lo) or np.any(weights > w_hi):
+        raise ValueError(f"weights outside signed {weight_bits}-bit range")
+    x_lo, x_hi = unsigned_range(input_bits)
+    if np.any(inputs < x_lo) or np.any(inputs > x_hi):
+        raise ValueError(f"inputs outside unsigned {input_bits}-bit range")
+    return weights, inputs
+
+
+def ideal_matvec(
+    weights: np.ndarray,
+    inputs: np.ndarray,
+    *,
+    weight_bits: int = 8,
+    input_bits: int = 8,
+) -> np.ndarray:
+    """Plain integer ``W^T x`` with range validation (the golden answer)."""
+    weights, inputs = _validate(weights, inputs, weight_bits, input_bits)
+    return weights.T @ inputs
+
+
+def nibble_decomposed_matvec(
+    weights: np.ndarray,
+    inputs: np.ndarray,
+    *,
+    weight_bits: int = 8,
+    input_bits: int = 8,
+) -> np.ndarray:
+    """Matvec computed via the H4B/L4B nibble split: ``16·(W_hi^T x) + W_lo^T x``.
+
+    This is the weight-side inherent shift-add of Eq. (1)/(2) carried out in
+    exact integer arithmetic.
+    """
+    weights, inputs = _validate(weights, inputs, weight_bits, input_bits)
+    plan = encode_weight_matrix(weights, weight_bits)
+    high = plan.high_nibbles.T @ inputs
+    if weight_bits == 4:
+        return high
+    low = plan.low_nibbles.T @ inputs
+    return 16 * high + low
+
+
+def bit_serial_matvec(
+    weights: np.ndarray,
+    inputs: np.ndarray,
+    *,
+    weight_bits: int = 8,
+    input_bits: int = 8,
+) -> np.ndarray:
+    """Matvec computed bit-serially over the input bits (LSB first).
+
+    This is the accumulation-module shift-add: each input bit plane
+    contributes ``(W^T plane) << bit``.
+    """
+    weights, inputs = _validate(weights, inputs, weight_bits, input_bits)
+    total = np.zeros(weights.shape[1], dtype=np.int64)
+    for bit in range(input_bits):
+        plane = (inputs >> bit) & 1
+        total += (weights.T @ plane) << bit
+    return total
+
+
+def blocked_matvec(
+    weights: np.ndarray,
+    inputs: np.ndarray,
+    *,
+    weight_bits: int = 8,
+    input_bits: int = 8,
+    block_rows: int = 32,
+) -> np.ndarray:
+    """Matvec accumulated over 32-row blocks (the partial-parallel activation).
+
+    Rows are processed ``block_rows`` at a time, as the macro activates one
+    H4B/L4B pair per bank per step; the partial results add exactly.
+    """
+    if block_rows < 1:
+        raise ValueError("block_rows must be at least 1")
+    weights, inputs = _validate(weights, inputs, weight_bits, input_bits)
+    rows = weights.shape[0]
+    total = np.zeros(weights.shape[1], dtype=np.int64)
+    for start in range(0, rows, block_rows):
+        stop = min(start + block_rows, rows)
+        total += weights[start:stop].T @ inputs[start:stop]
+    return total

@@ -1,0 +1,89 @@
+"""Input encoding: unsigned multi-bit activations streamed bit-serially.
+
+Both macros process inputs in bit-serial mode (Fig. 2(g)): an ``m``-bit
+unsigned input vector is applied one bit plane per cycle, LSB first, and the
+accumulation module weighs each cycle's MAC by ``2**bit``.  This module
+validates input vectors and produces the per-cycle bit planes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..quant.quantize import input_to_bit_planes, unsigned_range
+
+__all__ = ["InputVector", "SUPPORTED_INPUT_BITS"]
+
+#: Input precisions supported by the macros (1-8 bits, Section 3.1).
+SUPPORTED_INPUT_BITS: Tuple[int, ...] = tuple(range(1, 9))
+
+
+@dataclass(frozen=True)
+class InputVector:
+    """An unsigned activation vector with an explicit bit precision.
+
+    Attributes:
+        values: Integer activation values, shape (rows,).
+        bits: Input precision in bits (1..8).
+    """
+
+    values: np.ndarray
+    bits: int
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        if values.ndim != 1:
+            raise ValueError("input values must be a 1-D vector")
+        if not np.issubdtype(values.dtype, np.integer):
+            if not np.all(values == np.round(values)):
+                raise ValueError("input values must be integers")
+            values = values.astype(np.int64)
+        else:
+            values = values.astype(np.int64)
+        if self.bits not in SUPPORTED_INPUT_BITS:
+            raise ValueError(
+                f"input precision {self.bits} not supported; choose one of "
+                f"{SUPPORTED_INPUT_BITS}"
+            )
+        lo, hi = unsigned_range(self.bits)
+        if np.any(values < lo) or np.any(values > hi):
+            raise ValueError(
+                f"input values outside unsigned {self.bits}-bit range [{lo}, {hi}]"
+            )
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def rows(self) -> int:
+        """Number of activation rows."""
+        return len(self.values)
+
+    def bit_planes(self) -> np.ndarray:
+        """All bit planes, shape (bits, rows), LSB plane first."""
+        return input_to_bit_planes(self.values, self.bits)
+
+    def bit_plane(self, bit: int) -> np.ndarray:
+        """One bit plane (0 = LSB), shape (rows,)."""
+        if not 0 <= bit < self.bits:
+            raise ValueError(f"bit {bit} out of range for {self.bits}-bit inputs")
+        return ((self.values >> bit) & 1).astype(np.int64)
+
+    def iter_bit_planes(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Iterate ``(bit_position, plane)`` pairs, LSB first."""
+        planes = self.bit_planes()
+        for bit in range(self.bits):
+            yield bit, planes[bit]
+
+    @classmethod
+    def random(
+        cls, rows: int, bits: int, rng: np.random.Generator
+    ) -> "InputVector":
+        """Draw a uniformly random input vector (useful for tests/benchmarks)."""
+        lo, hi = unsigned_range(bits)
+        values = rng.integers(lo, hi + 1, size=rows)
+        return cls(values=values, bits=bits)

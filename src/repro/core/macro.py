@@ -1,0 +1,254 @@
+"""Full CurFe / ChgFe macro models (128×128b, 16 banks, 4 block rows).
+
+The macro classes assemble the block / bank hierarchy into the complete
+array of Fig. 2(a) / Fig. 4(a) and expose the user-facing operations:
+
+* :meth:`IMCMacro.program_weights` — map a signed integer weight matrix onto
+  the banks (high nibble → H4B, low nibble → L4B),
+* :meth:`IMCMacro.matvec` — bit-serial matrix-vector multiplication through
+  the full analog + ADC + accumulation path,
+* :meth:`IMCMacro.ideal_matvec` — the exact integer reference for the same
+  stored weights.
+
+These are the *detailed* (per-device) models used by the circuit-level
+experiments and integration tests.  DNN-scale inference uses the vectorised
+:mod:`repro.core.functional` model instead, which shares the same readout
+and quantisation maths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..cells.chgfe_cell import ChgFeCellParameters
+from ..cells.curfe_cell import CurFeCellParameters
+from ..devices.variation import NO_VARIATION, VariationModel
+from .bank import IMCBank
+from .chgfe import ChgFeBlock, ChgFeBlockConfig
+from .curfe import CurFeBlock, CurFeBlockConfig
+from .inputs import InputVector
+from .weights import WeightPlan, encode_weight_matrix
+
+__all__ = ["IMCMacroConfig", "IMCMacro", "CurFeMacro", "ChgFeMacro"]
+
+
+@dataclass(frozen=True)
+class IMCMacroConfig:
+    """Dimensions and operating configuration of a macro.
+
+    Attributes:
+        rows: Total array rows (128 in the paper).
+        banks: Number of banks / weight columns (16 in the paper).
+        block_rows: Rows activated together — the input parallelism (32).
+        adc_bits: SAR ADC resolution.
+        weight_bits: Weight precision, 4 or 8.
+        variation: Device-variation statistics applied to every cell.
+    """
+
+    rows: int = 128
+    banks: int = 16
+    block_rows: int = 32
+    adc_bits: int = 5
+    weight_bits: int = 8
+    variation: VariationModel = NO_VARIATION
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.banks < 1 or self.block_rows < 1:
+            raise ValueError("rows, banks and block_rows must be positive")
+        if self.rows % self.block_rows != 0:
+            raise ValueError("rows must be a multiple of block_rows")
+        if self.weight_bits not in (4, 8):
+            raise ValueError("weight_bits must be 4 or 8")
+        if self.adc_bits < 1:
+            raise ValueError("adc_bits must be at least 1")
+
+    @property
+    def num_block_rows(self) -> int:
+        """Number of 32-row block rows stacked in the array."""
+        return self.rows // self.block_rows
+
+    @property
+    def columns(self) -> int:
+        """Physical bit columns of the array (8 per bank)."""
+        return self.banks * 8
+
+    @property
+    def weight_columns(self) -> int:
+        """Logical weight columns (one per bank)."""
+        return self.banks
+
+
+class IMCMacro:
+    """Base class assembling banks of H4B/L4B blocks into a full macro.
+
+    Subclasses provide the design-specific block factory.
+    """
+
+    #: Human-readable design name, overridden by subclasses.
+    design_name = "generic"
+
+    def __init__(
+        self,
+        config: IMCMacroConfig | None = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config or IMCMacroConfig()
+        if self.config.variation.enabled and rng is None:
+            rng = np.random.default_rng(0)
+        self._rng = rng
+        self._plan: Optional[WeightPlan] = None
+        self._banks: List[List[IMCBank]] = []
+        for _bank_index in range(self.config.banks):
+            bank_blocks: List[IMCBank] = []
+            for _block_row in range(self.config.num_block_rows):
+                high = self._make_block(signed=True)
+                low = self._make_block(signed=False)
+                bank_blocks.append(
+                    IMCBank(
+                        high,
+                        low,
+                        adc_bits=self.config.adc_bits,
+                        weight_bits=self.config.weight_bits,
+                    )
+                )
+            self._banks.append(bank_blocks)
+
+    # ----------------------------------------------------------- construction
+
+    def _make_block(self, *, signed: bool):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def bank(self, bank_index: int, block_row: int) -> IMCBank:
+        """Access the :class:`IMCBank` serving ``bank_index`` / ``block_row``."""
+        return self._banks[bank_index][block_row]
+
+    # --------------------------------------------------------------- weights
+
+    @property
+    def weight_plan(self) -> Optional[WeightPlan]:
+        """The currently programmed weight plan, or None before programming."""
+        return self._plan
+
+    def program_weights(self, weights: np.ndarray) -> WeightPlan:
+        """Encode and program a signed weight matrix of shape (rows, banks).
+
+        Returns the :class:`~repro.core.weights.WeightPlan` actually stored.
+        """
+        weights = np.asarray(weights)
+        expected = (self.config.rows, self.config.weight_columns)
+        if weights.shape != expected:
+            raise ValueError(f"weights must have shape {expected}, got {weights.shape}")
+        plan = encode_weight_matrix(weights, self.config.weight_bits)
+        for bank_index in range(self.config.banks):
+            for block_row in range(self.config.num_block_rows):
+                high_bits = plan.block_high_bits(
+                    block_row, bank_index, self.config.block_rows
+                )
+                low_bits = (
+                    plan.block_low_bits(block_row, bank_index, self.config.block_rows)
+                    if self.config.weight_bits == 8
+                    else None
+                )
+                self._banks[bank_index][block_row].program(high_bits, low_bits)
+        self._plan = plan
+        return plan
+
+    # -------------------------------------------------------------- operation
+
+    def _check_programmed(self) -> None:
+        if self._plan is None:
+            raise RuntimeError("program_weights must be called before computing MACs")
+
+    def _sliced_inputs(self, inputs: InputVector, block_row: int) -> InputVector:
+        start = block_row * self.config.block_rows
+        stop = start + self.config.block_rows
+        return InputVector(values=inputs.values[start:stop], bits=inputs.bits)
+
+    def matvec(self, inputs: InputVector) -> np.ndarray:
+        """Bit-serial MAC of an input vector against every stored weight column.
+
+        Args:
+            inputs: Unsigned activation vector of length ``config.rows``.
+
+        Returns:
+            Array of shape (banks,) with the digital MAC results.
+        """
+        self._check_programmed()
+        if inputs.rows != self.config.rows:
+            raise ValueError(
+                f"input vector has {inputs.rows} rows, expected {self.config.rows}"
+            )
+        results = np.zeros(self.config.banks)
+        for bank_index in range(self.config.banks):
+            total = 0.0
+            for block_row in range(self.config.num_block_rows):
+                sliced = self._sliced_inputs(inputs, block_row)
+                total += self._banks[bank_index][block_row].mac_bit_serial(sliced)
+            results[bank_index] = total
+        return results
+
+    def ideal_matvec(self, inputs: InputVector) -> np.ndarray:
+        """Exact integer MAC results for the stored weights (golden reference)."""
+        self._check_programmed()
+        assert self._plan is not None
+        return self._plan.weights.T.astype(np.int64) @ inputs.values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(rows={self.config.rows}, banks={self.config.banks}, "
+            f"weight_bits={self.config.weight_bits}, adc_bits={self.config.adc_bits})"
+        )
+
+
+class CurFeMacro(IMCMacro):
+    """The current-mode macro: 1nFeFET1R cells read through TIAs."""
+
+    design_name = "CurFe"
+
+    def __init__(
+        self,
+        config: IMCMacroConfig | None = None,
+        *,
+        cell_params: CurFeCellParameters | None = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.cell_params = cell_params or CurFeCellParameters()
+        super().__init__(config, rng=rng)
+
+    def _make_block(self, *, signed: bool) -> CurFeBlock:
+        block_config = CurFeBlockConfig(
+            rows=self.config.block_rows,
+            signed=signed,
+            cell_params=self.cell_params,
+            variation=self.config.variation,
+        )
+        return CurFeBlock(block_config, rng=self._rng)
+
+
+class ChgFeMacro(IMCMacro):
+    """The charge-mode macro: MLC 1nFeFET / 1pFeFET cells with charge sharing."""
+
+    design_name = "ChgFe"
+
+    def __init__(
+        self,
+        config: IMCMacroConfig | None = None,
+        *,
+        cell_params: ChgFeCellParameters | None = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.cell_params = cell_params or ChgFeCellParameters()
+        super().__init__(config, rng=rng)
+
+    def _make_block(self, *, signed: bool) -> ChgFeBlock:
+        block_config = ChgFeBlockConfig(
+            rows=self.config.block_rows,
+            signed=signed,
+            cell_params=self.cell_params,
+            variation=self.config.variation,
+        )
+        return ChgFeBlock(block_config, rng=self._rng)

@@ -1,0 +1,151 @@
+"""Nominal readout transfer functions of the two designs.
+
+The inherent shift-add property of both designs is a *linear* mapping from
+the integer partial-MAC value of a 4-bit column group to the analog readout
+voltage:
+
+* CurFe (Eqs. (3)/(4)): ``V = Vcm + I_unit · Rout · mac`` — the TIA converts
+  the binary-weighted sum of cell currents, with the sign-bit column pushing
+  current the other way.
+* ChgFe (Eqs. (5)/(6)): ``V = Vpre − ΔV_unit/4 · mac`` — each cell moves its
+  own bitline by a binary-weighted ΔV and the charge-sharing step averages
+  the four bitlines.
+
+These transfer objects are the single source of truth for the mapping; the
+reference bank uses them to derive the ADC input range, the detailed blocks
+use them to report their nominal (variation-free) output, and the fast
+functional model uses them to fold array + ADC behaviour into a quantised
+integer pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["MACRange", "CurFeReadout", "ChgFeReadout", "mac_range_for_group"]
+
+
+@dataclass(frozen=True)
+class MACRange:
+    """Integer partial-MAC range representable by one 4-bit column group.
+
+    Attributes:
+        minimum: Smallest representable MAC value.
+        maximum: Largest representable MAC value.
+    """
+
+    minimum: int
+    maximum: int
+
+    def __post_init__(self) -> None:
+        if self.maximum <= self.minimum:
+            raise ValueError("maximum must exceed minimum")
+
+    @property
+    def span(self) -> int:
+        """Total number of MAC units spanned."""
+        return self.maximum - self.minimum
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the closed range."""
+        return self.minimum <= value <= self.maximum
+
+
+def mac_range_for_group(signed: bool, rows: int) -> MACRange:
+    """MAC range of a 4-bit group accumulating over ``rows`` activated rows.
+
+    A signed (2CM / H4B) group holds per-row nibble values in [-8, 7]; an
+    unsigned (N2CM / L4B) group holds values in [0, 15].
+    """
+    if rows < 1:
+        raise ValueError("rows must be at least 1")
+    if signed:
+        return MACRange(minimum=-8 * rows, maximum=7 * rows)
+    return MACRange(minimum=0, maximum=15 * rows)
+
+
+@dataclass(frozen=True)
+class CurFeReadout:
+    """CurFe MAC-to-voltage transfer: ``V = Vcm + I_unit · Rout · mac``.
+
+    Attributes:
+        common_mode_voltage: TIA virtual-ground voltage ``Vcm`` (V).
+        unit_current: ON current of the least-significant cell (A).
+        feedback_resistance: TIA feedback resistor ``Rout`` (Ω).
+    """
+
+    common_mode_voltage: float = 0.5
+    unit_current: float = 100e-9
+    feedback_resistance: float = 16e3
+
+    def __post_init__(self) -> None:
+        if self.unit_current <= 0:
+            raise ValueError("unit_current must be positive")
+        if self.feedback_resistance <= 0:
+            raise ValueError("feedback_resistance must be positive")
+
+    @property
+    def volts_per_mac(self) -> float:
+        """Readout slope: volts per unit of partial-MAC value."""
+        return self.unit_current * self.feedback_resistance
+
+    def voltage(self, mac_value: float) -> float:
+        """Nominal readout voltage for an integer partial-MAC value (V)."""
+        return self.common_mode_voltage + self.volts_per_mac * mac_value
+
+    def voltage_range(self, mac_range: MACRange) -> Tuple[float, float]:
+        """Readout voltages at the ends of ``mac_range``, ordered (low, high)."""
+        v_a = self.voltage(mac_range.minimum)
+        v_b = self.voltage(mac_range.maximum)
+        return (v_a, v_b) if v_a < v_b else (v_b, v_a)
+
+    def mac_from_voltage(self, voltage: float) -> float:
+        """Invert the transfer: MAC value corresponding to a readout voltage."""
+        return (voltage - self.common_mode_voltage) / self.volts_per_mac
+
+
+@dataclass(frozen=True)
+class ChgFeReadout:
+    """ChgFe MAC-to-voltage transfer: ``V = Vpre − (ΔV_unit / share) · mac``.
+
+    Attributes:
+        precharge_voltage: Bitline pre-charge level ``Vpre`` (V).
+        unit_delta_v: Magnitude of the bitline voltage change caused by one
+            activated least-significant cell (V); 2.5 mV in the paper.
+        sharing_columns: Number of bitline capacitors shorted together in the
+            charge-sharing step (4 per group).
+    """
+
+    precharge_voltage: float = 1.5
+    unit_delta_v: float = 2.5e-3
+    sharing_columns: int = 4
+
+    def __post_init__(self) -> None:
+        if self.unit_delta_v <= 0:
+            raise ValueError("unit_delta_v must be positive")
+        if self.sharing_columns < 1:
+            raise ValueError("sharing_columns must be at least 1")
+
+    @property
+    def volts_per_mac(self) -> float:
+        """Readout slope magnitude: volts per unit of partial-MAC value.
+
+        The slope is negative (larger MAC → more discharge → lower shared
+        voltage); this property returns the magnitude.
+        """
+        return self.unit_delta_v / self.sharing_columns
+
+    def voltage(self, mac_value: float) -> float:
+        """Nominal shared bitline voltage for an integer partial-MAC value (V)."""
+        return self.precharge_voltage - self.volts_per_mac * mac_value
+
+    def voltage_range(self, mac_range: MACRange) -> Tuple[float, float]:
+        """Readout voltages at the ends of ``mac_range``, ordered (low, high)."""
+        v_a = self.voltage(mac_range.minimum)
+        v_b = self.voltage(mac_range.maximum)
+        return (v_a, v_b) if v_a < v_b else (v_b, v_a)
+
+    def mac_from_voltage(self, voltage: float) -> float:
+        """Invert the transfer: MAC value corresponding to a shared voltage."""
+        return (self.precharge_voltage - voltage) / self.volts_per_mac

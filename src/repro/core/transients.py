@@ -1,0 +1,247 @@
+"""Transient waveform builders for the paper's MAC operation examples.
+
+Figure 3 shows the CurFe multiplication of a 1-bit input '1' with the 8-bit
+weight ``11111111``: the H4B currents sum to −100 nA and the L4B currents to
++1.5 µA, producing TIA output excursions below / above ``Vcm``.  Figure 6
+shows the same operation in ChgFe: pre-charge to 1.5 V, binary-weighted ΔVs
+of −2.5/−5/−10/−20 mV (+20 mV for the sign bitline) during the 0.5 ns MAC
+phase, then charge sharing toward the group average.
+
+These builders evaluate the detailed block models for the requested weight /
+input pattern and then assemble the corresponding phase sequence for the
+behavioural transient engine, returning the waveforms plus a summary of the
+key numbers (final currents, ΔVs, output voltages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..analog.transient import (
+    CurrentIntegration,
+    ExponentialSettle,
+    Hold,
+    LinearRamp,
+    Phase,
+    TransientEngine,
+)
+from ..analog.waveform import WaveformBundle
+from ..quant.quantize import split_signed_weight
+from .chgfe import ChgFeBlock, ChgFeBlockConfig
+from .curfe import CurFeBlock, CurFeBlockConfig
+from .weights import nibble_to_bits
+
+__all__ = [
+    "TransientSummary",
+    "curfe_mac_transient",
+    "chgfe_mac_transient",
+]
+
+
+@dataclass
+class TransientSummary:
+    """Key numbers extracted from a transient MAC example.
+
+    Attributes:
+        waveforms: All simulated node waveforms.
+        high_output_voltage: Final H4B readout voltage (V).
+        low_output_voltage: Final L4B readout voltage (V).
+        high_summed_current: Final summed H4B current (A) — CurFe only.
+        low_summed_current: Final summed L4B current (A) — CurFe only.
+        bitline_delta_vs: Final per-bitline ΔV (V), keyed by cell index —
+            ChgFe only.
+        high_ideal_mac: Exact integer partial MAC of the H4B.
+        low_ideal_mac: Exact integer partial MAC of the L4B.
+    """
+
+    waveforms: WaveformBundle
+    high_output_voltage: float
+    low_output_voltage: float
+    high_summed_current: Optional[float] = None
+    low_summed_current: Optional[float] = None
+    bitline_delta_vs: Optional[Dict[int, float]] = None
+    high_ideal_mac: int = 0
+    low_ideal_mac: int = 0
+
+
+def _single_row_blocks(weight: int, rows: int, block_cls, config_cls, cell_params=None):
+    """Program an H4B/L4B pair with ``weight`` in row 0 and zeros elsewhere."""
+    high, low = split_signed_weight(weight, bits=8)
+    high_bits = np.zeros((rows, 4), dtype=np.int64)
+    low_bits = np.zeros((rows, 4), dtype=np.int64)
+    high_bits[0] = nibble_to_bits(np.array(high), signed=True)
+    low_bits[0] = nibble_to_bits(np.array(low), signed=False)
+    kwargs = {} if cell_params is None else {"cell_params": cell_params}
+    high_block = block_cls(config_cls(rows=rows, signed=True, **kwargs))
+    low_block = block_cls(config_cls(rows=rows, signed=False, **kwargs))
+    high_block.program(high_bits)
+    low_block.program(low_bits)
+    return high_block, low_block, high, low
+
+
+def curfe_mac_transient(
+    weight: int = -1,
+    *,
+    rows: int = 32,
+    active_rows: Sequence[int] = (0,),
+    mac_time: float = 0.5e-9,
+    samples_per_phase: int = 80,
+) -> TransientSummary:
+    """Reproduce the Fig. 3 CurFe transient for a 1-bit input × 8-bit weight.
+
+    Args:
+        weight: Signed 8-bit weight; the paper's example is ``11111111`` =
+            −1, stored as high nibble −1 ('1111') and low nibble 15.
+        rows: Rows in each block (only ``active_rows`` receive an input '1').
+        active_rows: Row indices whose input bit is '1'.
+        mac_time: Duration of the MAC / current-summation phase (s).
+        samples_per_phase: Time resolution of the waveforms.
+
+    Returns:
+        A :class:`TransientSummary` whose waveforms include the eight cell
+        currents (``I_CurFe0`` .. ``I_CurFe7``) and the two TIA outputs
+        (``V_CurFe_H4``, ``V_CurFe_L4``).
+    """
+    high_block, low_block, _, _ = _single_row_blocks(
+        weight, rows, CurFeBlock, CurFeBlockConfig
+    )
+    input_bits = np.zeros(rows, dtype=np.int64)
+    for row in active_rows:
+        input_bits[row] = 1
+
+    high_currents = high_block.column_currents(input_bits)
+    low_currents = low_block.column_currents(input_bits)
+    v_high = high_block.output_voltage(input_bits)
+    v_low = low_block.output_voltage(input_bits)
+    vcm = high_block.config.cell_params.common_mode_voltage
+
+    settle_tau = max(high_block.tia.settling_time(accuracy_bits=7) / 5.0, 0.02e-9)
+    current_rise = mac_time / 10.0
+
+    initial = {f"I_CurFe{i}": 0.0 for i in range(8)}
+    initial.update({"V_CurFe_H4": vcm, "V_CurFe_L4": vcm})
+    units = {f"I_CurFe{i}": "A" for i in range(8)}
+    units.update({"V_CurFe_H4": "V", "V_CurFe_L4": "V"})
+
+    updates: Dict[str, object] = {}
+    for sig in range(4):
+        updates[f"I_CurFe{sig}"] = LinearRamp(
+            target=float(low_currents[sig]), duration=current_rise
+        )
+        updates[f"I_CurFe{sig + 4}"] = LinearRamp(
+            target=float(high_currents[sig]), duration=current_rise
+        )
+    updates["V_CurFe_H4"] = ExponentialSettle(target=v_high, tau=settle_tau)
+    updates["V_CurFe_L4"] = ExponentialSettle(target=v_low, tau=settle_tau)
+
+    engine = TransientEngine(
+        initial, samples_per_phase=samples_per_phase, units=units
+    )
+    waveforms = engine.run(
+        [Phase(name="mac_and_current_addition", duration=mac_time, updates=updates)]
+    )
+    return TransientSummary(
+        waveforms=waveforms,
+        high_output_voltage=v_high,
+        low_output_voltage=v_low,
+        high_summed_current=float(np.sum(high_currents)),
+        low_summed_current=float(np.sum(low_currents)),
+        high_ideal_mac=high_block.ideal_mac(input_bits),
+        low_ideal_mac=low_block.ideal_mac(input_bits),
+    )
+
+
+def chgfe_mac_transient(
+    weight: int = -1,
+    *,
+    rows: int = 32,
+    active_rows: Sequence[int] = (0,),
+    precharge_time: float = 1.0e-9,
+    share_time: float = 1.0e-9,
+    samples_per_phase: int = 80,
+) -> TransientSummary:
+    """Reproduce the Fig. 6 ChgFe transient for a 1-bit input × 8-bit weight.
+
+    The waveform bundle contains the eight bitline voltages ``V_BL0`` ..
+    ``V_BL7`` through the pre-charge, MAC, and charge-sharing phases, plus
+    the two shared outputs ``V_ChgFe_H4`` and ``V_ChgFe_L4`` (which follow
+    their group's bitlines during sharing).
+    """
+    high_block, low_block, _, _ = _single_row_blocks(
+        weight, rows, ChgFeBlock, ChgFeBlockConfig
+    )
+    params = high_block.config.cell_params
+    input_bits = np.zeros(rows, dtype=np.int64)
+    for row in active_rows:
+        input_bits[row] = 1
+
+    high_dvs = high_block.bitline_delta_vs(input_bits)
+    low_dvs = low_block.bitline_delta_vs(input_bits)
+    v_high_shared = high_block.shared_voltage(input_bits)
+    v_low_shared = low_block.shared_voltage(input_bits)
+    vpre = params.precharge_voltage
+    mac_time = params.mac_time
+    capacitance = params.bitline_capacitance
+
+    initial = {f"V_BL{i}": 0.0 for i in range(8)}
+    initial.update({"V_ChgFe_H4": 0.0, "V_ChgFe_L4": 0.0})
+    units = {name: "V" for name in initial}
+
+    precharge_tau = precharge_time / 8.0
+    precharge_updates = {
+        name: ExponentialSettle(target=vpre, tau=precharge_tau) for name in initial
+    }
+
+    mac_updates: Dict[str, object] = {}
+    for sig in range(4):
+        low_current = -low_dvs[sig] * capacitance / mac_time
+        high_current = -high_dvs[sig] * capacitance / mac_time
+        mac_updates[f"V_BL{sig}"] = CurrentIntegration(
+            current=-low_current, capacitance=capacitance, v_min=0.0
+        )
+        mac_updates[f"V_BL{sig + 4}"] = CurrentIntegration(
+            current=-high_current, capacitance=capacitance, v_min=0.0
+        )
+    mac_updates["V_ChgFe_H4"] = Hold()
+    mac_updates["V_ChgFe_L4"] = Hold()
+
+    share_tau = share_time / 8.0
+    share_updates: Dict[str, object] = {}
+    for sig in range(4):
+        share_updates[f"V_BL{sig}"] = ExponentialSettle(
+            target=v_low_shared, tau=share_tau
+        )
+        share_updates[f"V_BL{sig + 4}"] = ExponentialSettle(
+            target=v_high_shared, tau=share_tau
+        )
+    share_updates["V_ChgFe_H4"] = ExponentialSettle(target=v_high_shared, tau=share_tau)
+    share_updates["V_ChgFe_L4"] = ExponentialSettle(target=v_low_shared, tau=share_tau)
+
+    engine = TransientEngine(
+        initial, samples_per_phase=samples_per_phase, units=units
+    )
+    waveforms = engine.run(
+        [
+            Phase(name="precharge", duration=precharge_time, updates=precharge_updates),
+            Phase(name="mac", duration=mac_time, updates=mac_updates),
+            Phase(
+                name="charge_sharing",
+                duration=share_time,
+                updates=share_updates,
+                overrides={"V_ChgFe_H4": vpre, "V_ChgFe_L4": vpre},
+            ),
+        ]
+    )
+    delta_vs = {sig: float(low_dvs[sig]) for sig in range(4)}
+    delta_vs.update({sig + 4: float(high_dvs[sig]) for sig in range(4)})
+    return TransientSummary(
+        waveforms=waveforms,
+        high_output_voltage=v_high_shared,
+        low_output_voltage=v_low_shared,
+        bitline_delta_vs=delta_vs,
+        high_ideal_mac=high_block.ideal_mac(input_bits),
+        low_ideal_mac=low_block.ideal_mac(input_bits),
+    )

@@ -1,0 +1,177 @@
+"""Weight encoding and mapping onto the CurFe / ChgFe arrays.
+
+A signed weight is stored across the four columns of a 4-bit block:
+
+* the **H4B** stores the signed high nibble — bit significances 0..2 in
+  ordinary cells plus the sign bit (significance 3, negative weight −8) in
+  the ``cell7`` position (2's-complement mode, 2CM),
+* the **L4B** stores the unsigned low nibble — significances 0..3 in
+  ordinary cells (non-2's-complement mode, N2CM).
+
+For 8-bit weights both nibbles are used (``w = 16·w_hi + w_lo``, Eq. (1));
+for 4-bit weights the entire value lives in the H4B and the L4B block of the
+pair is unused.  This module turns integer weight matrices into the per-cell
+bit tensors the blocks are programmed with, and provides the inverse mapping
+used by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..quant.quantize import (
+    from_twos_complement,
+    signed_range,
+    to_twos_complement,
+)
+
+__all__ = [
+    "WeightPlan",
+    "encode_weight_matrix",
+    "decode_weight_plan",
+    "nibble_to_bits",
+    "bits_to_nibble",
+]
+
+
+def nibble_to_bits(values: np.ndarray, signed: bool) -> np.ndarray:
+    """Expand 4-bit nibble values into per-cell bits (significance 0..3, last axis).
+
+    Args:
+        values: Integer array of nibble values — signed in [-8, 7] when
+            ``signed`` is True, unsigned in [0, 15] otherwise.
+        signed: Whether the nibbles are 2's-complement signed.
+
+    Returns:
+        Integer array of shape ``values.shape + (4,)`` with bits ordered from
+        significance 0 (LSB) to 3 (MSB / sign).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if signed:
+        if np.any(values < -8) or np.any(values > 7):
+            raise ValueError("signed nibbles must lie in [-8, 7]")
+        patterns = np.where(values < 0, values + 16, values)
+    else:
+        if np.any(values < 0) or np.any(values > 15):
+            raise ValueError("unsigned nibbles must lie in [0, 15]")
+        patterns = values
+    bits = np.empty(values.shape + (4,), dtype=np.int64)
+    for significance in range(4):
+        bits[..., significance] = (patterns >> significance) & 1
+    return bits
+
+
+def bits_to_nibble(bits: np.ndarray, signed: bool) -> np.ndarray:
+    """Inverse of :func:`nibble_to_bits` (bits ordered significance 0..3)."""
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.shape[-1] != 4:
+        raise ValueError("last axis must have length 4")
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bits must be 0 or 1")
+    patterns = np.zeros(bits.shape[:-1], dtype=np.int64)
+    for significance in range(4):
+        patterns |= bits[..., significance] << significance
+    if signed:
+        return np.where(patterns >= 8, patterns - 16, patterns)
+    return patterns
+
+
+@dataclass(frozen=True)
+class WeightPlan:
+    """Encoded weight storage plan for a weight matrix.
+
+    Attributes:
+        weight_bits: 4 or 8.
+        weights: The original signed weight matrix, shape (rows, columns).
+        high_nibbles: Signed high-nibble values in [-8, 7], shape
+            (rows, columns).  For 4-bit weights this *is* the weight.
+        low_nibbles: Unsigned low-nibble values in [0, 15], shape
+            (rows, columns).  All zeros for 4-bit weights.
+        high_bits: Per-cell bits of the H4B blocks, shape (rows, columns, 4),
+            significance 0..3 on the last axis (3 = sign).
+        low_bits: Per-cell bits of the L4B blocks, same shape.
+    """
+
+    weight_bits: int
+    weights: np.ndarray
+    high_nibbles: np.ndarray
+    low_nibbles: np.ndarray
+    high_bits: np.ndarray
+    low_bits: np.ndarray
+
+    @property
+    def rows(self) -> int:
+        """Number of weight rows (input dimension)."""
+        return self.weights.shape[0]
+
+    @property
+    def columns(self) -> int:
+        """Number of weight columns (output dimension)."""
+        return self.weights.shape[1]
+
+    def block_high_bits(self, block_row: int, column: int, block_rows: int = 32) -> np.ndarray:
+        """Bits for the H4B of ``column`` in row-block ``block_row`` (shape (block_rows, 4))."""
+        start = block_row * block_rows
+        return self.high_bits[start : start + block_rows, column, :]
+
+    def block_low_bits(self, block_row: int, column: int, block_rows: int = 32) -> np.ndarray:
+        """Bits for the L4B of ``column`` in row-block ``block_row`` (shape (block_rows, 4))."""
+        start = block_row * block_rows
+        return self.low_bits[start : start + block_rows, column, :]
+
+
+def encode_weight_matrix(weights: np.ndarray, weight_bits: int) -> WeightPlan:
+    """Encode a signed integer weight matrix into the nibble/bit storage plan.
+
+    Args:
+        weights: Integer array of shape (rows, columns) with values inside
+            the signed ``weight_bits`` range.
+        weight_bits: 4 or 8.
+
+    Returns:
+        A :class:`WeightPlan` with the high/low nibble values and bit tensors.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise ValueError("weights must be a 2-D matrix (rows, columns)")
+    if not np.issubdtype(weights.dtype, np.integer):
+        if not np.all(weights == np.round(weights)):
+            raise ValueError("weights must be integers")
+        weights = weights.astype(np.int64)
+    else:
+        weights = weights.astype(np.int64)
+    if weight_bits not in (4, 8):
+        raise ValueError("weight_bits must be 4 or 8")
+    lo, hi = signed_range(weight_bits)
+    if np.any(weights < lo) or np.any(weights > hi):
+        raise ValueError(f"weights outside signed {weight_bits}-bit range [{lo}, {hi}]")
+
+    if weight_bits == 4:
+        high = weights.copy()
+        low = np.zeros_like(weights)
+    else:
+        patterns = np.where(weights < 0, weights + 256, weights)
+        low = patterns & 0xF
+        high_patterns = (patterns >> 4) & 0xF
+        high = np.where(high_patterns >= 8, high_patterns - 16, high_patterns)
+
+    return WeightPlan(
+        weight_bits=weight_bits,
+        weights=weights,
+        high_nibbles=high,
+        low_nibbles=low,
+        high_bits=nibble_to_bits(high, signed=True),
+        low_bits=nibble_to_bits(low, signed=False),
+    )
+
+
+def decode_weight_plan(plan: WeightPlan) -> np.ndarray:
+    """Reconstruct the signed weight matrix from a :class:`WeightPlan`."""
+    high = bits_to_nibble(plan.high_bits, signed=True)
+    low = bits_to_nibble(plan.low_bits, signed=False)
+    if plan.weight_bits == 4:
+        return high
+    return 16 * high + low

@@ -1,0 +1,5 @@
+"""Datasets used by the accuracy experiments (synthetic CIFAR10 substitute)."""
+
+from .synthetic import SyntheticImageConfig, SyntheticImageDataset
+
+__all__ = ["SyntheticImageConfig", "SyntheticImageDataset"]

@@ -1,0 +1,164 @@
+"""Synthetic image-classification datasets.
+
+The paper's accuracy study (Fig. 10) uses CIFAR10 with a VGG8 network whose
+floating-point baseline is 92 %.  Real CIFAR10/ImageNet data (and pretrained
+checkpoints) are not available offline, so — per the substitution policy in
+DESIGN.md — the accuracy experiments use a synthetic multi-class image
+dataset whose difficulty is tuned so a small CNN reaches a comparable
+floating-point baseline, and whose accuracy then degrades through exactly
+the same quantisation / ADC / device-variation pipeline as the paper's
+networks would.
+
+Each class is defined by a smooth random template (low-spatial-frequency
+pattern per colour channel); a sample is the template under a random shift,
+amplitude jitter, and additive Gaussian noise.  This keeps the task
+convolution-friendly (spatial structure matters) while allowing difficulty
+to be controlled with a single noise parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SyntheticImageConfig", "SyntheticImageDataset"]
+
+
+@dataclass(frozen=True)
+class SyntheticImageConfig:
+    """Configuration of the synthetic dataset generator.
+
+    Attributes:
+        num_classes: Number of classes.
+        image_size: Square image size in pixels.
+        channels: Colour channels.
+        train_samples: Number of training samples.
+        test_samples: Number of test samples.
+        noise_sigma: Additive Gaussian noise amplitude (image values are in
+            [0, 1]); the main difficulty knob.
+        max_shift: Maximum absolute circular shift in pixels applied to a
+            sample's template.
+        template_grid: Size of the coarse random grid upsampled to build the
+            smooth class templates.
+        seed: Seed of the dataset (templates and samples are deterministic).
+    """
+
+    num_classes: int = 10
+    image_size: int = 16
+    channels: int = 3
+    train_samples: int = 2000
+    test_samples: int = 500
+    noise_sigma: float = 0.36
+    max_shift: int = 3
+    template_grid: int = 4
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        if self.image_size < self.template_grid:
+            raise ValueError("image_size must be at least template_grid")
+        if self.train_samples < self.num_classes or self.test_samples < self.num_classes:
+            raise ValueError("need at least one sample per class in each split")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+
+
+class SyntheticImageDataset:
+    """A deterministic synthetic image-classification dataset.
+
+    Attributes:
+        train_images: Float array (N_train, C, H, W) in [0, 1].
+        train_labels: Integer labels (N_train,).
+        test_images: Float array (N_test, C, H, W) in [0, 1].
+        test_labels: Integer labels (N_test,).
+    """
+
+    def __init__(self, config: SyntheticImageConfig | None = None) -> None:
+        self.config = config or SyntheticImageConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self._templates = self._build_templates(rng)
+        self.train_images, self.train_labels = self._generate_split(
+            rng, self.config.train_samples
+        )
+        self.test_images, self.test_labels = self._generate_split(
+            rng, self.config.test_samples
+        )
+
+    # ------------------------------------------------------------ generation
+
+    def _build_templates(self, rng: np.random.Generator) -> np.ndarray:
+        """Smooth per-class templates of shape (classes, C, H, W) in [0, 1]."""
+        cfg = self.config
+        coarse = rng.uniform(
+            0.0,
+            1.0,
+            size=(cfg.num_classes, cfg.channels, cfg.template_grid, cfg.template_grid),
+        )
+        scale = cfg.image_size // cfg.template_grid
+        templates = np.repeat(np.repeat(coarse, scale, axis=2), scale, axis=3)
+        # Pad if image_size is not an exact multiple of the grid.
+        if templates.shape[-1] < cfg.image_size:
+            pad = cfg.image_size - templates.shape[-1]
+            templates = np.pad(templates, ((0, 0), (0, 0), (0, pad), (0, pad)), mode="edge")
+        # Light smoothing with a 3x3 box filter to avoid blocky edges.
+        kernel_passes = 1
+        for _ in range(kernel_passes):
+            padded = np.pad(templates, ((0, 0), (0, 0), (1, 1), (1, 1)), mode="edge")
+            smoothed = np.zeros_like(templates)
+            for dy in range(3):
+                for dx in range(3):
+                    smoothed += padded[
+                        :, :, dy : dy + cfg.image_size, dx : dx + cfg.image_size
+                    ]
+            templates = smoothed / 9.0
+        return templates
+
+    def _generate_split(
+        self, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        labels = rng.integers(0, cfg.num_classes, size=count)
+        images = np.empty(
+            (count, cfg.channels, cfg.image_size, cfg.image_size), dtype=float
+        )
+        for index, label in enumerate(labels):
+            template = self._templates[label]
+            shift_y = int(rng.integers(-cfg.max_shift, cfg.max_shift + 1))
+            shift_x = int(rng.integers(-cfg.max_shift, cfg.max_shift + 1))
+            sample = np.roll(template, (shift_y, shift_x), axis=(1, 2))
+            amplitude = rng.uniform(0.8, 1.2)
+            noise = rng.normal(0.0, cfg.noise_sigma, size=sample.shape)
+            images[index] = np.clip(sample * amplitude + noise, 0.0, 1.0)
+        return images, labels.astype(np.int64)
+
+    # -------------------------------------------------------------- interface
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes."""
+        return self.config.num_classes
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """(channels, height, width) of each image."""
+        return (self.config.channels, self.config.image_size, self.config.image_size)
+
+    def train_batches(
+        self, batch_size: int, rng: np.random.Generator
+    ):
+        """Yield shuffled (images, labels) training batches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        order = rng.permutation(len(self.train_labels))
+        for start in range(0, len(order), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.train_images[idx], self.train_labels[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SyntheticImageDataset(classes={self.num_classes}, "
+            f"train={len(self.train_labels)}, test={len(self.test_labels)})"
+        )

@@ -1,0 +1,121 @@
+"""Plain CMOS transistor and switch models for the peripheral circuits.
+
+The CurFe / ChgFe peripheries are built from a commercial 40 nm CMOS process
+in the paper: transmission gates (TGs) steering bitlines to the TIA or to the
+charge-sharing bus, pre-charge transistors (PCTs) on the ChgFe bitlines, and
+the transistors inside the TIA / ADC / drivers.  For the behavioural model we
+need (a) an ON-resistance / OFF-leakage switch abstraction, and (b) a gate /
+junction capacitance bookkeeping entry so that switching energy (C·V²·f) can
+be rolled up by the energy model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "MOSFETParameters",
+    "MOSSwitch",
+    "TECH_40NM_NMOS",
+    "TECH_40NM_PMOS",
+]
+
+
+@dataclass(frozen=True)
+class MOSFETParameters:
+    """Simplified parameters of a CMOS switch transistor.
+
+    Attributes:
+        polarity: ``"n"`` or ``"p"``.
+        on_resistance: Channel resistance when fully on (Ω).
+        off_resistance: Channel resistance when off (Ω).
+        gate_capacitance: Gate capacitance (F) — switching energy bookkeeping.
+        junction_capacitance: Source/drain junction capacitance (F).
+        threshold_voltage: |Vth| of the switch (V), used to check overdrive.
+    """
+
+    polarity: str = "n"
+    on_resistance: float = 5e3
+    off_resistance: float = 1e12
+    gate_capacitance: float = 0.1e-15
+    junction_capacitance: float = 0.05e-15
+    threshold_voltage: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise ValueError("polarity must be 'n' or 'p'")
+        if self.on_resistance <= 0 or self.off_resistance <= 0:
+            raise ValueError("resistances must be positive")
+        if self.off_resistance <= self.on_resistance:
+            raise ValueError("off_resistance must exceed on_resistance")
+        if self.gate_capacitance < 0 or self.junction_capacitance < 0:
+            raise ValueError("capacitances must be non-negative")
+
+
+#: Representative 40 nm minimum-size switch devices.
+TECH_40NM_NMOS = MOSFETParameters(polarity="n")
+TECH_40NM_PMOS = MOSFETParameters(
+    polarity="p", on_resistance=8e3, threshold_voltage=0.5
+)
+
+
+class MOSSwitch:
+    """A MOSFET used purely as a switch (TG half, PCT, column mux device).
+
+    The switch exposes an effective resistance given its gate drive, plus the
+    dynamic energy of toggling its gate — the two quantities the behavioural
+    transient engine and the energy model need.
+    """
+
+    def __init__(self, params: MOSFETParameters | None = None) -> None:
+        self.params = params or TECH_40NM_NMOS
+        self._gate_on = False
+
+    @property
+    def is_on(self) -> bool:
+        """True when the switch gate is driven to its conducting state."""
+        return self._gate_on
+
+    def set_gate(self, on: bool) -> None:
+        """Drive the switch gate on or off."""
+        self._gate_on = bool(on)
+
+    @property
+    def resistance(self) -> float:
+        """Effective channel resistance in the current gate state (Ω)."""
+        if self._gate_on:
+            return self.params.on_resistance
+        return self.params.off_resistance
+
+    def conductance(self) -> float:
+        """Effective channel conductance (S)."""
+        return 1.0 / self.resistance
+
+    def series_resistance_when_on(self) -> float:
+        """ON resistance regardless of current gate state (Ω)."""
+        return self.params.on_resistance
+
+    def switching_energy(self, vdd: float) -> float:
+        """Dynamic energy of one full gate transition at supply ``vdd`` (J)."""
+        if vdd < 0:
+            raise ValueError("vdd must be non-negative")
+        total_cap = self.params.gate_capacitance + self.params.junction_capacitance
+        return total_cap * vdd * vdd
+
+    def settling_time(self, load_capacitance: float, accuracy_bits: int = 7) -> float:
+        """RC settling time through the switch to ``accuracy_bits`` of accuracy (s).
+
+        Settling to within half an LSB of ``accuracy_bits`` requires
+        ``(accuracy_bits + 1) * ln(2)`` RC time constants.
+        """
+        if load_capacitance < 0:
+            raise ValueError("load_capacitance must be non-negative")
+        if accuracy_bits < 1:
+            raise ValueError("accuracy_bits must be at least 1")
+        tau = self.params.on_resistance * load_capacitance
+        return (accuracy_bits + 1) * math.log(2.0) * tau
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "on" if self._gate_on else "off"
+        return f"MOSSwitch({self.params.polarity}, {state})"

@@ -1,0 +1,141 @@
+"""Passive circuit elements used by the CurFe / ChgFe bit-cells and bitlines.
+
+The CurFe design places a binary-weighted drain resistor in series with each
+1nFeFET (5 MΩ, 5/2 MΩ, 5/4 MΩ, 5/8 MΩ for bit significances 0..3); the ChgFe
+design hangs a 50 fF capacitor on every bitline.  These are simple elements,
+but they carry the unit bookkeeping (and the mismatch/variation hooks) for
+the rest of the stack, so they get small dedicated classes instead of bare
+floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "binary_weighted_resistors",
+    "CURFE_BASE_RESISTANCE",
+    "CHGFE_BITLINE_CAPACITANCE",
+]
+
+#: Drain resistance of the least-significant CurFe cell (Ω): 5 MΩ in the paper.
+CURFE_BASE_RESISTANCE = 5.0e6
+
+#: Bitline capacitance of the ChgFe design (F): 50 fF in the paper.
+CHGFE_BITLINE_CAPACITANCE = 50e-15
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A linear resistor.
+
+    Attributes:
+        resistance: Nominal resistance (Ω).
+        tolerance: Fractional mismatch applied multiplicatively; a value of
+            0.01 means the effective resistance is 1% above nominal.
+    """
+
+    resistance: float
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError("resistance must be positive")
+        if self.tolerance <= -1.0:
+            raise ValueError("tolerance must be greater than -100%")
+
+    @property
+    def effective_resistance(self) -> float:
+        """Resistance including mismatch (Ω)."""
+        return self.resistance * (1.0 + self.tolerance)
+
+    @property
+    def conductance(self) -> float:
+        """Effective conductance (S)."""
+        return 1.0 / self.effective_resistance
+
+    def current(self, voltage: float) -> float:
+        """Ohmic current for the given voltage drop (A)."""
+        return voltage * self.conductance
+
+    def voltage(self, current: float) -> float:
+        """Voltage drop for the given current (V)."""
+        return current * self.effective_resistance
+
+    def with_tolerance(self, tolerance: float) -> "Resistor":
+        """Return a copy of this resistor with a different mismatch value."""
+        return Resistor(self.resistance, tolerance)
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A linear capacitor.
+
+    Attributes:
+        capacitance: Nominal capacitance (F).
+        tolerance: Fractional mismatch applied multiplicatively.
+    """
+
+    capacitance: float
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError("capacitance must be positive")
+        if self.tolerance <= -1.0:
+            raise ValueError("tolerance must be greater than -100%")
+
+    @property
+    def effective_capacitance(self) -> float:
+        """Capacitance including mismatch (F)."""
+        return self.capacitance * (1.0 + self.tolerance)
+
+    def charge(self, voltage: float) -> float:
+        """Stored charge at the given voltage (C)."""
+        return voltage * self.effective_capacitance
+
+    def voltage_change(self, current: float, duration: float) -> float:
+        """Voltage change from integrating ``current`` for ``duration`` (V).
+
+        Positive current charges the capacitor (raises its voltage).
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return current * duration / self.effective_capacitance
+
+    def energy(self, voltage: float) -> float:
+        """Stored energy at the given voltage, 0.5*C*V^2 (J)."""
+        return 0.5 * self.effective_capacitance * voltage * voltage
+
+    def with_tolerance(self, tolerance: float) -> "Capacitor":
+        """Return a copy of this capacitor with a different mismatch value."""
+        return Capacitor(self.capacitance, tolerance)
+
+
+def binary_weighted_resistors(
+    base_resistance: float = CURFE_BASE_RESISTANCE,
+    num_bits: int = 4,
+) -> Tuple[Resistor, ...]:
+    """Create the binary-weighted drain resistors of a CurFe 4-bit block.
+
+    Bit significance ``i`` receives resistance ``base / 2**i`` so that the
+    ON current scales as ``2**i`` (100 nA, 200 nA, 400 nA, 800 nA for the
+    default 5 MΩ base with a 0.5 V drop).
+
+    Args:
+        base_resistance: Resistance of the least-significant cell (Ω).
+        num_bits: Number of bit significances (4 for H4B / L4B blocks).
+
+    Returns:
+        A tuple of resistors ordered from least to most significant bit.
+    """
+    if num_bits < 1:
+        raise ValueError("num_bits must be at least 1")
+    if base_resistance <= 0:
+        raise ValueError("base_resistance must be positive")
+    return tuple(
+        Resistor(base_resistance / (2**bit)) for bit in range(num_bits)
+    )

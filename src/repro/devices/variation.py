@@ -1,0 +1,109 @@
+"""Device variation models for Monte-Carlo analysis.
+
+The paper assumes every FeFET threshold-voltage state carries a Gaussian
+variability of sigma = 40 mV (following Soliman et al. [25]) and evaluates
+the resulting ON-current spread (Fig. 7) and MAC-output spread (Fig. 8, 60
+Monte-Carlo runs) for both designs.  CurFe's series drain resistor strongly
+suppresses the current spread; ChgFe's bare FeFET current is more sensitive.
+
+This module centralises how random deviations are drawn so that every
+experiment is reproducible from an explicit ``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "VariationModel",
+    "DEFAULT_VARIATION",
+    "NO_VARIATION",
+]
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Statistical description of device-to-device variation.
+
+    Attributes:
+        vth_sigma: Standard deviation of the FeFET threshold voltage per
+            programmed state (V).  The paper uses 40 mV.
+        resistor_sigma: Relative (fractional) standard deviation of the
+            CurFe drain resistors.  The integrated poly/OD resistors are far
+            better matched than the FeFETs, so the default is small.
+        capacitor_sigma: Relative standard deviation of the ChgFe bitline
+            capacitors (MOM capacitors match well; default is small).
+        enabled: Master switch; when False every draw returns zero deviation
+            (the "w/o variation" curves of Fig. 8).
+    """
+
+    vth_sigma: float = 0.040
+    resistor_sigma: float = 0.01
+    capacitor_sigma: float = 0.005
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.vth_sigma < 0:
+            raise ValueError("vth_sigma must be non-negative")
+        if self.resistor_sigma < 0:
+            raise ValueError("resistor_sigma must be non-negative")
+        if self.capacitor_sigma < 0:
+            raise ValueError("capacitor_sigma must be non-negative")
+
+    # ------------------------------------------------------------------ draws
+
+    def draw_vth_offset(
+        self, rng: np.random.Generator, size: Optional[int] = None
+    ):
+        """Draw additive threshold-voltage offsets (V)."""
+        if not self.enabled or self.vth_sigma == 0:
+            return 0.0 if size is None else np.zeros(size)
+        return rng.normal(0.0, self.vth_sigma, size=size)
+
+    def draw_resistor_tolerance(
+        self, rng: np.random.Generator, size: Optional[int] = None
+    ):
+        """Draw fractional resistance mismatches (unitless)."""
+        if not self.enabled or self.resistor_sigma == 0:
+            return 0.0 if size is None else np.zeros(size)
+        return rng.normal(0.0, self.resistor_sigma, size=size)
+
+    def draw_capacitor_tolerance(
+        self, rng: np.random.Generator, size: Optional[int] = None
+    ):
+        """Draw fractional capacitance mismatches (unitless)."""
+        if not self.enabled or self.capacitor_sigma == 0:
+            return 0.0 if size is None else np.zeros(size)
+        return rng.normal(0.0, self.capacitor_sigma, size=size)
+
+    # -------------------------------------------------------------- modifiers
+
+    def disabled(self) -> "VariationModel":
+        """Return a copy of this model with variation switched off."""
+        return VariationModel(
+            vth_sigma=self.vth_sigma,
+            resistor_sigma=self.resistor_sigma,
+            capacitor_sigma=self.capacitor_sigma,
+            enabled=False,
+        )
+
+    def scaled(self, factor: float) -> "VariationModel":
+        """Return a copy with every sigma multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return VariationModel(
+            vth_sigma=self.vth_sigma * factor,
+            resistor_sigma=self.resistor_sigma * factor,
+            capacitor_sigma=self.capacitor_sigma * factor,
+            enabled=self.enabled,
+        )
+
+
+#: The paper's nominal variation assumption (sigma(Vth) = 40 mV).
+DEFAULT_VARIATION = VariationModel()
+
+#: Convenience instance with all variation disabled.
+NO_VARIATION = VariationModel(enabled=False)

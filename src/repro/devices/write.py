@@ -1,0 +1,247 @@
+"""FeFET write (programming) scheme: erase + program pulses with verify.
+
+The paper adopts the write method of Reis et al. [35]: a cell is first fully
+erased with a negative gate pulse, then programmed with positive gate pulses
+whose amplitude sets the remanent polarization — and hence the threshold
+voltage — of the FeFET.  Multi-level-cell programming in practice uses a
+*program-and-verify* loop: apply a pulse, read the threshold (or the ON
+current), and adjust the next pulse until the target state is reached within
+a tolerance.
+
+This module provides that loop on top of the Preisach polarization model,
+plus the write energy/latency bookkeeping used when accounting for weight
+(re)programming cost — relevant for weight-stationary inference only at load
+time, but essential for any workload that updates weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .fefet import FeFET
+from .preisach import PreisachFerroelectric, PreisachParameters
+
+__all__ = ["WritePulse", "WriteSchemeParameters", "WriteResult", "FeFETWriteScheme"]
+
+
+@dataclass(frozen=True)
+class WritePulse:
+    """One gate write pulse.
+
+    Attributes:
+        amplitude: Gate voltage amplitude (V); negative pulses erase.
+        width: Pulse width (s).
+    """
+
+    amplitude: float
+    width: float = 200e-9
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+
+    def energy(self, gate_capacitance: float) -> float:
+        """Dynamic energy of driving the gate for this pulse (J)."""
+        if gate_capacitance < 0:
+            raise ValueError("gate_capacitance must be non-negative")
+        return gate_capacitance * self.amplitude * self.amplitude
+
+
+@dataclass(frozen=True)
+class WriteSchemeParameters:
+    """Parameters of the erase-then-program-and-verify write scheme.
+
+    Attributes:
+        erase_amplitude: Amplitude of the initial erase pulse (V, negative).
+        min_program_amplitude: Smallest program-pulse amplitude tried (V).
+        max_program_amplitude: Largest program-pulse amplitude allowed (V).
+        pulse_width: Width of every pulse (s).
+        max_iterations: Maximum program/verify iterations.
+        vth_tolerance: Acceptable |Vth - target| after programming (V).
+        gate_capacitance: FeFET gate capacitance for energy accounting (F).
+        verify_time: Duration of one verify (read) operation (s).
+        verify_energy: Energy of one verify operation (J).
+    """
+
+    erase_amplitude: float = -4.5
+    min_program_amplitude: float = 1.5
+    max_program_amplitude: float = 4.5
+    pulse_width: float = 200e-9
+    max_iterations: int = 24
+    vth_tolerance: float = 0.02
+    gate_capacitance: float = 1.0e-15
+    verify_time: float = 50e-9
+    verify_energy: float = 5.0e-15
+
+    def __post_init__(self) -> None:
+        if self.erase_amplitude >= 0:
+            raise ValueError("erase_amplitude must be negative")
+        if not 0 < self.min_program_amplitude < self.max_program_amplitude:
+            raise ValueError("program amplitude bounds must be positive and ordered")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.vth_tolerance <= 0:
+            raise ValueError("vth_tolerance must be positive")
+
+
+@dataclass
+class WriteResult:
+    """Outcome of programming one cell to a target threshold.
+
+    Attributes:
+        target_vth: Requested threshold voltage (V).
+        achieved_vth: Threshold voltage reached (V).
+        pulses: Every pulse applied (erase first).
+        converged: True when |achieved - target| <= tolerance.
+        energy: Total write energy including verifies (J).
+        latency: Total write latency including verifies (s).
+    """
+
+    target_vth: float
+    achieved_vth: float
+    pulses: List[WritePulse] = field(default_factory=list)
+    converged: bool = False
+    energy: float = 0.0
+    latency: float = 0.0
+
+    @property
+    def num_program_pulses(self) -> int:
+        """Number of program (positive) pulses applied."""
+        return sum(1 for pulse in self.pulses if pulse.amplitude > 0)
+
+    @property
+    def error(self) -> float:
+        """|achieved - target| (V)."""
+        return abs(self.achieved_vth - self.target_vth)
+
+
+class FeFETWriteScheme:
+    """Erase-then-program-and-verify programming of a FeFET threshold voltage.
+
+    The scheme binary-searches the single program-pulse amplitude (after a
+    full erase) whose resulting polarization lands the threshold on target —
+    the quasi-static equivalent of incremental-step-pulse programming.
+
+    Args:
+        params: Write-scheme parameters.
+        preisach_params: Ferroelectric-layer parameters; must match the model
+            used to derive the device's programmable states for the mapping
+            to be meaningful.
+        vth_midpoint: Threshold voltage at zero net polarization (V), same
+            convention as :func:`repro.devices.fefet.mlc_states_from_write_voltages`.
+    """
+
+    def __init__(
+        self,
+        params: WriteSchemeParameters | None = None,
+        *,
+        preisach_params: PreisachParameters | None = None,
+        vth_midpoint: float = 0.95,
+    ) -> None:
+        self.params = params or WriteSchemeParameters()
+        self.preisach_params = preisach_params or PreisachParameters()
+        self.vth_midpoint = float(vth_midpoint)
+
+    # ------------------------------------------------------------------ model
+
+    def _vth_after_pulse(self, ferro: PreisachFerroelectric, amplitude: float) -> float:
+        ferro.reset(-1.0)
+        ferro.apply_pulse(amplitude)
+        return self.vth_midpoint + 0.5 * ferro.vth_shift
+
+    def achievable_vth_range(self) -> tuple:
+        """(lowest, highest) threshold voltage reachable by the scheme (V)."""
+        ferro = PreisachFerroelectric(self.preisach_params)
+        low = self._vth_after_pulse(ferro, self.params.max_program_amplitude)
+        high = self._vth_after_pulse(ferro, self.params.min_program_amplitude)
+        return (low, high)
+
+    # ------------------------------------------------------------ programming
+
+    def program_to_vth(self, target_vth: float) -> WriteResult:
+        """Find the pulse sequence that programs a fresh cell to ``target_vth``.
+
+        Returns:
+            A :class:`WriteResult`; ``converged`` is False when the target is
+            outside the achievable window (the closest endpoint is returned).
+        """
+        p = self.params
+        ferro = PreisachFerroelectric(self.preisach_params)
+        result = WriteResult(target_vth=float(target_vth), achieved_vth=self.vth_midpoint)
+
+        erase = WritePulse(p.erase_amplitude, p.pulse_width)
+        result.pulses.append(erase)
+        result.energy += erase.energy(p.gate_capacitance)
+        result.latency += erase.width
+
+        low_amplitude = p.min_program_amplitude
+        high_amplitude = p.max_program_amplitude
+        best_vth = self._vth_after_pulse(ferro, low_amplitude)
+        best_amplitude = low_amplitude
+
+        for _ in range(p.max_iterations):
+            amplitude = 0.5 * (low_amplitude + high_amplitude)
+            pulse = WritePulse(amplitude, p.pulse_width)
+            vth = self._vth_after_pulse(ferro, amplitude)
+            result.pulses.append(pulse)
+            result.energy += pulse.energy(p.gate_capacitance) + p.verify_energy
+            result.latency += pulse.width + p.verify_time
+            if abs(vth - target_vth) < abs(best_vth - target_vth):
+                best_vth = vth
+                best_amplitude = amplitude
+            if abs(vth - target_vth) <= p.vth_tolerance:
+                result.converged = True
+                best_vth = vth
+                best_amplitude = amplitude
+                break
+            # Larger amplitude -> more polarization -> lower threshold.
+            if vth > target_vth:
+                low_amplitude = amplitude
+            else:
+                high_amplitude = amplitude
+
+        result.achieved_vth = best_vth
+        if abs(best_vth - target_vth) <= p.vth_tolerance:
+            result.converged = True
+        # Record the winning amplitude as the final pulse for traceability.
+        result.pulses.append(WritePulse(best_amplitude, p.pulse_width))
+        return result
+
+    def program_device(self, device: FeFET, state: int) -> WriteResult:
+        """Program a :class:`FeFET` instance to one of its named states.
+
+        The device's state index is updated; the returned result carries the
+        pulse sequence / energy that reaching the corresponding threshold
+        voltage requires under this scheme.
+        """
+        target = device.vth_states[state]
+        result = self.program_to_vth(target)
+        device.program(state)
+        return result
+
+    # ------------------------------------------------------------------ costs
+
+    def array_write_cost(self, num_cells: int, average_pulses: float = 6.0) -> tuple:
+        """Estimate (energy, latency) of programming ``num_cells`` cells.
+
+        Cells on the same wordline are written together in real arrays, but a
+        conservative serial estimate is sufficient for weight-loading cost
+        studies.
+
+        Returns:
+            Tuple ``(energy_joules, latency_seconds)``.
+        """
+        if num_cells < 0:
+            raise ValueError("num_cells must be non-negative")
+        if average_pulses <= 0:
+            raise ValueError("average_pulses must be positive")
+        p = self.params
+        per_cell_energy = average_pulses * (
+            WritePulse(p.max_program_amplitude, p.pulse_width).energy(p.gate_capacitance)
+            + p.verify_energy
+        )
+        per_cell_latency = average_pulses * (p.pulse_width + p.verify_time)
+        return num_cells * per_cell_energy, num_cells * per_cell_latency

@@ -1,0 +1,246 @@
+"""Per-component energy / latency / area parameters of the two macros.
+
+The circuit-level efficiency evaluation (Fig. 9, Table 1) needs the energy
+of every peripheral block per operation.  Wherever a behavioural circuit
+model exists (ADC, TIA, pre-charge, wordline driver, accumulator, reference
+bank) the energy is *computed from that model*; the few remaining knobs
+(control / timer overhead, switch-matrix cost) are explicit calibration
+parameters documented here and in DESIGN.md.
+
+All "per bit plane" quantities refer to one bank processing one input bit
+plane over its 32 activated rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..circuits.accumulator import AccumulationModule, AccumulatorParameters
+from ..circuits.adc import ADCParameters, SARADC
+from ..circuits.precharge import PrechargeCircuit, PrechargeParameters
+from ..circuits.reference_bank import ReferenceBank, ReferenceBankParameters
+from ..circuits.tia import TIAParameters, TransimpedanceAmplifier
+from ..circuits.wordline_driver import WordlineDriver, WordlineDriverParameters
+from ..devices.passives import CHGFE_BITLINE_CAPACITANCE, Capacitor
+
+__all__ = [
+    "MacroTimingParameters",
+    "MacroEnergyParameters",
+    "MacroAreaParameters",
+    "CURFE_TIMING",
+    "CHGFE_TIMING",
+    "CURFE_ENERGY",
+    "CHGFE_ENERGY",
+    "CURFE_AREA",
+    "CHGFE_AREA",
+]
+
+
+@dataclass(frozen=True)
+class MacroTimingParameters:
+    """Phase durations of one bit-plane MAC cycle (s).
+
+    CurFe: wordline rise → TIA settling → SAR conversion.
+    ChgFe: wordline rise → pre-charge → MAC discharge → charge sharing →
+    SAR conversion.  ChgFe's extra phases are why its throughput trails
+    CurFe's (Section 4.2).
+    """
+
+    wordline_rise: float = 0.5e-9
+    precharge: float = 0.0
+    mac_phase: float = 1.0e-9
+    charge_sharing: float = 0.0
+    adc_conversion: float = 3.0e-9
+    accumulation: float = 0.5e-9
+
+    def cycle_time(self) -> float:
+        """Total duration of one bit-plane cycle (s)."""
+        return (
+            self.wordline_rise
+            + self.precharge
+            + self.mac_phase
+            + self.charge_sharing
+            + self.adc_conversion
+            + self.accumulation
+        )
+
+    def analog_conduction_time(self) -> float:
+        """Time during which array cells conduct (s)."""
+        return self.mac_phase
+
+
+#: CurFe timing: the TIA must settle before the SAR samples.
+CURFE_TIMING = MacroTimingParameters(
+    wordline_rise=0.5e-9,
+    precharge=0.0,
+    mac_phase=1.0e-9,
+    charge_sharing=0.0,
+    adc_conversion=3.0e-9,
+    accumulation=0.5e-9,
+)
+
+#: ChgFe timing: pre-charge (1 ns) + MAC (0.5 ns) + sharing (0.5 ns) before conversion.
+CHGFE_TIMING = MacroTimingParameters(
+    wordline_rise=0.5e-9,
+    precharge=1.0e-9,
+    mac_phase=0.5e-9,
+    charge_sharing=0.5e-9,
+    adc_conversion=3.0e-9,
+    accumulation=0.5e-9,
+)
+
+
+@dataclass(frozen=True)
+class MacroEnergyParameters:
+    """Energy-model parameters of one design.
+
+    Attributes:
+        design: ``"curfe"`` or ``"chgfe"``.
+        supply_voltage: Core analog/digital supply (V).
+        sign_supply_voltage: Sign-column source-line supply (V).
+        adc: SAR ADC electrical parameters (5-bit default).
+        wordline: Wordline driver parameters.
+        accumulator: Digital accumulation-module parameters.
+        reference: Reference-bank parameters.
+        tia: TIA parameters (CurFe only; ignored for ChgFe).
+        precharge: Pre-charge parameters (ChgFe only; ignored for CurFe).
+        bitline_capacitance: ChgFe bitline capacitor (F).
+        unit_cell_current: ON current of the least-significant cell (A).
+        input_activity: Fraction of input bits equal to '1' (workload
+            average used for expected-energy accounting).
+        weight_bit_density: Fraction of stored weight bits equal to '1'.
+        rows_per_block: Activated rows per MAC (32).
+        columns_per_group: Bit columns per 4-bit group (4).
+        switch_matrix_energy: Per-bank, per-plane energy of the BL/SL switch
+            matrix and transmission gates (J) — calibration knob.
+        control_overhead_energy: Per-bank, per-plane energy of the timer, IO
+            and control logic share (J) — calibration knob.
+    """
+
+    design: str
+    supply_voltage: float = 1.0
+    sign_supply_voltage: float = 1.0
+    adc: ADCParameters = field(
+        default_factory=lambda: ADCParameters(
+            resolution_bits=5,
+            unit_capacitance=2.0e-15,
+            comparator_energy=20.0e-15,
+            logic_energy_per_bit=8.0e-15,
+        )
+    )
+    wordline: WordlineDriverParameters = field(
+        default_factory=WordlineDriverParameters
+    )
+    accumulator: AccumulatorParameters = field(default_factory=AccumulatorParameters)
+    reference: ReferenceBankParameters = field(default_factory=ReferenceBankParameters)
+    tia: TIAParameters = field(default_factory=TIAParameters)
+    precharge: PrechargeParameters = field(default_factory=PrechargeParameters)
+    bitline_capacitance: float = CHGFE_BITLINE_CAPACITANCE
+    unit_cell_current: float = 100e-9
+    input_activity: float = 0.5
+    weight_bit_density: float = 0.5
+    rows_per_block: int = 32
+    columns_per_group: int = 4
+    switch_matrix_energy: float = 5.0e-15
+    control_overhead_energy: float = 62.0e-15
+
+    def __post_init__(self) -> None:
+        if self.design not in ("curfe", "chgfe"):
+            raise ValueError("design must be 'curfe' or 'chgfe'")
+        if not 0.0 <= self.input_activity <= 1.0:
+            raise ValueError("input_activity must lie in [0, 1]")
+        if not 0.0 <= self.weight_bit_density <= 1.0:
+            raise ValueError("weight_bit_density must lie in [0, 1]")
+        if self.rows_per_block < 1 or self.columns_per_group < 1:
+            raise ValueError("rows_per_block and columns_per_group must be positive")
+
+    # -------------------------------------------------------- derived helpers
+
+    def expected_active_cells_per_column(self) -> float:
+        """Average number of conducting cells in one column during a plane."""
+        return self.rows_per_block * self.input_activity * self.weight_bit_density
+
+    def group_average_current(self) -> float:
+        """Expected total current magnitude of one 4-bit group (A)."""
+        active = self.expected_active_cells_per_column()
+        per_row_sum = self.unit_cell_current * (1 + 2 + 4 + 8)
+        return active * per_row_sum
+
+    def adc_instance(self) -> SARADC:
+        """A SAR ADC built from these parameters."""
+        return SARADC(self.adc)
+
+    def wordline_driver_instance(self) -> WordlineDriver:
+        """A wordline driver built from these parameters."""
+        return WordlineDriver(self.wordline)
+
+    def accumulator_instance(self) -> AccumulationModule:
+        """An accumulation module built from these parameters."""
+        return AccumulationModule(self.accumulator)
+
+    def reference_bank_instance(self) -> ReferenceBank:
+        """A reference bank built from these parameters."""
+        return ReferenceBank(self.reference)
+
+    def tia_instance(self) -> TransimpedanceAmplifier:
+        """A TIA built from these parameters (CurFe)."""
+        return TransimpedanceAmplifier(self.tia)
+
+    def precharge_instance(self) -> PrechargeCircuit:
+        """A pre-charge circuit built from these parameters (ChgFe)."""
+        return PrechargeCircuit(self.precharge)
+
+    def bitline_capacitor(self) -> Capacitor:
+        """One ChgFe bitline capacitor."""
+        return Capacitor(self.bitline_capacitance)
+
+
+#: CurFe energy parameters: unit current 100 nA (0.5 V across 5 MΩ), 1 V supplies.
+#: The TIA bias current (16 µA per amplifier) is the calibration knob that,
+#: together with the shared peripheral costs, lands the 8b/8b efficiency at
+#: the paper's 12.2 TOPS/W.
+CURFE_ENERGY = MacroEnergyParameters(
+    design="curfe",
+    supply_voltage=1.0,
+    sign_supply_voltage=1.0,
+    unit_cell_current=100e-9,
+    tia=TIAParameters(static_current=16e-6),
+)
+
+#: ChgFe energy parameters: unit current 250 nA, VDDq = 2.2 V, 1.5 V pre-charge.
+CHGFE_ENERGY = MacroEnergyParameters(
+    design="chgfe",
+    supply_voltage=1.0,
+    sign_supply_voltage=2.2,
+    unit_cell_current=250e-9,
+)
+
+
+@dataclass(frozen=True)
+class MacroAreaParameters:
+    """Area model of one macro (µm², 40 nm node).
+
+    The absolute values are representative 40 nm block sizes; Fig. 11 only
+    uses *normalised* area, and the paper notes both designs end up similar.
+    """
+
+    cell_area: float = 0.10
+    bitline_capacitor_area: float = 4.0
+    tia_area: float = 250.0
+    precharge_area: float = 2.0
+    adc_area: float = 600.0
+    accumulator_area: float = 180.0
+    wordline_driver_area_per_row: float = 1.2
+    switch_matrix_area_per_column: float = 1.5
+    reference_bank_area: float = 900.0
+    control_area: float = 2500.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+CURFE_AREA = MacroAreaParameters(cell_area=0.12, bitline_capacitor_area=0.0)
+CHGFE_AREA = MacroAreaParameters(cell_area=0.08, tia_area=0.0, bitline_capacitor_area=4.0)

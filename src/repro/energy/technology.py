@@ -1,0 +1,73 @@
+"""Technology-node bookkeeping and the scaling rule used by Table 1.
+
+The comparison table of the paper normalises every published design to a
+40 nm node by assuming dynamic energy scales with the square of the feature
+size (``energy ∝ node²``), i.e. a design reported at 28 nm gets its energy
+multiplied by ``(28/40)²`` *inverse* — the paper multiplies the reported
+efficiency by ``λ²`` with ``λ = node / 40 nm``, so a smaller-node design is
+penalised when moved up to 40 nm and a larger-node design is credited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyNode", "scale_energy_to_node", "scale_efficiency_to_node"]
+
+#: Reference node of the proposed designs (nm).
+REFERENCE_NODE_NM = 40.0
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS technology node and its supply assumptions.
+
+    Attributes:
+        feature_nm: Drawn feature size in nanometres.
+        supply_voltage: Nominal core supply (V).
+    """
+
+    feature_nm: float
+    supply_voltage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0:
+            raise ValueError("feature_nm must be positive")
+        if self.supply_voltage <= 0:
+            raise ValueError("supply_voltage must be positive")
+
+    def scaling_lambda(self, target_nm: float = REFERENCE_NODE_NM) -> float:
+        """λ = node / target (the paper's definition with target = 40 nm)."""
+        if target_nm <= 0:
+            raise ValueError("target_nm must be positive")
+        return self.feature_nm / target_nm
+
+
+def scale_energy_to_node(
+    energy: float, source_nm: float, target_nm: float = REFERENCE_NODE_NM
+) -> float:
+    """Scale an energy from ``source_nm`` to ``target_nm`` assuming E ∝ node².
+
+    Moving a design to a *larger* node increases its energy.
+    """
+    if energy < 0:
+        raise ValueError("energy must be non-negative")
+    if source_nm <= 0 or target_nm <= 0:
+        raise ValueError("nodes must be positive")
+    return energy * (target_nm / source_nm) ** 2
+
+
+def scale_efficiency_to_node(
+    tops_per_watt: float, source_nm: float, target_nm: float = REFERENCE_NODE_NM
+) -> float:
+    """Scale an energy efficiency (TOPS/W) between nodes, E ∝ node².
+
+    Efficiency is inverse energy, so the ratio is ``(source / target)²`` —
+    equivalently, multiply by λ² with λ = source/target, matching the
+    footnote of Table 1.
+    """
+    if tops_per_watt < 0:
+        raise ValueError("tops_per_watt must be non-negative")
+    if source_nm <= 0 or target_nm <= 0:
+        raise ValueError("nodes must be positive")
+    return tops_per_watt * (source_nm / target_nm) ** 2

@@ -1,0 +1,33 @@
+"""Fixed-point quantisation utilities (2's-complement codecs, bit-serial slicing)."""
+
+from .quantize import (
+    QuantizationSpec,
+    bit_planes_to_input,
+    bits_to_weight,
+    combine_weight_nibbles,
+    dequantize_tensor,
+    from_twos_complement,
+    input_to_bit_planes,
+    quantize_tensor,
+    signed_range,
+    split_signed_weight,
+    to_twos_complement,
+    unsigned_range,
+    weight_to_bits,
+)
+
+__all__ = [
+    "QuantizationSpec",
+    "bit_planes_to_input",
+    "bits_to_weight",
+    "combine_weight_nibbles",
+    "dequantize_tensor",
+    "from_twos_complement",
+    "input_to_bit_planes",
+    "quantize_tensor",
+    "signed_range",
+    "split_signed_weight",
+    "to_twos_complement",
+    "unsigned_range",
+    "weight_to_bits",
+]

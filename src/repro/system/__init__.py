@@ -1,0 +1,54 @@
+"""System-level evaluation: NeuroSim-style performance model, DNN inference, accuracy."""
+
+from .accuracy import AccuracyPoint, AccuracySweep, adc_resolution_sweep, evaluate_accuracy
+from .chip import BufferParameters, ChipParameters, DigitalLogicParameters
+from .htree import HTree, HTreeParameters
+from .inference import InferenceConfig, QuantizedInferenceEngine
+from .layers import ConvLayer, LayerShape, LinearLayer, PoolLayer
+from .mapping import LayerMapping, MacroGeometry, map_layer
+from .networks import NetworkSpec, resnet18_cifar10, resnet18_imagenet, vgg8_cifar10
+from .nn import SmallCNN
+from .performance import (
+    LayerPerformance,
+    SystemPerformanceModel,
+    SystemPerformanceResult,
+)
+from .training import (
+    TrainingConfig,
+    TrainingHistory,
+    reference_model_and_dataset,
+    train_small_cnn,
+)
+
+__all__ = [
+    "AccuracyPoint",
+    "AccuracySweep",
+    "adc_resolution_sweep",
+    "evaluate_accuracy",
+    "BufferParameters",
+    "ChipParameters",
+    "DigitalLogicParameters",
+    "HTree",
+    "HTreeParameters",
+    "InferenceConfig",
+    "QuantizedInferenceEngine",
+    "ConvLayer",
+    "LayerShape",
+    "LinearLayer",
+    "PoolLayer",
+    "LayerMapping",
+    "MacroGeometry",
+    "map_layer",
+    "NetworkSpec",
+    "resnet18_cifar10",
+    "resnet18_imagenet",
+    "vgg8_cifar10",
+    "SmallCNN",
+    "LayerPerformance",
+    "SystemPerformanceModel",
+    "SystemPerformanceResult",
+    "TrainingConfig",
+    "TrainingHistory",
+    "reference_model_and_dataset",
+    "train_small_cnn",
+]

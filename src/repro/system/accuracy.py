@@ -1,0 +1,154 @@
+"""Accuracy experiments: ADC resolution and precision sweeps (Fig. 10).
+
+The paper's Fig. 10 shows, for CurFe and ChgFe, how the CIFAR10 inference
+accuracy depends on the ADC resolution (a 5-bit ADC is required to avoid a
+large loss) and on the input/weight precision, with ChgFe trailing CurFe
+slightly because its cell currents vary more under the 40 mV threshold
+spread.  These helpers run the same sweep on the reference classifier /
+synthetic dataset (see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.synthetic import SyntheticImageDataset
+from ..devices.variation import DEFAULT_VARIATION, VariationModel
+from .inference import InferenceConfig, QuantizedInferenceEngine
+from .nn import SmallCNN
+from .training import reference_model_and_dataset
+
+__all__ = ["AccuracyPoint", "evaluate_accuracy", "adc_resolution_sweep", "AccuracySweep"]
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """One configuration of the accuracy sweep.
+
+    Attributes:
+        design: ``"curfe"``, ``"chgfe"``, or ``"ideal"``.
+        adc_bits: ADC resolution (None = no ADC quantisation).
+        input_bits: Activation precision.
+        weight_bits: Weight precision.
+        accuracy: Measured top-1 accuracy in [0, 1].
+    """
+
+    design: str
+    adc_bits: Optional[int]
+    input_bits: int
+    weight_bits: int
+    accuracy: float
+
+
+@dataclass
+class AccuracySweep:
+    """Results of a full sweep plus the float baseline.
+
+    Attributes:
+        baseline_accuracy: Floating-point accuracy of the reference model.
+        points: One entry per evaluated configuration.
+    """
+
+    baseline_accuracy: float
+    points: List[AccuracyPoint]
+
+    def lookup(
+        self, design: str, adc_bits: Optional[int], input_bits: int, weight_bits: int
+    ) -> AccuracyPoint:
+        """Find the point for a given configuration (raises if absent)."""
+        for point in self.points:
+            if (
+                point.design == design
+                and point.adc_bits == adc_bits
+                and point.input_bits == input_bits
+                and point.weight_bits == weight_bits
+            ):
+                return point
+        raise KeyError(
+            f"no accuracy point for {design} adc={adc_bits} "
+            f"x={input_bits}b w={weight_bits}b"
+        )
+
+
+def evaluate_accuracy(
+    model: SmallCNN,
+    dataset: SyntheticImageDataset,
+    *,
+    design: str = "curfe",
+    adc_bits: Optional[int] = 5,
+    input_bits: int = 4,
+    weight_bits: int = 8,
+    variation: VariationModel = DEFAULT_VARIATION,
+    max_test_samples: Optional[int] = None,
+    seed: int = 0,
+) -> float:
+    """Evaluate one quantised-IMC configuration on the dataset's test split."""
+    config = InferenceConfig(
+        design=design,
+        input_bits=input_bits,
+        weight_bits=weight_bits,
+        adc_bits=adc_bits,
+        variation=variation,
+        seed=seed,
+    )
+    engine = QuantizedInferenceEngine(model, config)
+    images = dataset.test_images
+    labels = dataset.test_labels
+    if max_test_samples is not None:
+        images = images[:max_test_samples]
+        labels = labels[:max_test_samples]
+    return engine.accuracy(images, labels)
+
+
+def adc_resolution_sweep(
+    *,
+    designs: Sequence[str] = ("curfe", "chgfe"),
+    adc_resolutions: Sequence[int] = (3, 4, 5),
+    precisions: Sequence[Tuple[int, int]] = ((4, 4), (4, 8), (8, 8)),
+    variation: VariationModel = DEFAULT_VARIATION,
+    max_test_samples: Optional[int] = None,
+    model: Optional[SmallCNN] = None,
+    dataset: Optional[SyntheticImageDataset] = None,
+    seed: int = 0,
+) -> AccuracySweep:
+    """Run the Fig. 10 sweep: accuracy vs ADC resolution and precision.
+
+    When ``model`` / ``dataset`` are not provided, the cached reference
+    classifier and synthetic dataset are used.
+
+    Returns:
+        An :class:`AccuracySweep` with the float baseline and every point.
+    """
+    if model is None or dataset is None:
+        model, dataset, baseline = reference_model_and_dataset()
+    else:
+        baseline = model.accuracy(dataset.test_images, dataset.test_labels)
+
+    points: List[AccuracyPoint] = []
+    for design in designs:
+        for input_bits, weight_bits in precisions:
+            for adc_bits in adc_resolutions:
+                accuracy = evaluate_accuracy(
+                    model,
+                    dataset,
+                    design=design,
+                    adc_bits=adc_bits,
+                    input_bits=input_bits,
+                    weight_bits=weight_bits,
+                    variation=variation,
+                    max_test_samples=max_test_samples,
+                    seed=seed,
+                )
+                points.append(
+                    AccuracyPoint(
+                        design=design,
+                        adc_bits=adc_bits,
+                        input_bits=input_bits,
+                        weight_bits=weight_bits,
+                        accuracy=accuracy,
+                    )
+                )
+    return AccuracySweep(baseline_accuracy=baseline, points=points)

@@ -1,0 +1,95 @@
+"""Chip-level building blocks: activation buffers, digital post-processing,
+standby power, and the tile hierarchy parameters.
+
+These are the NeuroSim-style cost models that sit *around* the IMC macros in
+the system evaluation: SRAM buffers feeding activations and collecting
+outputs, the digital adders that accumulate partial sums across row-tiled
+macros, activation-function/pooling logic, and the standby (leakage) power
+of the weight-stationary macro array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BufferParameters", "DigitalLogicParameters", "ChipParameters"]
+
+
+@dataclass(frozen=True)
+class BufferParameters:
+    """SRAM activation/partial-sum buffer cost model.
+
+    Attributes:
+        read_energy_per_bit: Energy per bit read (J).
+        write_energy_per_bit: Energy per bit written (J).
+        access_latency: Latency of one buffer access (s); accesses are
+            pipelined with computation, so this enters only as a small
+            per-pixel offset.
+        partial_sum_bits: Width of a stored partial sum (bits).
+        output_bits: Width of a stored output activation (bits).
+    """
+
+    read_energy_per_bit: float = 45.0e-15
+    write_energy_per_bit: float = 60.0e-15
+    access_latency: float = 1.0e-9
+    partial_sum_bits: int = 16
+    output_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.read_energy_per_bit < 0 or self.write_energy_per_bit < 0:
+            raise ValueError("buffer energies must be non-negative")
+        if self.partial_sum_bits < 1 or self.output_bits < 1:
+            raise ValueError("bit widths must be positive")
+
+
+@dataclass(frozen=True)
+class DigitalLogicParameters:
+    """Digital post-processing cost model (adders, activation, pooling).
+
+    Attributes:
+        add_energy: Energy of one partial-sum addition (J).
+        activation_energy: Energy of one activation-function evaluation (J).
+        pooling_energy_per_element: Energy per pooled element (J).
+        add_latency: Latency of one addition (s).
+    """
+
+    add_energy: float = 30.0e-15
+    activation_energy: float = 20.0e-15
+    pooling_energy_per_element: float = 10.0e-15
+    add_latency: float = 0.3e-9
+
+    def __post_init__(self) -> None:
+        if min(self.add_energy, self.activation_energy, self.pooling_energy_per_element) < 0:
+            raise ValueError("energies must be non-negative")
+
+
+@dataclass(frozen=True)
+class ChipParameters:
+    """Top-level chip organisation and standby power.
+
+    Attributes:
+        macros_per_tile: IMC macros grouped into one tile (shares a tile
+            buffer and an H-tree port).
+        standby_power_per_macro: Leakage of one idle macro and its share of
+            the periphery (W).  FeFET arrays have near-zero cell standby
+            power, so this is dominated by gated peripheral logic.
+        buffer: Buffer cost model.
+        digital: Digital post-processing cost model.
+        buffer_area_per_macro_um2: Buffer area attributed to each macro (µm²).
+        htree_area_per_macro_um2: Interconnect area attributed to each macro (µm²).
+    """
+
+    macros_per_tile: int = 16
+    standby_power_per_macro: float = 7.0e-6
+    buffer: BufferParameters = BufferParameters()
+    digital: DigitalLogicParameters = DigitalLogicParameters()
+    buffer_area_per_macro_um2: float = 9000.0
+    htree_area_per_macro_um2: float = 2500.0
+
+    def __post_init__(self) -> None:
+        if self.macros_per_tile < 1:
+            raise ValueError("macros_per_tile must be at least 1")
+        if self.standby_power_per_macro < 0:
+            raise ValueError("standby_power_per_macro must be non-negative")
+        if self.buffer_area_per_macro_um2 < 0 or self.htree_area_per_macro_um2 < 0:
+            raise ValueError("areas must be non-negative")

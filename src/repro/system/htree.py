@@ -1,0 +1,112 @@
+"""H-tree interconnect model.
+
+The paper assumes an H-tree structure for routing among modules in each
+hierarchy level (Section 4.2).  An H-tree over ``n`` leaves (macros or
+tiles) has ``ceil(log2 n)`` levels; data injected at the root reaches any
+leaf by traversing every level once, and the wire length of level ``k``
+halves at every split.  The model exposes the two quantities the system
+estimator needs: energy per transported bit and traversal latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["HTreeParameters", "HTree"]
+
+
+@dataclass(frozen=True)
+class HTreeParameters:
+    """Electrical parameters of the H-tree wires and repeaters.
+
+    Attributes:
+        wire_energy_per_bit_per_mm: Switching energy of moving one bit over
+            one millimetre of repeated wire (J).
+        wire_latency_per_mm: Propagation delay per millimetre (s).
+        leaf_pitch_mm: Physical pitch between adjacent leaves (mm); sets the
+            wire length of the lowest level.
+        router_energy_per_bit: Energy of one branching point per bit (J).
+    """
+
+    wire_energy_per_bit_per_mm: float = 0.045e-12
+    wire_latency_per_mm: float = 0.12e-9
+    leaf_pitch_mm: float = 0.12
+    router_energy_per_bit: float = 2.0e-15
+
+    def __post_init__(self) -> None:
+        if self.wire_energy_per_bit_per_mm < 0 or self.router_energy_per_bit < 0:
+            raise ValueError("energies must be non-negative")
+        if self.wire_latency_per_mm < 0:
+            raise ValueError("wire_latency_per_mm must be non-negative")
+        if self.leaf_pitch_mm <= 0:
+            raise ValueError("leaf_pitch_mm must be positive")
+
+
+class HTree:
+    """An H-tree connecting ``num_leaves`` modules.
+
+    Args:
+        num_leaves: Number of leaf modules (macros or tiles).
+        params: Wire/repeater parameters.
+    """
+
+    def __init__(self, num_leaves: int, params: HTreeParameters | None = None) -> None:
+        if num_leaves < 1:
+            raise ValueError("num_leaves must be at least 1")
+        self.num_leaves = int(num_leaves)
+        self.params = params or HTreeParameters()
+
+    @property
+    def levels(self) -> int:
+        """Number of branching levels (0 for a single leaf)."""
+        if self.num_leaves == 1:
+            return 0
+        return math.ceil(math.log2(self.num_leaves))
+
+    def path_length_mm(self) -> float:
+        """Root-to-leaf wire length (mm).
+
+        Level ``k`` (counting from the leaves) spans ``leaf_pitch · 2^(k//2)``
+        in the alternating-direction H-tree layout; the sum over levels gives
+        the root-to-leaf distance.
+        """
+        length = 0.0
+        for level in range(self.levels):
+            length += self.params.leaf_pitch_mm * (2 ** (level // 2))
+        return length
+
+    def energy_per_bit(self) -> float:
+        """Energy to move one bit from the root to a leaf (or back) (J)."""
+        wire = self.path_length_mm() * self.params.wire_energy_per_bit_per_mm
+        routers = self.levels * self.params.router_energy_per_bit
+        return wire + routers
+
+    def broadcast_energy(self, bits: float) -> float:
+        """Energy to broadcast ``bits`` from the root to all leaves (J).
+
+        A broadcast drives every wire segment of the tree once; the total
+        wire length of the tree is approximately twice the number of leaves
+        times the leaf pitch, which we charge per transported bit.
+        """
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        total_wire_mm = 2.0 * self.num_leaves * self.params.leaf_pitch_mm
+        per_bit = (
+            total_wire_mm * self.params.wire_energy_per_bit_per_mm
+            + self.levels * self.params.router_energy_per_bit
+        )
+        return bits * per_bit
+
+    def point_to_point_energy(self, bits: float) -> float:
+        """Energy to move ``bits`` between the root and one leaf (J)."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits * self.energy_per_bit()
+
+    def traversal_latency(self) -> float:
+        """Root-to-leaf propagation latency (s)."""
+        return self.path_length_mm() * self.params.wire_latency_per_mm
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HTree(leaves={self.num_leaves}, levels={self.levels})"

@@ -1,0 +1,181 @@
+"""Quantised DNN inference through the functional IMC macro model.
+
+This is the path that turns a trained floating-point classifier into the
+accuracy numbers of Fig. 10: every convolution / fully-connected layer is
+quantised (signed 4-/8-bit weights, unsigned 1-8-bit activations) and its
+matrix products are executed by :class:`~repro.core.functional.FunctionalIMCModel`
+— i.e. through the CurFe or ChgFe pipeline with 32-row analog partial sums,
+2CM/N2CM ADC quantisation at the chosen resolution, and device-variation
+induced cell-current error.  Setting the design to ``"ideal"`` (or the ADC
+resolution to ``None``) recovers plain integer quantised inference, which is
+the baseline the degradation is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.functional import (
+    FunctionalIMCModel,
+    FunctionalModelConfig,
+)
+from ..devices.variation import DEFAULT_VARIATION, VariationModel
+from ..quant.quantize import signed_range, unsigned_range
+from .nn import Conv2D, Linear, SmallCNN, im2col
+
+__all__ = ["InferenceConfig", "QuantizedInferenceEngine"]
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Configuration of the quantised IMC inference path.
+
+    Attributes:
+        design: ``"curfe"``, ``"chgfe"``, or ``"ideal"``.
+        input_bits: Activation precision (unsigned, 1..8).
+        weight_bits: Weight precision (signed, 4 or 8).
+        adc_bits: ADC resolution; None disables ADC quantisation.
+        rows_per_block: Analog accumulation depth (32 in the paper).
+        variation: Device-variation statistics.
+        seed: Seed of the per-layer programming-variation draws.
+    """
+
+    design: str = "curfe"
+    input_bits: int = 4
+    weight_bits: int = 8
+    adc_bits: Optional[int] = 5
+    rows_per_block: int = 32
+    variation: VariationModel = DEFAULT_VARIATION
+    seed: int = 0
+
+    def functional_config(self) -> FunctionalModelConfig:
+        """The matching functional-model configuration."""
+        return FunctionalModelConfig(
+            design=self.design,
+            weight_bits=self.weight_bits,
+            input_bits=self.input_bits,
+            adc_bits=self.adc_bits,
+            rows_per_block=self.rows_per_block,
+            variation=self.variation,
+        )
+
+
+class _QuantizedLayer:
+    """A weight layer quantised and programmed into a functional IMC model."""
+
+    def __init__(
+        self,
+        name: str,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        config: InferenceConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.name = name
+        self.bias = bias
+        lo, hi = signed_range(config.weight_bits)
+        max_abs = float(np.max(np.abs(weight)))
+        self.weight_scale = max_abs / hi if max_abs > 0 else 1.0
+        weight_int = np.clip(np.round(weight / self.weight_scale), lo, hi).astype(np.int64)
+        self.engine = FunctionalIMCModel(config.functional_config(), rng=rng)
+        self.engine.program(weight_int)
+        self.config = config
+        self._adc_calibrated = False
+
+    def matmul(self, activations: np.ndarray, activation_scale: float) -> np.ndarray:
+        """Quantise activations, run the IMC matmul, and dequantise the result."""
+        _, hi = unsigned_range(self.config.input_bits)
+        codes = np.clip(np.round(activations / activation_scale), 0, hi).astype(np.int64)
+        if not self._adc_calibrated and self.config.adc_bits is not None:
+            # Programme this layer's reference bank to the partial-sum range
+            # the workload actually produces (first batch acts as the
+            # calibration set), mirroring how the FeFET reference bank is
+            # written to span the useful ADC input range.
+            self.engine.calibrate_adc_ranges(codes[: min(len(codes), 4096)])
+            self._adc_calibrated = True
+        raw = self.engine.matmul(codes)
+        return raw * self.weight_scale * activation_scale + self.bias
+
+
+class QuantizedInferenceEngine:
+    """Runs a trained :class:`SmallCNN` through the quantised IMC pipeline.
+
+    Args:
+        model: The trained floating-point network.
+        config: Quantisation / design configuration.
+    """
+
+    def __init__(self, model: SmallCNN, config: InferenceConfig | None = None) -> None:
+        self.model = model
+        self.config = config or InferenceConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self._layers: Dict[str, _QuantizedLayer] = {}
+        for name, layer in model.weight_layers().items():
+            self._layers[name] = _QuantizedLayer(
+                name, layer.weight, layer.bias, self.config, rng
+            )
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _activation_scale(activations: np.ndarray, bits: int) -> float:
+        """Per-tensor unsigned quantisation scale.
+
+        The 99.7th percentile (rather than the maximum) maps to full scale so
+        that a handful of outliers do not compress the useful activation
+        range — the usual clipping choice for post-training activation
+        quantisation.
+        """
+        _, hi = unsigned_range(bits)
+        if activations.size == 0:
+            return 1.0
+        reference = float(np.percentile(activations, 99.7))
+        if reference <= 0:
+            reference = float(np.max(activations))
+        if reference <= 0:
+            reference = 1.0
+        return reference / hi
+
+    def _conv(self, name: str, layer: Conv2D, x: np.ndarray) -> np.ndarray:
+        cols, out_h, out_w = im2col(x, layer.kernel_size, layer.stride, layer.padding)
+        scale = self._activation_scale(cols, self.config.input_bits)
+        out = self._layers[name].matmul(cols, scale)
+        n = x.shape[0]
+        return out.reshape(n, out_h, out_w, layer.out_channels).transpose(0, 3, 1, 2)
+
+    def _linear(self, name: str, layer: Linear, x: np.ndarray) -> np.ndarray:
+        scale = self._activation_scale(x, self.config.input_bits)
+        return self._layers[name].matmul(x, scale)
+
+    # -------------------------------------------------------------- interface
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Quantised forward pass mirroring :meth:`SmallCNN.forward`."""
+        m = self.model
+        out = self._conv("conv1", m.conv1, images)
+        out = np.maximum(out, 0.0)
+        out = m.pool1.forward(out)
+        out = self._conv("conv2", m.conv2, out)
+        out = np.maximum(out, 0.0)
+        out = m.pool2.forward(out)
+        out = out.reshape(out.shape[0], -1)
+        out = self._linear("fc1", m.fc1, out)
+        out = np.maximum(out, 0.0)
+        return self._linear("fc2", m.fc2, out)
+
+    def predict(self, images: np.ndarray, *, batch_size: int = 128) -> np.ndarray:
+        """Class predictions under the quantised IMC pipeline."""
+        predictions = []
+        for start in range(0, len(images), batch_size):
+            logits = self.forward(images[start : start + batch_size])
+            predictions.append(np.argmax(logits, axis=-1))
+        return np.concatenate(predictions) if predictions else np.array([], dtype=int)
+
+    def accuracy(
+        self, images: np.ndarray, labels: np.ndarray, *, batch_size: int = 128
+    ) -> float:
+        """Top-1 accuracy under the quantised IMC pipeline."""
+        return float(np.mean(self.predict(images, batch_size=batch_size) == labels))

@@ -1,0 +1,209 @@
+"""DNN layer descriptors used by the system-level performance model.
+
+The system evaluation (Figs. 10-12) runs VGG8 and ResNet18 on CIFAR10 /
+ImageNet.  For performance (energy / latency / area) the model only needs
+each layer's *shape*: how many weights it stores, how many MACs it executes
+per image, and how much activation data moves.  These descriptors capture
+that, independent of any trained parameter values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["ConvLayer", "LinearLayer", "PoolLayer", "LayerShape"]
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Spatial shape of an activation tensor: (channels, height, width)."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.height < 1 or self.width < 1:
+            raise ValueError("all dimensions must be positive")
+
+    @property
+    def size(self) -> int:
+        """Total number of activations."""
+        return self.channels * self.height * self.width
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A 2-D convolution layer.
+
+    Attributes:
+        name: Layer name (used in the per-layer breakdown of Fig. 12).
+        in_channels: Input channels.
+        out_channels: Output channels.
+        kernel_size: Square kernel size.
+        input_size: Input spatial size (assumed square).
+        stride: Convolution stride.
+        padding: Zero padding on each side.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    input_size: int
+    stride: int = 1
+    padding: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel_size, self.input_size) < 1:
+            raise ValueError("layer dimensions must be positive")
+        if self.stride < 1 or self.padding < 0:
+            raise ValueError("stride must be >= 1 and padding >= 0")
+
+    @property
+    def output_size(self) -> int:
+        """Output spatial size (square)."""
+        return (self.input_size + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def output_pixels(self) -> int:
+        """Number of output spatial positions."""
+        return self.output_size * self.output_size
+
+    @property
+    def weight_rows(self) -> int:
+        """Unrolled weight-matrix rows (K·K·Cin)."""
+        return self.kernel_size * self.kernel_size * self.in_channels
+
+    @property
+    def weight_cols(self) -> int:
+        """Unrolled weight-matrix columns (Cout)."""
+        return self.out_channels
+
+    @property
+    def num_weights(self) -> int:
+        """Number of weight parameters."""
+        return self.weight_rows * self.weight_cols
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations per image."""
+        return self.output_pixels * self.num_weights
+
+    @property
+    def input_shape(self) -> LayerShape:
+        """Input activation shape."""
+        return LayerShape(self.in_channels, self.input_size, self.input_size)
+
+    @property
+    def output_shape(self) -> LayerShape:
+        """Output activation shape."""
+        return LayerShape(self.out_channels, self.output_size, self.output_size)
+
+
+@dataclass(frozen=True)
+class LinearLayer:
+    """A fully-connected layer.
+
+    Attributes:
+        name: Layer name.
+        in_features: Input features.
+        out_features: Output features.
+    """
+
+    name: str
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("feature counts must be positive")
+
+    @property
+    def output_pixels(self) -> int:
+        """A linear layer produces a single output 'pixel'."""
+        return 1
+
+    @property
+    def weight_rows(self) -> int:
+        """Weight-matrix rows (input features)."""
+        return self.in_features
+
+    @property
+    def weight_cols(self) -> int:
+        """Weight-matrix columns (output features)."""
+        return self.out_features
+
+    @property
+    def num_weights(self) -> int:
+        """Number of weight parameters."""
+        return self.in_features * self.out_features
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations per image."""
+        return self.num_weights
+
+    @property
+    def input_shape(self) -> LayerShape:
+        """Input activation shape (flattened as channels)."""
+        return LayerShape(self.in_features, 1, 1)
+
+    @property
+    def output_shape(self) -> LayerShape:
+        """Output activation shape (flattened as channels)."""
+        return LayerShape(self.out_features, 1, 1)
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """A pooling layer (no weights; tracked for data-movement accounting).
+
+    Attributes:
+        name: Layer name.
+        channels: Number of channels (unchanged by pooling).
+        input_size: Input spatial size (square).
+        kernel_size: Pooling window.
+        stride: Pooling stride (defaults to the window size).
+    """
+
+    name: str
+    channels: int
+    input_size: int
+    kernel_size: int = 2
+    stride: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.input_size < 1 or self.kernel_size < 1:
+            raise ValueError("dimensions must be positive")
+
+    @property
+    def effective_stride(self) -> int:
+        """Stride actually used (defaults to the kernel size)."""
+        return self.stride if self.stride > 0 else self.kernel_size
+
+    @property
+    def output_size(self) -> int:
+        """Output spatial size (square)."""
+        return self.input_size // self.effective_stride
+
+    @property
+    def macs(self) -> int:
+        """Pooling has no MACs."""
+        return 0
+
+    @property
+    def num_weights(self) -> int:
+        """Pooling has no weights."""
+        return 0
+
+    @property
+    def input_shape(self) -> LayerShape:
+        """Input activation shape."""
+        return LayerShape(self.channels, self.input_size, self.input_size)
+
+    @property
+    def output_shape(self) -> LayerShape:
+        """Output activation shape."""
+        return LayerShape(self.channels, self.output_size, self.output_size)

@@ -1,0 +1,147 @@
+"""Mapping of DNN layers onto 128×128 IMC macros.
+
+Following the paper's NeuroSim configuration, every macro stores a
+128-row × 16-weight-column tile of a layer's unrolled weight matrix
+(8 physical bit-columns per weight at 8-bit precision), activates 32 rows at
+a time (the partial-parallel mode), and produces one digital MAC per bank
+per block activation.  A layer whose unrolled weight matrix exceeds one
+macro is split across a grid of macros: row tiles accumulate partial sums
+digitally, column tiles produce disjoint output channels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+from .layers import ConvLayer, LinearLayer
+
+__all__ = ["MacroGeometry", "LayerMapping", "map_layer"]
+
+WeightLayer = Union[ConvLayer, LinearLayer]
+
+
+@dataclass(frozen=True)
+class MacroGeometry:
+    """Geometry of one IMC macro as seen by the mapper.
+
+    Attributes:
+        rows: Physical array rows (128).
+        weight_columns: Weight columns per macro (16 = 128 bit-columns /
+            8 bit-columns per 8-bit weight).
+        block_rows: Rows activated per block step (32).
+    """
+
+    rows: int = 128
+    weight_columns: int = 16
+    block_rows: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.weight_columns < 1 or self.block_rows < 1:
+            raise ValueError("all geometry fields must be positive")
+        if self.rows % self.block_rows != 0:
+            raise ValueError("rows must be a multiple of block_rows")
+
+    @property
+    def blocks_per_macro(self) -> int:
+        """Sequential block activations needed to cover all rows of a macro."""
+        return self.rows // self.block_rows
+
+    @property
+    def weights_per_macro(self) -> int:
+        """Weight parameters stored per macro."""
+        return self.rows * self.weight_columns
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """How one weight layer maps onto the macro grid.
+
+    Attributes:
+        layer_name: The mapped layer's name.
+        weight_rows: Unrolled weight-matrix rows.
+        weight_cols: Unrolled weight-matrix columns.
+        row_tiles: Macros needed along the row (input) dimension.
+        col_tiles: Macros needed along the column (output) dimension.
+        geometry: The macro geometry used.
+    """
+
+    layer_name: str
+    weight_rows: int
+    weight_cols: int
+    row_tiles: int
+    col_tiles: int
+    geometry: MacroGeometry
+
+    @property
+    def num_macros(self) -> int:
+        """Total macros holding this layer's weights."""
+        return self.row_tiles * self.col_tiles
+
+    @property
+    def row_utilization(self) -> float:
+        """Fraction of allocated rows actually holding weights."""
+        return self.weight_rows / (self.row_tiles * self.geometry.rows)
+
+    @property
+    def column_utilization(self) -> float:
+        """Fraction of allocated weight columns actually holding weights."""
+        return self.weight_cols / (self.col_tiles * self.geometry.weight_columns)
+
+    @property
+    def utilization(self) -> float:
+        """Overall storage utilisation of the allocated macros."""
+        return self.row_utilization * self.column_utilization
+
+    @property
+    def block_activations_per_pixel(self) -> int:
+        """Sequential 32-row block steps per output pixel (per macro column).
+
+        Row tiles operate in parallel, so the sequential depth is set by the
+        number of blocks in one (full) macro, bounded by the actual rows in
+        the shallowest mapping.
+        """
+        rows_per_tile = math.ceil(self.weight_rows / self.row_tiles)
+        return math.ceil(rows_per_tile / self.geometry.block_rows)
+
+    @property
+    def total_block_macs_per_pixel(self) -> int:
+        """Bank-level 32-row MAC operations executed per output pixel.
+
+        Every weight column converts once per covered 32-row block; padded
+        (empty) blocks are not activated.
+        """
+        blocks_total = math.ceil(self.weight_rows / self.geometry.block_rows)
+        return blocks_total * self.weight_cols
+
+    @property
+    def partial_sum_adds_per_pixel(self) -> int:
+        """Cross-macro partial-sum additions per output pixel."""
+        return (self.row_tiles - 1) * self.weight_cols
+
+
+def map_layer(layer: WeightLayer, geometry: MacroGeometry | None = None) -> LayerMapping:
+    """Map a conv/linear layer onto the macro grid.
+
+    Args:
+        layer: The weight layer to map.
+        geometry: Macro geometry; defaults to the paper's 128×128 / 32-row
+            configuration.
+
+    Returns:
+        The resulting :class:`LayerMapping`.
+    """
+    geometry = geometry or MacroGeometry()
+    rows = layer.weight_rows
+    cols = layer.weight_cols
+    row_tiles = math.ceil(rows / geometry.rows)
+    col_tiles = math.ceil(cols / geometry.weight_columns)
+    return LayerMapping(
+        layer_name=layer.name,
+        weight_rows=rows,
+        weight_cols=cols,
+        row_tiles=row_tiles,
+        col_tiles=col_tiles,
+        geometry=geometry,
+    )

@@ -1,0 +1,195 @@
+"""Network topologies evaluated in the paper: VGG8 and ResNet18.
+
+Only the layer shapes matter to the performance model.  The VGG8 topology
+follows the common NeuroSim benchmark network (6 conv + 2 FC for CIFAR10);
+ResNet18 follows the standard definition, with the CIFAR10 variant using a
+3×3 stem and 32×32 inputs and the ImageNet variant the 7×7/stride-2 stem and
+224×224 inputs.  Downsample (1×1 projection) convolutions of the residual
+branches are included since they hold weights and execute MACs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from .layers import ConvLayer, LinearLayer, PoolLayer
+
+__all__ = ["NetworkSpec", "vgg8_cifar10", "resnet18_cifar10", "resnet18_imagenet"]
+
+WeightLayer = Union[ConvLayer, LinearLayer]
+AnyLayer = Union[ConvLayer, LinearLayer, PoolLayer]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A named sequence of layers plus dataset metadata.
+
+    Attributes:
+        name: Network name, e.g. ``"VGG8"``.
+        dataset: Dataset name, e.g. ``"CIFAR10"``.
+        layers: All layers in execution order (including pooling).
+        num_classes: Classifier output dimension.
+        input_shape: (channels, height, width) of the network input.
+    """
+
+    name: str
+    dataset: str
+    layers: Tuple[AnyLayer, ...]
+    num_classes: int
+    input_shape: Tuple[int, int, int]
+
+    @property
+    def weight_layers(self) -> Tuple[WeightLayer, ...]:
+        """Layers that hold weights (conv + linear)."""
+        return tuple(
+            layer for layer in self.layers if not isinstance(layer, PoolLayer)
+        )
+
+    @property
+    def total_weights(self) -> int:
+        """Total number of weight parameters."""
+        return sum(layer.num_weights for layer in self.weight_layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs per inference."""
+        return sum(layer.macs for layer in self.weight_layers)
+
+    @property
+    def total_ops(self) -> int:
+        """Total operations per inference (2 ops per MAC)."""
+        return 2 * self.total_macs
+
+    def describe(self) -> str:
+        """One-line-per-layer description (name, shape, MACs)."""
+        lines = [f"{self.name} on {self.dataset}"]
+        for layer in self.layers:
+            lines.append(
+                f"  {layer.name}: weights={layer.num_weights:,} macs={layer.macs:,}"
+            )
+        lines.append(f"  total weights={self.total_weights:,} macs={self.total_macs:,}")
+        return "\n".join(lines)
+
+
+def vgg8_cifar10() -> NetworkSpec:
+    """The VGG8 benchmark network for CIFAR10 (6 conv + 2 FC)."""
+    layers: List[AnyLayer] = [
+        ConvLayer("conv1", 3, 128, 3, 32),
+        ConvLayer("conv2", 128, 128, 3, 32),
+        PoolLayer("pool1", 128, 32),
+        ConvLayer("conv3", 128, 256, 3, 16),
+        ConvLayer("conv4", 256, 256, 3, 16),
+        PoolLayer("pool2", 256, 16),
+        ConvLayer("conv5", 256, 512, 3, 8),
+        ConvLayer("conv6", 512, 512, 3, 8),
+        PoolLayer("pool3", 512, 8),
+        LinearLayer("fc1", 512 * 4 * 4, 1024),
+        LinearLayer("fc2", 1024, 10),
+    ]
+    return NetworkSpec(
+        name="VGG8",
+        dataset="CIFAR10",
+        layers=tuple(layers),
+        num_classes=10,
+        input_shape=(3, 32, 32),
+    )
+
+
+def _resnet_basic_block(
+    prefix: str,
+    in_channels: int,
+    out_channels: int,
+    input_size: int,
+    stride: int,
+) -> List[ConvLayer]:
+    """Two 3×3 convolutions plus the 1×1 projection when the shape changes."""
+    layers = [
+        ConvLayer(
+            f"{prefix}.conv1",
+            in_channels,
+            out_channels,
+            3,
+            input_size,
+            stride=stride,
+            padding=1,
+        ),
+        ConvLayer(
+            f"{prefix}.conv2",
+            out_channels,
+            out_channels,
+            3,
+            input_size // stride,
+            stride=1,
+            padding=1,
+        ),
+    ]
+    if stride != 1 or in_channels != out_channels:
+        layers.append(
+            ConvLayer(
+                f"{prefix}.downsample",
+                in_channels,
+                out_channels,
+                1,
+                input_size,
+                stride=stride,
+                padding=0,
+            )
+        )
+    return layers
+
+
+def _resnet18_body(stem_out_size: int) -> List[ConvLayer]:
+    """The four ResNet18 stages (2 basic blocks each) after the stem."""
+    layers: List[ConvLayer] = []
+    size = stem_out_size
+    channels = 64
+    stage_channels = (64, 128, 256, 512)
+    for stage_index, out_channels in enumerate(stage_channels):
+        for block_index in range(2):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            layers.extend(
+                _resnet_basic_block(
+                    f"layer{stage_index + 1}.{block_index}",
+                    channels,
+                    out_channels,
+                    size,
+                    stride,
+                )
+            )
+            channels = out_channels
+            size = size // stride
+    return layers
+
+
+def resnet18_cifar10() -> NetworkSpec:
+    """ResNet18 adapted to CIFAR10 (3×3 stem, 32×32 inputs, no initial pooling)."""
+    layers: List[AnyLayer] = [ConvLayer("stem", 3, 64, 3, 32, stride=1, padding=1)]
+    layers.extend(_resnet18_body(stem_out_size=32))
+    layers.append(PoolLayer("avgpool", 512, 4, kernel_size=4))
+    layers.append(LinearLayer("fc", 512, 10))
+    return NetworkSpec(
+        name="ResNet18",
+        dataset="CIFAR10",
+        layers=tuple(layers),
+        num_classes=10,
+        input_shape=(3, 32, 32),
+    )
+
+
+def resnet18_imagenet() -> NetworkSpec:
+    """Standard ResNet18 for ImageNet (7×7/2 stem, 224×224 inputs)."""
+    layers: List[AnyLayer] = [
+        ConvLayer("stem", 3, 64, 7, 224, stride=2, padding=3),
+        PoolLayer("maxpool", 64, 112, kernel_size=2),
+    ]
+    layers.extend(_resnet18_body(stem_out_size=56))
+    layers.append(PoolLayer("avgpool", 512, 7, kernel_size=7))
+    layers.append(LinearLayer("fc", 512, 1000))
+    return NetworkSpec(
+        name="ResNet18",
+        dataset="ImageNet",
+        layers=tuple(layers),
+        num_classes=1000,
+        input_shape=(3, 224, 224),
+    )

@@ -1,0 +1,409 @@
+"""Minimal numpy neural-network substrate (float training path).
+
+The accuracy study needs a trained classifier whose inference can then be
+replayed through the quantised IMC pipeline.  No deep-learning framework is
+available offline, so this module implements the handful of layers required
+— im2col convolution, ReLU, 2×2 max pooling, fully-connected, softmax
+cross-entropy — with forward *and* backward passes, plus a small VGG-style
+CNN assembled from them.
+
+The layers are deliberately simple (no batch-norm, no dilation, square
+kernels only): they exist to produce a credible floating-point baseline on
+the synthetic dataset, not to be a general framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "Conv2D",
+    "Linear",
+    "ReLU",
+    "MaxPool2D",
+    "Flatten",
+    "softmax",
+    "cross_entropy_loss",
+    "SmallCNN",
+]
+
+
+def im2col(
+    images: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold image patches into rows.
+
+    Args:
+        images: Input of shape (N, C, H, W).
+        kernel: Square kernel size.
+        stride: Stride.
+        padding: Zero padding on each side.
+
+    Returns:
+        Tuple ``(cols, out_h, out_w)`` where ``cols`` has shape
+        ``(N * out_h * out_w, C * kernel * kernel)``.
+    """
+    n, c, h, w = images.shape
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    cols = np.empty((n, out_h, out_w, c, kernel, kernel), dtype=images.dtype)
+    for y in range(kernel):
+        y_end = y + stride * out_h
+        for x in range(kernel):
+            x_end = x + stride * out_w
+            cols[:, :, :, :, y, x] = padded[:, :, y:y_end:stride, x:x_end:stride].transpose(
+                0, 2, 3, 1
+            )
+    return cols.reshape(n * out_h * out_w, c * kernel * kernel), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold patch-gradient rows back into an image gradient (adjoint of im2col)."""
+    n, c, h, w = image_shape
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for y in range(kernel):
+        y_end = y + stride * out_h
+        for x in range(kernel):
+            x_end = x + stride * out_w
+            padded[:, :, y:y_end:stride, x:x_end:stride] += cols[:, :, :, :, y, x].transpose(
+                0, 3, 1, 2
+            )
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2D:
+    """2-D convolution with square kernels (im2col implementation).
+
+    Args:
+        in_channels: Input channels.
+        out_channels: Output channels.
+        kernel_size: Square kernel size.
+        stride: Stride.
+        padding: Zero padding.
+        rng: Generator used for He initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, out_channels))
+        self.bias = np.zeros(out_channels)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass: (N, C, H, W) → (N, F, OH, OW)."""
+        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        out = cols @ self.weight + self.bias
+        self._cache = (cols, x.shape, out_h, out_w)
+        n = x.shape[0]
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward pass; accumulates weight/bias gradients and returns dL/dx."""
+        if self._cache is None:
+            raise RuntimeError("forward must be called before backward")
+        cols, x_shape, out_h, out_w = self._cache
+        n = x_shape[0]
+        grad_flat = grad_out.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        self.grad_weight = cols.T @ grad_flat
+        self.grad_bias = grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ self.weight.T
+        return col2im(grad_cols, x_shape, self.kernel_size, self.stride, self.padding)
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs."""
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class Linear:
+    """Fully-connected layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / in_features), size=(in_features, out_features)
+        )
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass: (N, in) → (N, out)."""
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward pass; accumulates gradients and returns dL/dx."""
+        if self._input is None:
+            raise RuntimeError("forward must be called before backward")
+        self.grad_weight = self._input.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs."""
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class ReLU:
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """max(x, 0)."""
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient gate."""
+        if self._mask is None:
+            raise RuntimeError("forward must be called before backward")
+        return grad_out * self._mask
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """ReLU has no parameters."""
+        return []
+
+
+class MaxPool2D:
+    """2×2 (or k×k) max pooling with stride equal to the window."""
+
+    def __init__(self, kernel_size: int = 2) -> None:
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be at least 1")
+        self.kernel_size = kernel_size
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass: (N, C, H, W) → (N, C, H/k, W/k)."""
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        out_h, out_w = h // k, w // k
+        trimmed = x[:, :, : out_h * k, : out_w * k]
+        reshaped = trimmed.reshape(n, c, out_h, k, out_w, k)
+        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, out_h, out_w, k * k)
+        argmax = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Routes gradients to the max elements."""
+        if self._cache is None:
+            raise RuntimeError("forward must be called before backward")
+        x_shape, argmax = self._cache
+        k = self.kernel_size
+        n, c, h, w = x_shape
+        out_h, out_w = h // k, w // k
+        grad_windows = np.zeros((n, c, out_h, out_w, k * k), dtype=grad_out.dtype)
+        np.put_along_axis(grad_windows, argmax[..., None], grad_out[..., None], axis=-1)
+        grad = grad_windows.reshape(n, c, out_h, out_w, k, k).transpose(0, 1, 2, 4, 3, 5)
+        grad = grad.reshape(n, c, out_h * k, out_w * k)
+        full = np.zeros(x_shape, dtype=grad_out.dtype)
+        full[:, :, : out_h * k, : out_w * k] = grad
+        return full
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Pooling has no parameters."""
+        return []
+
+
+class Flatten:
+    """Flatten (N, C, H, W) → (N, C·H·W)."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Flatten all non-batch dimensions."""
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Restore the cached shape."""
+        if self._shape is None:
+            raise RuntimeError("forward must be called before backward")
+        return grad_out.reshape(self._shape)
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Flatten has no parameters."""
+        return []
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_loss(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    eps = 1e-12
+    loss = float(-np.mean(np.log(probs[np.arange(n), labels] + eps)))
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+class SmallCNN:
+    """A compact VGG-style CNN used as the accuracy-study classifier.
+
+    Architecture (for 16×16×3 inputs): conv3×3(3→16) → ReLU → pool2 →
+    conv3×3(16→32) → ReLU → pool2 → flatten → fc(512→64) → ReLU → fc(64→C).
+
+    The two convolutions and two fully-connected layers are the layers later
+    mapped onto the IMC macros by the quantised inference engine.
+    """
+
+    def __init__(
+        self,
+        *,
+        input_shape: Tuple[int, int, int] = (3, 16, 16),
+        num_classes: int = 10,
+        channels: Tuple[int, int] = (16, 32),
+        hidden: int = 64,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        c, h, w = input_shape
+        self.input_shape = input_shape
+        self.num_classes = num_classes
+        self.conv1 = Conv2D(c, channels[0], 3, padding=1, rng=rng)
+        self.relu1 = ReLU()
+        self.pool1 = MaxPool2D(2)
+        self.conv2 = Conv2D(channels[0], channels[1], 3, padding=1, rng=rng)
+        self.relu2 = ReLU()
+        self.pool2 = MaxPool2D(2)
+        self.flatten = Flatten()
+        flat_features = channels[1] * (h // 4) * (w // 4)
+        self.fc1 = Linear(flat_features, hidden, rng=rng)
+        self.relu3 = ReLU()
+        self.fc2 = Linear(hidden, num_classes, rng=rng)
+        self.layers = [
+            self.conv1,
+            self.relu1,
+            self.pool1,
+            self.conv2,
+            self.relu2,
+            self.pool2,
+            self.flatten,
+            self.fc1,
+            self.relu3,
+            self.fc2,
+        ]
+
+    def forward(
+        self,
+        images: np.ndarray,
+        *,
+        noise_sigma: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Float forward pass: (N, C, H, W) → logits (N, classes).
+
+        Args:
+            images: Input batch.
+            noise_sigma: Optional relative activation-noise level injected
+                after every MAC layer during training.  Networks destined
+                for analog IMC deployment are routinely trained with such
+                noise so that ADC quantisation and device variation at
+                inference time do not collapse the accuracy; gradients treat
+                the injected noise as a constant.
+            rng: Generator for the injected noise (required when
+                ``noise_sigma`` > 0).
+
+        Returns:
+            Logits of shape (N, num_classes).
+        """
+        if noise_sigma > 0 and rng is None:
+            raise ValueError("rng is required when noise_sigma > 0")
+
+        def inject(tensor: np.ndarray) -> np.ndarray:
+            if noise_sigma <= 0:
+                return tensor
+            scale = noise_sigma * (float(np.std(tensor)) + 1e-12)
+            return tensor + rng.normal(0.0, scale, size=tensor.shape)
+
+        out = images
+        for layer in self.layers:
+            out = layer.forward(out)
+            if isinstance(layer, (Conv2D, Linear)):
+                out = inject(out)
+        return out
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backward pass through every layer (gradients stored on the layers)."""
+        grad = grad_logits
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def parameters(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """All (parameter, gradient) pairs of the network."""
+        params: List[Tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class predictions of the float network."""
+        return np.argmax(self.forward(images), axis=-1)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy of the float network."""
+        return float(np.mean(self.predict(images) == labels))
+
+    def weight_layers(self) -> Dict[str, object]:
+        """The layers that hold MAC weights, keyed by name (mapped to IMC)."""
+        return {
+            "conv1": self.conv1,
+            "conv2": self.conv2,
+            "fc1": self.fc1,
+            "fc2": self.fc2,
+        }

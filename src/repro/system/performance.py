@@ -1,0 +1,322 @@
+"""System-level performance model (NeuroSim-style roll-up).
+
+This model reproduces the paper's system evaluation (Figs. 11 and 12 and the
+system row of Table 1): a weight-stationary chip built from 128×128 CurFe or
+ChgFe macros, tiled per layer, fed through SRAM buffers and an H-tree, with
+digital partial-sum accumulation and activation logic.  For every layer it
+produces dynamic energy, latency, and the macro count; the chip totals give
+frames per second, TOPS/W, and area.
+
+Energy terms per layer:
+
+* **macro** — the circuit-level MAC energy of every activated 32-row block
+  (from :class:`repro.energy.CircuitEnergyModel`), which already reflects the
+  CurFe/ChgFe difference (TIA static power vs. pre-charge);
+* **buffer** — SRAM reads of input activations, writes of outputs, and
+  read-modify-write of cross-tile partial sums;
+* **interconnect** — H-tree transport of activations to the macros and
+  outputs/partial sums back;
+* **digital** — cross-tile partial-sum additions and activation functions
+  (plus pooling for pooling layers);
+* **leakage** — chip standby power (idle macros and gated periphery) times
+  the total inference latency; because ChgFe's MAC cycle is longer, it pays
+  more leakage per image, which is why the system-level gap between the two
+  designs is smaller than the circuit-level gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..energy.circuit_energy import CircuitEnergyModel
+from .chip import ChipParameters
+from .htree import HTree, HTreeParameters
+from .layers import ConvLayer, LinearLayer, PoolLayer
+from .mapping import LayerMapping, MacroGeometry, map_layer
+from .networks import NetworkSpec
+
+__all__ = ["LayerPerformance", "SystemPerformanceResult", "SystemPerformanceModel"]
+
+WeightLayer = Union[ConvLayer, LinearLayer]
+
+
+@dataclass(frozen=True)
+class LayerPerformance:
+    """Per-layer dynamic energy, latency, and mapping summary.
+
+    Attributes:
+        layer_name: Layer name.
+        macs: MAC operations in this layer per image.
+        num_macros: Macros allocated to the layer.
+        macro_energy: IMC macro dynamic energy (J).
+        buffer_energy: SRAM buffer energy (J).
+        interconnect_energy: H-tree energy (J).
+        digital_energy: Digital accumulation / activation / pooling energy (J).
+        latency: Layer latency per image (s).
+    """
+
+    layer_name: str
+    macs: int
+    num_macros: int
+    macro_energy: float
+    buffer_energy: float
+    interconnect_energy: float
+    digital_energy: float
+    latency: float
+
+    @property
+    def dynamic_energy(self) -> float:
+        """Total dynamic energy of the layer (J), excluding chip leakage."""
+        return (
+            self.macro_energy
+            + self.buffer_energy
+            + self.interconnect_energy
+            + self.digital_energy
+        )
+
+
+@dataclass(frozen=True)
+class SystemPerformanceResult:
+    """Chip-level results for one network / design / precision configuration.
+
+    Attributes:
+        design: ``"curfe"`` or ``"chgfe"``.
+        network: Network name.
+        dataset: Dataset name.
+        input_bits: Input activation precision.
+        weight_bits: Weight precision.
+        layers: Per-layer results (weight layers and pooling layers).
+        total_macros: Macros instantiated on the chip.
+        leakage_energy: Standby energy per image (J).
+        area_mm2: Estimated chip area (mm²).
+    """
+
+    design: str
+    network: str
+    dataset: str
+    input_bits: int
+    weight_bits: int
+    layers: List[LayerPerformance]
+    total_macros: int
+    leakage_energy: float
+    area_mm2: float
+
+    @property
+    def total_dynamic_energy(self) -> float:
+        """Dynamic energy per image (J)."""
+        return sum(layer.dynamic_energy for layer in self.layers)
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy per image including leakage (J)."""
+        return self.total_dynamic_energy + self.leakage_energy
+
+    @property
+    def total_latency(self) -> float:
+        """Inference latency per image (s)."""
+        return sum(layer.latency for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """MACs per image."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_ops(self) -> int:
+        """Operations per image (2 per MAC)."""
+        return 2 * self.total_macs
+
+    @property
+    def frames_per_second(self) -> float:
+        """Inference throughput (images/s)."""
+        return 1.0 / self.total_latency
+
+    @property
+    def tops_per_watt(self) -> float:
+        """System-level energy efficiency (TOPS/W)."""
+        return self.total_ops / self.total_energy / 1e12
+
+    @property
+    def average_power(self) -> float:
+        """Average power while streaming inferences back to back (W)."""
+        return self.total_energy / self.total_latency
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Chip-level energy breakdown per image (J)."""
+        return {
+            "macro": sum(l.macro_energy for l in self.layers),
+            "buffer": sum(l.buffer_energy for l in self.layers),
+            "interconnect": sum(l.interconnect_energy for l in self.layers),
+            "digital": sum(l.digital_energy for l in self.layers),
+            "leakage": self.leakage_energy,
+            "total": self.total_energy,
+        }
+
+
+class SystemPerformanceModel:
+    """Evaluates a network on a chip built from CurFe or ChgFe macros.
+
+    Args:
+        design: ``"curfe"`` or ``"chgfe"``.
+        input_bits: Activation precision (1..8).
+        weight_bits: Weight precision (4 or 8).
+        adc_bits: ADC resolution used by the macros.
+        geometry: Macro geometry seen by the mapper.
+        chip: Chip-level cost parameters.
+        htree_params: H-tree wire parameters.
+        circuit_model: Optional pre-built circuit energy model (overrides
+            ``design``/``adc_bits``).
+    """
+
+    def __init__(
+        self,
+        design: str = "curfe",
+        *,
+        input_bits: int = 8,
+        weight_bits: int = 8,
+        adc_bits: int = 5,
+        geometry: Optional[MacroGeometry] = None,
+        chip: Optional[ChipParameters] = None,
+        htree_params: Optional[HTreeParameters] = None,
+        circuit_model: Optional[CircuitEnergyModel] = None,
+    ) -> None:
+        if not 1 <= input_bits <= 8:
+            raise ValueError("input_bits must be between 1 and 8")
+        if weight_bits not in (4, 8):
+            raise ValueError("weight_bits must be 4 or 8")
+        self.design = design
+        self.input_bits = int(input_bits)
+        self.weight_bits = int(weight_bits)
+        self.circuit = circuit_model or CircuitEnergyModel(design, adc_bits=adc_bits)
+        self.geometry = geometry or self._default_geometry()
+        self.chip = chip or ChipParameters()
+        self.htree_params = htree_params or HTreeParameters()
+
+    def _default_geometry(self) -> MacroGeometry:
+        """Macro geometry implied by the weight precision.
+
+        With 4-bit weights each weight needs only one 4-bit column group, so
+        a 128-bit-column macro holds 16 weight columns in its H4B groups
+        (the L4B groups are unused), keeping the mapper geometry identical;
+        with 8-bit weights a weight occupies a full H4B+L4B pair.
+        """
+        return MacroGeometry(rows=128, weight_columns=16, block_rows=32)
+
+    # --------------------------------------------------------------- per layer
+
+    def _weight_layer_performance(self, layer: WeightLayer) -> LayerPerformance:
+        mapping = map_layer(layer, self.geometry)
+        pixels = layer.output_pixels
+        buffer = self.chip.buffer
+        digital = self.chip.digital
+
+        block_macs = pixels * mapping.total_block_macs_per_pixel
+        macro_energy = block_macs * self.circuit.mac_energy(
+            self.input_bits, self.weight_bits
+        )
+
+        input_bits_moved = pixels * layer.weight_rows * self.input_bits
+        output_bits_moved = pixels * layer.weight_cols * buffer.output_bits
+        psum_transfers = (
+            pixels
+            * layer.weight_cols
+            * max(mapping.row_tiles - 1, 0)
+            * buffer.partial_sum_bits
+        )
+        buffer_energy = (
+            input_bits_moved * buffer.read_energy_per_bit
+            + output_bits_moved * buffer.write_energy_per_bit
+            + psum_transfers
+            * (buffer.read_energy_per_bit + buffer.write_energy_per_bit)
+        )
+
+        tree = HTree(max(mapping.num_macros, 1), self.htree_params)
+        interconnect_energy = tree.point_to_point_energy(
+            input_bits_moved
+        ) + tree.point_to_point_energy(output_bits_moved + psum_transfers)
+
+        digital_energy = (
+            pixels * mapping.partial_sum_adds_per_pixel * digital.add_energy
+            + pixels * layer.weight_cols * digital.activation_energy
+        )
+
+        latency = (
+            pixels
+            * mapping.block_activations_per_pixel
+            * self.circuit.mac_latency(self.input_bits)
+        )
+
+        return LayerPerformance(
+            layer_name=layer.name,
+            macs=layer.macs,
+            num_macros=mapping.num_macros,
+            macro_energy=macro_energy,
+            buffer_energy=buffer_energy,
+            interconnect_energy=interconnect_energy,
+            digital_energy=digital_energy,
+            latency=latency,
+        )
+
+    def _pool_layer_performance(self, layer: PoolLayer) -> LayerPerformance:
+        elements = layer.output_shape.size * layer.kernel_size * layer.kernel_size
+        digital_energy = elements * self.chip.digital.pooling_energy_per_element
+        bits_moved = layer.input_shape.size * self.chip.buffer.output_bits
+        buffer_energy = bits_moved * (
+            self.chip.buffer.read_energy_per_bit
+        ) + layer.output_shape.size * self.chip.buffer.output_bits * (
+            self.chip.buffer.write_energy_per_bit
+        )
+        latency = layer.output_shape.size * self.chip.digital.add_latency
+        return LayerPerformance(
+            layer_name=layer.name,
+            macs=0,
+            num_macros=0,
+            macro_energy=0.0,
+            buffer_energy=buffer_energy,
+            interconnect_energy=0.0,
+            digital_energy=digital_energy,
+            latency=latency,
+        )
+
+    # ----------------------------------------------------------------- totals
+
+    def evaluate(self, network: NetworkSpec) -> SystemPerformanceResult:
+        """Evaluate a full network and return the chip-level result."""
+        layer_results: List[LayerPerformance] = []
+        total_macros = 0
+        for layer in network.layers:
+            if isinstance(layer, PoolLayer):
+                layer_results.append(self._pool_layer_performance(layer))
+            else:
+                result = self._weight_layer_performance(layer)
+                total_macros += result.num_macros
+                layer_results.append(result)
+
+        total_latency = sum(result.latency for result in layer_results)
+        leakage_energy = (
+            total_macros * self.chip.standby_power_per_macro * total_latency
+        )
+        area_um2 = total_macros * (
+            self.circuit.macro_area_um2(self.weight_bits)
+            + self.chip.buffer_area_per_macro_um2
+            + self.chip.htree_area_per_macro_um2
+        )
+
+        return SystemPerformanceResult(
+            design=self.design,
+            network=network.name,
+            dataset=network.dataset,
+            input_bits=self.input_bits,
+            weight_bits=self.weight_bits,
+            layers=layer_results,
+            total_macros=total_macros,
+            leakage_energy=leakage_energy,
+            area_mm2=area_um2 / 1e6,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SystemPerformanceModel(design={self.design}, "
+            f"x={self.input_bits}b, w={self.weight_bits}b)"
+        )

@@ -1,0 +1,148 @@
+"""Training of the floating-point reference classifier.
+
+The quantised-inference accuracy study (Fig. 10) needs a trained network
+whose float accuracy serves as the baseline (92 % in the paper's VGG8 /
+CIFAR10 setup).  This module trains the :class:`~repro.system.nn.SmallCNN`
+on the synthetic dataset with plain SGD + momentum.  Training is
+deterministic given the seeds, takes a few seconds, and the result is cached
+per-process so every experiment reuses the same baseline model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..datasets.synthetic import SyntheticImageConfig, SyntheticImageDataset
+from .nn import SmallCNN, cross_entropy_loss
+
+__all__ = [
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_small_cnn",
+    "reference_model_and_dataset",
+]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the reference training run.
+
+    Attributes:
+        epochs: Training epochs.
+        batch_size: Mini-batch size.
+        learning_rate: SGD learning rate.
+        momentum: SGD momentum.
+        weight_decay: L2 regularisation coefficient.
+        activation_noise: Relative activation-noise level injected after
+            every MAC layer during training (noise-aware training, standard
+            practice for networks destined for analog IMC hardware).
+        seed: Seed for weight initialisation and batch shuffling.
+    """
+
+    epochs: int = 12
+    batch_size: int = 64
+    learning_rate: float = 0.08
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    activation_noise: float = 0.12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must lie in [0, 1)")
+
+
+@dataclass
+class TrainingHistory:
+    """Loss / accuracy trajectory of a training run.
+
+    Attributes:
+        train_loss: Mean training loss per epoch.
+        train_accuracy: Training accuracy per epoch.
+        test_accuracy: Test accuracy per epoch.
+    """
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        """Test accuracy after the last epoch."""
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+
+def train_small_cnn(
+    dataset: SyntheticImageDataset,
+    config: TrainingConfig | None = None,
+) -> Tuple[SmallCNN, TrainingHistory]:
+    """Train a :class:`SmallCNN` on the dataset with SGD + momentum.
+
+    Returns:
+        The trained model and its training history.
+    """
+    config = config or TrainingConfig()
+    rng = np.random.default_rng(config.seed)
+    model = SmallCNN(
+        input_shape=dataset.input_shape,
+        num_classes=dataset.num_classes,
+        seed=config.seed,
+    )
+    history = TrainingHistory()
+    velocities: Dict[int, np.ndarray] = {}
+
+    for _epoch in range(config.epochs):
+        losses = []
+        correct = 0
+        seen = 0
+        for images, labels in dataset.train_batches(config.batch_size, rng):
+            logits = model.forward(
+                images, noise_sigma=config.activation_noise, rng=rng
+            )
+            loss, grad = cross_entropy_loss(logits, labels)
+            model.backward(grad)
+            losses.append(loss)
+            correct += int(np.sum(np.argmax(logits, axis=-1) == labels))
+            seen += len(labels)
+            for index, (param, gradient) in enumerate(model.parameters()):
+                update = gradient + config.weight_decay * param
+                velocity = velocities.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(param)
+                velocity = config.momentum * velocity - config.learning_rate * update
+                velocities[index] = velocity
+                param += velocity
+        history.train_loss.append(float(np.mean(losses)))
+        history.train_accuracy.append(correct / max(seen, 1))
+        history.test_accuracy.append(
+            model.accuracy(dataset.test_images, dataset.test_labels)
+        )
+    return model, history
+
+
+@lru_cache(maxsize=4)
+def _cached_reference(seed: int, epochs: int) -> Tuple[SmallCNN, SyntheticImageDataset, float]:
+    dataset = SyntheticImageDataset(SyntheticImageConfig(seed=1234))
+    model, history = train_small_cnn(
+        dataset, TrainingConfig(seed=seed, epochs=epochs)
+    )
+    return model, dataset, history.final_test_accuracy
+
+
+def reference_model_and_dataset(
+    *, seed: int = 0, epochs: int = 12
+) -> Tuple[SmallCNN, SyntheticImageDataset, float]:
+    """The cached reference classifier, its dataset, and its float accuracy.
+
+    This is the substitute for the paper's pretrained VGG8 / CIFAR10 model
+    (92 % float baseline); every accuracy experiment starts from it.
+    """
+    return _cached_reference(seed, epochs)

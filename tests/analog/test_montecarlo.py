@@ -1,0 +1,56 @@
+"""Tests for the Monte-Carlo runner."""
+
+import numpy as np
+import pytest
+
+from repro.analog.montecarlo import MonteCarloResult, MonteCarloRunner
+
+
+class TestMonteCarloRunner:
+    def test_requires_positive_trials(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(0)
+
+    def test_reproducible_with_same_seed(self):
+        runner_a = MonteCarloRunner(20, seed=7)
+        runner_b = MonteCarloRunner(20, seed=7)
+        result_a = runner_a.run(lambda rng: rng.normal())
+        result_b = runner_b.run(lambda rng: rng.normal())
+        assert result_a.samples == result_b.samples
+
+    def test_different_seeds_differ(self):
+        a = MonteCarloRunner(10, seed=1).run(lambda rng: rng.normal())
+        b = MonteCarloRunner(10, seed=2).run(lambda rng: rng.normal())
+        assert a.samples != b.samples
+
+    def test_trials_are_independent(self):
+        result = MonteCarloRunner(50, seed=3).run(lambda rng: rng.normal())
+        assert np.std(result.samples) > 0
+
+    def test_collect_postprocessing(self):
+        result = MonteCarloRunner(5, seed=0).run(lambda rng: 2.0, collect=lambda x: x * 3)
+        assert result.samples == [6.0] * 5
+
+    def test_statistics(self):
+        result = MonteCarloRunner(500, seed=11).run(lambda rng: rng.normal(1.0, 0.1))
+        assert result.mean() == pytest.approx(1.0, abs=0.02)
+        assert result.std() == pytest.approx(0.1, rel=0.2)
+        assert result.coefficient_of_variation() == pytest.approx(0.1, rel=0.25)
+        assert result.num_trials == 500
+
+    def test_percentile(self):
+        result = MonteCarloRunner(200, seed=4).run(lambda rng: rng.uniform(0, 1))
+        assert 0.4 < result.percentile(50) < 0.6
+
+    def test_array_samples(self):
+        result = MonteCarloRunner(10, seed=5).run(lambda rng: rng.normal(size=3))
+        assert result.as_array().shape == (10, 3)
+        assert result.mean().shape == (3,)
+
+    def test_run_sweep_uses_paired_seeds(self):
+        runner = MonteCarloRunner(8, seed=9)
+        sweep = runner.run_sweep(lambda rng, value: rng.normal() + value, [0.0, 10.0])
+        base = np.array(sweep[0.0].samples)
+        shifted = np.array(sweep[10.0].samples)
+        # Same underlying random draws, shifted by the sweep value.
+        assert np.allclose(shifted - base, 10.0)

@@ -1,0 +1,95 @@
+"""Tests for the phase-based transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.analog.transient import (
+    CurrentIntegration,
+    ExponentialSettle,
+    Hold,
+    LinearRamp,
+    Phase,
+    TransientEngine,
+)
+
+
+class TestNodeUpdates:
+    def test_exponential_settle_reaches_target(self):
+        rule = ExponentialSettle(target=1.0, tau=1e-9)
+        values = rule.evolve(0.0, np.linspace(0, 10e-9, 50))
+        assert values[-1] == pytest.approx(1.0, abs=1e-3)
+        assert values[0] == pytest.approx(0.0)
+
+    def test_exponential_settle_invalid_tau(self):
+        with pytest.raises(ValueError):
+            ExponentialSettle(target=1.0, tau=0.0)
+
+    def test_linear_ramp(self):
+        rule = LinearRamp(target=2.0, duration=1e-9)
+        values = rule.evolve(0.0, np.linspace(0, 1e-9, 11))
+        assert values[0] == pytest.approx(0.0)
+        assert values[-1] == pytest.approx(2.0)
+        assert values[5] == pytest.approx(1.0)
+
+    def test_current_integration_discharge(self):
+        """2 uA discharging 50 fF for 0.5 ns drops the node by 20 mV."""
+        rule = CurrentIntegration(current=-2e-6, capacitance=50e-15)
+        values = rule.evolve(1.5, np.linspace(0, 0.5e-9, 20))
+        assert values[-1] == pytest.approx(1.48, abs=1e-4)
+
+    def test_current_integration_clamps(self):
+        rule = CurrentIntegration(current=-1e-3, capacitance=1e-15, v_min=0.0)
+        values = rule.evolve(1.0, np.linspace(0, 1e-9, 10))
+        assert values[-1] == 0.0
+
+    def test_hold(self):
+        values = Hold().evolve(0.7, np.linspace(0, 1, 5))
+        assert np.all(values == 0.7)
+
+
+class TestPhaseAndEngine:
+    def test_phase_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            Phase(name="bad", duration=0.0)
+
+    def test_engine_requires_phases(self):
+        engine = TransientEngine({"a": 0.0})
+        with pytest.raises(ValueError):
+            engine.run([])
+
+    def test_engine_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            TransientEngine({"a": 0.0}, samples_per_phase=1)
+
+    def test_values_carry_across_phases(self):
+        engine = TransientEngine({"node": 0.0}, samples_per_phase=16)
+        phases = [
+            Phase("charge", 1e-9, updates={"node": LinearRamp(target=1.0, duration=1e-9)}),
+            Phase("hold", 1e-9),
+        ]
+        bundle = engine.run(phases)
+        wave = bundle["node"]
+        assert wave.final_value() == pytest.approx(1.0)
+        assert wave.duration == pytest.approx(2e-9)
+
+    def test_overrides_apply_instantaneously(self):
+        engine = TransientEngine({"wl": 0.0})
+        bundle = engine.run([Phase("kick", 1e-9, overrides={"wl": 1.2})])
+        assert bundle["wl"].initial_value() == pytest.approx(1.2)
+
+    def test_unmentioned_nodes_hold(self):
+        engine = TransientEngine({"a": 0.5, "b": 0.1})
+        bundle = engine.run(
+            [Phase("p", 1e-9, updates={"a": LinearRamp(target=1.0, duration=1e-9)})]
+        )
+        assert np.all(bundle["b"].values == 0.1)
+
+    def test_units_propagate(self):
+        engine = TransientEngine({"i": 0.0}, units={"i": "A"})
+        bundle = engine.run([Phase("p", 1e-9)])
+        assert bundle["i"].unit == "A"
+
+    def test_time_base_monotonic(self):
+        engine = TransientEngine({"x": 0.0})
+        bundle = engine.run([Phase("a", 1e-9), Phase("b", 2e-9)])
+        assert np.all(np.diff(bundle["x"].times) >= 0)

@@ -1,0 +1,102 @@
+"""Tests for the waveform container."""
+
+import numpy as np
+import pytest
+
+from repro.analog.waveform import Waveform, WaveformBundle
+
+
+def make_ramp():
+    times = np.linspace(0, 1e-9, 11)
+    return Waveform(times, np.linspace(0.0, 1.0, 11), name="ramp", unit="V")
+
+
+class TestWaveform:
+    def test_basic_properties(self):
+        wave = make_ramp()
+        assert len(wave) == 11
+        assert wave.start_time == 0.0
+        assert wave.end_time == pytest.approx(1e-9)
+        assert wave.duration == pytest.approx(1e-9)
+        assert wave.initial_value() == 0.0
+        assert wave.final_value() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Waveform([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            Waveform([], [])
+        with pytest.raises(ValueError):
+            Waveform([1.0, 0.0], [0.0, 1.0])
+
+    def test_interpolation(self):
+        wave = make_ramp()
+        assert wave.value_at(0.5e-9) == pytest.approx(0.5)
+
+    def test_min_max_ptp(self):
+        wave = make_ramp()
+        assert wave.minimum() == 0.0
+        assert wave.maximum() == 1.0
+        assert wave.peak_to_peak() == 1.0
+
+    def test_algebra(self):
+        wave = make_ramp()
+        shifted = wave + 1.0
+        assert shifted.final_value() == pytest.approx(2.0)
+        doubled = wave * 2.0
+        assert doubled.final_value() == pytest.approx(2.0)
+        diff = shifted - wave
+        assert diff.final_value() == pytest.approx(1.0)
+
+    def test_algebra_requires_same_time_base(self):
+        other = Waveform([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            _ = make_ramp() + other
+
+    def test_settled_value(self):
+        times = np.linspace(0, 1, 100)
+        values = 1.0 - np.exp(-times * 20)
+        wave = Waveform(times, values)
+        assert wave.settled_value() == pytest.approx(1.0, abs=1e-3)
+
+    def test_settling_time(self):
+        times = np.linspace(0, 1, 1000)
+        values = 1.0 - np.exp(-times * 20)
+        wave = Waveform(times, values)
+        settle = wave.settling_time(tolerance=0.01)
+        assert settle is not None
+        assert 0.1 < settle < 0.5
+
+    def test_settling_time_never_settles(self):
+        wave = Waveform([0.0, 1.0, 2.0], [0.0, 5.0, 0.0])
+        assert wave.settling_time(tolerance=1e-6) is not None  # last sample equals final
+        ramp = Waveform(np.linspace(0, 1, 50), np.linspace(0, 1, 50))
+        assert ramp.settling_time(1e-9) is not None
+
+    def test_integral_and_average(self):
+        wave = make_ramp()
+        assert wave.average() == pytest.approx(0.5, rel=1e-6)
+
+    def test_map(self):
+        wave = make_ramp().map(lambda v: v * 3.0)
+        assert wave.final_value() == pytest.approx(3.0)
+
+
+class TestWaveformBundle:
+    def test_mapping_interface(self):
+        bundle = WaveformBundle({"a": make_ramp(), "b": make_ramp() * 2})
+        assert len(bundle) == 2
+        assert "a" in bundle
+        assert set(bundle.names()) == {"a", "b"}
+        assert bundle["b"].final_value() == pytest.approx(2.0)
+
+    def test_unit_filters(self):
+        volt = Waveform([0, 1], [0, 1], unit="V")
+        amp = Waveform([0, 1], [0, 1e-6], unit="A")
+        bundle = WaveformBundle({"v": volt, "i": amp})
+        assert list(bundle.voltages()) == ["v"]
+        assert list(bundle.currents()) == ["i"]
+
+    def test_final_values(self):
+        bundle = WaveformBundle({"a": make_ramp()})
+        assert bundle.final_values() == {"a": pytest.approx(1.0)}

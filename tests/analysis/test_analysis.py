@@ -1,0 +1,110 @@
+"""Tests for the analysis helpers: linearity, histograms, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histograms import (
+    ascii_histogram,
+    level_separation,
+    summarize_samples,
+)
+from repro.analysis.linearity import linear_fit, linearity_report
+from repro.analysis.reporting import (
+    ComparisonRow,
+    render_bar_chart,
+    render_comparison,
+    render_table,
+)
+
+
+class TestLinearity:
+    def test_perfect_line(self):
+        x = np.arange(10)
+        y = 2.0 * x + 1.0
+        report = linearity_report(x, y)
+        assert report.gain == pytest.approx(2.0)
+        assert report.offset == pytest.approx(1.0)
+        assert report.r_squared == pytest.approx(1.0)
+        assert report.max_inl == pytest.approx(0.0, abs=1e-9)
+
+    def test_noisy_line(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(100)
+        y = 0.5 * x + rng.normal(0, 0.1, size=100)
+        report = linearity_report(x, y, lsb=0.5)
+        assert report.r_squared > 0.99
+        assert report.max_inl_lsb < 2.0
+        assert report.rms_error < 0.2
+
+    def test_linear_fit_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0])
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 2.0], [1.0])
+
+    def test_lsb_zero_disables_inl_lsb(self):
+        report = linearity_report([0, 1, 2], [0, 1, 2])
+        assert report.max_inl_lsb == 0.0
+
+
+class TestHistograms:
+    def test_summary(self):
+        summary = summarize_samples("I0", [1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.count == 3
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples("x", [])
+
+    def test_ascii_histogram_renders(self):
+        rng = np.random.default_rng(1)
+        text = ascii_histogram(rng.normal(size=500), bins=10, unit="A")
+        assert len(text.splitlines()) == 10
+        assert "#" in text
+
+    def test_level_separation_orders_by_mean(self):
+        rng = np.random.default_rng(2)
+        populations = {
+            "a": rng.normal(1.0, 0.01, 200),
+            "b": rng.normal(2.0, 0.01, 200),
+            "c": rng.normal(4.0, 0.01, 200),
+        }
+        separation = level_separation(populations)
+        assert ("a", "b") in separation
+        assert ("b", "c") in separation
+        assert all(value > 10 for value in separation.values())
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table(("a", "b"), [(1, 2), (3, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_validates_row_width(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_render_bar_chart(self):
+        text = render_bar_chart({"CurFe": 12.18, "ChgFe": 14.47}, unit="TOPS/W")
+        assert "CurFe" in text and "ChgFe" in text
+        assert text.count("#") > 0
+
+    def test_render_bar_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({})
+
+    def test_comparison_rows(self):
+        rows = [
+            ComparisonRow("efficiency", paper=12.18, measured=12.17, unit="TOPS/W"),
+            ComparisonRow("unknown", paper=None, measured=1.0),
+        ]
+        assert rows[0].ratio == pytest.approx(1.0, abs=0.01)
+        assert rows[1].ratio is None
+        text = render_comparison(rows, title="Table")
+        assert "measured/paper" in text
+        assert "n/a" in text

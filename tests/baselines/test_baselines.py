@@ -1,0 +1,122 @@
+"""Tests for the published-design records and the shift-add baselines."""
+
+import pytest
+
+from repro.baselines.analog_shift_add import AnalogShiftAddParameters, AnalogShiftAddUnit
+from repro.baselines.designs import (
+    PAPER_CHGFE,
+    PAPER_CURFE,
+    PUBLISHED_DESIGNS,
+    best_reram_baseline,
+    best_sram_baseline,
+    efficiency_ratios,
+)
+from repro.baselines.digital_shift_add import DigitalShiftAddParameters, DigitalShiftAddUnit
+
+
+class TestDesignRecords:
+    def test_all_six_baselines_present(self):
+        assert set(PUBLISHED_DESIGNS) == {"[8]", "[9]", "[10]", "[14]", "[15]", "[16]"}
+
+    def test_best_sram_is_su_isscc21(self):
+        assert best_sram_baseline().key == "[10]"
+        assert best_sram_baseline().circuit_tops_per_watt_scaled == pytest.approx(9.26)
+
+    def test_best_reram_is_hung_jssc(self):
+        assert best_reram_baseline().key == "[16]"
+        assert best_reram_baseline().circuit_tops_per_watt_scaled == pytest.approx(6.53)
+
+    def test_paper_headline_ratios(self):
+        """Table 1: ChgFe is 1.56x over the best SRAM and 2.22x over the best ReRAM;
+        system level is 1.37x over [9]."""
+        ratios = efficiency_ratios(
+            PAPER_CHGFE.circuit_tops_per_watt_scaled,
+            PAPER_CHGFE.system_tops_per_watt,
+        )
+        assert ratios["vs_best_sram"] == pytest.approx(1.56, abs=0.01)
+        assert ratios["vs_best_reram"] == pytest.approx(2.22, abs=0.01)
+        assert ratios["system_vs_[9]"] == pytest.approx(1.37, abs=0.01)
+
+    def test_proposed_designs_use_inherent_shift_add(self):
+        assert PAPER_CURFE.shift_add == "inherent"
+        assert PAPER_CHGFE.shift_add == "inherent"
+        assert all(d.shift_add in ("digital", "analog") for d in PUBLISHED_DESIGNS.values())
+
+    def test_native_node_unscaling(self):
+        record = PUBLISHED_DESIGNS["[10]"]
+        native = record.circuit_tops_per_watt_at_native_node()
+        # 28 nm design: native efficiency is higher than the 40 nm-scaled value.
+        assert native > record.circuit_tops_per_watt_scaled
+
+    def test_ratios_without_system_value(self):
+        ratios = efficiency_ratios(12.0)
+        assert "system_vs_[9]" not in ratios
+
+
+class TestDigitalShiftAdd:
+    def test_combine_signed(self):
+        unit = DigitalShiftAddUnit()
+        # Columns LSB-first: value = 1 + 2*2 + 4*3 - 8*1 = 9 for 4 columns.
+        assert unit.combine([1, 2, 3, 1][:4], signed_msb=True) == pytest.approx(
+            1 + 2 * 2 + 4 * 3 - 8 * 1
+        )
+
+    def test_combine_unsigned(self):
+        unit = DigitalShiftAddUnit()
+        assert unit.combine([1, 1, 1, 1], signed_msb=False) == 15
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DigitalShiftAddUnit().combine([])
+
+    def test_conversions_scale_with_weight_bits(self):
+        unit = DigitalShiftAddUnit(DigitalShiftAddParameters(weight_bits_per_column_group=8))
+        assert unit.conversions_per_weight() == 8
+
+    def test_latency_exceeds_single_conversion(self):
+        """Time multiplexing: n conversions per weight (the throughput penalty)."""
+        unit = DigitalShiftAddUnit()
+        single = unit.latency_per_weight() / unit.conversions_per_weight()
+        assert unit.latency_per_weight() == pytest.approx(8 * single)
+
+    def test_energy_positive(self):
+        assert DigitalShiftAddUnit().energy_per_weight() > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DigitalShiftAddParameters(weight_bits_per_column_group=0)
+
+
+class TestAnalogShiftAdd:
+    def test_combine_voltages_weighted_average(self):
+        unit = AnalogShiftAddUnit()
+        combined = unit.combine_voltages([0.0, 0.0, 0.0, 1.0])
+        assert combined == pytest.approx(8.0 / 15.0)
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnalogShiftAddUnit().combine_voltages([])
+
+    def test_capacitor_count_and_ratio(self):
+        unit = AnalogShiftAddUnit(AnalogShiftAddParameters(weight_bits=4))
+        assert unit.total_unit_capacitors() == 15
+        assert unit.capacitor_ratio() == 8
+
+    def test_scalability_problem(self):
+        """The MSB/LSB capacitor ratio doubles per weight bit — the scaling issue
+        the paper raises about [7]."""
+        four = AnalogShiftAddUnit(AnalogShiftAddParameters(weight_bits=4))
+        eight = AnalogShiftAddUnit(AnalogShiftAddParameters(weight_bits=8))
+        assert eight.capacitor_ratio() == 16 * four.capacitor_ratio()
+        assert eight.area_overhead_um2() > 10 * four.area_overhead_um2()
+
+    def test_single_conversion_per_weight(self):
+        unit = AnalogShiftAddUnit()
+        assert unit.latency_per_weight() < DigitalShiftAddUnit().latency_per_weight()
+
+    def test_energy_positive(self):
+        assert AnalogShiftAddUnit().energy_per_weight() > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AnalogShiftAddParameters(unit_capacitance=0.0)

@@ -1,0 +1,91 @@
+"""Tests for the CurFe 1nFeFET1R bit-cell."""
+
+import numpy as np
+import pytest
+
+from repro.cells.curfe_cell import CurFeCell, CurFeCellParameters
+from repro.devices.variation import DEFAULT_VARIATION
+
+
+class TestCurFeCellParameters:
+    def test_resistance_ladder(self):
+        params = CurFeCellParameters()
+        assert params.resistance_for_significance(0) == pytest.approx(5e6)
+        assert params.resistance_for_significance(3) == pytest.approx(0.625e6)
+
+    def test_invalid_significance(self):
+        with pytest.raises(ValueError):
+            CurFeCellParameters().resistance_for_significance(4)
+
+    def test_nominal_unit_current(self):
+        assert CurFeCellParameters().nominal_unit_current() == pytest.approx(100e-9)
+
+    def test_read_voltage_must_separate_states(self):
+        with pytest.raises(ValueError):
+            CurFeCellParameters(read_voltage=0.2)
+        with pytest.raises(ValueError):
+            CurFeCellParameters(read_voltage=2.5)
+
+
+class TestCurFeCell:
+    def test_binary_weighted_on_currents(self):
+        """Fig. 2(f): 100 nA, 200 nA, 400 nA, 800 nA within a few percent."""
+        for significance in range(4):
+            cell = CurFeCell(significance, stored_bit=1)
+            expected = 100e-9 * 2**significance
+            assert cell.bitline_current(1) == pytest.approx(expected, rel=0.05)
+
+    def test_sign_cell_current_is_negative(self):
+        cell = CurFeCell(3, is_sign_cell=True, stored_bit=1)
+        current = cell.bitline_current(1)
+        assert current < 0
+        assert abs(current) == pytest.approx(800e-9, rel=0.05)
+
+    def test_stored_zero_blocks_current(self):
+        cell = CurFeCell(3, stored_bit=0)
+        assert abs(cell.bitline_current(1)) < 1e-9
+
+    def test_unselected_cell_leaks_only(self):
+        cell = CurFeCell(3, stored_bit=1)
+        assert abs(cell.bitline_current(0)) < 1e-9
+
+    def test_program_validation(self):
+        cell = CurFeCell(0)
+        with pytest.raises(ValueError):
+            cell.program(2)
+        with pytest.raises(ValueError):
+            cell.bitline_current(3)
+
+    def test_invalid_significance(self):
+        with pytest.raises(ValueError):
+            CurFeCell(5)
+
+    def test_on_current_restores_state(self):
+        cell = CurFeCell(1, stored_bit=0)
+        _ = cell.on_current()
+        assert cell.stored_bit == 0
+
+    def test_nominal_current(self):
+        assert CurFeCell(2).nominal_current() == pytest.approx(400e-9)
+
+    def test_resistor_limits_variation(self, rng):
+        """The drain resistor suppresses the FeFET Vth spread (Fig. 7(a))."""
+        currents = [
+            CurFeCell.sample(
+                0, stored_bit=1, variation=DEFAULT_VARIATION, rng=rng
+            ).on_current()
+            for _ in range(60)
+        ]
+        spread = np.std(currents) / np.mean(currents)
+        assert spread < 0.05
+
+    def test_sample_without_rng_is_nominal(self):
+        cell = CurFeCell.sample(0, stored_bit=1)
+        assert cell.fefet.vth_offset == 0.0
+
+    def test_on_off_current_separation(self):
+        cell = CurFeCell(0, stored_bit=1)
+        on = cell.bitline_current(1)
+        cell.program(0)
+        off = cell.bitline_current(1)
+        assert on > 1000 * abs(off)

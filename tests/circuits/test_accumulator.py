@@ -1,0 +1,64 @@
+"""Tests for the digital accumulation module."""
+
+import pytest
+
+from repro.circuits.accumulator import AccumulationModule, AccumulatorParameters
+
+
+class TestCombineNibbles:
+    def test_eight_bit_combination(self):
+        assert AccumulationModule.combine_weight_nibbles(-1, 15, 8) == -1
+        assert AccumulationModule.combine_weight_nibbles(3, 5, 8) == 53
+
+    def test_four_bit_uses_high_only(self):
+        assert AccumulationModule.combine_weight_nibbles(-5, None, 4) == -5
+
+    def test_eight_bit_requires_low(self):
+        with pytest.raises(ValueError):
+            AccumulationModule.combine_weight_nibbles(1, None, 8)
+
+    def test_invalid_weight_bits(self):
+        with pytest.raises(ValueError):
+            AccumulationModule.combine_weight_nibbles(1, 1, 6)
+
+
+class TestAccumulation:
+    def test_bit_serial_shift_add(self):
+        module = AccumulationModule()
+        # MACs per input bit plane (LSB first): value = 3*1 + 1*2 + 2*4 = 13
+        total = module.accumulate_bit_serial([3, 1, 2])
+        assert total == 13
+        assert module.cycles == 3
+
+    def test_accumulate_single_bit(self):
+        module = AccumulationModule()
+        module.accumulate_input_bit(5, 3)
+        assert module.total == 40
+
+    def test_negative_bit_position_rejected(self):
+        with pytest.raises(ValueError):
+            AccumulationModule().accumulate_input_bit(1, -1)
+
+    def test_reset(self):
+        module = AccumulationModule()
+        module.accumulate_input_bit(5, 0)
+        module.reset()
+        assert module.total == 0
+        assert module.cycles == 0
+
+    def test_energy_and_latency_scale_with_cycles(self):
+        module = AccumulationModule()
+        assert module.energy(10) == pytest.approx(10 * module.energy_per_accumulate())
+        assert module.latency(4) == pytest.approx(4 * module.params.cycle_time)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            AccumulationModule().energy(-1)
+        with pytest.raises(ValueError):
+            AccumulationModule().latency(-1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AccumulatorParameters(accumulator_width_bits=4)
+        with pytest.raises(ValueError):
+            AccumulatorParameters(cycle_time=0.0)

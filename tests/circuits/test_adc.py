@@ -1,0 +1,123 @@
+"""Tests for the SAR ADC and the MAC quantiser."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adc import ADCMode, ADCParameters, MACQuantizer, SARADC
+
+
+class TestADCParameters:
+    def test_defaults(self):
+        params = ADCParameters()
+        assert params.resolution_bits == 5
+        assert params.num_levels == 32
+        assert params.mode in ADCMode.ALL
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            ADCParameters(v_min=1.0, v_max=0.5)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ADCParameters(mode="weird")
+
+    def test_code_ranges(self):
+        n2cm = ADCParameters(resolution_bits=5, mode=ADCMode.NON_TWOS_COMPLEMENT)
+        assert (n2cm.code_min, n2cm.code_max) == (0, 31)
+        twos = ADCParameters(resolution_bits=5, mode=ADCMode.TWOS_COMPLEMENT)
+        assert (twos.code_min, twos.code_max) == (-16, 15)
+
+    def test_lsb_voltage(self):
+        params = ADCParameters(resolution_bits=3, v_min=0.0, v_max=0.7)
+        assert params.lsb_voltage == pytest.approx(0.1)
+
+
+class TestSARADC:
+    def test_endpoints_n2cm(self):
+        adc = SARADC(ADCParameters(v_min=0.0, v_max=1.0, mode=ADCMode.NON_TWOS_COMPLEMENT))
+        assert adc.convert(0.0) == 0
+        assert adc.convert(1.0) == 31
+        assert adc.convert(-0.5) == 0
+        assert adc.convert(2.0) == 31
+
+    def test_endpoints_2cm(self):
+        adc = SARADC(ADCParameters(v_min=0.0, v_max=1.0, mode=ADCMode.TWOS_COMPLEMENT))
+        assert adc.convert(0.0) == -16
+        assert adc.convert(1.0) == 15
+
+    def test_monotonic_transfer(self):
+        adc = SARADC()
+        voltages = np.linspace(0.05, 0.95, 200)
+        codes = adc.transfer_curve(voltages)
+        assert np.all(np.diff(codes) >= 0)
+
+    def test_code_to_voltage_roundtrip(self):
+        adc = SARADC()
+        for code in (0, 7, 31):
+            voltage = adc.code_to_voltage(code)
+            assert adc.convert(voltage) == code
+
+    def test_code_to_voltage_out_of_range(self):
+        with pytest.raises(ValueError):
+            SARADC().code_to_voltage(99)
+
+    def test_offset_shifts_threshold(self):
+        params = ADCParameters(v_min=0.0, v_max=1.0)
+        clean = SARADC(params)
+        offset = clean.with_offset(0.05)
+        assert offset.convert(0.5) >= clean.convert(0.5)
+
+    def test_conversion_energy_grows_with_resolution(self):
+        low = SARADC(ADCParameters(resolution_bits=3))
+        high = SARADC(ADCParameters(resolution_bits=7))
+        assert high.conversion_energy() > low.conversion_energy()
+
+    def test_conversion_time(self):
+        adc = SARADC(ADCParameters(resolution_bits=5, conversion_time_per_bit=0.5e-9))
+        assert adc.conversion_time() == pytest.approx(3e-9)
+
+    def test_input_noise_requires_rng(self):
+        params = ADCParameters(input_noise_sigma=0.01)
+        rng = np.random.default_rng(0)
+        noisy = SARADC(params, rng=rng)
+        codes = {noisy.convert(0.5) for _ in range(50)}
+        assert len(codes) >= 2
+
+
+class TestMACQuantizer:
+    def make(self, mode=ADCMode.NON_TWOS_COMPLEMENT, mac_min=0, mac_max=480):
+        adc = SARADC(ADCParameters(v_min=0.5, v_max=0.9, mode=mode))
+        return MACQuantizer(adc, mac_at_v_min=mac_min, mac_at_v_max=mac_max)
+
+    def test_requires_distinct_macs(self):
+        adc = SARADC()
+        with pytest.raises(ValueError):
+            MACQuantizer(adc, mac_at_v_min=1, mac_at_v_max=1)
+
+    def test_voltage_for_mac_linear(self):
+        quant = self.make()
+        assert quant.voltage_for_mac(0) == pytest.approx(0.5)
+        assert quant.voltage_for_mac(480) == pytest.approx(0.9)
+        assert quant.voltage_for_mac(240) == pytest.approx(0.7)
+
+    def test_quantize_mac_error_bounded_by_lsb(self):
+        quant = self.make()
+        for mac in (0, 100, 333, 480):
+            estimate = quant.quantize_mac(mac)
+            assert abs(estimate - mac) <= quant.mac_per_lsb / 2 + 1e-9
+
+    def test_negative_slope_mapping(self):
+        """ChgFe: larger MAC -> lower voltage; quantiser still recovers the MAC."""
+        adc = SARADC(ADCParameters(v_min=1.2, v_max=1.5, mode=ADCMode.NON_TWOS_COMPLEMENT))
+        quant = MACQuantizer(adc, mac_at_v_min=480, mac_at_v_max=0)
+        estimate = quant.quantize_mac(100)
+        assert abs(estimate - 100) <= abs(quant.mac_per_lsb) / 2 + 1e-9
+
+    def test_2cm_mode(self):
+        quant = self.make(mode=ADCMode.TWOS_COMPLEMENT, mac_min=-256, mac_max=224)
+        estimate = quant.quantize_mac(-100)
+        assert abs(estimate - (-100)) <= abs(quant.mac_per_lsb) / 2 + 1e-9
+
+    def test_mac_per_lsb(self):
+        quant = self.make()
+        assert quant.mac_per_lsb == pytest.approx(480 / 31)

@@ -1,0 +1,65 @@
+"""Tests for the trans-impedance amplifier model."""
+
+import pytest
+
+from repro.circuits.tia import TIAParameters, TransimpedanceAmplifier
+
+
+class TestTIAParameters:
+    def test_defaults_valid(self):
+        params = TIAParameters()
+        assert 0 < params.common_mode_voltage < params.supply_voltage
+
+    def test_invalid_feedback(self):
+        with pytest.raises(ValueError):
+            TIAParameters(feedback_resistance=0.0)
+
+    def test_invalid_common_mode(self):
+        with pytest.raises(ValueError):
+            TIAParameters(common_mode_voltage=1.5)
+
+
+class TestTransimpedanceAmplifier:
+    def test_zero_current_gives_vcm(self):
+        tia = TransimpedanceAmplifier()
+        assert tia.output_voltage(0.0) == pytest.approx(0.5)
+
+    def test_transfer_eq3(self):
+        """V = Vcm + I * Rout (Eq. (3)/(4))."""
+        tia = TransimpedanceAmplifier(TIAParameters(feedback_resistance=16e3))
+        assert tia.output_voltage(1.5e-6) == pytest.approx(0.5 + 1.5e-6 * 16e3)
+        assert tia.output_voltage(-100e-9) == pytest.approx(0.5 - 100e-9 * 16e3)
+
+    def test_output_clamped_to_swing(self):
+        tia = TransimpedanceAmplifier(TIAParameters(feedback_resistance=1e6))
+        assert tia.output_voltage(10e-6) == pytest.approx(0.95)
+        assert tia.output_voltage(-10e-6) == pytest.approx(0.05)
+        assert tia.is_clipped(10e-6)
+        assert not tia.is_clipped(100e-9)
+
+    def test_full_scale_current(self):
+        tia = TransimpedanceAmplifier(TIAParameters(feedback_resistance=16e3))
+        assert tia.full_scale_current() == pytest.approx(0.45 / 16e3)
+
+    def test_offset_shifts_output(self):
+        tia = TransimpedanceAmplifier(offset_voltage=1e-3)
+        assert tia.output_voltage(0.0) == pytest.approx(0.501)
+        assert tia.with_offset(0.0).output_voltage(0.0) == pytest.approx(0.5)
+
+    def test_settling_time_decreases_with_bandwidth(self):
+        slow = TransimpedanceAmplifier(TIAParameters(gain_bandwidth=1e9))
+        fast = TransimpedanceAmplifier(TIAParameters(gain_bandwidth=4e9))
+        assert fast.settling_time() < slow.settling_time()
+
+    def test_settling_time_invalid_bits(self):
+        with pytest.raises(ValueError):
+            TransimpedanceAmplifier().settling_time(accuracy_bits=0)
+
+    def test_static_power_and_energy(self):
+        tia = TransimpedanceAmplifier(TIAParameters(static_current=10e-6, supply_voltage=1.0))
+        assert tia.static_power() == pytest.approx(10e-6)
+        assert tia.energy(1e-9) == pytest.approx(10e-15)
+
+    def test_energy_negative_duration(self):
+        with pytest.raises(ValueError):
+            TransimpedanceAmplifier().energy(-1.0)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cells.chgfe_cell import ChgFeCellParameters
+from repro.cells.curfe_cell import CurFeCellParameters
+from repro.devices.variation import DEFAULT_VARIATION, NO_VARIATION
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def curfe_params():
+    """Default CurFe cell parameters."""
+    return CurFeCellParameters()
+
+
+@pytest.fixture
+def chgfe_params():
+    """Default ChgFe cell parameters."""
+    return ChgFeCellParameters()
+
+
+@pytest.fixture
+def variation():
+    """The paper's nominal variation model (sigma = 40 mV)."""
+    return DEFAULT_VARIATION
+
+
+@pytest.fixture
+def no_variation():
+    """Variation disabled."""
+    return NO_VARIATION

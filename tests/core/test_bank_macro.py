@@ -1,0 +1,130 @@
+"""Tests for the bank and full-macro hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.bank import IMCBank
+from repro.core.chgfe import ChgFeBlock, ChgFeBlockConfig
+from repro.core.curfe import CurFeBlock, CurFeBlockConfig
+from repro.core.inputs import InputVector
+from repro.core.macro import ChgFeMacro, CurFeMacro, IMCMacroConfig
+from repro.core.weights import encode_weight_matrix
+
+
+def make_curfe_bank(rows=32, weight_bits=8, adc_bits=5):
+    high = CurFeBlock(CurFeBlockConfig(rows=rows, signed=True))
+    low = CurFeBlock(CurFeBlockConfig(rows=rows, signed=False))
+    return IMCBank(high, low, adc_bits=adc_bits, weight_bits=weight_bits)
+
+
+def make_chgfe_bank(rows=32, weight_bits=8, adc_bits=5):
+    high = ChgFeBlock(ChgFeBlockConfig(rows=rows, signed=True))
+    low = ChgFeBlock(ChgFeBlockConfig(rows=rows, signed=False))
+    return IMCBank(high, low, adc_bits=adc_bits, weight_bits=weight_bits)
+
+
+class TestIMCBank:
+    @pytest.mark.parametrize("factory", [make_curfe_bank, make_chgfe_bank])
+    def test_single_row_mac_exact(self, factory):
+        """With one active row the pMACV lands exactly on an ADC code region
+        boundary seldom enough that the quantised estimate stays within one LSB."""
+        bank = factory()
+        weights = np.array([[-77]] + [[0]] * 31)
+        plan = encode_weight_matrix(weights, 8)
+        bank.program(plan.high_bits[:, 0, :], plan.low_bits[:, 0, :])
+        inputs = InputVector(values=np.array([1] + [0] * 31), bits=1)
+        conversion = bank.convert_bit_plane(inputs.bit_plane(0))
+        assert conversion.ideal == -77
+        assert conversion.combined == pytest.approx(-77, abs=16 * 8)
+
+    @pytest.mark.parametrize("factory", [make_curfe_bank, make_chgfe_bank])
+    def test_bit_serial_matches_ideal_within_adc_error(self, factory):
+        rng = np.random.default_rng(3)
+        bank = factory()
+        weights = rng.integers(-20, 20, size=(32, 1))
+        plan = encode_weight_matrix(weights, 8)
+        bank.program(plan.high_bits[:, 0, :], plan.low_bits[:, 0, :])
+        inputs = InputVector(values=rng.integers(0, 16, size=32), bits=4)
+        ideal = bank.ideal_mac_bit_serial(inputs)
+        measured = bank.mac_bit_serial(inputs)
+        assert ideal == int(np.dot(inputs.values, weights[:, 0]))
+        # ADC quantisation bounds the error: 16*step_high + step_low per plane.
+        max_error_per_plane = 16 * (480 / 31) / 2 + (480 / 31) / 2
+        assert abs(measured - ideal) <= max_error_per_plane * (2**4)
+
+    def test_high_resolution_adc_is_nearly_exact(self):
+        rng = np.random.default_rng(5)
+        bank = make_curfe_bank(adc_bits=10)
+        weights = rng.integers(-128, 128, size=(32, 1))
+        plan = encode_weight_matrix(weights, 8)
+        bank.program(plan.high_bits[:, 0, :], plan.low_bits[:, 0, :])
+        inputs = InputVector(values=rng.integers(0, 2, size=32), bits=1)
+        ideal = bank.ideal_mac_bit_serial(inputs)
+        measured = bank.mac_bit_serial(inputs)
+        assert abs(measured - ideal) <= 10
+
+    def test_four_bit_weight_mode_ignores_low_block(self):
+        bank = make_curfe_bank(weight_bits=4)
+        weights = np.array([[-5]] + [[0]] * 31)
+        plan = encode_weight_matrix(weights, 4)
+        bank.program(plan.high_bits[:, 0, :])
+        inputs = InputVector(values=np.array([1] + [0] * 31), bits=1)
+        conversion = bank.convert_bit_plane(inputs.bit_plane(0))
+        assert conversion.mac_low is None
+        assert conversion.ideal == -5
+
+    def test_eight_bit_requires_low_block(self):
+        high = CurFeBlock(CurFeBlockConfig(rows=8, signed=True))
+        with pytest.raises(ValueError):
+            IMCBank(high, None, weight_bits=8)
+
+    def test_invalid_weight_bits(self):
+        high = CurFeBlock(CurFeBlockConfig(rows=8, signed=True))
+        with pytest.raises(ValueError):
+            IMCBank(high, None, weight_bits=6)
+
+    def test_row_mismatch_rejected(self):
+        bank = make_curfe_bank(rows=32)
+        with pytest.raises(ValueError):
+            bank.mac_bit_serial(InputVector(values=np.zeros(16, dtype=int), bits=1))
+
+
+class TestMacros:
+    @pytest.mark.parametrize("macro_cls", [CurFeMacro, ChgFeMacro])
+    def test_small_macro_matvec_close_to_ideal(self, macro_cls):
+        config = IMCMacroConfig(rows=32, banks=2, block_rows=16, adc_bits=8, weight_bits=8)
+        macro = macro_cls(config)
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-30, 30, size=(32, 2))
+        macro.program_weights(weights)
+        inputs = InputVector(values=rng.integers(0, 4, size=32), bits=2)
+        ideal = macro.ideal_matvec(inputs)
+        measured = macro.matvec(inputs)
+        assert np.array_equal(ideal, weights.T @ inputs.values)
+        assert np.all(np.abs(measured - ideal) <= 60)
+
+    def test_macro_requires_programming(self):
+        macro = CurFeMacro(IMCMacroConfig(rows=16, banks=1, block_rows=16))
+        with pytest.raises(RuntimeError):
+            macro.matvec(InputVector(values=np.zeros(16, dtype=int), bits=1))
+
+    def test_macro_weight_shape_validation(self):
+        macro = CurFeMacro(IMCMacroConfig(rows=16, banks=1, block_rows=16))
+        with pytest.raises(ValueError):
+            macro.program_weights(np.zeros((8, 1), dtype=int))
+
+    def test_macro_config_validation(self):
+        with pytest.raises(ValueError):
+            IMCMacroConfig(rows=100, block_rows=32)
+        with pytest.raises(ValueError):
+            IMCMacroConfig(weight_bits=5)
+
+    def test_macro_config_derived_quantities(self):
+        config = IMCMacroConfig()
+        assert config.num_block_rows == 4
+        assert config.columns == 128
+        assert config.weight_columns == 16
+
+    def test_bank_accessor(self):
+        macro = CurFeMacro(IMCMacroConfig(rows=16, banks=2, block_rows=16))
+        assert macro.bank(1, 0).rows == 16

@@ -1,0 +1,171 @@
+"""Tests for the detailed CurFe / ChgFe block models."""
+
+import numpy as np
+import pytest
+
+from repro.core.chgfe import ChgFeBlock, ChgFeBlockConfig
+from repro.core.curfe import CurFeBlock, CurFeBlockConfig
+from repro.core.weights import nibble_to_bits
+from repro.devices.variation import DEFAULT_VARIATION
+
+
+def program_single_row(block, nibble, signed, row=0):
+    bits = np.zeros((block.rows, 4), dtype=int)
+    bits[row] = nibble_to_bits(np.array(nibble), signed=signed)
+    block.program(bits)
+    return bits
+
+
+def one_hot_input(rows, row=0):
+    x = np.zeros(rows, dtype=int)
+    x[row] = 1
+    return x
+
+
+class TestCurFeBlock:
+    def test_paper_example_currents(self):
+        """Weight '11111111' with one active row: -100 nA (H4B) and +1.5 uA (L4B)."""
+        high = CurFeBlock(CurFeBlockConfig(rows=32, signed=True))
+        low = CurFeBlock(CurFeBlockConfig(rows=32, signed=False))
+        program_single_row(high, -1, signed=True)
+        program_single_row(low, 15, signed=False)
+        x = one_hot_input(32)
+        assert high.summed_current(x) == pytest.approx(-100e-9, rel=0.1)
+        assert low.summed_current(x) == pytest.approx(1.5e-6, rel=0.05)
+
+    def test_output_voltage_tracks_mac_sign(self):
+        high = CurFeBlock(CurFeBlockConfig(rows=32, signed=True))
+        program_single_row(high, -1, signed=True)
+        x = one_hot_input(32)
+        vcm = high.config.cell_params.common_mode_voltage
+        assert high.output_voltage(x) < vcm
+        program_single_row(high, 7, signed=True)
+        assert high.output_voltage(x) > vcm
+
+    def test_ideal_mac(self):
+        block = CurFeBlock(CurFeBlockConfig(rows=8, signed=True))
+        nibbles = np.array([-8, -1, 0, 3, 7, 2, -4, 5])
+        bits = nibble_to_bits(nibbles, signed=True)
+        block.program(bits)
+        x = np.array([1, 0, 1, 1, 1, 0, 1, 0])
+        assert block.ideal_mac(x) == int(np.dot(x, nibbles))
+
+    def test_output_voltage_linear_in_mac(self):
+        """The inherent shift-add: voltage is linear in the signed nibble MAC."""
+        block = CurFeBlock(CurFeBlockConfig(rows=32, signed=True))
+        x = np.ones(32, dtype=int)
+        voltages, macs = [], []
+        for value in (-8, -4, 0, 3, 7):
+            bits = nibble_to_bits(np.full(32, value), signed=True)
+            block.program(bits)
+            voltages.append(block.output_voltage(x))
+            macs.append(block.ideal_mac(x))
+        fit = np.polyfit(macs, voltages, 1)
+        residuals = np.polyval(fit, macs) - voltages
+        assert np.max(np.abs(residuals)) < 5e-3
+
+    def test_program_validation(self):
+        block = CurFeBlock(CurFeBlockConfig(rows=4))
+        with pytest.raises(ValueError):
+            block.program(np.zeros((3, 4), dtype=int))
+        with pytest.raises(ValueError):
+            block.program(np.full((4, 4), 2))
+        with pytest.raises(ValueError):
+            block.column_currents(np.zeros(3, dtype=int))
+
+    def test_variation_requires_rng(self):
+        with pytest.raises(ValueError):
+            CurFeBlock(CurFeBlockConfig(rows=4, variation=DEFAULT_VARIATION))
+
+    def test_variation_perturbs_output(self, rng):
+        config = CurFeBlockConfig(rows=16, signed=False, variation=DEFAULT_VARIATION)
+        block_a = CurFeBlock(config, rng=np.random.default_rng(1))
+        block_b = CurFeBlock(config, rng=np.random.default_rng(2))
+        bits = nibble_to_bits(np.full(16, 15), signed=False)
+        block_a.program(bits)
+        block_b.program(bits)
+        x = np.ones(16, dtype=int)
+        assert block_a.output_voltage(x) != block_b.output_voltage(x)
+
+    def test_mac_range_and_nominal_transfer(self):
+        block = CurFeBlock(CurFeBlockConfig(rows=32, signed=True))
+        mac_range = block.mac_range()
+        assert (mac_range.minimum, mac_range.maximum) == (-256, 224)
+        assert block.nominal_voltage_for_mac(0) == pytest.approx(0.5)
+
+    def test_stored_bits_roundtrip(self):
+        block = CurFeBlock(CurFeBlockConfig(rows=4, signed=False))
+        bits = nibble_to_bits(np.array([1, 2, 3, 4]), signed=False)
+        block.program(bits)
+        assert np.array_equal(block.stored_bits, bits)
+        assert np.array_equal(block.stored_nibbles(), np.array([1, 2, 3, 4]))
+
+
+class TestChgFeBlock:
+    def test_paper_example_delta_vs(self):
+        """Fig. 6: -2.5/-5/-10 mV and +20 mV on the H4B bitlines."""
+        high = ChgFeBlock(ChgFeBlockConfig(rows=32, signed=True))
+        program_single_row(high, -1, signed=True)
+        x = one_hot_input(32)
+        dvs = high.bitline_delta_vs(x)
+        assert dvs[0] == pytest.approx(-2.5e-3, rel=0.05)
+        assert dvs[1] == pytest.approx(-5e-3, rel=0.05)
+        assert dvs[2] == pytest.approx(-10e-3, rel=0.05)
+        assert dvs[3] == pytest.approx(+20e-3, rel=0.05)
+
+    def test_l4b_delta_vs_all_negative(self):
+        low = ChgFeBlock(ChgFeBlockConfig(rows=32, signed=False))
+        program_single_row(low, 15, signed=False)
+        dvs = low.bitline_delta_vs(one_hot_input(32))
+        assert np.all(dvs < 0)
+        assert dvs[3] == pytest.approx(-20e-3, rel=0.05)
+
+    def test_shared_voltage_is_average(self):
+        """Charge sharing with equal capacitors averages the four bitlines."""
+        low = ChgFeBlock(ChgFeBlockConfig(rows=32, signed=False))
+        program_single_row(low, 15, signed=False)
+        x = one_hot_input(32)
+        expected = np.mean(low.bitline_voltages(x))
+        assert low.shared_voltage(x) == pytest.approx(expected)
+
+    def test_shared_voltage_linear_in_mac(self):
+        block = ChgFeBlock(ChgFeBlockConfig(rows=32, signed=True))
+        x = np.ones(32, dtype=int)
+        voltages, macs = [], []
+        for value in (-8, -3, 0, 4, 7):
+            block.program(nibble_to_bits(np.full(32, value), signed=True))
+            voltages.append(block.shared_voltage(x))
+            macs.append(block.ideal_mac(x))
+        fit = np.polyfit(macs, voltages, 1)
+        residuals = np.polyval(fit, macs) - voltages
+        assert np.max(np.abs(residuals)) < 5e-3
+        assert fit[0] < 0  # larger MAC -> lower shared voltage
+
+    def test_bitline_voltages_clamped(self):
+        block = ChgFeBlock(ChgFeBlockConfig(rows=32, signed=False))
+        block.program(nibble_to_bits(np.full(32, 15), signed=False))
+        voltages = block.bitline_voltages(np.ones(32, dtype=int))
+        assert np.all(voltages >= 0.0)
+        assert np.all(voltages <= block.config.cell_params.sign_supply_voltage)
+
+    def test_ideal_mac(self):
+        block = ChgFeBlock(ChgFeBlockConfig(rows=8, signed=False))
+        nibbles = np.array([0, 1, 2, 3, 4, 5, 6, 15])
+        block.program(nibble_to_bits(nibbles, signed=False))
+        x = np.array([1, 1, 0, 0, 1, 0, 1, 1])
+        assert block.ideal_mac(x) == int(np.dot(x, nibbles))
+
+    def test_variation_requires_rng(self):
+        with pytest.raises(ValueError):
+            ChgFeBlock(ChgFeBlockConfig(rows=4, variation=DEFAULT_VARIATION))
+
+    def test_program_validation(self):
+        block = ChgFeBlock(ChgFeBlockConfig(rows=4))
+        with pytest.raises(ValueError):
+            block.program(np.zeros((5, 4), dtype=int))
+        with pytest.raises(ValueError):
+            block.bitline_delta_vs(np.zeros(5, dtype=int))
+
+    def test_mac_range(self):
+        block = ChgFeBlock(ChgFeBlockConfig(rows=32, signed=False))
+        assert block.mac_range().maximum == 480

@@ -1,0 +1,102 @@
+"""Tests for the exact integer dataflow references (decomposition equivalences)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.dataflow import (
+    bit_serial_matvec,
+    blocked_matvec,
+    ideal_matvec,
+    nibble_decomposed_matvec,
+)
+
+
+def random_case(seed=0, rows=48, cols=3, weight_bits=8, input_bits=4):
+    rng = np.random.default_rng(seed)
+    lo, hi = -(2 ** (weight_bits - 1)), 2 ** (weight_bits - 1) - 1
+    weights = rng.integers(lo, hi + 1, size=(rows, cols))
+    inputs = rng.integers(0, 2**input_bits, size=rows)
+    return weights, inputs
+
+
+class TestIdealMatvec:
+    def test_matches_numpy(self):
+        weights, inputs = random_case()
+        assert np.array_equal(ideal_matvec(weights, inputs, input_bits=4), weights.T @ inputs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_matvec(np.zeros((4, 2), dtype=int), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            ideal_matvec(np.full((4, 2), 300), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            ideal_matvec(np.zeros((4, 2), dtype=int), np.full(4, 999), input_bits=4)
+        with pytest.raises(ValueError):
+            ideal_matvec(np.zeros(4, dtype=int), np.zeros(4, dtype=int))
+
+
+class TestDecompositions:
+    def test_nibble_decomposition_equivalent(self):
+        weights, inputs = random_case(seed=1)
+        assert np.array_equal(
+            nibble_decomposed_matvec(weights, inputs, input_bits=4),
+            ideal_matvec(weights, inputs, input_bits=4),
+        )
+
+    def test_nibble_decomposition_4bit(self):
+        weights, inputs = random_case(seed=2, weight_bits=4)
+        assert np.array_equal(
+            nibble_decomposed_matvec(weights, inputs, weight_bits=4, input_bits=4),
+            ideal_matvec(weights, inputs, weight_bits=4, input_bits=4),
+        )
+
+    def test_bit_serial_equivalent(self):
+        weights, inputs = random_case(seed=3, input_bits=8)
+        assert np.array_equal(
+            bit_serial_matvec(weights, inputs, input_bits=8),
+            ideal_matvec(weights, inputs, input_bits=8),
+        )
+
+    def test_blocked_equivalent(self):
+        weights, inputs = random_case(seed=4, rows=100)
+        assert np.array_equal(
+            blocked_matvec(weights, inputs, input_bits=4, block_rows=32),
+            ideal_matvec(weights, inputs, input_bits=4),
+        )
+
+    def test_blocked_invalid_block_rows(self):
+        weights, inputs = random_case()
+        with pytest.raises(ValueError):
+            blocked_matvec(weights, inputs, input_bits=4, block_rows=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=70),
+                st.integers(min_value=1, max_value=3),
+            ),
+            elements=st.integers(min_value=-128, max_value=127),
+        ),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_all_decompositions_agree(self, weights, input_bits, seed):
+        """The three hardware decompositions are exactly lossless for any case."""
+        rng = np.random.default_rng(seed)
+        inputs = rng.integers(0, 2**input_bits, size=weights.shape[0])
+        reference = ideal_matvec(weights, inputs, input_bits=input_bits)
+        assert np.array_equal(
+            nibble_decomposed_matvec(weights, inputs, input_bits=input_bits), reference
+        )
+        assert np.array_equal(
+            bit_serial_matvec(weights, inputs, input_bits=input_bits), reference
+        )
+        assert np.array_equal(
+            blocked_matvec(weights, inputs, input_bits=input_bits, block_rows=32),
+            reference,
+        )

@@ -1,0 +1,163 @@
+"""Tests for the fast functional IMC model."""
+
+import numpy as np
+import pytest
+
+from repro.core.functional import (
+    CHGFE_DESIGN,
+    CURFE_DESIGN,
+    IDEAL_DESIGN,
+    FunctionalIMCModel,
+    FunctionalModelConfig,
+    estimate_relative_current_sigmas,
+)
+from repro.devices.variation import DEFAULT_VARIATION, NO_VARIATION
+
+
+def make_model(design=IDEAL_DESIGN, **kwargs):
+    defaults = dict(design=design, weight_bits=8, input_bits=4, adc_bits=None,
+                    variation=NO_VARIATION)
+    defaults.update(kwargs)
+    return FunctionalIMCModel(FunctionalModelConfig(**defaults), rng=np.random.default_rng(0))
+
+
+class TestConfig:
+    def test_invalid_design(self):
+        with pytest.raises(ValueError):
+            FunctionalModelConfig(design="foo")
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FunctionalModelConfig(weight_bits=5)
+        with pytest.raises(ValueError):
+            FunctionalModelConfig(input_bits=9)
+        with pytest.raises(ValueError):
+            FunctionalModelConfig(adc_bits=0)
+
+
+class TestSigmas:
+    def test_curfe_much_tighter_than_chgfe(self):
+        """Fig. 7: the series resistor suppresses the current spread."""
+        curfe = estimate_relative_current_sigmas(CURFE_DESIGN, DEFAULT_VARIATION)
+        chgfe = estimate_relative_current_sigmas(CHGFE_DESIGN, DEFAULT_VARIATION)
+        assert max(curfe.data) < 0.05
+        assert max(chgfe.data) > 2 * max(curfe.data)
+
+    def test_ideal_design_has_zero_sigma(self):
+        sigmas = estimate_relative_current_sigmas(IDEAL_DESIGN, DEFAULT_VARIATION)
+        assert sigmas.data == (0.0, 0.0, 0.0, 0.0)
+        assert sigmas.sign == 0.0
+
+    def test_disabled_variation_zero(self):
+        sigmas = estimate_relative_current_sigmas(CURFE_DESIGN, NO_VARIATION)
+        assert max(sigmas.data) == 0.0
+
+    def test_as_array_sign_substitution(self):
+        sigmas = estimate_relative_current_sigmas(CHGFE_DESIGN, DEFAULT_VARIATION)
+        signed = sigmas.as_array(signed=True)
+        unsigned = sigmas.as_array(signed=False)
+        assert signed[3] == sigmas.sign
+        assert unsigned[3] == sigmas.data[3]
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_relative_current_sigmas("foo")
+
+
+class TestFunctionalModel:
+    def test_requires_programming(self):
+        model = make_model()
+        with pytest.raises(RuntimeError):
+            model.matmul(np.zeros((1, 4), dtype=int))
+        with pytest.raises(RuntimeError):
+            model.ideal_matmul(np.zeros((1, 4), dtype=int))
+
+    def test_ideal_design_exact_without_adc(self):
+        model = make_model()
+        rng = np.random.default_rng(1)
+        weights = rng.integers(-128, 128, size=(64, 8))
+        activations = rng.integers(0, 16, size=(10, 64))
+        model.program(weights)
+        out = model.matmul(activations)
+        assert np.array_equal(out.astype(np.int64), activations @ weights)
+
+    def test_4bit_weights_exact(self):
+        model = make_model(weight_bits=4)
+        rng = np.random.default_rng(2)
+        weights = rng.integers(-8, 8, size=(40, 4))
+        activations = rng.integers(0, 16, size=(5, 40))
+        model.program(weights)
+        assert np.array_equal(model.matmul(activations).astype(np.int64), activations @ weights)
+
+    def test_activation_range_validation(self):
+        model = make_model()
+        model.program(np.zeros((8, 2), dtype=int))
+        with pytest.raises(ValueError):
+            model.matmul(np.full((1, 8), 99))
+        with pytest.raises(ValueError):
+            model.matmul(np.zeros((1, 5), dtype=int))
+
+    def test_adc_quantisation_bounded_error(self):
+        model = make_model(adc_bits=5)
+        rng = np.random.default_rng(3)
+        weights = rng.integers(-40, 40, size=(32, 4))
+        activations = rng.integers(0, 16, size=(20, 32))
+        model.program(weights)
+        out = model.matmul(activations)
+        ideal = model.ideal_matmul(activations)
+        step_error = (16 * (480 / 31) + 480 / 31) / 2
+        assert np.max(np.abs(out - ideal)) <= step_error * (2**4)
+
+    def test_adc_calibration_reduces_error(self):
+        rng = np.random.default_rng(4)
+        weights = rng.integers(-15, 16, size=(64, 8))
+        activations = rng.integers(0, 16, size=(50, 64))
+        uncal = make_model(adc_bits=5)
+        uncal.program(weights)
+        err_uncal = np.abs(uncal.matmul(activations) - uncal.ideal_matmul(activations)).mean()
+        cal = make_model(adc_bits=5)
+        cal.program(weights)
+        cal.calibrate_adc_ranges(activations[:16])
+        err_cal = np.abs(cal.matmul(activations) - cal.ideal_matmul(activations)).mean()
+        assert err_cal < err_uncal
+
+    def test_calibration_requires_programming(self):
+        model = make_model(adc_bits=5)
+        with pytest.raises(RuntimeError):
+            model.calibrate_adc_ranges(np.zeros((1, 4), dtype=int))
+
+    def test_calibration_levels_exposed(self):
+        model = make_model(adc_bits=5)
+        weights = np.random.default_rng(5).integers(-20, 20, size=(32, 2))
+        model.program(weights)
+        model.calibrate_adc_ranges(np.random.default_rng(6).integers(0, 16, size=(8, 32)))
+        levels = model.adc_levels
+        assert "high" in levels and "low" in levels
+        assert len(levels["high"]) <= 32
+
+    def test_variation_adds_noise_for_chgfe(self):
+        rng = np.random.default_rng(7)
+        weights = rng.integers(-60, 60, size=(64, 4))
+        activations = rng.integers(0, 16, size=(20, 64))
+        noisy = FunctionalIMCModel(
+            FunctionalModelConfig(design=CHGFE_DESIGN, adc_bits=None, variation=DEFAULT_VARIATION),
+            rng=np.random.default_rng(8),
+        )
+        noisy.program(weights)
+        out = noisy.matmul(activations)
+        ideal = noisy.ideal_matmul(activations)
+        assert not np.array_equal(out.astype(np.int64), ideal)
+        # But the error stays a small fraction of the signal.
+        assert np.abs(out - ideal).mean() < 0.2 * np.abs(ideal).mean() + 50
+
+    def test_matmul_weights_convenience(self):
+        model = make_model()
+        weights = np.ones((8, 2), dtype=int)
+        out = model.matmul_weights(np.ones((1, 8), dtype=int) * 3, weights)
+        assert np.array_equal(out.astype(int), np.full((1, 2), 24))
+
+    def test_one_dimensional_activation_promoted(self):
+        model = make_model()
+        model.program(np.ones((8, 2), dtype=int))
+        out = model.matmul(np.ones(8, dtype=int))
+        assert out.shape == (1, 2)

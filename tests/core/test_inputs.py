@@ -1,0 +1,59 @@
+"""Tests for the bit-serial input encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import SUPPORTED_INPUT_BITS, InputVector
+
+
+class TestInputVector:
+    def test_supported_precisions(self):
+        assert SUPPORTED_INPUT_BITS == (1, 2, 3, 4, 5, 6, 7, 8)
+
+    def test_valid_vector(self):
+        vector = InputVector(values=np.array([0, 3, 15]), bits=4)
+        assert vector.rows == 3
+        assert len(vector) == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            InputVector(values=np.array([16]), bits=4)
+
+    def test_unsupported_bits_rejected(self):
+        with pytest.raises(ValueError):
+            InputVector(values=np.array([0]), bits=9)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError):
+            InputVector(values=np.array([0.5]), bits=4)
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            InputVector(values=np.zeros((2, 2)), bits=4)
+
+    def test_bit_planes_lsb_first(self):
+        vector = InputVector(values=np.array([5, 2]), bits=3)
+        planes = vector.bit_planes()
+        assert planes.shape == (3, 2)
+        assert list(planes[0]) == [1, 0]
+        assert list(planes[1]) == [0, 1]
+        assert list(planes[2]) == [1, 0]
+
+    def test_bit_plane_single(self):
+        vector = InputVector(values=np.array([5]), bits=3)
+        assert vector.bit_plane(2)[0] == 1
+        with pytest.raises(ValueError):
+            vector.bit_plane(3)
+
+    def test_iter_bit_planes_reconstructs_value(self):
+        vector = InputVector(values=np.array([13, 7, 0]), bits=4)
+        reconstructed = np.zeros(3, dtype=int)
+        for bit, plane in vector.iter_bit_planes():
+            reconstructed += plane * (1 << bit)
+        assert np.array_equal(reconstructed, vector.values)
+
+    def test_random_factory(self, rng):
+        vector = InputVector.random(32, 4, rng)
+        assert vector.rows == 32
+        assert vector.values.max() <= 15
+        assert vector.values.min() >= 0

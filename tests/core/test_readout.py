@@ -1,0 +1,80 @@
+"""Tests for the nominal readout transfer functions."""
+
+import pytest
+
+from repro.core.readout import ChgFeReadout, CurFeReadout, MACRange, mac_range_for_group
+
+
+class TestMACRange:
+    def test_signed_group_range(self):
+        mac_range = mac_range_for_group(signed=True, rows=32)
+        assert (mac_range.minimum, mac_range.maximum) == (-256, 224)
+        assert mac_range.span == 480
+
+    def test_unsigned_group_range(self):
+        mac_range = mac_range_for_group(signed=False, rows=32)
+        assert (mac_range.minimum, mac_range.maximum) == (0, 480)
+
+    def test_contains(self):
+        mac_range = mac_range_for_group(signed=False, rows=32)
+        assert mac_range.contains(0) and mac_range.contains(480)
+        assert not mac_range.contains(481)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MACRange(5, 5)
+        with pytest.raises(ValueError):
+            mac_range_for_group(signed=True, rows=0)
+
+
+class TestCurFeReadout:
+    def test_transfer_is_linear_in_mac(self):
+        readout = CurFeReadout()
+        v0 = readout.voltage(0)
+        v1 = readout.voltage(100)
+        v2 = readout.voltage(200)
+        assert v0 == pytest.approx(0.5)
+        assert v2 - v1 == pytest.approx(v1 - v0)
+
+    def test_volts_per_mac(self):
+        readout = CurFeReadout(unit_current=100e-9, feedback_resistance=16e3)
+        assert readout.volts_per_mac == pytest.approx(1.6e-3)
+
+    def test_inverse(self):
+        readout = CurFeReadout()
+        assert readout.mac_from_voltage(readout.voltage(123)) == pytest.approx(123)
+
+    def test_voltage_range_ordering(self):
+        readout = CurFeReadout()
+        low, high = readout.voltage_range(mac_range_for_group(True, 32))
+        assert low < high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CurFeReadout(unit_current=0.0)
+
+
+class TestChgFeReadout:
+    def test_slope_negative(self):
+        readout = ChgFeReadout()
+        assert readout.voltage(100) < readout.voltage(0)
+        assert readout.voltage(0) == pytest.approx(1.5)
+
+    def test_volts_per_mac(self):
+        readout = ChgFeReadout(unit_delta_v=2.5e-3, sharing_columns=4)
+        assert readout.volts_per_mac == pytest.approx(0.625e-3)
+
+    def test_inverse(self):
+        readout = ChgFeReadout()
+        assert readout.mac_from_voltage(readout.voltage(321)) == pytest.approx(321)
+
+    def test_voltage_range_ordering(self):
+        readout = ChgFeReadout()
+        low, high = readout.voltage_range(mac_range_for_group(False, 32))
+        assert low < high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChgFeReadout(unit_delta_v=0.0)
+        with pytest.raises(ValueError):
+            ChgFeReadout(sharing_columns=0)

@@ -1,0 +1,73 @@
+"""Tests for the Fig. 3 / Fig. 6 transient example builders."""
+
+import pytest
+
+from repro.core.transients import chgfe_mac_transient, curfe_mac_transient
+
+
+class TestCurFeTransient:
+    def test_paper_example_values(self):
+        """1-bit input x weight '11111111': -100 nA on H4B, +1.5 uA on L4B."""
+        summary = curfe_mac_transient(weight=-1)
+        assert summary.high_summed_current == pytest.approx(-100e-9, rel=0.1)
+        assert summary.low_summed_current == pytest.approx(1.5e-6, rel=0.05)
+        assert summary.high_ideal_mac == -1
+        assert summary.low_ideal_mac == 15
+
+    def test_output_voltages_settle_to_final_values(self):
+        summary = curfe_mac_transient(weight=-1)
+        waves = summary.waveforms
+        assert waves["V_CurFe_H4"].final_value() == pytest.approx(
+            summary.high_output_voltage, rel=1e-3
+        )
+        assert waves["V_CurFe_L4"].final_value() == pytest.approx(
+            summary.low_output_voltage, rel=1e-3
+        )
+
+    def test_contains_all_cell_currents(self):
+        summary = curfe_mac_transient()
+        for index in range(8):
+            assert f"I_CurFe{index}" in summary.waveforms
+
+    def test_sign_current_direction(self):
+        summary = curfe_mac_transient(weight=-1)
+        assert summary.waveforms["I_CurFe7"].final_value() < 0
+        assert summary.waveforms["I_CurFe3"].final_value() > 0
+
+
+class TestChgFeTransient:
+    def test_paper_example_delta_vs(self):
+        """Fig. 6: ΔV = -2.5/-5/-10/-20 mV on L4B and +20 mV on the sign bitline."""
+        summary = chgfe_mac_transient(weight=-1)
+        assert summary.bitline_delta_vs is not None
+        assert summary.bitline_delta_vs[0] == pytest.approx(-2.5e-3, rel=0.05)
+        assert summary.bitline_delta_vs[3] == pytest.approx(-20e-3, rel=0.05)
+        assert summary.bitline_delta_vs[7] == pytest.approx(+20e-3, rel=0.05)
+
+    def test_three_phases_present(self):
+        summary = chgfe_mac_transient(weight=-1)
+        wave = summary.waveforms["V_BL0"]
+        # Pre-charge to 1.5 V, then discharge, then share.
+        assert wave.maximum() == pytest.approx(1.5, abs=0.01)
+        assert wave.duration == pytest.approx(2.5e-9, rel=0.01)
+
+    def test_shared_outputs_converge(self):
+        summary = chgfe_mac_transient(weight=-1)
+        waves = summary.waveforms
+        assert waves["V_ChgFe_H4"].final_value() == pytest.approx(
+            summary.high_output_voltage, abs=1e-3
+        )
+        assert waves["V_ChgFe_L4"].final_value() == pytest.approx(
+            summary.low_output_voltage, abs=1e-3
+        )
+
+    def test_bitlines_converge_to_group_average(self):
+        summary = chgfe_mac_transient(weight=-1)
+        waves = summary.waveforms
+        for sig in range(4):
+            assert waves[f"V_BL{sig}"].final_value() == pytest.approx(
+                summary.low_output_voltage, abs=1e-3
+            )
+            assert waves[f"V_BL{sig + 4}"].final_value() == pytest.approx(
+                summary.high_output_voltage, abs=1e-3
+            )

@@ -1,0 +1,107 @@
+"""Tests for weight encoding / mapping, including property-based round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.weights import (
+    bits_to_nibble,
+    decode_weight_plan,
+    encode_weight_matrix,
+    nibble_to_bits,
+)
+
+
+class TestNibbleBits:
+    def test_signed_nibble_bits(self):
+        bits = nibble_to_bits(np.array([-1, -8, 7, 0]), signed=True)
+        assert bits.shape == (4, 4)
+        assert list(bits[0]) == [1, 1, 1, 1]
+        assert list(bits[1]) == [0, 0, 0, 1]
+        assert list(bits[2]) == [1, 1, 1, 0]
+
+    def test_unsigned_nibble_bits(self):
+        bits = nibble_to_bits(np.array([15, 5]), signed=False)
+        assert list(bits[0]) == [1, 1, 1, 1]
+        assert list(bits[1]) == [1, 0, 1, 0]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            nibble_to_bits(np.array([8]), signed=True)
+        with pytest.raises(ValueError):
+            nibble_to_bits(np.array([16]), signed=False)
+
+    def test_bits_to_nibble_validation(self):
+        with pytest.raises(ValueError):
+            bits_to_nibble(np.array([0, 1, 1]), signed=True)
+        with pytest.raises(ValueError):
+            bits_to_nibble(np.array([0, 1, 1, 2]), signed=True)
+
+    @given(st.integers(min_value=-8, max_value=7))
+    def test_signed_roundtrip(self, value):
+        bits = nibble_to_bits(np.array(value), signed=True)
+        assert bits_to_nibble(bits, signed=True) == value
+
+    @given(st.integers(min_value=0, max_value=15))
+    def test_unsigned_roundtrip(self, value):
+        bits = nibble_to_bits(np.array(value), signed=False)
+        assert bits_to_nibble(bits, signed=False) == value
+
+
+class TestWeightPlan:
+    def test_eight_bit_plan_identity(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-128, 128, size=(64, 4))
+        plan = encode_weight_matrix(weights, 8)
+        assert plan.rows == 64 and plan.columns == 4
+        assert np.array_equal(16 * plan.high_nibbles + plan.low_nibbles, weights)
+        assert np.array_equal(decode_weight_plan(plan), weights)
+
+    def test_four_bit_plan(self):
+        weights = np.array([[-8, 7], [0, -1]])
+        plan = encode_weight_matrix(weights, 4)
+        assert np.array_equal(plan.high_nibbles, weights)
+        assert np.all(plan.low_nibbles == 0)
+        assert np.array_equal(decode_weight_plan(plan), weights)
+
+    def test_block_slicing(self):
+        weights = np.arange(-64, 64).reshape(128, 1)
+        plan = encode_weight_matrix(weights, 8)
+        block = plan.block_high_bits(1, 0, block_rows=32)
+        assert block.shape == (32, 4)
+        assert np.array_equal(block, plan.high_bits[32:64, 0, :])
+        low = plan.block_low_bits(3, 0, block_rows=32)
+        assert np.array_equal(low, plan.low_bits[96:128, 0, :])
+
+    def test_rejects_bad_shapes_and_ranges(self):
+        with pytest.raises(ValueError):
+            encode_weight_matrix(np.zeros(5), 8)
+        with pytest.raises(ValueError):
+            encode_weight_matrix(np.array([[1.5]]), 8)
+        with pytest.raises(ValueError):
+            encode_weight_matrix(np.array([[300]]), 8)
+        with pytest.raises(ValueError):
+            encode_weight_matrix(np.array([[1]]), 6)
+
+    def test_float_integers_accepted(self):
+        plan = encode_weight_matrix(np.array([[3.0, -4.0]]), 8)
+        assert np.array_equal(plan.weights, np.array([[3, -4]]))
+
+    @settings(max_examples=30)
+    @given(
+        arrays(
+            dtype=np.int64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=16),
+                st.integers(min_value=1, max_value=4),
+            ),
+            elements=st.integers(min_value=-128, max_value=127),
+        )
+    )
+    def test_roundtrip_property(self, weights):
+        plan = encode_weight_matrix(weights, 8)
+        assert np.array_equal(decode_weight_plan(plan), weights)
+        # Nibble reconstruction identity of Eq. (1).
+        assert np.array_equal(16 * plan.high_nibbles + plan.low_nibbles, weights)

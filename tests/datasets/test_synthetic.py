@@ -1,0 +1,69 @@
+"""Tests for the synthetic image dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticImageConfig, SyntheticImageDataset
+
+
+class TestSyntheticImageDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        config = SyntheticImageConfig(train_samples=200, test_samples=100, seed=7)
+        return SyntheticImageDataset(config)
+
+    def test_shapes(self, dataset):
+        assert dataset.train_images.shape == (200, 3, 16, 16)
+        assert dataset.test_images.shape == (100, 3, 16, 16)
+        assert dataset.train_labels.shape == (200,)
+        assert dataset.input_shape == (3, 16, 16)
+
+    def test_values_in_unit_range(self, dataset):
+        assert dataset.train_images.min() >= 0.0
+        assert dataset.train_images.max() <= 1.0
+
+    def test_labels_cover_classes(self, dataset):
+        assert set(np.unique(dataset.train_labels)) <= set(range(10))
+        assert len(np.unique(dataset.train_labels)) >= 8
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticImageConfig(train_samples=50, test_samples=20, seed=3)
+        a = SyntheticImageDataset(config)
+        b = SyntheticImageDataset(config)
+        assert np.array_equal(a.train_images, b.train_images)
+        assert np.array_equal(a.test_labels, b.test_labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageDataset(SyntheticImageConfig(train_samples=50, test_samples=20, seed=1))
+        b = SyntheticImageDataset(SyntheticImageConfig(train_samples=50, test_samples=20, seed=2))
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_classes_are_distinguishable(self, dataset):
+        """A trivial nearest-template classifier beats chance by a wide margin."""
+        templates = np.stack(
+            [
+                dataset.train_images[dataset.train_labels == c].mean(axis=0)
+                for c in range(dataset.num_classes)
+            ]
+        )
+        flat_test = dataset.test_images.reshape(len(dataset.test_labels), -1)
+        flat_templates = templates.reshape(dataset.num_classes, -1)
+        distances = ((flat_test[:, None, :] - flat_templates[None]) ** 2).sum(axis=2)
+        predictions = distances.argmin(axis=1)
+        accuracy = float(np.mean(predictions == dataset.test_labels))
+        assert accuracy > 0.5
+
+    def test_train_batches(self, dataset):
+        rng = np.random.default_rng(0)
+        batches = list(dataset.train_batches(64, rng))
+        assert sum(len(labels) for _, labels in batches) == 200
+        with pytest.raises(ValueError):
+            next(dataset.train_batches(0, rng))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(train_samples=2)

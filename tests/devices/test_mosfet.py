@@ -1,0 +1,59 @@
+"""Tests for the CMOS switch model."""
+
+import pytest
+
+from repro.devices.mosfet import MOSFETParameters, MOSSwitch, TECH_40NM_NMOS, TECH_40NM_PMOS
+
+
+class TestMOSFETParameters:
+    def test_defaults(self):
+        assert TECH_40NM_NMOS.polarity == "n"
+        assert TECH_40NM_PMOS.polarity == "p"
+
+    def test_invalid_polarity(self):
+        with pytest.raises(ValueError):
+            MOSFETParameters(polarity="z")
+
+    def test_off_resistance_must_exceed_on(self):
+        with pytest.raises(ValueError):
+            MOSFETParameters(on_resistance=1e6, off_resistance=1e3)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            MOSFETParameters(gate_capacitance=-1e-15)
+
+
+class TestMOSSwitch:
+    def test_off_by_default(self):
+        switch = MOSSwitch()
+        assert not switch.is_on
+        assert switch.resistance == TECH_40NM_NMOS.off_resistance
+
+    def test_turn_on(self):
+        switch = MOSSwitch()
+        switch.set_gate(True)
+        assert switch.is_on
+        assert switch.resistance == TECH_40NM_NMOS.on_resistance
+
+    def test_conductance_inverse_of_resistance(self):
+        switch = MOSSwitch()
+        switch.set_gate(True)
+        assert switch.conductance() == pytest.approx(1.0 / switch.resistance)
+
+    def test_switching_energy_scales_with_vdd_squared(self):
+        switch = MOSSwitch()
+        assert switch.switching_energy(2.0) == pytest.approx(4 * switch.switching_energy(1.0))
+
+    def test_switching_energy_negative_vdd_rejected(self):
+        with pytest.raises(ValueError):
+            MOSSwitch().switching_energy(-1.0)
+
+    def test_settling_time_increases_with_load(self):
+        switch = MOSSwitch()
+        assert switch.settling_time(100e-15) > switch.settling_time(10e-15)
+
+    def test_settling_time_invalid_args(self):
+        with pytest.raises(ValueError):
+            MOSSwitch().settling_time(-1e-15)
+        with pytest.raises(ValueError):
+            MOSSwitch().settling_time(1e-15, accuracy_bits=0)

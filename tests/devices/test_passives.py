@@ -1,0 +1,90 @@
+"""Tests for resistors, capacitors, and the binary-weighted resistor ladder."""
+
+import pytest
+
+from repro.devices.passives import (
+    CHGFE_BITLINE_CAPACITANCE,
+    CURFE_BASE_RESISTANCE,
+    Capacitor,
+    Resistor,
+    binary_weighted_resistors,
+)
+
+
+class TestResistor:
+    def test_ohms_law(self):
+        resistor = Resistor(1e6)
+        assert resistor.current(0.5) == pytest.approx(0.5e-6)
+        assert resistor.voltage(1e-6) == pytest.approx(1.0)
+
+    def test_conductance(self):
+        assert Resistor(2.0).conductance == pytest.approx(0.5)
+
+    def test_tolerance_applied(self):
+        resistor = Resistor(1e6, tolerance=0.1)
+        assert resistor.effective_resistance == pytest.approx(1.1e6)
+
+    def test_with_tolerance_copy(self):
+        base = Resistor(1e6)
+        shifted = base.with_tolerance(0.05)
+        assert shifted.effective_resistance == pytest.approx(1.05e6)
+        assert base.effective_resistance == pytest.approx(1e6)
+
+    def test_invalid_resistance(self):
+        with pytest.raises(ValueError):
+            Resistor(0.0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            Resistor(1e3, tolerance=-1.5)
+
+
+class TestCapacitor:
+    def test_charge(self):
+        assert Capacitor(50e-15).charge(1.5) == pytest.approx(75e-15)
+
+    def test_voltage_change_from_current(self):
+        cap = Capacitor(50e-15)
+        # 2 uA for 0.5 ns on 50 fF -> 20 mV, the paper's MSB delta-V.
+        assert cap.voltage_change(2e-6, 0.5e-9) == pytest.approx(20e-3)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Capacitor(1e-15).voltage_change(1e-6, -1.0)
+
+    def test_energy(self):
+        assert Capacitor(50e-15).energy(1.5) == pytest.approx(0.5 * 50e-15 * 2.25)
+
+    def test_tolerance(self):
+        cap = Capacitor(50e-15, tolerance=-0.02)
+        assert cap.effective_capacitance == pytest.approx(49e-15)
+
+    def test_invalid_capacitance(self):
+        with pytest.raises(ValueError):
+            Capacitor(-1e-15)
+
+
+class TestBinaryWeightedResistors:
+    def test_paper_values(self):
+        """5 MΩ, 5/2 MΩ, 5/4 MΩ, 5/8 MΩ as in Fig. 2(b)/(c)."""
+        ladder = binary_weighted_resistors()
+        values = [r.resistance for r in ladder]
+        assert values == pytest.approx([5e6, 2.5e6, 1.25e6, 0.625e6])
+
+    def test_binary_weighted_currents_at_half_volt(self):
+        ladder = binary_weighted_resistors()
+        currents = [r.current(0.5) for r in ladder]
+        assert currents == pytest.approx([100e-9, 200e-9, 400e-9, 800e-9])
+
+    def test_custom_bit_count(self):
+        assert len(binary_weighted_resistors(num_bits=6)) == 6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            binary_weighted_resistors(num_bits=0)
+        with pytest.raises(ValueError):
+            binary_weighted_resistors(base_resistance=-1.0)
+
+    def test_constants(self):
+        assert CURFE_BASE_RESISTANCE == pytest.approx(5e6)
+        assert CHGFE_BITLINE_CAPACITANCE == pytest.approx(50e-15)

@@ -1,0 +1,125 @@
+"""Tests for the Preisach ferroelectric hysteresis model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.preisach import PreisachFerroelectric, PreisachParameters
+
+
+class TestPreisachParameters:
+    def test_defaults_are_valid(self):
+        params = PreisachParameters()
+        assert params.saturation_polarization > 0
+        assert params.num_hysterons >= 2
+
+    def test_rejects_nonpositive_polarization(self):
+        with pytest.raises(ValueError):
+            PreisachParameters(saturation_polarization=0.0)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            PreisachParameters(sigma_coercive=0.0)
+
+    def test_rejects_too_few_hysterons(self):
+        with pytest.raises(ValueError):
+            PreisachParameters(num_hysterons=1)
+
+    def test_full_vth_window_positive(self):
+        assert PreisachParameters().full_vth_window > 0
+
+
+class TestPreisachFerroelectric:
+    def test_initial_state_fully_erased(self):
+        ferro = PreisachFerroelectric()
+        assert ferro.normalized_polarization == pytest.approx(-1.0)
+
+    def test_invalid_initial_state_rejected(self):
+        with pytest.raises(ValueError):
+            PreisachFerroelectric(initial_state=2.0)
+
+    def test_large_positive_pulse_saturates(self):
+        ferro = PreisachFerroelectric()
+        ferro.apply_pulse(10.0)
+        assert ferro.normalized_polarization == pytest.approx(1.0)
+
+    def test_large_negative_pulse_erases(self):
+        ferro = PreisachFerroelectric()
+        ferro.apply_pulse(10.0)
+        ferro.apply_pulse(-10.0)
+        assert ferro.normalized_polarization == pytest.approx(-1.0)
+
+    def test_polarization_monotonic_in_write_amplitude(self):
+        """Larger write pulses (after erase) switch more hysterons — the MLC basis."""
+        amplitudes = [2.0, 2.5, 3.0, 3.5, 4.0]
+        polarizations = []
+        for amplitude in amplitudes:
+            ferro = PreisachFerroelectric()
+            ferro.apply_pulse(amplitude)
+            polarizations.append(ferro.normalized_polarization)
+        assert all(b >= a for a, b in zip(polarizations, polarizations[1:]))
+        assert polarizations[-1] > polarizations[0]
+
+    def test_intermediate_pulse_gives_partial_polarization(self):
+        ferro = PreisachFerroelectric()
+        ferro.apply_pulse(2.9)
+        assert -1.0 < ferro.normalized_polarization < 1.0
+
+    def test_vth_shift_sign(self):
+        """Positive polarization lowers the threshold of an nFeFET."""
+        ferro = PreisachFerroelectric()
+        ferro.apply_pulse(10.0)
+        assert ferro.vth_shift < 0
+
+    def test_history_recorded(self):
+        ferro = PreisachFerroelectric()
+        ferro.apply_pulse_train([2.0, 3.0, -4.0])
+        assert ferro.history == (2.0, 3.0, -4.0)
+
+    def test_reset_clears_history(self):
+        ferro = PreisachFerroelectric()
+        ferro.apply_pulse(3.0)
+        ferro.reset()
+        assert ferro.history == ()
+        assert ferro.normalized_polarization == pytest.approx(-1.0)
+
+    def test_reset_invalid_state_rejected(self):
+        with pytest.raises(ValueError):
+            PreisachFerroelectric().reset(5.0)
+
+    def test_program_fraction_endpoints(self):
+        ferro = PreisachFerroelectric()
+        ferro.program_fraction(0.0)
+        assert ferro.normalized_polarization == pytest.approx(-1.0)
+        ferro.program_fraction(1.0)
+        assert ferro.normalized_polarization == pytest.approx(1.0)
+
+    def test_program_fraction_midpoint(self):
+        ferro = PreisachFerroelectric()
+        ferro.program_fraction(0.5)
+        assert ferro.normalized_polarization == pytest.approx(0.0, abs=0.05)
+
+    def test_program_fraction_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PreisachFerroelectric().program_fraction(1.5)
+
+    def test_minor_loop_is_pure_query(self):
+        ferro = PreisachFerroelectric()
+        ferro.apply_pulse(3.0)
+        before = ferro.normalized_polarization
+        trace = ferro.minor_loop([4.0, -4.0, 4.0])
+        assert len(trace) == 3
+        assert ferro.normalized_polarization == pytest.approx(before)
+
+    def test_hysteresis_memory_effect(self):
+        """A small pulse after a large one does not undo the large one."""
+        ferro = PreisachFerroelectric()
+        ferro.apply_pulse(4.0)
+        strong = ferro.normalized_polarization
+        ferro.apply_pulse(2.0)
+        assert ferro.normalized_polarization == pytest.approx(strong)
+
+    def test_coercive_voltages_positive(self):
+        ferro = PreisachFerroelectric()
+        assert np.all(ferro.coercive_voltages > 0)

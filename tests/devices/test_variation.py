@@ -1,0 +1,48 @@
+"""Tests for the device-variation model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.variation import DEFAULT_VARIATION, NO_VARIATION, VariationModel
+
+
+class TestVariationModel:
+    def test_paper_default_sigma(self):
+        assert DEFAULT_VARIATION.vth_sigma == pytest.approx(0.040)
+        assert DEFAULT_VARIATION.enabled
+
+    def test_no_variation_draws_zero(self, rng):
+        assert NO_VARIATION.draw_vth_offset(rng) == 0.0
+        assert np.all(NO_VARIATION.draw_vth_offset(rng, size=5) == 0.0)
+
+    def test_draw_statistics(self, rng):
+        offsets = DEFAULT_VARIATION.draw_vth_offset(rng, size=4000)
+        assert np.std(offsets) == pytest.approx(0.040, rel=0.1)
+        assert np.mean(offsets) == pytest.approx(0.0, abs=0.005)
+
+    def test_resistor_and_capacitor_draws(self, rng):
+        r = DEFAULT_VARIATION.draw_resistor_tolerance(rng, size=2000)
+        c = DEFAULT_VARIATION.draw_capacitor_tolerance(rng, size=2000)
+        assert np.std(r) == pytest.approx(DEFAULT_VARIATION.resistor_sigma, rel=0.15)
+        assert np.std(c) == pytest.approx(DEFAULT_VARIATION.capacitor_sigma, rel=0.15)
+
+    def test_disabled_copy(self):
+        disabled = DEFAULT_VARIATION.disabled()
+        assert not disabled.enabled
+        assert disabled.vth_sigma == DEFAULT_VARIATION.vth_sigma
+
+    def test_scaled_copy(self):
+        scaled = DEFAULT_VARIATION.scaled(2.0)
+        assert scaled.vth_sigma == pytest.approx(0.080)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_VARIATION.scaled(-1.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel(vth_sigma=-0.01)
+
+    def test_zero_sigma_draws_zero(self, rng):
+        model = VariationModel(vth_sigma=0.0)
+        assert model.draw_vth_offset(rng) == 0.0

@@ -1,0 +1,114 @@
+"""Tests for the FeFET erase / program-and-verify write scheme."""
+
+import pytest
+
+from repro.devices.fefet import FeFET, mlc_states_from_write_voltages
+from repro.devices.write import (
+    FeFETWriteScheme,
+    WritePulse,
+    WriteSchemeParameters,
+)
+
+
+class TestWritePulse:
+    def test_energy(self):
+        pulse = WritePulse(4.0)
+        assert pulse.energy(1e-15) == pytest.approx(16e-15)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            WritePulse(3.0, width=0.0)
+
+    def test_negative_gate_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            WritePulse(3.0).energy(-1e-15)
+
+
+class TestWriteSchemeParameters:
+    def test_defaults_valid(self):
+        params = WriteSchemeParameters()
+        assert params.erase_amplitude < 0
+        assert params.min_program_amplitude < params.max_program_amplitude
+
+    def test_invalid_erase(self):
+        with pytest.raises(ValueError):
+            WriteSchemeParameters(erase_amplitude=1.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            WriteSchemeParameters(min_program_amplitude=5.0, max_program_amplitude=4.0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            WriteSchemeParameters(vth_tolerance=0.0)
+
+
+class TestFeFETWriteScheme:
+    def test_achievable_range_ordered(self):
+        scheme = FeFETWriteScheme()
+        low, high = scheme.achievable_vth_range()
+        assert low < high
+
+    def test_program_to_target_converges(self):
+        scheme = FeFETWriteScheme()
+        low, high = scheme.achievable_vth_range()
+        target = 0.5 * (low + high)
+        result = scheme.program_to_vth(target)
+        assert result.converged
+        assert result.error <= scheme.params.vth_tolerance
+        assert result.num_program_pulses >= 1
+        assert result.energy > 0
+        assert result.latency > 0
+
+    def test_first_pulse_is_erase(self):
+        scheme = FeFETWriteScheme()
+        result = scheme.program_to_vth(0.9)
+        assert result.pulses[0].amplitude < 0
+
+    def test_multiple_targets_monotone_in_amplitude(self):
+        """Lower targets need larger program amplitudes (more polarization)."""
+        scheme = FeFETWriteScheme()
+        low, high = scheme.achievable_vth_range()
+        targets = [low + f * (high - low) for f in (0.2, 0.5, 0.8)]
+        amplitudes = []
+        for target in targets:
+            result = scheme.program_to_vth(target)
+            # Final recorded pulse is the winning amplitude.
+            amplitudes.append(result.pulses[-1].amplitude)
+        assert amplitudes[0] > amplitudes[1] > amplitudes[2]
+
+    def test_out_of_range_target_does_not_converge(self):
+        scheme = FeFETWriteScheme()
+        low, _ = scheme.achievable_vth_range()
+        result = scheme.program_to_vth(low - 1.0)
+        assert not result.converged
+        assert result.achieved_vth >= low - 1e-6
+
+    def test_program_device_updates_state(self):
+        states = mlc_states_from_write_voltages([2.0, 3.0, 4.0])
+        device = FeFET(sorted(states))
+        scheme = FeFETWriteScheme()
+        result = scheme.program_device(device, 1)
+        assert device.state == 1
+        assert result.target_vth == pytest.approx(sorted(states)[1])
+
+    def test_mlc_states_reachable_by_scheme(self):
+        """Every Fig. 1(c) MLC state is programmable by the write scheme."""
+        scheme = FeFETWriteScheme()
+        for state in mlc_states_from_write_voltages([2.0, 2.67, 3.33, 4.0]):
+            result = scheme.program_to_vth(state)
+            assert result.converged, state
+
+    def test_array_write_cost_scales_linearly(self):
+        scheme = FeFETWriteScheme()
+        energy_1k, latency_1k = scheme.array_write_cost(1000)
+        energy_2k, latency_2k = scheme.array_write_cost(2000)
+        assert energy_2k == pytest.approx(2 * energy_1k)
+        assert latency_2k == pytest.approx(2 * latency_1k)
+
+    def test_array_write_cost_validation(self):
+        scheme = FeFETWriteScheme()
+        with pytest.raises(ValueError):
+            scheme.array_write_cost(-1)
+        with pytest.raises(ValueError):
+            scheme.array_write_cost(10, average_pulses=0.0)

@@ -1,0 +1,122 @@
+"""Tests for the circuit-level energy/latency/area model (Fig. 9, Table 1 macro rows)."""
+
+import pytest
+
+from repro.energy.circuit_energy import (
+    PRECISION_SWEEP,
+    CircuitEnergyModel,
+    efficiency_sweep,
+)
+
+
+class TestEnergyBreakdown:
+    def test_breakdown_sums_to_total(self):
+        model = CircuitEnergyModel("curfe")
+        breakdown = model.bit_plane_breakdown(8)
+        as_dict = breakdown.as_dict()
+        parts = sum(v for k, v in as_dict.items() if k != "total")
+        assert parts == pytest.approx(as_dict["total"])
+
+    def test_all_components_positive(self):
+        for design in ("curfe", "chgfe"):
+            breakdown = CircuitEnergyModel(design).bit_plane_breakdown(8)
+            for name, value in breakdown.as_dict().items():
+                assert value > 0, name
+
+    def test_four_bit_weights_cheaper_than_eight(self):
+        model = CircuitEnergyModel("chgfe")
+        assert model.bit_plane_energy(4) < model.bit_plane_energy(8)
+
+    def test_invalid_weight_bits(self):
+        with pytest.raises(ValueError):
+            CircuitEnergyModel("curfe").bit_plane_energy(6)
+
+    def test_curfe_readout_is_static_tia_power(self):
+        curfe = CircuitEnergyModel("curfe").bit_plane_breakdown(8)
+        chgfe = CircuitEnergyModel("chgfe").bit_plane_breakdown(8)
+        # The CurFe readout (TIA) costs more than ChgFe's pre-charge — the
+        # root of the efficiency gap (Section 4.1).
+        assert curfe.readout > chgfe.readout
+
+
+class TestHeadlineNumbers:
+    def test_curfe_8b8b_matches_paper(self):
+        """Paper: 12.18 TOPS/W at (8b, 8b)."""
+        assert CircuitEnergyModel("curfe").tops_per_watt(8, 8) == pytest.approx(12.18, rel=0.05)
+
+    def test_chgfe_8b8b_matches_paper(self):
+        """Paper: 14.47 TOPS/W at (8b, 8b)."""
+        assert CircuitEnergyModel("chgfe").tops_per_watt(8, 8) == pytest.approx(14.47, rel=0.05)
+
+    def test_chgfe_more_efficient_than_curfe_at_every_corner(self):
+        curfe = CircuitEnergyModel("curfe")
+        chgfe = CircuitEnergyModel("chgfe")
+        for input_bits, weight_bits in PRECISION_SWEEP:
+            assert chgfe.tops_per_watt(input_bits, weight_bits) > curfe.tops_per_watt(
+                input_bits, weight_bits
+            )
+
+    def test_efficiency_decreases_with_precision(self):
+        """Fig. 9: efficiency drops monotonically along the precision sweep."""
+        for design in ("curfe", "chgfe"):
+            model = CircuitEnergyModel(design)
+            values = [model.tops_per_watt(i, w) for i, w in PRECISION_SWEEP]
+            assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_curfe_faster_than_chgfe(self):
+        """ChgFe needs the extra pre-charge / sharing phases (lower throughput)."""
+        assert CircuitEnergyModel("curfe").cycle_time() < CircuitEnergyModel("chgfe").cycle_time()
+
+    def test_macro_throughput_scales_with_banks(self):
+        model = CircuitEnergyModel("curfe", banks=16)
+        half = CircuitEnergyModel("curfe", banks=8)
+        assert model.macro_throughput_ops_per_s(4) == pytest.approx(
+            2 * half.macro_throughput_ops_per_s(4)
+        )
+
+    def test_mac_energy_scales_with_input_bits(self):
+        model = CircuitEnergyModel("curfe")
+        assert model.mac_energy(8, 8) == pytest.approx(2 * model.mac_energy(4, 8))
+
+    def test_operations_per_mac(self):
+        assert CircuitEnergyModel("curfe").operations_per_mac() == 64
+
+
+class TestSweepAndMisc:
+    def test_efficiency_sweep_covers_all_corners(self):
+        points = efficiency_sweep()
+        assert len(points) == 2 * len(PRECISION_SWEEP)
+        designs = {p.design for p in points}
+        assert designs == {"curfe", "chgfe"}
+
+    def test_adc_bits_override(self):
+        low = CircuitEnergyModel("curfe", adc_bits=3)
+        high = CircuitEnergyModel("curfe", adc_bits=7)
+        assert low.bit_plane_energy(8) < high.bit_plane_energy(8)
+
+    def test_invalid_design(self):
+        with pytest.raises(ValueError):
+            CircuitEnergyModel("foo")
+
+    def test_mismatched_params_rejected(self):
+        from repro.energy.components import CHGFE_ENERGY
+
+        with pytest.raises(ValueError):
+            CircuitEnergyModel("curfe", energy_params=CHGFE_ENERGY)
+
+    def test_area_positive_and_comparable(self):
+        """The paper notes both designs end up with similar area."""
+        curfe = CircuitEnergyModel("curfe").macro_area_um2()
+        chgfe = CircuitEnergyModel("chgfe").macro_area_um2()
+        assert curfe > 0 and chgfe > 0
+        assert 0.5 < curfe / chgfe < 2.0
+
+    def test_macro_power_reasonable(self):
+        power = CircuitEnergyModel("curfe").macro_power(8, 8)
+        assert 0.1e-3 < power < 100e-3
+
+    def test_invalid_input_bits(self):
+        with pytest.raises(ValueError):
+            CircuitEnergyModel("curfe").mac_energy(0, 8)
+        with pytest.raises(ValueError):
+            CircuitEnergyModel("curfe").mac_latency(9)

@@ -1,0 +1,101 @@
+"""Tests for the energy-component parameters and technology scaling."""
+
+import pytest
+
+from repro.energy.components import (
+    CHGFE_ENERGY,
+    CHGFE_TIMING,
+    CURFE_ENERGY,
+    CURFE_TIMING,
+    MacroAreaParameters,
+    MacroEnergyParameters,
+    MacroTimingParameters,
+)
+from repro.energy.technology import (
+    TechnologyNode,
+    scale_efficiency_to_node,
+    scale_energy_to_node,
+)
+
+
+class TestTiming:
+    def test_cycle_time_is_sum_of_phases(self):
+        timing = MacroTimingParameters(
+            wordline_rise=1e-9,
+            precharge=2e-9,
+            mac_phase=3e-9,
+            charge_sharing=4e-9,
+            adc_conversion=5e-9,
+            accumulation=6e-9,
+        )
+        assert timing.cycle_time() == pytest.approx(21e-9)
+
+    def test_chgfe_cycle_longer_than_curfe(self):
+        assert CHGFE_TIMING.cycle_time() > CURFE_TIMING.cycle_time()
+
+    def test_chgfe_has_precharge_phase(self):
+        assert CHGFE_TIMING.precharge > 0
+        assert CURFE_TIMING.precharge == 0
+
+
+class TestEnergyParameters:
+    def test_design_tags(self):
+        assert CURFE_ENERGY.design == "curfe"
+        assert CHGFE_ENERGY.design == "chgfe"
+
+    def test_invalid_design(self):
+        with pytest.raises(ValueError):
+            MacroEnergyParameters(design="foo")
+
+    def test_invalid_activity(self):
+        with pytest.raises(ValueError):
+            MacroEnergyParameters(design="curfe", input_activity=1.5)
+
+    def test_expected_active_cells(self):
+        params = MacroEnergyParameters(design="curfe", input_activity=0.5, weight_bit_density=0.5)
+        assert params.expected_active_cells_per_column() == pytest.approx(8.0)
+
+    def test_group_average_current(self):
+        assert CURFE_ENERGY.group_average_current() == pytest.approx(
+            8 * 15 * 100e-9, rel=1e-6
+        )
+
+    def test_instances_constructible(self):
+        assert CURFE_ENERGY.adc_instance().conversion_energy() > 0
+        assert CURFE_ENERGY.tia_instance().static_power() > 0
+        assert CHGFE_ENERGY.precharge_instance().params.precharge_voltage == pytest.approx(1.5)
+        assert CHGFE_ENERGY.bitline_capacitor().effective_capacitance == pytest.approx(50e-15)
+
+    def test_area_parameters_validate(self):
+        with pytest.raises(ValueError):
+            MacroAreaParameters(cell_area=-1.0)
+
+
+class TestTechnologyScaling:
+    def test_energy_scaling_quadratic(self):
+        assert scale_energy_to_node(1.0, source_nm=40, target_nm=80) == pytest.approx(4.0)
+        assert scale_energy_to_node(1.0, source_nm=40, target_nm=20) == pytest.approx(0.25)
+
+    def test_efficiency_scaling_matches_paper_footnote(self):
+        """Table 1 footnote: multiply efficiency by lambda^2, lambda = node/40nm."""
+        # A 65 nm design scaled to 40 nm gets credited (65/40)^2.
+        assert scale_efficiency_to_node(10.0, source_nm=65) == pytest.approx(
+            10.0 * (65 / 40) ** 2
+        )
+        # A 22 nm design gets penalised.
+        assert scale_efficiency_to_node(10.0, source_nm=22) < 10.0
+
+    def test_identity_at_same_node(self):
+        assert scale_efficiency_to_node(7.5, source_nm=40) == pytest.approx(7.5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            scale_energy_to_node(-1.0, 40)
+        with pytest.raises(ValueError):
+            scale_efficiency_to_node(1.0, 0)
+
+    def test_technology_node(self):
+        node = TechnologyNode(28.0)
+        assert node.scaling_lambda() == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            TechnologyNode(-1.0)

@@ -1,0 +1,122 @@
+"""Cross-module property and edge-case tests.
+
+These tie together pieces that the per-module tests exercise in isolation:
+the functional model against the exact dataflow references, 4-bit weight
+mode end to end, ADC-resolution monotonicity in both the error and energy
+domains, and the interaction of precision with the system model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import ideal_matvec
+from repro.core.functional import FunctionalIMCModel, FunctionalModelConfig
+from repro.core.inputs import InputVector
+from repro.core.macro import ChgFeMacro, IMCMacroConfig
+from repro.devices.variation import NO_VARIATION
+from repro.energy.circuit_energy import CircuitEnergyModel
+from repro.system.networks import vgg8_cifar10
+from repro.system.performance import SystemPerformanceModel
+
+
+class TestFunctionalAgainstDataflow:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_ideal_functional_model_equals_integer_reference(
+        self, rows, cols, input_bits, seed
+    ):
+        """With every non-ideality off, the functional pipeline is exact for
+        any shape and any input precision."""
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-128, 128, size=(rows, cols))
+        inputs = rng.integers(0, 2**input_bits, size=rows)
+        model = FunctionalIMCModel(
+            FunctionalModelConfig(
+                design="ideal",
+                weight_bits=8,
+                input_bits=input_bits,
+                adc_bits=None,
+                variation=NO_VARIATION,
+            ),
+            rng=rng,
+        )
+        model.program(weights)
+        out = model.matmul(inputs[None, :])[0]
+        reference = ideal_matvec(weights, inputs, input_bits=input_bits)
+        assert np.array_equal(out.astype(np.int64), reference)
+
+    def test_adc_error_monotone_in_resolution(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-100, 100, size=(96, 8))
+        activations = rng.integers(0, 16, size=(40, 96))
+        errors = []
+        for adc_bits in (3, 4, 5, 6, 8):
+            model = FunctionalIMCModel(
+                FunctionalModelConfig(
+                    design="ideal", adc_bits=adc_bits, input_bits=4, variation=NO_VARIATION
+                ),
+                rng=np.random.default_rng(1),
+            )
+            model.program(weights)
+            model.calibrate_adc_ranges(activations[:10])
+            out = model.matmul(activations)
+            errors.append(float(np.abs(out - model.ideal_matmul(activations)).mean()))
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+
+class TestFourBitWeightMode:
+    def test_chgfe_macro_four_bit_weights(self):
+        config = IMCMacroConfig(rows=32, banks=2, block_rows=32, adc_bits=8, weight_bits=4)
+        macro = ChgFeMacro(config)
+        rng = np.random.default_rng(3)
+        weights = rng.integers(-8, 8, size=(32, 2))
+        macro.program_weights(weights)
+        inputs = InputVector(values=rng.integers(0, 4, size=32), bits=2)
+        measured = macro.matvec(inputs)
+        ideal = macro.ideal_matvec(inputs)
+        assert np.all(np.abs(measured - ideal) <= 12)
+
+    def test_four_bit_energy_and_efficiency_relation(self):
+        """4-bit weights use one column group: the MAC costs less energy but
+        computes the same 64 ops, so efficiency is higher."""
+        model = CircuitEnergyModel("curfe")
+        assert model.tops_per_watt(4, 4) > model.tops_per_watt(4, 8)
+        assert model.mac_energy(4, 4) < model.mac_energy(4, 8)
+
+
+class TestEnergyAdcInteraction:
+    def test_energy_monotone_in_adc_resolution(self):
+        energies = [
+            CircuitEnergyModel("chgfe", adc_bits=bits).bit_plane_energy(8)
+            for bits in (3, 4, 5, 6, 7)
+        ]
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+
+    def test_system_model_accepts_adc_override(self):
+        result_5 = SystemPerformanceModel("curfe", adc_bits=5).evaluate(vgg8_cifar10())
+        result_7 = SystemPerformanceModel("curfe", adc_bits=7).evaluate(vgg8_cifar10())
+        assert result_7.total_energy > result_5.total_energy
+
+
+class TestPrecisionSystemInteraction:
+    def test_latency_scales_with_input_bits(self):
+        """Doubling the input precision doubles the bit-serial MAC latency;
+        only the (small, precision-independent) pooling latency dilutes the
+        factor."""
+        net = vgg8_cifar10()
+        latency_4 = SystemPerformanceModel("curfe", input_bits=4).evaluate(net).total_latency
+        latency_8 = SystemPerformanceModel("curfe", input_bits=8).evaluate(net).total_latency
+        assert 1.6 * latency_4 < latency_8 <= 2.0 * latency_4 + 1e-12
+
+    def test_macro_count_independent_of_input_bits(self):
+        net = vgg8_cifar10()
+        macros_4 = SystemPerformanceModel("curfe", input_bits=4).evaluate(net).total_macros
+        macros_8 = SystemPerformanceModel("curfe", input_bits=8).evaluate(net).total_macros
+        assert macros_4 == macros_8

@@ -1,0 +1,101 @@
+"""Integration tests tying together the reproduction's headline paper claims.
+
+Each test corresponds to a quantitative statement in the paper (see
+EXPERIMENTS.md for the full index).  These are the end-to-end checks that the
+"shape" of the reproduction matches the publication.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.designs import efficiency_ratios
+from repro.core.functional import estimate_relative_current_sigmas
+from repro.core.inputs import InputVector
+from repro.core.macro import CurFeMacro, ChgFeMacro, IMCMacroConfig
+from repro.core.transients import chgfe_mac_transient, curfe_mac_transient
+from repro.devices.variation import DEFAULT_VARIATION
+from repro.energy.circuit_energy import CircuitEnergyModel
+from repro.system.networks import resnet18_cifar10
+from repro.system.performance import SystemPerformanceModel
+
+
+class TestSection31CurFe:
+    def test_fig3_example(self):
+        """Multiplying input '1' by weight 0xFF gives -100 nA (H4B) and 1.5 uA (L4B)."""
+        summary = curfe_mac_transient(weight=-1)
+        assert summary.high_summed_current == pytest.approx(-100e-9, rel=0.1)
+        assert summary.low_summed_current == pytest.approx(1.5e-6, rel=0.05)
+
+
+class TestSection32ChgFe:
+    def test_fig6_example(self):
+        """The bitline delta-Vs are binary weighted: -2.5/-5/-10/-20 mV and +20 mV."""
+        summary = chgfe_mac_transient(weight=-1)
+        deltas = summary.bitline_delta_vs
+        assert deltas[0] == pytest.approx(-2.5e-3, rel=0.05)
+        assert deltas[1] == pytest.approx(-5e-3, rel=0.05)
+        assert deltas[2] == pytest.approx(-10e-3, rel=0.05)
+        assert deltas[3] == pytest.approx(-20e-3, rel=0.05)
+        assert deltas[7] == pytest.approx(+20e-3, rel=0.05)
+
+
+class TestSection41CircuitLevel:
+    def test_fig7_variation_ordering(self):
+        """CurFe's resistor-limited cells vary far less than ChgFe's (Fig. 7)."""
+        curfe = estimate_relative_current_sigmas("curfe", DEFAULT_VARIATION)
+        chgfe = estimate_relative_current_sigmas("chgfe", DEFAULT_VARIATION)
+        assert max(curfe.data) < 0.05
+        assert min(chgfe.data) > max(curfe.data)
+
+    def test_fig9_and_table1_macro_efficiency(self):
+        """CurFe 12.18 / ChgFe 14.47 TOPS/W at (8b, 8b); 1.56x / 2.22x over SOTA."""
+        curfe = CircuitEnergyModel("curfe").tops_per_watt(8, 8)
+        chgfe = CircuitEnergyModel("chgfe").tops_per_watt(8, 8)
+        assert curfe == pytest.approx(12.18, rel=0.05)
+        assert chgfe == pytest.approx(14.47, rel=0.05)
+        ratios = efficiency_ratios(chgfe)
+        assert ratios["vs_best_sram"] == pytest.approx(1.56, rel=0.05)
+        assert ratios["vs_best_reram"] == pytest.approx(2.22, rel=0.05)
+
+
+class TestSection42SystemLevel:
+    def test_table1_system_row(self):
+        """System level (4b, 8b) CIFAR10-ResNet18: 12.41 / 12.92 TOPS/W, 1.37x over [9]."""
+        net = resnet18_cifar10()
+        curfe = SystemPerformanceModel("curfe", input_bits=4, weight_bits=8).evaluate(net)
+        chgfe = SystemPerformanceModel("chgfe", input_bits=4, weight_bits=8).evaluate(net)
+        assert curfe.tops_per_watt == pytest.approx(12.41, rel=0.08)
+        assert chgfe.tops_per_watt == pytest.approx(12.92, rel=0.08)
+        ratios = efficiency_ratios(14.47, chgfe.tops_per_watt)
+        assert ratios["system_vs_[9]"] == pytest.approx(1.37, rel=0.1)
+
+
+class TestEndToEndMacros:
+    @pytest.mark.parametrize("macro_cls", [CurFeMacro, ChgFeMacro])
+    def test_macro_matvec_tracks_integer_reference(self, macro_cls):
+        """The full detailed macro (cells -> TIA/charge-sharing -> ADC ->
+        accumulation) reproduces W^T x within the ADC quantisation error."""
+        config = IMCMacroConfig(rows=64, banks=2, block_rows=32, adc_bits=7, weight_bits=8)
+        macro = macro_cls(config)
+        rng = np.random.default_rng(42)
+        weights = rng.integers(-64, 64, size=(64, 2))
+        macro.program_weights(weights)
+        inputs = InputVector(values=rng.integers(0, 8, size=64), bits=3)
+        ideal = macro.ideal_matvec(inputs)
+        measured = macro.matvec(inputs)
+        scale = np.maximum(np.abs(ideal), 100)
+        assert np.all(np.abs(measured - ideal) / scale < 0.35)
+
+    def test_macro_with_variation_still_tracks(self):
+        config = IMCMacroConfig(
+            rows=32, banks=1, block_rows=32, adc_bits=8, weight_bits=8,
+            variation=DEFAULT_VARIATION,
+        )
+        macro = CurFeMacro(config, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        weights = rng.integers(-32, 32, size=(32, 1))
+        macro.program_weights(weights)
+        inputs = InputVector(values=rng.integers(0, 4, size=32), bits=2)
+        ideal = macro.ideal_matvec(inputs)[0]
+        measured = macro.matvec(inputs)[0]
+        assert abs(measured - ideal) <= max(0.2 * abs(ideal), 40)

@@ -1,0 +1,184 @@
+"""Tests for the fixed-point quantisation utilities, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.quantize import (
+    QuantizationSpec,
+    bit_planes_to_input,
+    bits_to_weight,
+    combine_weight_nibbles,
+    dequantize_tensor,
+    from_twos_complement,
+    input_to_bit_planes,
+    quantize_tensor,
+    signed_range,
+    split_signed_weight,
+    to_twos_complement,
+    unsigned_range,
+    weight_to_bits,
+)
+
+
+class TestRanges:
+    def test_signed_range_8bit(self):
+        assert signed_range(8) == (-128, 127)
+
+    def test_signed_range_4bit(self):
+        assert signed_range(4) == (-8, 7)
+
+    def test_unsigned_range(self):
+        assert unsigned_range(4) == (0, 15)
+        assert unsigned_range(1) == (0, 1)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            signed_range(1)
+        with pytest.raises(ValueError):
+            unsigned_range(0)
+
+
+class TestTwosComplement:
+    def test_encode_negative(self):
+        assert to_twos_complement(-1, 8) == 255
+        assert to_twos_complement(-128, 8) == 128
+
+    def test_encode_positive(self):
+        assert to_twos_complement(5, 8) == 5
+
+    def test_decode(self):
+        assert from_twos_complement(255, 8) == -1
+        assert from_twos_complement(127, 8) == 127
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            to_twos_complement(200, 8)
+        with pytest.raises(ValueError):
+            from_twos_complement(300, 8)
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_roundtrip_8bit(self, value):
+        assert from_twos_complement(to_twos_complement(value, 8), 8) == value
+
+    @given(st.integers(min_value=-8, max_value=7))
+    def test_roundtrip_4bit(self, value):
+        assert from_twos_complement(to_twos_complement(value, 4), 4) == value
+
+
+class TestWeightSplit:
+    def test_paper_example_all_ones(self):
+        """'11111111' = -1 splits into high -1 and low 15 (Fig. 3)."""
+        assert split_signed_weight(-1, 8) == (-1, 15)
+
+    def test_positive_weight(self):
+        assert split_signed_weight(0x35, 8) == (3, 5)
+
+    def test_most_negative(self):
+        assert split_signed_weight(-128, 8) == (-8, 0)
+
+    def test_four_bit_weight(self):
+        assert split_signed_weight(-5, 4) == (-5, 0)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            split_signed_weight(1, 6)
+
+    def test_out_of_range_weight(self):
+        with pytest.raises(ValueError):
+            split_signed_weight(200, 8)
+
+    def test_combine_validates(self):
+        with pytest.raises(ValueError):
+            combine_weight_nibbles(9, 0)
+        with pytest.raises(ValueError):
+            combine_weight_nibbles(0, 16)
+        with pytest.raises(ValueError):
+            combine_weight_nibbles(1, 1, bits=4)
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_split_combine_roundtrip(self, weight):
+        """Eq. (1): w = 16*w_hi + w_lo for every 8-bit weight."""
+        high, low = split_signed_weight(weight, 8)
+        assert -8 <= high <= 7
+        assert 0 <= low <= 15
+        assert combine_weight_nibbles(high, low) == weight
+        assert 16 * high + low == weight
+
+
+class TestBits:
+    def test_weight_to_bits_lsb_first(self):
+        assert weight_to_bits(-1, 4) == [1, 1, 1, 1]
+        assert weight_to_bits(5, 4) == [1, 0, 1, 0]
+
+    def test_bits_to_weight_signed(self):
+        assert bits_to_weight([1, 1, 1, 1], signed=True) == -1
+        assert bits_to_weight([0, 0, 0, 1], signed=True) == -8
+
+    def test_bits_to_weight_unsigned(self):
+        assert bits_to_weight([1, 1, 1, 1], signed=False) == 15
+
+    def test_invalid_bit_value(self):
+        with pytest.raises(ValueError):
+            bits_to_weight([0, 2], signed=False)
+
+    @given(st.integers(min_value=-8, max_value=7))
+    def test_bits_roundtrip(self, value):
+        assert bits_to_weight(weight_to_bits(value, 4), signed=True) == value
+
+
+class TestBitPlanes:
+    def test_planes_shape_and_values(self):
+        values = np.array([0, 1, 2, 3, 15])
+        planes = input_to_bit_planes(values, 4)
+        assert planes.shape == (4, 5)
+        assert list(planes[0]) == [0, 1, 0, 1, 1]
+        assert list(planes[3]) == [0, 0, 0, 0, 1]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            input_to_bit_planes(np.array([16]), 4)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=16),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip(self, values, bits):
+        hi = 2**bits - 1
+        values = np.array([min(v, hi) for v in values])
+        planes = input_to_bit_planes(values, bits)
+        assert np.array_equal(bit_planes_to_input(planes), values)
+
+
+class TestTensorQuantisation:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(bits=0, signed=False, scale=1.0)
+        with pytest.raises(ValueError):
+            QuantizationSpec(bits=8, signed=True, scale=0.0)
+
+    def test_from_tensor_full_scale(self):
+        tensor = np.array([-2.0, 1.0])
+        spec = QuantizationSpec.from_tensor(tensor, bits=8, signed=True)
+        codes = quantize_tensor(tensor, spec)
+        assert codes.min() >= -128 and codes.max() <= 127
+        assert abs(codes).max() == 128 or abs(codes).max() == 127
+
+    def test_roundtrip_error_bounded_by_half_lsb(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(size=100)
+        spec = QuantizationSpec.from_tensor(tensor, bits=8, signed=True)
+        recovered = dequantize_tensor(quantize_tensor(tensor, spec), spec)
+        assert np.max(np.abs(recovered - tensor)) <= spec.scale * 0.5 + 1e-12
+
+    def test_unsigned_spec(self):
+        spec = QuantizationSpec(bits=4, signed=False, scale=0.1)
+        assert spec.int_range == (0, 15)
+        codes = quantize_tensor(np.array([0.0, 0.5, 2.0]), spec)
+        assert list(codes) == [0, 5, 15]
+
+    def test_zero_tensor(self):
+        spec = QuantizationSpec.from_tensor(np.zeros(4), bits=8, signed=True)
+        assert spec.scale > 0

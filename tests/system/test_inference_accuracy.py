@@ -1,0 +1,92 @@
+"""Tests for the quantised IMC inference path and the accuracy experiment plumbing.
+
+These tests use a deliberately tiny network/dataset so they stay fast; the
+full Fig. 10 sweep lives in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticImageConfig, SyntheticImageDataset
+from repro.devices.variation import NO_VARIATION
+from repro.system.accuracy import AccuracyPoint, AccuracySweep, adc_resolution_sweep, evaluate_accuracy
+from repro.system.inference import InferenceConfig, QuantizedInferenceEngine
+from repro.system.nn import SmallCNN
+from repro.system.training import TrainingConfig, train_small_cnn
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    """A small trained model + dataset shared by the module's tests."""
+    dataset = SyntheticImageDataset(
+        SyntheticImageConfig(train_samples=400, test_samples=120, noise_sigma=0.25, seed=11)
+    )
+    model, history = train_small_cnn(
+        dataset,
+        TrainingConfig(epochs=4, batch_size=64, seed=1, activation_noise=0.1),
+    )
+    return model, dataset, history
+
+
+class TestTraining:
+    def test_training_learns(self, tiny_setup):
+        _, _, history = tiny_setup
+        assert history.final_test_accuracy > 0.6
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_history_lengths(self, tiny_setup):
+        _, _, history = tiny_setup
+        assert len(history.train_loss) == 4
+        assert len(history.test_accuracy) == 4
+
+
+class TestQuantizedInference:
+    def test_ideal_engine_matches_float_closely(self, tiny_setup):
+        model, dataset, _ = tiny_setup
+        engine = QuantizedInferenceEngine(
+            model,
+            InferenceConfig(design="ideal", input_bits=8, weight_bits=8, adc_bits=None,
+                            variation=NO_VARIATION),
+        )
+        float_acc = model.accuracy(dataset.test_images, dataset.test_labels)
+        quant_acc = engine.accuracy(dataset.test_images, dataset.test_labels)
+        assert quant_acc >= float_acc - 0.08
+
+    def test_curfe_with_5bit_adc_close_to_ideal(self, tiny_setup):
+        model, dataset, _ = tiny_setup
+        acc_5 = evaluate_accuracy(
+            model, dataset, design="curfe", adc_bits=5, input_bits=4, weight_bits=8,
+            max_test_samples=120,
+        )
+        acc_3 = evaluate_accuracy(
+            model, dataset, design="curfe", adc_bits=3, input_bits=4, weight_bits=8,
+            max_test_samples=120,
+        )
+        float_acc = model.accuracy(dataset.test_images, dataset.test_labels)
+        assert acc_5 > acc_3
+        assert acc_5 > float_acc - 0.25
+
+    def test_predictions_shape(self, tiny_setup):
+        model, dataset, _ = tiny_setup
+        engine = QuantizedInferenceEngine(model, InferenceConfig(design="ideal", adc_bits=None))
+        predictions = engine.predict(dataset.test_images[:10])
+        assert predictions.shape == (10,)
+        assert set(predictions) <= set(range(10))
+
+    def test_sweep_structure(self, tiny_setup):
+        model, dataset, _ = tiny_setup
+        sweep = adc_resolution_sweep(
+            designs=("curfe",),
+            adc_resolutions=(5,),
+            precisions=((4, 8),),
+            model=model,
+            dataset=dataset,
+            max_test_samples=60,
+        )
+        assert isinstance(sweep, AccuracySweep)
+        assert len(sweep.points) == 1
+        point = sweep.lookup("curfe", 5, 4, 8)
+        assert isinstance(point, AccuracyPoint)
+        assert 0.0 <= point.accuracy <= 1.0
+        with pytest.raises(KeyError):
+            sweep.lookup("chgfe", 5, 4, 8)

@@ -1,0 +1,96 @@
+"""Tests for DNN layer descriptors and the VGG8 / ResNet18 topologies."""
+
+import pytest
+
+from repro.system.layers import ConvLayer, LinearLayer, PoolLayer
+from repro.system.networks import resnet18_cifar10, resnet18_imagenet, vgg8_cifar10
+
+
+class TestConvLayer:
+    def test_output_size_same_padding(self):
+        layer = ConvLayer("c", 3, 64, 3, 32, stride=1, padding=1)
+        assert layer.output_size == 32
+        assert layer.output_pixels == 1024
+
+    def test_output_size_stride_two(self):
+        layer = ConvLayer("c", 64, 128, 3, 32, stride=2, padding=1)
+        assert layer.output_size == 16
+
+    def test_weight_matrix_shape(self):
+        layer = ConvLayer("c", 64, 128, 3, 32)
+        assert layer.weight_rows == 576
+        assert layer.weight_cols == 128
+        assert layer.num_weights == 576 * 128
+
+    def test_macs(self):
+        layer = ConvLayer("c", 3, 16, 3, 8, padding=1)
+        assert layer.macs == 64 * 27 * 16
+
+    def test_shapes(self):
+        layer = ConvLayer("c", 3, 16, 3, 8)
+        assert layer.input_shape.size == 3 * 64
+        assert layer.output_shape.channels == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvLayer("c", 0, 16, 3, 8)
+        with pytest.raises(ValueError):
+            ConvLayer("c", 3, 16, 3, 8, stride=0)
+
+
+class TestLinearAndPool:
+    def test_linear_layer(self):
+        layer = LinearLayer("fc", 512, 10)
+        assert layer.macs == 5120
+        assert layer.weight_rows == 512
+        assert layer.output_pixels == 1
+
+    def test_linear_validation(self):
+        with pytest.raises(ValueError):
+            LinearLayer("fc", 0, 10)
+
+    def test_pool_layer(self):
+        layer = PoolLayer("p", 64, 32, kernel_size=2)
+        assert layer.output_size == 16
+        assert layer.macs == 0
+        assert layer.num_weights == 0
+
+    def test_pool_custom_stride(self):
+        layer = PoolLayer("p", 64, 32, kernel_size=3, stride=2)
+        assert layer.effective_stride == 2
+
+
+class TestNetworks:
+    def test_vgg8_structure(self):
+        net = vgg8_cifar10()
+        assert net.name == "VGG8"
+        assert net.num_classes == 10
+        assert len(net.weight_layers) == 8
+        assert net.total_macs > 100e6
+
+    def test_resnet18_cifar10_structure(self):
+        net = resnet18_cifar10()
+        # 1 stem + 16 block convs + 3 downsample convs + 1 fc = 21 weight layers.
+        assert len(net.weight_layers) == 21
+        assert net.dataset == "CIFAR10"
+        # ~11 M weights for ResNet18.
+        assert 10e6 < net.total_weights < 13e6
+
+    def test_resnet18_imagenet_structure(self):
+        net = resnet18_imagenet()
+        assert net.num_classes == 1000
+        # ~1.8 GMACs per ImageNet inference for ResNet18.
+        assert 1.5e9 < net.total_macs < 2.2e9
+
+    def test_imagenet_has_more_macs_than_cifar(self):
+        assert resnet18_imagenet().total_macs > 2 * resnet18_cifar10().total_macs
+
+    def test_total_ops_is_twice_macs(self):
+        net = resnet18_cifar10()
+        assert net.total_ops == 2 * net.total_macs
+
+    def test_describe_mentions_every_layer(self):
+        net = vgg8_cifar10()
+        text = net.describe()
+        for layer in net.layers:
+            assert layer.name in text

@@ -1,0 +1,104 @@
+"""Tests for layer-to-macro mapping, the H-tree model, and chip parameters."""
+
+import pytest
+
+from repro.system.chip import BufferParameters, ChipParameters, DigitalLogicParameters
+from repro.system.htree import HTree, HTreeParameters
+from repro.system.layers import ConvLayer, LinearLayer
+from repro.system.mapping import MacroGeometry, map_layer
+
+
+class TestMacroGeometry:
+    def test_defaults_match_paper(self):
+        geometry = MacroGeometry()
+        assert geometry.rows == 128
+        assert geometry.weight_columns == 16
+        assert geometry.block_rows == 32
+        assert geometry.blocks_per_macro == 4
+        assert geometry.weights_per_macro == 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacroGeometry(rows=100, block_rows=32)
+        with pytest.raises(ValueError):
+            MacroGeometry(rows=0)
+
+
+class TestLayerMapping:
+    def test_small_layer_fits_one_macro(self):
+        layer = ConvLayer("c", 3, 16, 3, 32)  # 27 x 16
+        mapping = map_layer(layer)
+        assert mapping.num_macros == 1
+        assert mapping.block_activations_per_pixel == 1
+        assert mapping.row_utilization == pytest.approx(27 / 128)
+
+    def test_large_conv_layer(self):
+        layer = ConvLayer("c", 512, 512, 3, 8)  # 4608 x 512
+        mapping = map_layer(layer)
+        assert mapping.row_tiles == 36
+        assert mapping.col_tiles == 32
+        assert mapping.num_macros == 36 * 32
+        assert mapping.block_activations_per_pixel == 4
+
+    def test_block_macs_per_pixel(self):
+        layer = ConvLayer("c", 64, 64, 3, 32)  # 576 rows -> 18 blocks
+        mapping = map_layer(layer)
+        assert mapping.total_block_macs_per_pixel == 18 * 64
+
+    def test_partial_sum_adds(self):
+        layer = LinearLayer("fc", 512, 10)  # 4 row tiles
+        mapping = map_layer(layer)
+        assert mapping.row_tiles == 4
+        assert mapping.partial_sum_adds_per_pixel == 3 * 10
+
+    def test_utilization_bounded(self):
+        layer = LinearLayer("fc", 100, 5)
+        mapping = map_layer(layer)
+        assert 0 < mapping.utilization <= 1.0
+
+
+class TestHTree:
+    def test_levels(self):
+        assert HTree(1).levels == 0
+        assert HTree(2).levels == 1
+        assert HTree(16).levels == 4
+        assert HTree(17).levels == 5
+
+    def test_energy_grows_with_leaves(self):
+        assert HTree(64).energy_per_bit() > HTree(4).energy_per_bit()
+
+    def test_broadcast_vs_point_to_point(self):
+        tree = HTree(16)
+        assert tree.broadcast_energy(100) > tree.point_to_point_energy(100)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            HTree(4).broadcast_energy(-1)
+        with pytest.raises(ValueError):
+            HTree(4).point_to_point_energy(-1)
+
+    def test_latency_positive(self):
+        assert HTree(16).traversal_latency() > 0
+
+    def test_invalid_leaves(self):
+        with pytest.raises(ValueError):
+            HTree(0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HTreeParameters(leaf_pitch_mm=0.0)
+
+
+class TestChipParameters:
+    def test_defaults_valid(self):
+        chip = ChipParameters()
+        assert chip.standby_power_per_macro > 0
+        assert chip.buffer.partial_sum_bits >= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChipParameters(macros_per_tile=0)
+        with pytest.raises(ValueError):
+            BufferParameters(read_energy_per_bit=-1.0)
+        with pytest.raises(ValueError):
+            DigitalLogicParameters(add_energy=-1.0)

@@ -1,0 +1,153 @@
+"""Tests for the numpy neural-network substrate (forward/backward correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.system.nn import (
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    SmallCNN,
+    col2im,
+    cross_entropy_loss,
+    im2col,
+    softmax,
+)
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        cols, out_h, out_w = im2col(x, kernel=3, stride=1, padding=1)
+        assert (out_h, out_w) == (8, 8)
+        assert cols.shape == (2 * 64, 27)
+
+    def test_stride_two(self):
+        x = np.zeros((1, 1, 8, 8))
+        cols, out_h, out_w = im2col(x, kernel=2, stride=2, padding=0)
+        assert (out_h, out_w) == (4, 4)
+
+    def test_col2im_is_adjoint(self):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _, _ = im2col(x, 3, 1, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, 3, 1, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestLayerGradients:
+    @staticmethod
+    def numeric_grad(f, x, eps=1e-5):
+        grad = np.zeros_like(x)
+        it = np.nditer(x, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            original = x[idx]
+            x[idx] = original + eps
+            plus = f()
+            x[idx] = original - eps
+            minus = f()
+            x[idx] = original
+            grad[idx] = (plus - minus) / (2 * eps)
+            it.iternext()
+        return grad
+
+    def test_linear_gradients(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        target = rng.normal(size=(2, 3))
+
+        def loss():
+            return float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        grad_out = 2 * (out - target)
+        layer.backward(grad_out)
+        numeric = self.numeric_grad(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-4)
+
+    def test_conv_gradients(self):
+        rng = np.random.default_rng(3)
+        layer = Conv2D(2, 3, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        target = rng.normal(size=(1, 3, 4, 4))
+
+        def loss():
+            return float(np.sum((layer.forward(x) - target) ** 2))
+
+        out = layer.forward(x)
+        layer.backward(2 * (out - target))
+        numeric = self.numeric_grad(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-3)
+
+    def test_relu_backward_masks(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        relu.forward(x)
+        grad = relu.backward(np.ones_like(x))
+        assert list(grad[0]) == [0.0, 1.0]
+
+    def test_maxpool_routes_gradient_to_max(self):
+        pool = MaxPool2D(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = pool.forward(x)
+        assert out[0, 0, 0, 0] == 4.0
+        grad = pool.backward(np.ones_like(out))
+        assert grad[0, 0, 1, 1] == 1.0
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_flatten_roundtrip(self):
+        flat = Flatten()
+        x = np.random.default_rng(4).normal(size=(2, 3, 4, 4))
+        out = flat.forward(x)
+        assert out.shape == (2, 48)
+        assert flat.backward(out).shape == x.shape
+
+
+class TestLossAndModel:
+    def test_softmax_normalised(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_cross_entropy_gradient_shape(self):
+        logits = np.random.default_rng(5).normal(size=(4, 10))
+        labels = np.array([0, 1, 2, 3])
+        loss, grad = cross_entropy_loss(logits, labels)
+        assert loss > 0
+        assert grad.shape == logits.shape
+
+    def test_small_cnn_forward_shape(self):
+        model = SmallCNN(input_shape=(3, 16, 16), num_classes=10)
+        images = np.random.default_rng(6).normal(size=(5, 3, 16, 16))
+        logits = model.forward(images)
+        assert logits.shape == (5, 10)
+
+    def test_small_cnn_training_step_reduces_loss(self):
+        rng = np.random.default_rng(7)
+        model = SmallCNN(input_shape=(3, 8, 8), num_classes=3, channels=(4, 8), hidden=16)
+        images = rng.normal(size=(16, 3, 8, 8))
+        labels = rng.integers(0, 3, size=16)
+        losses = []
+        for _ in range(8):
+            logits = model.forward(images)
+            loss, grad = cross_entropy_loss(logits, labels)
+            losses.append(loss)
+            model.backward(grad)
+            for param, gradient in model.parameters():
+                param -= 0.05 * gradient
+        assert losses[-1] < losses[0]
+
+    def test_noise_injection_requires_rng(self):
+        model = SmallCNN(input_shape=(3, 8, 8), num_classes=3, channels=(4, 8), hidden=16)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((1, 3, 8, 8)), noise_sigma=0.1)
+
+    def test_weight_layers_exposed(self):
+        model = SmallCNN()
+        assert set(model.weight_layers()) == {"conv1", "conv2", "fc1", "fc2"}

@@ -1,0 +1,91 @@
+"""Tests for the NeuroSim-style system performance model (Figs. 11, 12)."""
+
+import pytest
+
+from repro.system.networks import resnet18_cifar10, resnet18_imagenet, vgg8_cifar10
+from repro.system.performance import SystemPerformanceModel
+
+
+class TestSystemPerformance:
+    def test_paper_system_efficiency_cifar10(self):
+        """Table 1 system row: ~12.41 (CurFe) and ~12.92 (ChgFe) TOPS/W at (4b, 8b)."""
+        net = resnet18_cifar10()
+        curfe = SystemPerformanceModel("curfe", input_bits=4, weight_bits=8).evaluate(net)
+        chgfe = SystemPerformanceModel("chgfe", input_bits=4, weight_bits=8).evaluate(net)
+        assert curfe.tops_per_watt == pytest.approx(12.41, rel=0.08)
+        assert chgfe.tops_per_watt == pytest.approx(12.92, rel=0.08)
+        assert chgfe.tops_per_watt > curfe.tops_per_watt
+
+    def test_system_ratio_over_baseline_9(self):
+        """The paper's 1.37x system-level improvement over [9] (9.40 TOPS/W)."""
+        net = resnet18_cifar10()
+        chgfe = SystemPerformanceModel("chgfe", input_bits=4, weight_bits=8).evaluate(net)
+        assert chgfe.tops_per_watt / 9.40 == pytest.approx(1.37, rel=0.1)
+
+    def test_curfe_has_higher_throughput(self):
+        """Fig. 11: ChgFe is more efficient but slower (longer MAC cycle)."""
+        net = resnet18_cifar10()
+        curfe = SystemPerformanceModel("curfe", input_bits=4, weight_bits=8).evaluate(net)
+        chgfe = SystemPerformanceModel("chgfe", input_bits=4, weight_bits=8).evaluate(net)
+        assert curfe.frames_per_second > chgfe.frames_per_second
+
+    def test_efficiency_decreases_with_precision(self):
+        net = resnet18_cifar10()
+        values = []
+        for input_bits, weight_bits in ((4, 4), (4, 8), (8, 8)):
+            model = SystemPerformanceModel("chgfe", input_bits=input_bits, weight_bits=weight_bits)
+            values.append(model.evaluate(net).tops_per_watt)
+        assert values[0] > values[1] > values[2]
+
+    def test_imagenet_slower_than_cifar(self):
+        curfe = SystemPerformanceModel("curfe", input_bits=4, weight_bits=8)
+        cifar = curfe.evaluate(resnet18_cifar10())
+        imagenet = curfe.evaluate(resnet18_imagenet())
+        assert imagenet.frames_per_second < cifar.frames_per_second
+        assert imagenet.total_macros >= cifar.total_macros
+
+    def test_energy_breakdown_sums(self):
+        result = SystemPerformanceModel("curfe").evaluate(vgg8_cifar10())
+        breakdown = result.energy_breakdown()
+        parts = sum(v for k, v in breakdown.items() if k != "total")
+        assert parts == pytest.approx(breakdown["total"])
+
+    def test_layer_results_cover_all_layers(self):
+        net = resnet18_imagenet()
+        result = SystemPerformanceModel("curfe").evaluate(net)
+        assert len(result.layers) == len(net.layers)
+        weight_layers = [l for l in result.layers if l.num_macros > 0]
+        assert len(weight_layers) == len(net.weight_layers)
+
+    def test_per_layer_energy_and_latency_positive(self):
+        result = SystemPerformanceModel("chgfe", input_bits=4, weight_bits=4).evaluate(
+            resnet18_imagenet()
+        )
+        for layer in result.layers:
+            assert layer.dynamic_energy > 0
+            assert layer.latency > 0
+
+    def test_area_similar_between_designs(self):
+        """The paper notes similar system area for CurFe and ChgFe."""
+        net = resnet18_cifar10()
+        curfe = SystemPerformanceModel("curfe").evaluate(net)
+        chgfe = SystemPerformanceModel("chgfe").evaluate(net)
+        assert 0.5 < curfe.area_mm2 / chgfe.area_mm2 < 2.0
+
+    def test_total_macs_match_network(self):
+        net = vgg8_cifar10()
+        result = SystemPerformanceModel("curfe").evaluate(net)
+        assert result.total_macs == net.total_macs
+        assert result.total_ops == net.total_ops
+
+    def test_average_power_reasonable(self):
+        result = SystemPerformanceModel("curfe", input_bits=4, weight_bits=8).evaluate(
+            resnet18_cifar10()
+        )
+        assert 1e-3 < result.average_power < 10.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SystemPerformanceModel("curfe", input_bits=0)
+        with pytest.raises(ValueError):
+            SystemPerformanceModel("curfe", weight_bits=5)
