@@ -1,0 +1,123 @@
+"""Engine speed: legacy per-device loop vs the vectorised array engine.
+
+Times a full 128×16 matvec through the legacy banks × block rows × bit
+planes loop (:meth:`IMCMacro.matvec_reference`) against the structure-of-
+arrays :class:`repro.engine.MacroEngine` — single-vector ``matvec`` (bit-
+identical results) and batched ``matmat`` in both its exact and fast
+reduction modes — and writes the measurements to ``BENCH_engine.json`` at
+the repository root to seed the performance trajectory.
+
+Set ``REPRO_BENCH_TINY=1`` for a seconds-scale smoke run (CI): a smaller
+array, fewer repeats, and no speedup assertions (Python call overhead
+dominates tiny shapes).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.inputs import InputVector
+from repro.core.macro import CurFeMacro, IMCMacroConfig
+from conftest import emit
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "0") == "1"
+
+INPUT_BITS = 8
+BATCH = 8 if TINY else 64
+MATVEC_REPEATS = 3 if TINY else 20
+LEGACY_REPEATS = 1 if TINY else 3
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def build_macro():
+    if TINY:
+        config = IMCMacroConfig(rows=32, banks=2, block_rows=32, weight_bits=8)
+    else:
+        config = IMCMacroConfig()  # the paper's full 128×16 array
+    macro = CurFeMacro(config)
+    rng = np.random.default_rng(0)
+    macro.program_weights(rng.integers(-128, 128, size=(config.rows, config.banks)))
+    return macro, rng
+
+
+def median_seconds(callable_, repeats):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def run_measurements():
+    macro, rng = build_macro()
+    config = macro.config
+    inputs = InputVector.random(config.rows, INPUT_BITS, rng)
+    batch = rng.integers(0, 2**INPUT_BITS, size=(config.rows, BATCH))
+
+    engine_result = macro.matvec(inputs)  # builds + warms the engine
+    legacy_result = macro.matvec_reference(inputs)
+    assert np.array_equal(engine_result, legacy_result), "engine must stay bit-identical"
+
+    legacy_matvec = median_seconds(
+        lambda: macro.matvec_reference(inputs), LEGACY_REPEATS
+    )
+    engine_matvec = median_seconds(lambda: macro.matvec(inputs), MATVEC_REPEATS)
+    engine_matmat = (
+        median_seconds(lambda: macro.matmat(batch, bits=INPUT_BITS), MATVEC_REPEATS)
+        / BATCH
+    )
+    engine_matmat_fast = (
+        median_seconds(
+            lambda: macro.matmat(batch, bits=INPUT_BITS, method="fast"),
+            MATVEC_REPEATS,
+        )
+        / BATCH
+    )
+    return {
+        "benchmark": "engine_speed",
+        "design": macro.design_name,
+        "rows": config.rows,
+        "banks": config.banks,
+        "weight_bits": config.weight_bits,
+        "input_bits": INPUT_BITS,
+        "batch": BATCH,
+        "tiny": TINY,
+        "legacy_matvec_ms": legacy_matvec * 1e3,
+        "engine_matvec_ms": engine_matvec * 1e3,
+        "engine_matmat_ms_per_column": engine_matmat * 1e3,
+        "engine_matmat_fast_ms_per_column": engine_matmat_fast * 1e3,
+        "speedup_matvec": legacy_matvec / engine_matvec,
+        "speedup_matmat": legacy_matvec / engine_matmat,
+        "speedup_matmat_fast": legacy_matvec / engine_matmat_fast,
+    }
+
+
+def test_engine_speedup(benchmark):
+    record = benchmark.pedantic(run_measurements, rounds=1, iterations=1)
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    emit(
+        "Engine speed — legacy per-device loop vs vectorised MacroEngine",
+        "\n".join(
+            [
+                f"array: {record['rows']}x{record['banks']} banks, "
+                f"{record['weight_bits']}b weights, {record['input_bits']}b inputs",
+                f"legacy matvec:            {record['legacy_matvec_ms']:8.2f} ms",
+                f"engine matvec:            {record['engine_matvec_ms']:8.3f} ms "
+                f"({record['speedup_matvec']:.1f}x)",
+                f"engine matmat (exact)/col:{record['engine_matmat_ms_per_column']:8.3f} ms "
+                f"({record['speedup_matmat']:.1f}x, batch {record['batch']})",
+                f"engine matmat (fast)/col: {record['engine_matmat_fast_ms_per_column']:8.3f} ms "
+                f"({record['speedup_matmat_fast']:.1f}x)",
+                f"record: {RECORD_PATH}",
+            ]
+        ),
+    )
+    if not TINY:
+        # Acceptance: >=10x for a full 128x16 matvec, >=25x for batched matmat.
+        assert record["speedup_matvec"] >= 10.0, record
+        assert record["speedup_matmat_fast"] >= 25.0, record

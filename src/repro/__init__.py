@@ -11,6 +11,8 @@ Typical entry points:
 
 * ``repro.core`` — the macros (``CurFeMacro`` / ``ChgFeMacro``), the fast
   functional model, and the exact integer references.
+* ``repro.engine`` — the vectorised array engine behind the device-detailed
+  path (``ArrayState`` / ``MacroEngine``, batched matvec/matmat).
 * ``repro.energy`` — circuit-level energy efficiency (Fig. 9, Table 1).
 * ``repro.system`` — system-level performance and accuracy (Figs. 10-12).
 * ``repro.baselines`` — the state-of-the-art comparison designs of Table 1.

@@ -25,11 +25,22 @@ from typing import Optional
 
 import numpy as np
 
-from ..devices.fefet import DEFAULT_NFEFET_PARAMS, FeFET, FeFETParameters
+from ..devices.fefet import (
+    DEFAULT_NFEFET_PARAMS,
+    FeFET,
+    FeFETParameters,
+    fefet_drain_current,
+)
 from ..devices.passives import CURFE_BASE_RESISTANCE, Resistor
 from ..devices.variation import VariationModel
 
-__all__ = ["CurFeCellParameters", "CurFeCell"]
+__all__ = [
+    "CurFeCellParameters",
+    "CurFeCell",
+    "curfe_series_currents",
+    "characterise_curfe_cells",
+    "characterise_curfe_group",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +89,140 @@ class CurFeCellParameters:
     def nominal_unit_current(self) -> float:
         """Nominal ON current of the least-significant cell (A): Vcm / R_base."""
         return self.common_mode_voltage / self.base_resistance
+
+
+def curfe_series_currents(
+    total_drop,
+    gate_voltage,
+    source_voltage,
+    resistance,
+    vth,
+    params: FeFETParameters,
+    *,
+    iterations: int = 60,
+) -> np.ndarray:
+    """Vectorised FeFET + series-resistor operating point (A).
+
+    Solves, for every element of the broadcast inputs, the current at which
+    the drain resistor and the FeFET channel agree when ``total_drop`` volts
+    sit across the series pair (the FeFET source at ``source_voltage``).
+    This is the evaluation kernel shared by :meth:`CurFeCell._series_current`
+    (scalar, per device) and the array engine's batched characterisation, so
+    both paths produce bit-identical currents.
+
+    The same conventions as the scalar solver apply: when the FeFET cannot
+    conduct even the smallest resistor current the cell is effectively off
+    (FeFET current with the full drop across it); when the FeFET acts as a
+    perfect switch the resistor limits entirely; otherwise bisection on the
+    intermediate node voltage.
+    """
+    total_drop = np.asarray(total_drop, dtype=float)
+    gate_voltage = np.asarray(gate_voltage, dtype=float)
+    source_voltage = np.asarray(source_voltage, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    vth = np.asarray(vth, dtype=float)
+    total_drop, gate_voltage, source_voltage, resistance, vth = np.broadcast_arrays(
+        total_drop, gate_voltage, source_voltage, resistance, vth
+    )
+
+    def mismatch(v_fefet: np.ndarray) -> np.ndarray:
+        i_resistor = (total_drop - v_fefet) / resistance
+        i_fefet = fefet_drain_current(
+            gate_voltage, source_voltage + v_fefet, source_voltage, vth, params
+        )
+        return i_resistor - i_fefet
+
+    lo = np.zeros_like(total_drop)
+    hi = total_drop.copy()
+    f_lo = mismatch(lo)
+    f_hi = mismatch(hi)
+    # Elements with f_lo <= 0 (FeFET off) or f_hi >= 0 (resistor-limited)
+    # take a closed-form branch below; run the bisection only when some
+    # element actually needs it — the common scalar calls (unselected and
+    # stored-0 cells) skip the loop entirely.
+    if np.any((f_lo > 0) & (f_hi < 0)):
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            positive = mismatch(mid) > 0
+            lo = np.where(positive, mid, lo)
+            hi = np.where(positive, hi, mid)
+    v_fefet = 0.5 * (lo + hi)
+    bisected = (total_drop - v_fefet) / resistance
+    off_current = fefet_drain_current(
+        gate_voltage, source_voltage + total_drop, source_voltage, vth, params
+    )
+    resistor_limited = total_drop / resistance
+    result = np.where(f_lo <= 0, off_current, np.where(f_hi >= 0, resistor_limited, bisected))
+    return np.where(total_drop <= 0, 0.0, result)
+
+
+def characterise_curfe_cells(
+    vth_offsets,
+    resistor_tolerances,
+    *,
+    significance,
+    is_sign_cell,
+    params: CurFeCellParameters,
+    stored_bit: int = 1,
+    input_bit: int = 1,
+):
+    """Vectorised signed bitline currents for a tensor of CurFe cells (A).
+
+    All array arguments broadcast together.  ``significance`` selects the
+    binary-weighted drain resistance per cell and ``is_sign_cell`` flips the
+    bias (source at ``VDDi``) and the current sign, exactly like
+    :meth:`CurFeCell.bitline_current` does per device.
+    """
+    if stored_bit not in (0, 1) or input_bit not in (0, 1):
+        raise ValueError("stored_bit and input_bit must be 0 or 1")
+    vth_offsets = np.asarray(vth_offsets, dtype=float)
+    resistor_tolerances = np.asarray(resistor_tolerances, dtype=float)
+    significance = np.asarray(significance)
+    is_sign_cell = np.asarray(is_sign_cell, dtype=bool)
+    state_vth = params.low_vth if stored_bit == 1 else params.high_vth
+    vth = state_vth + vth_offsets
+    resistance = (
+        params.base_resistance / (2 ** significance).astype(float)
+    ) * (1.0 + resistor_tolerances)
+    gate = params.read_voltage if input_bit == 1 else params.idle_voltage
+    drop = np.where(
+        is_sign_cell,
+        params.sign_supply_voltage - params.common_mode_voltage,
+        params.common_mode_voltage,
+    )
+    source = np.where(is_sign_cell, params.common_mode_voltage, 0.0)
+    current = curfe_series_currents(drop, gate, source, resistance, vth, params.fefet_params)
+    return np.where(is_sign_cell, -current, current)
+
+
+def characterise_curfe_group(
+    vth_offsets,
+    resistor_tolerances,
+    *,
+    signed: bool,
+    params: CurFeCellParameters,
+):
+    """The three current tables of a whole H4B/L4B cell tensor (A).
+
+    ``vth_offsets`` / ``resistor_tolerances`` have shape (..., 4) with the
+    column significance on the last axis (column 3 is the sign cell of a
+    signed group).  Returns ``(on, off_selected, unselected)`` — the single
+    characterisation entry point shared by the detailed blocks and
+    :meth:`repro.engine.ArrayState.build`.
+    """
+    is_sign = np.zeros(4, dtype=bool)
+    is_sign[-1] = signed
+    kwargs = dict(significance=np.arange(4), is_sign_cell=is_sign, params=params)
+    return tuple(
+        characterise_curfe_cells(
+            vth_offsets,
+            resistor_tolerances,
+            stored_bit=stored,
+            input_bit=selected,
+            **kwargs,
+        )
+        for stored, selected in ((1, 1), (0, 1), (1, 0))
+    )
 
 
 class CurFeCell:
@@ -145,42 +290,20 @@ class CurFeCell:
 
         The cell is a resistor in series with the FeFET channel; the total
         voltage across the series pair is ``total_drop`` (>= 0) and the FeFET
-        source sits at ``source_voltage``.  Bisection on the intermediate
-        node voltage finds the current where the resistor and FeFET agree.
+        source sits at ``source_voltage``.  Delegates to the shared
+        vectorised solver :func:`curfe_series_currents` so that per-cell and
+        array-engine evaluation agree bit for bit.
         """
-        if total_drop <= 0:
-            return 0.0
-        resistance = self.resistor.effective_resistance
-
-        def mismatch(v_fefet: float) -> float:
-            i_resistor = (total_drop - v_fefet) / resistance
-            i_fefet = self.fefet.drain_current(
-                gate_voltage, source_voltage + v_fefet, source_voltage
+        return float(
+            curfe_series_currents(
+                total_drop,
+                gate_voltage,
+                source_voltage,
+                self.resistor.effective_resistance,
+                self.fefet.vth,
+                self.fefet.params,
             )
-            return i_resistor - i_fefet
-
-        lo, hi = 0.0, total_drop
-        f_lo = mismatch(lo)
-        f_hi = mismatch(hi)
-        if f_lo <= 0:
-            # FeFET cannot conduct even the smallest resistor current → the
-            # cell is effectively off; current equals the FeFET current with
-            # the full drop across it.
-            return self.fefet.drain_current(
-                gate_voltage, source_voltage + total_drop, source_voltage
-            )
-        if f_hi >= 0:
-            # Resistor limits entirely (FeFET is a perfect switch).
-            return total_drop / resistance
-        for _ in range(60):
-            mid = 0.5 * (lo + hi)
-            f_mid = mismatch(mid)
-            if f_mid > 0:
-                lo = mid
-            else:
-                hi = mid
-        v_fefet = 0.5 * (lo + hi)
-        return (total_drop - v_fefet) / resistance
+        )
 
     def bitline_current(self, input_bit: int) -> float:
         """Signed current drawn *out of* the bitline (TIA summing node), in A.

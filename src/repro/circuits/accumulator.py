@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..engine.readout_core import combine_nibbles
+
 __all__ = ["AccumulatorParameters", "AccumulationModule"]
 
 
@@ -96,14 +98,12 @@ class AccumulationModule:
 
         Returns:
             The combined MAC value for this input bit plane.
+
+        The arithmetic lives in
+        :func:`repro.engine.readout_core.combine_nibbles`, shared with the
+        functional model and the vectorised array engine.
         """
-        if weight_bits not in (4, 8):
-            raise ValueError("weight_bits must be 4 or 8")
-        if weight_bits == 4:
-            return float(mac_high)
-        if mac_low is None:
-            raise ValueError("8-bit weights require the low-nibble MAC")
-        return float(mac_high) * 16.0 + float(mac_low)
+        return float(combine_nibbles(mac_high, mac_low, weight_bits))
 
     def accumulate_input_bit(self, mac_value: float, bit_position: int) -> float:
         """Add one input-bit-plane MAC, shifted by the bit significance.

@@ -26,6 +26,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..engine.readout_core import adc_raw_codes, codes_to_mac
+
 __all__ = ["ADCMode", "ADCParameters", "SARADC", "MACQuantizer"]
 
 
@@ -159,8 +161,28 @@ class SARADC:
         return p.v_min + raw * p.lsb_voltage
 
     def transfer_curve(self, voltages: np.ndarray) -> np.ndarray:
-        """Vectorised conversion of an array of input voltages."""
-        return np.array([self.convert(float(v)) for v in np.asarray(voltages)])
+        """Vectorised conversion of an array of input voltages.
+
+        Elementwise identical to calling :meth:`convert` per voltage: noise
+        draws (when configured) consume the generator in the same order as
+        sequential scalar conversions.
+        """
+        p = self.params
+        voltages = np.asarray(voltages, dtype=float)
+        effective = voltages + self.offset_voltage
+        if p.input_noise_sigma > 0 and self._rng is not None:
+            effective = effective + self._rng.normal(
+                0.0, p.input_noise_sigma, size=voltages.shape
+            )
+        raw = adc_raw_codes(
+            effective,
+            v_min=p.v_min,
+            v_max=p.v_max,
+            num_levels=p.num_levels,
+        ).astype(np.int64)
+        if p.mode == ADCMode.TWOS_COMPLEMENT:
+            raw = raw - 2 ** (p.resolution_bits - 1)
+        return raw
 
     # -------------------------------------------------------- cost modelling
 
@@ -240,6 +262,26 @@ class MACQuantizer:
         else:
             raw = code
         return self.mac_at_v_min + raw * self.mac_per_lsb
+
+    def quantize_voltages(self, voltages: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`quantize_voltage` over an arbitrary-shape array.
+
+        Elementwise bit-identical to the scalar path for a noiseless
+        converter (per-conversion input noise, which would consume the ADC's
+        generator in data-dependent order, is not applied here; the macro
+        readout path never configures it).
+        """
+        p = self.adc.params
+        raw = adc_raw_codes(
+            voltages,
+            v_min=p.v_min,
+            v_max=p.v_max,
+            num_levels=p.num_levels,
+            offset_voltage=self.adc.offset_voltage,
+        )
+        return codes_to_mac(
+            raw, mac_at_v_min=self.mac_at_v_min, mac_per_lsb=self.mac_per_lsb
+        )
 
     def quantize_mac(self, mac_value: float) -> float:
         """Round-trip an ideal MAC value through the ADC (quantisation only)."""

@@ -11,7 +11,7 @@ Layering inside the package:
 * :mod:`transients` — builders for the paper's transient MAC examples.
 """
 
-from .bank import BankConversion, IMCBank
+from .bank import BankConversion, IMCBank, build_mac_quantizer
 from .chgfe import ChgFeBlock, ChgFeBlockConfig
 from .curfe import CurFeBlock, CurFeBlockConfig
 from .dataflow import (
@@ -44,6 +44,7 @@ from .weights import (
 __all__ = [
     "BankConversion",
     "IMCBank",
+    "build_mac_quantizer",
     "ChgFeBlock",
     "ChgFeBlockConfig",
     "CurFeBlock",

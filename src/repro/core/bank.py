@@ -25,7 +25,54 @@ from ..circuits.reference_bank import ReferenceBank
 from .inputs import InputVector
 from .readout import MACRange
 
-__all__ = ["IMCBlock", "BankConversion", "IMCBank"]
+__all__ = ["IMCBlock", "BankConversion", "IMCBank", "build_mac_quantizer"]
+
+
+def build_mac_quantizer(
+    *,
+    mac_range: MACRange,
+    nominal_voltage_for_mac,
+    adc_bits: int,
+    mode: str,
+    reference_bank: Optional[ReferenceBank] = None,
+) -> MACQuantizer:
+    """Build the MAC quantiser for one column group.
+
+    The reference bank derives the ADC input range from the group's nominal
+    (variation-free) MAC-to-voltage transfer, and the quantiser records which
+    end of the range corresponds to which MAC extreme (the CurFe H4B slope is
+    positive, the ChgFe slope negative).  Shared by :class:`IMCBank` and the
+    vectorised :class:`repro.engine.MacroEngine` so both build identical
+    converters.
+
+    Args:
+        mac_range: Representable partial-MAC range of the group.
+        nominal_voltage_for_mac: The group's nominal transfer function
+            (MAC value -> readout voltage).
+        adc_bits: SAR ADC resolution.
+        mode: ``ADCMode.TWOS_COMPLEMENT`` or ``ADCMode.NON_TWOS_COMPLEMENT``.
+        reference_bank: Optional reference-bank model (defaults to a fresh
+            :class:`ReferenceBank`).
+    """
+    reference_bank = reference_bank or ReferenceBank()
+    v_at_min = nominal_voltage_for_mac(mac_range.minimum)
+    v_at_max = nominal_voltage_for_mac(mac_range.maximum)
+    v_min, v_max = reference_bank.reference_range(
+        nominal_voltage_for_mac, mac_range.minimum, mac_range.maximum
+    )
+    if v_at_min < v_at_max:
+        mac_at_v_min, mac_at_v_max = mac_range.minimum, mac_range.maximum
+    else:
+        mac_at_v_min, mac_at_v_max = mac_range.maximum, mac_range.minimum
+    adc = SARADC(
+        ADCParameters(
+            resolution_bits=adc_bits,
+            v_min=v_min,
+            v_max=v_max,
+            mode=mode,
+        )
+    )
+    return MACQuantizer(adc, mac_at_v_min=mac_at_v_min, mac_at_v_max=mac_at_v_max)
 
 
 class IMCBlock(Protocol):
@@ -116,25 +163,13 @@ class IMCBank:
     # ------------------------------------------------------------ construction
 
     def _build_quantizer(self, block: IMCBlock, mode: str) -> MACQuantizer:
-        mac_range = block.mac_range()
-        v_at_min = block.nominal_voltage_for_mac(mac_range.minimum)
-        v_at_max = block.nominal_voltage_for_mac(mac_range.maximum)
-        v_min, v_max = self.reference_bank.reference_range(
-            block.nominal_voltage_for_mac, mac_range.minimum, mac_range.maximum
+        return build_mac_quantizer(
+            mac_range=block.mac_range(),
+            nominal_voltage_for_mac=block.nominal_voltage_for_mac,
+            adc_bits=self.adc_bits,
+            mode=mode,
+            reference_bank=self.reference_bank,
         )
-        if v_at_min < v_at_max:
-            mac_at_v_min, mac_at_v_max = mac_range.minimum, mac_range.maximum
-        else:
-            mac_at_v_min, mac_at_v_max = mac_range.maximum, mac_range.minimum
-        adc = SARADC(
-            ADCParameters(
-                resolution_bits=self.adc_bits,
-                v_min=v_min,
-                v_max=v_max,
-                mode=mode,
-            )
-        )
-        return MACQuantizer(adc, mac_at_v_min=mac_at_v_min, mac_at_v_max=mac_at_v_max)
 
     # ---------------------------------------------------------------- storage
 

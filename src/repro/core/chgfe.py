@@ -24,9 +24,15 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..cells.chgfe_cell import ChgFeCellParameters, ChgFeNCell, ChgFePCell
+from ..cells.chgfe_cell import (
+    ChgFeCellParameters,
+    ChgFeNCell,
+    ChgFePCell,
+    characterise_chgfe_group,
+)
 from ..devices.passives import Capacitor
 from ..devices.variation import NO_VARIATION, VariationModel
+from ..engine.readout_core import charge_share
 from .readout import ChgFeReadout, MACRange, mac_range_for_group
 from .weights import bits_to_nibble
 
@@ -101,35 +107,43 @@ class ChgFeBlock:
             Capacitor(params.bitline_capacitance, tolerance=float(tol))
             for tol in tolerances
         ]
+        self._capacitances = np.array(
+            [cap.effective_capacitance for cap in self.bitline_capacitors]
+        )
 
     def _build_cells(self) -> None:
+        """Instantiate cells and cache their ΔV contributions.
+
+        Cell objects are still created (they carry the per-device variation
+        state), but the three ΔV tables are characterised in one batched
+        call to :func:`characterise_chgfe_group` — the same kernel the
+        per-cell ``bitline_delta_v`` methods delegate to, so the cached
+        tables match per-cell evaluation bit for bit.  Without variation
+        every cell of a column is electrically identical, so a single row
+        is characterised and broadcast.
+        """
         config = self.config
         rows, cols = config.rows, self.NUM_COLUMNS
-        self.cells: List[List[Union[ChgFeNCell, ChgFePCell]]] = []
-        self._dv_on = np.zeros((rows, cols))
-        self._dv_off_selected = np.zeros((rows, cols))
-        self._dv_unselected = np.zeros((rows, cols))
-
-        use_templates = not config.variation.enabled
-        templates: List[Tuple[float, float, float]] = []
-        if use_templates:
-            for col in range(cols):
-                cell = self._make_cell(col, rng=None)
-                templates.append(self._characterise(cell, col))
-
-        for row in range(rows):
-            row_cells: List[Union[ChgFeNCell, ChgFePCell]] = []
-            for col in range(cols):
-                cell = self._make_cell(col, rng=self._rng if not use_templates else None)
-                row_cells.append(cell)
-                if use_templates:
-                    on, off_sel, unsel = templates[col]
-                else:
-                    on, off_sel, unsel = self._characterise(cell, col)
-                self._dv_on[row, col] = on
-                self._dv_off_selected[row, col] = off_sel
-                self._dv_unselected[row, col] = unsel
-            self.cells.append(row_cells)
+        cell_rng = self._rng if config.variation.enabled else None
+        self.cells: List[List[Union[ChgFeNCell, ChgFePCell]]] = [
+            [self._make_cell(col, rng=cell_rng) for col in range(cols)]
+            for _row in range(rows)
+        ]
+        if config.variation.enabled:
+            vth_offsets = np.array(
+                [[cell.fefet.vth_offset for cell in row] for row in self.cells]
+            )
+            tables = characterise_chgfe_group(
+                vth_offsets, signed=config.signed, params=config.cell_params
+            )
+        else:
+            tables = tuple(
+                np.broadcast_to(table, (rows, cols))
+                for table in characterise_chgfe_group(
+                    np.zeros((1, cols)), signed=config.signed, params=config.cell_params
+                )
+            )
+        self._dv_on, self._dv_off_selected, self._dv_unselected = tables
 
     def _is_sign_column(self, col: int) -> bool:
         return self.config.signed and col == self.NUM_COLUMNS - 1
@@ -150,24 +164,25 @@ class ChgFeBlock:
             col, params=params, variation=self.config.variation, rng=rng
         )
 
-    def _characterise(
-        self, cell: Union[ChgFeNCell, ChgFePCell], col: int
-    ) -> Tuple[float, float, float]:
-        """Return (stored-1 selected, stored-0 selected, unselected) ΔV contributions.
+    def characterisation_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached per-cell ΔV tables, each of shape (rows, 4) in volts.
 
-        The ΔV is referenced to the cell's *own* nominal bitline capacitance;
-        capacitor mismatch is applied separately in :meth:`bitline_voltages`.
+        Returns ``(on, off_selected, unselected)`` copies: the bitline ΔV of
+        a cell storing '1' on a selected row, storing '0' on a selected row,
+        and on an unselected row respectively.  The ΔV is referenced to the
+        cell's own nominal bitline capacitance; capacitor mismatch is applied
+        separately in :meth:`bitline_voltages`.  This is the
+        structure-of-arrays view the :mod:`repro.engine` harvests.
         """
-        saved = cell.stored_bit
-        try:
-            cell.program(1)
-            on = cell.bitline_delta_v(1)
-            unselected = cell.bitline_delta_v(0)
-            cell.program(0)
-            off_selected = cell.bitline_delta_v(1)
-        finally:
-            cell.program(saved)
-        return on, off_selected, unselected
+        return (
+            self._dv_on.copy(),
+            self._dv_off_selected.copy(),
+            self._dv_unselected.copy(),
+        )
+
+    def bitline_capacitances(self) -> np.ndarray:
+        """Effective (mismatch-included) bitline capacitances, shape (4,), in farads."""
+        return self._capacitances.copy()
 
     # ---------------------------------------------------------------- storage
 
@@ -241,10 +256,7 @@ class ChgFeBlock:
     def shared_voltage(self, input_bits: Sequence[int]) -> float:
         """Charge-sharing result: capacitance-weighted average of the bitlines (V)."""
         voltages = self.bitline_voltages(input_bits)
-        capacitances = np.array(
-            [cap.effective_capacitance for cap in self.bitline_capacitors]
-        )
-        return float(np.dot(voltages, capacitances) / np.sum(capacitances))
+        return float(charge_share(voltages, self._capacitances))
 
     def output_voltage(self, input_bits: Sequence[int]) -> float:
         """Alias of :meth:`shared_voltage` (the group's analog pMACV), Eq. (5)/(6)."""

@@ -26,7 +26,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..cells.curfe_cell import CurFeCell, CurFeCellParameters
+from ..cells.curfe_cell import (
+    CurFeCell,
+    CurFeCellParameters,
+    characterise_curfe_group,
+)
 from ..circuits.adc import ADCMode, ADCParameters, MACQuantizer, SARADC
 from ..circuits.tia import TIAParameters, TransimpedanceAmplifier
 from ..devices.variation import NO_VARIATION, VariationModel
@@ -120,36 +124,43 @@ class CurFeBlock:
     # ------------------------------------------------------------ construction
 
     def _build_cells(self) -> None:
-        """Instantiate cells and cache their current contributions."""
+        """Instantiate cells and cache their current contributions.
+
+        Cell objects are still created (they carry the per-device variation
+        state and remain the interface for device-level experiments), but
+        the three per-cell current contributions are characterised in one
+        batched call to :func:`characterise_curfe_group` — the same kernel
+        each cell's :meth:`~repro.cells.curfe_cell.CurFeCell.bitline_current`
+        delegates to, so the cached tables match per-cell evaluation bit for
+        bit.  Without variation every cell of a column is electrically
+        identical, so a single row is characterised and broadcast.
+        """
         config = self.config
         rows, cols = config.rows, self.NUM_COLUMNS
-        self.cells: List[List[CurFeCell]] = []
-        self._current_on = np.zeros((rows, cols))
-        self._current_off_selected = np.zeros((rows, cols))
-        self._current_unselected = np.zeros((rows, cols))
-
-        # Without variation, every cell of a column is electrically identical:
-        # evaluate one template per column and broadcast.
-        use_templates = not config.variation.enabled
-        templates: List[Tuple[float, float, float]] = []
-        if use_templates:
-            for col in range(cols):
-                cell = self._make_cell(col, rng=None)
-                templates.append(self._characterise(cell))
-
-        for row in range(rows):
-            row_cells: List[CurFeCell] = []
-            for col in range(cols):
-                cell = self._make_cell(col, rng=self._rng if not use_templates else None)
-                row_cells.append(cell)
-                if use_templates:
-                    on, off_sel, unsel = templates[col]
-                else:
-                    on, off_sel, unsel = self._characterise(cell)
-                self._current_on[row, col] = on
-                self._current_off_selected[row, col] = off_sel
-                self._current_unselected[row, col] = unsel
-            self.cells.append(row_cells)
+        cell_rng = self._rng if config.variation.enabled else None
+        self.cells: List[List[CurFeCell]] = [
+            [self._make_cell(col, rng=cell_rng) for col in range(cols)]
+            for _row in range(rows)
+        ]
+        if config.variation.enabled:
+            vth_offsets = np.array(
+                [[cell.fefet.vth_offset for cell in row] for row in self.cells]
+            )
+            tolerances = np.array(
+                [[cell.resistor.tolerance for cell in row] for row in self.cells]
+            )
+            tables = characterise_curfe_group(
+                vth_offsets, tolerances, signed=config.signed, params=config.cell_params
+            )
+        else:
+            zeros = np.zeros((1, cols))
+            tables = tuple(
+                np.broadcast_to(table, (rows, cols))
+                for table in characterise_curfe_group(
+                    zeros, zeros, signed=config.signed, params=config.cell_params
+                )
+            )
+        self._current_on, self._current_off_selected, self._current_unselected = tables
 
     def _make_cell(self, col: int, *, rng: Optional[np.random.Generator]) -> CurFeCell:
         is_sign = self.config.signed and col == self.NUM_COLUMNS - 1
@@ -167,19 +178,19 @@ class CurFeBlock:
             rng=rng,
         )
 
-    @staticmethod
-    def _characterise(cell: CurFeCell) -> Tuple[float, float, float]:
-        """Return (stored-1 selected, stored-0 selected, unselected) bitline currents."""
-        saved = cell.stored_bit
-        try:
-            cell.program(1)
-            on = cell.bitline_current(1)
-            unselected = cell.bitline_current(0)
-            cell.program(0)
-            off_selected = cell.bitline_current(1)
-        finally:
-            cell.program(saved)
-        return on, off_selected, unselected
+    def characterisation_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached per-cell current tables, each of shape (rows, 4) in amperes.
+
+        Returns ``(on, off_selected, unselected)`` copies: the signed bitline
+        current of a cell storing '1' on a selected row, storing '0' on a
+        selected row, and on an unselected row respectively.  This is the
+        structure-of-arrays view the :mod:`repro.engine` harvests.
+        """
+        return (
+            self._current_on.copy(),
+            self._current_off_selected.copy(),
+            self._current_unselected.copy(),
+        )
 
     # ---------------------------------------------------------------- storage
 

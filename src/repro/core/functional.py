@@ -13,6 +13,22 @@ each bit significance, estimated by Monte-Carlo over the actual cell models
 the spread well below 1 %, while ChgFe's bare FeFETs show several percent to
 tens of percent depending on significance — which is exactly why ChgFe's
 inference accuracy trails CurFe's slightly in Fig. 10.
+
+Functional vs device-detailed engine
+------------------------------------
+
+Two vectorised paths now exist, sharing the nibble-combine and shift-add
+arithmetic of :mod:`repro.engine.readout_core`:
+
+* **This model** folds variation into per-significance statistics and
+  quantises in the MAC-value domain — the cheapest statistically faithful
+  path, ideal for the largest accuracy sweeps (and the only one offering
+  workload-calibrated Lloyd-Max ADC references).
+* **The device-detailed engine** (:mod:`repro.engine`) keeps each cell's
+  individual variation draw and runs the actual voltage-domain readout +
+  SAR conversion, vectorised; select it at DNN scale with
+  ``InferenceConfig(backend="device")`` when per-device fidelity matters
+  more than throughput.
 """
 
 from __future__ import annotations
@@ -26,6 +42,7 @@ import numpy as np
 from ..cells.chgfe_cell import ChgFeCellParameters, ChgFeNCell, ChgFePCell
 from ..cells.curfe_cell import CurFeCell, CurFeCellParameters
 from ..devices.variation import DEFAULT_VARIATION, NO_VARIATION, VariationModel
+from ..engine.readout_core import combine_nibbles, shift_add_planes
 from ..quant.quantize import signed_range, unsigned_range
 from .readout import mac_range_for_group
 from .weights import encode_weight_matrix
@@ -428,8 +445,8 @@ class FunctionalIMCModel:
         cols = self._weights.shape[1]
         batch = activations.shape[0]
         block = self.config.rows_per_block
-        total = np.zeros((batch, cols), dtype=float)
 
+        plane_totals = []
         for bit in range(self.config.input_bits):
             plane = ((activations >> bit) & 1).astype(float)
             plane_total = np.zeros((batch, cols), dtype=float)
@@ -442,11 +459,11 @@ class FunctionalIMCModel:
                     assert self._effective_low is not None
                     partial_low = chunk @ self._effective_low[start:stop]
                     partial_low = self._quantize_partial(partial_low, signed=False)
-                    plane_total += 16.0 * partial_high + partial_low
+                    plane_total += combine_nibbles(partial_high, partial_low, 8)
                 else:
                     plane_total += partial_high
-            total += plane_total * float(2**bit)
-        return total
+            plane_totals.append(plane_total)
+        return shift_add_planes(plane_totals, initial=np.zeros((batch, cols)))
 
     def matmul_weights(
         self, activations: np.ndarray, weights: np.ndarray

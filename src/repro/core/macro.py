@@ -7,13 +7,40 @@ array of Fig. 2(a) / Fig. 4(a) and expose the user-facing operations:
   the banks (high nibble → H4B, low nibble → L4B),
 * :meth:`IMCMacro.matvec` — bit-serial matrix-vector multiplication through
   the full analog + ADC + accumulation path,
+* :meth:`IMCMacro.matmat` — the batched equivalent over many input vectors,
 * :meth:`IMCMacro.ideal_matvec` — the exact integer reference for the same
   stored weights.
 
-These are the *detailed* (per-device) models used by the circuit-level
-experiments and integration tests.  DNN-scale inference uses the vectorised
-:mod:`repro.core.functional` model instead, which shares the same readout
-and quantisation maths.
+Engine-backed architecture
+--------------------------
+
+Since the introduction of :mod:`repro.engine`, the per-cell object hierarchy
+built here (banks of H4B/L4B blocks holding individual cell models) is the
+*construction and inspection* surface of the device-detailed path, while the
+hot compute path is delegated: :meth:`IMCMacro.matvec` harvests the blocks'
+characterised cell tables into a structure-of-arrays
+:class:`~repro.engine.MacroEngine` (lazily, on first use) and runs the whole
+bit-serial pipeline vectorised across banks, block rows, and bit planes —
+bit-identical to the legacy loop, which remains available as
+:meth:`IMCMacro.matvec_reference` for golden-equivalence testing and
+benchmarking.
+
+Choosing a model:
+
+* **Device-detailed** (this module / :mod:`repro.engine`) — every analog
+  non-ideality is derived from the actual per-cell device models, including
+  each cell's individual variation draw; use it for circuit-level
+  experiments, Monte-Carlo studies, and moderate-scale workloads.
+* **Functional** (:mod:`repro.core.functional`) — folds device variation
+  into per-significance current-spread statistics and quantises in the MAC
+  domain; use it for the largest DNN sweeps where statistical fidelity
+  suffices.
+
+Reproducibility: when ``config.variation`` is enabled and no explicit
+``rng`` is passed, every per-cell variation draw comes from
+``numpy.random.default_rng(config.seed)`` — two macros with equal configs
+sample identical devices.  Pass an explicit generator to take control of
+(and responsibility for) the stream.
 """
 
 from __future__ import annotations
@@ -30,7 +57,7 @@ from .bank import IMCBank
 from .chgfe import ChgFeBlock, ChgFeBlockConfig
 from .curfe import CurFeBlock, CurFeBlockConfig
 from .inputs import InputVector
-from .weights import WeightPlan, encode_weight_matrix
+from .weights import WeightPlan, bits_to_nibble, encode_weight_matrix
 
 __all__ = ["IMCMacroConfig", "IMCMacro", "CurFeMacro", "ChgFeMacro"]
 
@@ -46,6 +73,11 @@ class IMCMacroConfig:
         adc_bits: SAR ADC resolution.
         weight_bits: Weight precision, 4 or 8.
         variation: Device-variation statistics applied to every cell.
+        seed: Seed of the variation-draw generator used when ``variation``
+            is enabled and no explicit ``rng`` is passed to the macro (or to
+            :meth:`repro.engine.ArrayState.build`).  Macros with equal
+            configs therefore sample identical devices by default; an
+            explicitly passed generator always takes precedence.
     """
 
     rows: int = 128
@@ -54,6 +86,7 @@ class IMCMacroConfig:
     adc_bits: int = 5
     weight_bits: int = 8
     variation: VariationModel = NO_VARIATION
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.banks < 1 or self.block_rows < 1:
@@ -98,9 +131,12 @@ class IMCMacro:
     ) -> None:
         self.config = config or IMCMacroConfig()
         if self.config.variation.enabled and rng is None:
-            rng = np.random.default_rng(0)
+            # Documented reproducibility semantics: the variation stream is
+            # seeded from the config, not from a hidden constant.
+            rng = np.random.default_rng(self.config.seed)
         self._rng = rng
         self._plan: Optional[WeightPlan] = None
+        self._engine = None
         self._banks: List[List[IMCBank]] = []
         for _bank_index in range(self.config.banks):
             bank_blocks: List[IMCBank] = []
@@ -155,6 +191,10 @@ class IMCMacro:
                 )
                 self._banks[bank_index][block_row].program(high_bits, low_bits)
         self._plan = plan
+        if self._engine is not None:
+            # Cell characterisation is independent of the stored pattern, so
+            # the harvested engine only needs the new plan.
+            self._engine.program_plan(plan)
         return plan
 
     # -------------------------------------------------------------- operation
@@ -168,14 +208,104 @@ class IMCMacro:
         stop = start + self.config.block_rows
         return InputVector(values=inputs.values[start:stop], bits=inputs.bits)
 
+    @property
+    def engine(self):
+        """The vectorised :class:`~repro.engine.MacroEngine` backing this macro.
+
+        Built lazily by harvesting the blocks' characterised cell tables;
+        shares this macro's exact per-cell floats (and weight plan), so its
+        results are bit-identical to :meth:`matvec_reference`.
+        """
+        if self._engine is None:
+            from ..engine.macro_engine import MacroEngine
+
+            self._engine = MacroEngine.from_macro(self)
+        return self._engine
+
+    def _harvest_stored_bits(self):
+        """Stored bit tensors of every block, shape (banks, R, rows, 4) each."""
+        config = self.config
+        shape = (config.banks, config.num_block_rows, config.block_rows, 4)
+        high = np.empty(shape, dtype=np.int64)
+        low = np.empty(shape, dtype=np.int64) if config.weight_bits == 8 else None
+        for bank_index in range(config.banks):
+            for block_row in range(config.num_block_rows):
+                bank = self._banks[bank_index][block_row]
+                high[bank_index, block_row] = bank.high_block.stored_bits
+                if low is not None:
+                    low[bank_index, block_row] = bank.low_block.stored_bits
+        return high, low
+
+    def _synced_engine(self):
+        """The engine, reprogrammed if blocks were written behind its back.
+
+        :meth:`repro.core.bank.IMCBank.program` (or direct block
+        programming) bypasses :meth:`program_weights`; before every MAC the
+        blocks' stored bits are compared against the engine's tensors and
+        the engine is reprogrammed from them when they diverge, so
+        delegated results always reflect the live array state — exactly as
+        the legacy loop would.
+        """
+        engine = self.engine
+        high, low = self._harvest_stored_bits()
+        if not engine.matches_stored_bits(high, low):
+            high_nibbles = bits_to_nibble(high, signed=True)
+            if self.config.weight_bits == 8:
+                weights = 16 * high_nibbles + bits_to_nibble(low, signed=False)
+            else:
+                weights = high_nibbles
+            banks = self.config.banks
+            engine.program_weights(weights.reshape(banks, self.config.rows).T)
+        return engine
+
     def matvec(self, inputs: InputVector) -> np.ndarray:
         """Bit-serial MAC of an input vector against every stored weight column.
+
+        Delegates to the vectorised array engine; the result is
+        bit-identical to the legacy per-device loop, which remains available
+        as :meth:`matvec_reference`.
 
         Args:
             inputs: Unsigned activation vector of length ``config.rows``.
 
         Returns:
             Array of shape (banks,) with the digital MAC results.
+        """
+        self._check_programmed()
+        if inputs.rows != self.config.rows:
+            raise ValueError(
+                f"input vector has {inputs.rows} rows, expected {self.config.rows}"
+            )
+        return self._synced_engine().matvec(inputs)
+
+    def matmat(
+        self,
+        inputs: np.ndarray,
+        *,
+        bits: int,
+        method: str = "exact",
+    ) -> np.ndarray:
+        """Batched bit-serial MAC of many input vectors (see engine docs).
+
+        Args:
+            inputs: Integer array of shape (rows, batch), one unsigned
+                activation vector per column.
+            bits: Input precision (1..8).
+            method: ``"exact"`` (bit-identical to column-stacked
+                :meth:`matvec`) or ``"fast"``.
+
+        Returns:
+            Float array of shape (banks, batch).
+        """
+        self._check_programmed()
+        return self._synced_engine().matmat(inputs, bits=bits, method=method)
+
+    def matvec_reference(self, inputs: InputVector) -> np.ndarray:
+        """The legacy per-device loop: banks × block rows × bit planes.
+
+        Kept as the golden reference the vectorised engine is checked
+        against (and as the baseline of ``bench_engine_speed``); new code
+        should call :meth:`matvec`.
         """
         self._check_programmed()
         if inputs.rows != self.config.rows:

@@ -43,6 +43,7 @@ __all__ = [
     "FeFET",
     "DEFAULT_NFEFET_PARAMS",
     "DEFAULT_PFEFET_PARAMS",
+    "fefet_drain_current",
     "calibrate_vth_for_on_current",
     "make_slc_nfefet",
     "make_mlc_nfefet",
@@ -104,6 +105,55 @@ DEFAULT_NFEFET_PARAMS = FeFETParameters(polarity="n")
 
 #: Default pFeFET parameters (mirror of the nFeFET).
 DEFAULT_PFEFET_PARAMS = FeFETParameters(polarity="p")
+
+
+def fefet_drain_current(vg, vd, vs, vth, params: FeFETParameters) -> np.ndarray:
+    """Vectorised FeFET drain current (A) for broadcastable bias/Vth arrays.
+
+    This is the single evaluation kernel of the compact model:
+    :meth:`FeFET.drain_current` calls it with scalars, and the array engine
+    calls it with whole-array Vth tensors, so the per-device and vectorised
+    paths produce bit-identical currents.
+
+    Args:
+        vg: Gate voltage(s) relative to the bulk/ground reference (V).
+        vd: Drain voltage(s) (V).
+        vs: Source voltage(s) (V).
+        vth: Effective threshold voltage(s) including variation offsets (V).
+        params: Channel parameters shared by every evaluated device.
+
+    Returns:
+        Drain current magnitudes (A), broadcast over the inputs.
+    """
+    p = params
+    vt = _THERMAL_VOLTAGE
+    n = p.subthreshold_ideality
+    vg = np.asarray(vg, dtype=float)
+    vd = np.asarray(vd, dtype=float)
+    vs = np.asarray(vs, dtype=float)
+    vth = np.asarray(vth, dtype=float)
+    vgs = vg - vs
+    vds = vd - vs
+    if p.polarity == "n":
+        overdrive = vgs - vth
+    else:
+        # pFeFET: conduction for Vgs below Vth (i.e. Vsg above |Vth|).
+        overdrive = vth - vgs
+        vds = -vds
+    # Symmetric device: swap source and drain.
+    vds = np.where(vds < 0, -vds, vds)
+    # Smooth subthreshold-to-strong-inversion interpolation with a
+    # numerically safe softplus.
+    x = overdrive / (n * vt)
+    softplus = np.where(x > 40.0, x, np.log1p(np.exp(np.minimum(x, 40.0))))
+    channel = p.transconductance * (n * vt) ** 2 * softplus * softplus
+    # Triode-to-saturation transition and channel-length modulation.
+    channel = channel * (
+        (1.0 - np.exp(-vds / vt)) * (1.0 + p.channel_length_modulation * vds)
+    )
+    current = channel + p.leakage_current
+    # Compliance clamp: real FeFET read paths saturate.
+    return np.minimum(current, p.max_on_current)
 
 
 class FeFET:
@@ -203,37 +253,7 @@ class FeFET:
             The drain current magnitude in amperes (always >= leakage floor
             contribution, and soft-clamped at ``max_on_current``).
         """
-        p = self.params
-        vt = _THERMAL_VOLTAGE
-        n = p.subthreshold_ideality
-        if p.polarity == "n":
-            vgs = vg - vs
-            vds = vd - vs
-            overdrive = vgs - self.vth
-        else:
-            # pFeFET: conduction for Vgs below Vth (i.e. Vsg above |Vth|).
-            vgs = vg - vs
-            vds = vd - vs
-            overdrive = self.vth - vgs
-            vds = -vds
-        if vds < 0:
-            # Symmetric device: swap source and drain.
-            vds = -vds
-        # Smooth subthreshold-to-strong-inversion interpolation.
-        x = overdrive / (n * vt)
-        # Numerically safe softplus.
-        if x > 40.0:
-            softplus = x
-        else:
-            softplus = math.log1p(math.exp(x))
-        channel = p.transconductance * (n * vt) ** 2 * softplus * softplus
-        # Triode-to-saturation transition and channel-length modulation.
-        channel *= (1.0 - math.exp(-vds / vt)) * (
-            1.0 + p.channel_length_modulation * vds
-        )
-        current = channel + p.leakage_current
-        # Compliance clamp: real FeFET read paths saturate.
-        return min(current, p.max_on_current)
+        return float(fefet_drain_current(vg, vd, vs, self.vth, self.params))
 
     def id_vg_curve(
         self,
@@ -242,8 +262,11 @@ class FeFET:
         vs: float = 0.0,
     ) -> np.ndarray:
         """Return the Id-Vg characteristic over ``vg_values`` (A)."""
-        return np.array(
-            [self.drain_current(vg, vd, vs) for vg in vg_values], dtype=float
+        return np.asarray(
+            fefet_drain_current(
+                np.asarray(list(vg_values), dtype=float), vd, vs, self.vth, self.params
+            ),
+            dtype=float,
         )
 
     def on_current(self, vg_read: float, vd_read: float, vs: float = 0.0) -> float:

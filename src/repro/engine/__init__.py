@@ -1,0 +1,48 @@
+"""Vectorised array engine for the device-detailed macro path.
+
+The engine collapses the per-cell object hierarchy of
+:mod:`repro.core.macro` into structure-of-arrays storage
+(:class:`ArrayState`) and executes matrix-vector and batched matrix-matrix
+products fully vectorised across banks, block rows, bit planes, and batch
+(:class:`MacroEngine`) — through the *same* variation, readout and ADC maths
+as the legacy loop, bit for bit.
+
+:mod:`repro.engine.readout_core` holds the shared 2CM/N2CM/shift-add
+arithmetic and is imported eagerly (it has no intra-package dependencies);
+the heavier classes are loaded lazily to keep the import graph acyclic
+(``circuits`` modules import :mod:`readout_core`, while the engine classes
+import ``circuits`` and ``core`` modules).
+"""
+
+from . import readout_core
+from .readout_core import (
+    adc_raw_codes,
+    charge_share,
+    codes_to_mac,
+    combine_nibbles,
+    shift_add_planes,
+)
+
+__all__ = [
+    "readout_core",
+    "adc_raw_codes",
+    "charge_share",
+    "codes_to_mac",
+    "combine_nibbles",
+    "shift_add_planes",
+    "ArrayState",
+    "GroupArrays",
+    "MacroEngine",
+]
+
+
+def __getattr__(name):
+    if name in ("ArrayState", "GroupArrays"):
+        from . import array_state
+
+        return getattr(array_state, name)
+    if name == "MacroEngine":
+        from .macro_engine import MacroEngine
+
+        return MacroEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,122 @@
+"""Shared readout arithmetic of the 2CM/N2CM conversion pipeline.
+
+Every digital-side step of the paper's MAC pipeline — mapping a column
+voltage to a raw SAR code, mapping codes back into the partial-MAC domain,
+combining the signed high-nibble (2CM) and unsigned low-nibble (N2CM)
+partial MACs (Eq. (2)), and the input bit-serial shift-add — used to be
+implemented twice: once scalar in :mod:`repro.core.bank` /
+:mod:`repro.circuits` for the per-device path and once vectorised in
+:mod:`repro.core.functional` for DNN-scale work.
+
+This module is now the single home of that maths.  Everything here is plain
+elementwise numpy (no intra-package imports), deliberately written so that
+evaluating one scalar and evaluating a whole batched tensor run the *same*
+floating-point operations in the same order — which is what lets the
+vectorised :class:`repro.engine.MacroEngine` reproduce the legacy per-device
+loop bit for bit.
+
+Consumers:
+
+* :class:`repro.circuits.adc.SARADC` / ``MACQuantizer`` — raw-code maths,
+* :class:`repro.circuits.accumulator.AccumulationModule` — nibble combine,
+* :class:`repro.core.functional.FunctionalIMCModel` — combine + shift-add,
+* :class:`repro.engine.MacroEngine` — all of the above, batched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "adc_raw_codes",
+    "codes_to_mac",
+    "combine_nibbles",
+    "shift_add_planes",
+    "charge_share",
+]
+
+
+def adc_raw_codes(
+    voltages,
+    *,
+    v_min: float,
+    v_max: float,
+    num_levels: int,
+    offset_voltage: float = 0.0,
+):
+    """Raw (unsigned, 0 .. num_levels-1) SAR codes for input voltages.
+
+    Implements the noiseless core of :meth:`repro.circuits.adc.SARADC.convert`
+    elementwise: offset addition, normalisation to the full-scale range,
+    round-half-even to the nearest code, and clipping to the code range.
+    Works on scalars and arrays alike.
+    """
+    effective = np.asarray(voltages, dtype=float) + offset_voltage
+    normalized = (effective - v_min) / (v_max - v_min)
+    raw = np.rint(normalized * (num_levels - 1))
+    return np.clip(raw, 0, num_levels - 1)
+
+
+def codes_to_mac(raw_codes, *, mac_at_v_min: float, mac_per_lsb: float):
+    """Map raw SAR codes into the integer partial-MAC domain.
+
+    The macro dataflow produces column voltages linear in the partial-MAC
+    value (Eqs. (3)-(6)); a raw code therefore corresponds to the MAC value
+    ``mac_at_v_min + raw * mac_per_lsb``.
+    """
+    return mac_at_v_min + np.asarray(raw_codes, dtype=float) * mac_per_lsb
+
+
+def combine_nibbles(mac_high, mac_low, weight_bits: int):
+    """Combine 2CM (signed high nibble) and N2CM (low nibble) partial MACs.
+
+    For 8-bit weights ``mac = 16*mac_high + mac_low`` (Eq. (2)); for 4-bit
+    weights the high nibble *is* the weight and ``mac_low`` is ignored (and
+    may be None).
+    """
+    if weight_bits not in (4, 8):
+        raise ValueError("weight_bits must be 4 or 8")
+    if weight_bits == 4:
+        return np.asarray(mac_high, dtype=float)
+    if mac_low is None:
+        raise ValueError("8-bit weights require the low-nibble MAC")
+    return np.asarray(mac_high, dtype=float) * 16.0 + np.asarray(mac_low, dtype=float)
+
+
+def shift_add_planes(plane_macs: Sequence, initial=None):
+    """Input bit-serial shift-add: ``total = sum_b plane[b] * 2**b``.
+
+    The accumulation is performed *sequentially* in ascending bit order with
+    the same operation structure as the digital accumulation module
+    (``total += plane * 2**bit``), so scalar and batched callers produce
+    identical floats.
+
+    Args:
+        plane_macs: Per-bit-plane MAC values, index = bit position (LSB
+            first); scalars or broadcast-compatible arrays.
+        initial: Optional starting total (defaults to 0.0).
+
+    Returns:
+        The accumulated total (scalar or array).
+    """
+    total = 0.0 if initial is None else initial
+    for bit_position, plane in enumerate(plane_macs):
+        total = total + np.asarray(plane, dtype=float) * float(2**bit_position)
+    return total
+
+
+def charge_share(voltages, capacitances, capacitance_totals: Optional[np.ndarray] = None):
+    """Charge-sharing average over the last axis (Eqs. (5)/(6)).
+
+    Computes the capacitance-weighted mean of the bitline voltages — the
+    shared voltage after the four bitline capacitors of a ChgFe group are
+    shorted together.  ``capacitance_totals`` may be passed to reuse a
+    precomputed ``capacitances.sum(axis=-1)``.
+    """
+    voltages = np.asarray(voltages, dtype=float)
+    capacitances = np.asarray(capacitances, dtype=float)
+    if capacitance_totals is None:
+        capacitance_totals = np.sum(capacitances, axis=-1)
+    return np.sum(voltages * capacitances, axis=-1) / capacitance_totals

@@ -78,6 +78,7 @@ def evaluate_accuracy(
     dataset: SyntheticImageDataset,
     *,
     design: str = "curfe",
+    backend: str = "functional",
     adc_bits: Optional[int] = 5,
     input_bits: int = 4,
     weight_bits: int = 8,
@@ -85,9 +86,16 @@ def evaluate_accuracy(
     max_test_samples: Optional[int] = None,
     seed: int = 0,
 ) -> float:
-    """Evaluate one quantised-IMC configuration on the dataset's test split."""
+    """Evaluate one quantised-IMC configuration on the dataset's test split.
+
+    ``backend="device"`` runs the layers through the device-detailed
+    :class:`~repro.engine.MacroEngine` instead of the functional model —
+    substantially slower but per-cell faithful; prefer small
+    ``max_test_samples`` with it.
+    """
     config = InferenceConfig(
         design=design,
+        backend=backend,
         input_bits=input_bits,
         weight_bits=weight_bits,
         adc_bits=adc_bits,
@@ -106,6 +114,7 @@ def evaluate_accuracy(
 def adc_resolution_sweep(
     *,
     designs: Sequence[str] = ("curfe", "chgfe"),
+    backend: str = "functional",
     adc_resolutions: Sequence[int] = (3, 4, 5),
     precisions: Sequence[Tuple[int, int]] = ((4, 4), (4, 8), (8, 8)),
     variation: VariationModel = DEFAULT_VARIATION,
@@ -135,6 +144,7 @@ def adc_resolution_sweep(
                     model,
                     dataset,
                     design=design,
+                    backend=backend,
                     adc_bits=adc_bits,
                     input_bits=input_bits,
                     weight_bits=weight_bits,

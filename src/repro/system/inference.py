@@ -1,14 +1,27 @@
-"""Quantised DNN inference through the functional IMC macro model.
+"""Quantised DNN inference through the IMC macro models.
 
 This is the path that turns a trained floating-point classifier into the
 accuracy numbers of Fig. 10: every convolution / fully-connected layer is
 quantised (signed 4-/8-bit weights, unsigned 1-8-bit activations) and its
-matrix products are executed by :class:`~repro.core.functional.FunctionalIMCModel`
-— i.e. through the CurFe or ChgFe pipeline with 32-row analog partial sums,
-2CM/N2CM ADC quantisation at the chosen resolution, and device-variation
-induced cell-current error.  Setting the design to ``"ideal"`` (or the ADC
-resolution to ``None``) recovers plain integer quantised inference, which is
-the baseline the degradation is measured against.
+matrix products are executed through the CurFe or ChgFe pipeline with
+32-row analog partial sums, 2CM/N2CM ADC quantisation at the chosen
+resolution, and device-variation induced cell-current error.  Setting the
+design to ``"ideal"`` (or the ADC resolution to ``None``) recovers plain
+integer quantised inference, which is the baseline the degradation is
+measured against.
+
+Two backends execute the layer matmuls:
+
+* ``backend="functional"`` (default) —
+  :class:`~repro.core.functional.FunctionalIMCModel`, device variation
+  folded into per-significance statistics; fastest, supports workload-
+  calibrated ADC references.
+* ``backend="device"`` — the device-detailed
+  :class:`~repro.engine.MacroEngine`: each layer's weight matrix is mapped
+  onto a structure-of-arrays macro (rows zero-padded up to whole 32-row
+  blocks, one bank per output column) whose every cell carries its own
+  variation draw, and activations run through the actual voltage-domain
+  readout + SAR conversion, vectorised over the batch.
 """
 
 from __future__ import annotations
@@ -28,6 +41,8 @@ from .nn import Conv2D, Linear, SmallCNN, im2col
 
 __all__ = ["InferenceConfig", "QuantizedInferenceEngine"]
 
+_BACKENDS = ("functional", "device")
+
 
 @dataclass(frozen=True)
 class InferenceConfig:
@@ -35,21 +50,41 @@ class InferenceConfig:
 
     Attributes:
         design: ``"curfe"``, ``"chgfe"``, or ``"ideal"``.
+        backend: ``"functional"`` (statistical, fastest) or ``"device"``
+            (per-cell device-detailed engine; requires a concrete design and
+            an ADC resolution).
         input_bits: Activation precision (unsigned, 1..8).
         weight_bits: Weight precision (signed, 4 or 8).
-        adc_bits: ADC resolution; None disables ADC quantisation.
+        adc_bits: ADC resolution; None disables ADC quantisation
+            (functional backend only).
         rows_per_block: Analog accumulation depth (32 in the paper).
         variation: Device-variation statistics.
         seed: Seed of the per-layer programming-variation draws.
     """
 
     design: str = "curfe"
+    backend: str = "functional"
     input_bits: int = 4
     weight_bits: int = 8
     adc_bits: Optional[int] = 5
     rows_per_block: int = 32
     variation: VariationModel = DEFAULT_VARIATION
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}")
+        if self.backend == "device":
+            if self.design == "ideal":
+                raise ValueError(
+                    "the device backend models a concrete design; use the "
+                    "functional backend for ideal-quantisation baselines"
+                )
+            if self.adc_bits is None:
+                raise ValueError(
+                    "the device backend always converts through the SAR ADC; "
+                    "set adc_bits (or use the functional backend)"
+                )
 
     def functional_config(self) -> FunctionalModelConfig:
         """The matching functional-model configuration."""
@@ -64,7 +99,7 @@ class InferenceConfig:
 
 
 class _QuantizedLayer:
-    """A weight layer quantised and programmed into a functional IMC model."""
+    """A weight layer quantised and programmed into an IMC execution backend."""
 
     def __init__(
         self,
@@ -80,23 +115,74 @@ class _QuantizedLayer:
         max_abs = float(np.max(np.abs(weight)))
         self.weight_scale = max_abs / hi if max_abs > 0 else 1.0
         weight_int = np.clip(np.round(weight / self.weight_scale), lo, hi).astype(np.int64)
-        self.engine = FunctionalIMCModel(config.functional_config(), rng=rng)
-        self.engine.program(weight_int)
         self.config = config
         self._adc_calibrated = False
+        if config.backend == "device":
+            self.engine = self._build_device_engine(weight_int, config, rng)
+        else:
+            self.engine = FunctionalIMCModel(config.functional_config(), rng=rng)
+            self.engine.program(weight_int)
+
+    def _build_device_engine(
+        self,
+        weight_int: np.ndarray,
+        config: InferenceConfig,
+        rng: np.random.Generator,
+    ):
+        """Map the layer onto a device-detailed structure-of-arrays macro.
+
+        The weight rows are zero-padded up to whole analog blocks — the
+        padding cells physically exist (programmed to zero, never selected)
+        and contribute their unselected leakage, exactly as unused rows of a
+        real macro would.
+        """
+        from ..core.macro import IMCMacroConfig
+        from ..engine.array_state import ArrayState
+        from ..engine.macro_engine import MacroEngine
+
+        rows, cols = weight_int.shape
+        block = config.rows_per_block
+        self._device_rows = rows
+        self._device_padded_rows = ((rows + block - 1) // block) * block
+        padded = np.zeros((self._device_padded_rows, cols), dtype=np.int64)
+        padded[:rows] = weight_int
+        macro_config = IMCMacroConfig(
+            rows=self._device_padded_rows,
+            banks=cols,
+            block_rows=block,
+            adc_bits=config.adc_bits,
+            weight_bits=config.weight_bits,
+            variation=config.variation,
+            seed=config.seed,
+        )
+        state = ArrayState.build(config.design, macro_config, rng=rng)
+        engine = MacroEngine(
+            state, adc_bits=config.adc_bits, weight_bits=config.weight_bits
+        )
+        engine.program_weights(padded)
+        return engine
 
     def matmul(self, activations: np.ndarray, activation_scale: float) -> np.ndarray:
         """Quantise activations, run the IMC matmul, and dequantise the result."""
         _, hi = unsigned_range(self.config.input_bits)
         codes = np.clip(np.round(activations / activation_scale), 0, hi).astype(np.int64)
-        if not self._adc_calibrated and self.config.adc_bits is not None:
-            # Programme this layer's reference bank to the partial-sum range
-            # the workload actually produces (first batch acts as the
-            # calibration set), mirroring how the FeFET reference bank is
-            # written to span the useful ADC input range.
-            self.engine.calibrate_adc_ranges(codes[: min(len(codes), 4096)])
-            self._adc_calibrated = True
-        raw = self.engine.matmul(codes)
+        if self.config.backend == "device":
+            padded = np.zeros(
+                (codes.shape[0], self._device_padded_rows), dtype=np.int64
+            )
+            padded[:, : self._device_rows] = codes
+            raw = self.engine.matmat(
+                padded.T, bits=self.config.input_bits, method="fast"
+            ).T
+        else:
+            if not self._adc_calibrated and self.config.adc_bits is not None:
+                # Programme this layer's reference bank to the partial-sum
+                # range the workload actually produces (first batch acts as
+                # the calibration set), mirroring how the FeFET reference
+                # bank is written to span the useful ADC input range.
+                self.engine.calibrate_adc_ranges(codes[: min(len(codes), 4096)])
+                self._adc_calibrated = True
+            raw = self.engine.matmul(codes)
         return raw * self.weight_scale * activation_scale + self.bias
 
 
