@@ -1,0 +1,128 @@
+"""Schema guard for the emitted benchmark records.
+
+CI runs the reduced-configuration benchmarks and then this checker; a key
+that disappears, changes type, or goes non-finite fails the job, so the
+performance trajectory files stay machine-readable across PRs.
+
+Usage:  python benchmarks/check_bench_schema.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Required keys and types of BENCH_engine.json.
+ENGINE_SCHEMA = {
+    "benchmark": str,
+    "design": str,
+    "rows": int,
+    "banks": int,
+    "weight_bits": int,
+    "input_bits": int,
+    "batch": int,
+    "tiny": bool,
+    "legacy_matvec_ms": float,
+    "engine_matvec_ms": float,
+    "engine_matmat_ms_per_column": float,
+    "engine_matmat_fast_ms_per_column": float,
+    "speedup_matvec": float,
+    "speedup_matmat": float,
+    "speedup_matmat_fast": float,
+}
+
+#: Required top-level keys and types of BENCH_chipsim.json.
+CHIPSIM_SCHEMA = {
+    "benchmark": str,
+    "design": str,
+    "input_bits": int,
+    "weight_bits": int,
+    "adc_bits": int,
+    "images": int,
+    "tiny": bool,
+    "scenarios": dict,
+}
+
+#: Required keys and types of every scenario record in BENCH_chipsim.json.
+SCENARIO_SCHEMA = {
+    "description": str,
+    "images": int,
+    "bit_identical_fast": bool,
+    "monolithic_s": float,
+    "monolithic_images_per_s": float,
+    "tiled_fast_s": float,
+    "tiled_fast_images_per_s": float,
+    "tiled_turbo_s": float,
+    "tiled_turbo_images_per_s": float,
+    "tiles_per_s": float,
+    "total_macros": int,
+    "modeled_tops_per_watt": float,
+    "modeled_fps": float,
+    "speedup_tiled_fast": float,
+    "speedup_tiled_turbo": float,
+}
+
+
+def check_record(record: dict, schema: dict, context: str) -> list:
+    errors = []
+    for key, expected_type in schema.items():
+        if key not in record:
+            errors.append(f"{context}: missing key {key!r}")
+            continue
+        value = record[key]
+        if expected_type is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{context}: {key!r} is {type(value).__name__}, wanted number")
+            elif not math.isfinite(float(value)):
+                errors.append(f"{context}: {key!r} is not finite ({value})")
+        elif not isinstance(value, expected_type) or (
+            expected_type is int and isinstance(value, bool)
+        ):
+            errors.append(
+                f"{context}: {key!r} is {type(value).__name__}, wanted {expected_type.__name__}"
+            )
+    return errors
+
+
+def main(root: Path) -> int:
+    errors = []
+    for filename, schema in (
+        ("BENCH_engine.json", ENGINE_SCHEMA),
+        ("BENCH_chipsim.json", CHIPSIM_SCHEMA),
+    ):
+        path = root / filename
+        if not path.exists():
+            errors.append(f"{filename}: file missing")
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            errors.append(f"{filename}: invalid JSON ({error})")
+            continue
+        errors.extend(check_record(record, schema, filename))
+        if filename == "BENCH_chipsim.json" and isinstance(
+            record.get("scenarios"), dict
+        ):
+            if not record["scenarios"]:
+                errors.append(f"{filename}: scenarios is empty")
+            for name, scenario in record["scenarios"].items():
+                if not isinstance(scenario, dict):
+                    errors.append(f"{filename}: scenario {name!r} is not an object")
+                    continue
+                errors.extend(
+                    check_record(scenario, SCENARIO_SCHEMA, f"{filename}:{name}")
+                )
+    if errors:
+        print("benchmark schema drift detected:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print("benchmark JSON schemas OK")
+    return 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(main(root))

@@ -3,16 +3,39 @@
 Builds the NeuroSim-style chip model around both macro designs, evaluates
 ResNet18 at several precisions, prints the per-layer breakdown for the
 ImageNet configuration, and closes with the Table 1 comparison against the
-published state-of-the-art macros.
+published state-of-the-art macros.  The opening section uses the tiled
+chip-simulator co-report API on the trained reference CNN, so accuracy and
+TOPS/W come from one simulated pass over the same macro mapping the
+analytic sweeps price.
 
 Run with:  python examples/system_performance.py
 """
 
 from repro.analysis.reporting import render_table
 from repro.baselines.designs import PUBLISHED_DESIGNS, efficiency_ratios
+from repro.chipsim import ChipSimulator
 from repro.energy.circuit_energy import CircuitEnergyModel
 from repro.system.networks import resnet18_cifar10, resnet18_imagenet
 from repro.system.performance import SystemPerformanceModel
+from repro.system.training import reference_model_and_dataset
+
+CHIPSIM_SAMPLES = 48
+
+
+def chip_co_report() -> None:
+    print("=== Chip-simulator co-report (accuracy + TOPS/W, one pass) ===")
+    model, dataset, _ = reference_model_and_dataset()
+    for design in ("curfe", "chgfe"):
+        # 8-bit ADC: the device-detailed path converts against nominal
+        # (uncalibrated) reference ranges; see the ROADMAP open item.
+        report = ChipSimulator(
+            model, design=design, input_bits=4, weight_bits=8, adc_bits=8
+        ).run(
+            dataset.test_images[:CHIPSIM_SAMPLES],
+            dataset.test_labels[:CHIPSIM_SAMPLES],
+        )
+        print(report.summary())
+    print()
 
 
 def system_sweep() -> None:
@@ -71,6 +94,7 @@ def table1_summary() -> None:
 
 
 if __name__ == "__main__":
+    chip_co_report()
     system_sweep()
     layer_breakdown()
     table1_summary()

@@ -13,6 +13,10 @@ Typical entry points:
   functional model, and the exact integer references.
 * ``repro.engine`` — the vectorised array engine behind the device-detailed
   path (``ArrayState`` / ``MacroEngine``, batched matvec/matmat).
+* ``repro.chipsim`` — the mapping-driven chip simulator: layers sharded
+  across real 128×16 macro tiles, accuracy + energy/latency co-reported
+  from one pass (``ChipSimulator`` / ``TiledLayerEngine``).
+* ``repro.geometry`` — the shared ``MacroGeometry`` single source of truth.
 * ``repro.energy`` — circuit-level energy efficiency (Fig. 9, Table 1).
 * ``repro.system`` — system-level performance and accuracy (Figs. 10-12).
 * ``repro.baselines`` — the state-of-the-art comparison designs of Table 1.

@@ -1,0 +1,31 @@
+"""Mapping-driven chip simulator: one tiled-macro execution path for
+accuracy, performance, and energy.
+
+The subsystem shards every layer of a trained network across a grid of
+real 128×16 macro tiles (:mod:`repro.chipsim.tiling`), executes batched
+device-detailed inference through the per-tile
+:class:`~repro.engine.MacroEngine` objects, and co-reports accuracy with
+energy / latency priced from the counted activity of the very same pass
+(:mod:`repro.chipsim.simulator`).  :mod:`repro.chipsim.scenarios` provides
+networks large enough to exercise multi-tile mapping.
+"""
+
+from ..system.activity import LayerActivity
+from .scenarios import SCENARIOS, Scenario, deep_cnn, small_cnn, wide_mlp
+from .simulator import ChipReport, ChipSimulator, network_spec_from_model
+from .tiling import TiledLayerEngine, TileSpec, plan_tiles
+
+__all__ = [
+    "LayerActivity",
+    "SCENARIOS",
+    "Scenario",
+    "deep_cnn",
+    "small_cnn",
+    "wide_mlp",
+    "ChipReport",
+    "ChipSimulator",
+    "network_spec_from_model",
+    "TiledLayerEngine",
+    "TileSpec",
+    "plan_tiles",
+]

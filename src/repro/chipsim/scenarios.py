@@ -1,0 +1,121 @@
+"""Network scenarios exercising multi-tile mapping on the simulated chip.
+
+:class:`~repro.system.nn.SmallCNN` (the Fig. 10 accuracy workload) mostly
+fits single macros; these scenarios are built to *not* fit, so row-tile
+partial-sum accumulation and column-tile sharding are genuinely exercised:
+
+* :func:`deep_cnn` — a deeper VGG-style CNN whose mid/late conv layers
+  unroll to several hundred weight rows and 32-48 output channels
+  (multi-row × multi-column tile grids on 128×16 macros);
+* :func:`wide_mlp` — a wide two-hidden-layer MLP whose first layer spans
+  6 row tiles × 16 column tiles (96 macros).
+
+The :data:`SCENARIOS` registry is what ``bench_chipsim_scale.py`` sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..system.nn import Conv2D, Flatten, Linear, MaxPool2D, ReLU, SequentialNet
+
+__all__ = ["Scenario", "SCENARIOS", "deep_cnn", "wide_mlp", "small_cnn"]
+
+
+def small_cnn(
+    *, input_shape: Tuple[int, int, int] = (3, 16, 16), num_classes: int = 10, seed: int = 0
+) -> SequentialNet:
+    """The reference :class:`~repro.system.nn.SmallCNN` (mostly single-tile)."""
+    from ..system.nn import SmallCNN
+
+    return SmallCNN(input_shape=input_shape, num_classes=num_classes, seed=seed)
+
+
+def deep_cnn(
+    *, input_shape: Tuple[int, int, int] = (3, 16, 16), num_classes: int = 10, seed: int = 0
+) -> SequentialNet:
+    """A deeper VGG-style CNN: three conv stages plus a wide classifier.
+
+    For 16×16×3 inputs: conv3×3(3→16) → ReLU → pool2 → conv3×3(16→32) →
+    ReLU → pool2 → conv3×3(32→48) → ReLU → flatten → fc(768→96) → ReLU →
+    fc(96→C).  conv2 unrolls to 144×32 (2×2 tiles), conv3 to 288×48 (3×3
+    tiles), fc1 to 768×96 (6×6 tiles) on the paper's 128×16 macros.
+    """
+    rng = np.random.default_rng(seed)
+    channels, height, width = input_shape
+    layers = [
+        Conv2D(channels, 16, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(16, 32, 3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(32, 48, 3, padding=1, rng=rng),
+        ReLU(),
+        Flatten(),
+        Linear(48 * (height // 4) * (width // 4), 96, rng=rng),
+        ReLU(),
+        Linear(96, num_classes, rng=rng),
+    ]
+    return SequentialNet(layers, input_shape=input_shape, num_classes=num_classes)
+
+
+def wide_mlp(
+    *, input_shape: Tuple[int, int, int] = (3, 16, 16), num_classes: int = 10, seed: int = 0
+) -> SequentialNet:
+    """A wide MLP: flatten → fc(768→256) → ReLU → fc(256→64) → ReLU → fc(64→C).
+
+    The first layer alone spans 6 row tiles × 16 column tiles (96 macros),
+    making cross-tile partial sums the dominant digital activity.
+    """
+    rng = np.random.default_rng(seed)
+    channels, height, width = input_shape
+    features = channels * height * width
+    layers = [
+        Flatten(),
+        Linear(features, 256, rng=rng),
+        ReLU(),
+        Linear(256, 64, rng=rng),
+        ReLU(),
+        Linear(64, num_classes, rng=rng),
+    ]
+    return SequentialNet(layers, input_shape=input_shape, num_classes=num_classes)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named benchmark scenario.
+
+    Attributes:
+        name: Registry key.
+        description: One-line description.
+        build: Model factory (keyword args: ``input_shape``,
+            ``num_classes``, ``seed``).
+    """
+
+    name: str
+    description: str
+    build: Callable[..., SequentialNet]
+
+
+#: Scenario registry swept by ``bench_chipsim_scale.py``.
+SCENARIOS: Dict[str, Scenario] = {
+    "small_cnn": Scenario(
+        name="small_cnn",
+        description="Fig. 10 reference CNN (mostly single-tile layers)",
+        build=small_cnn,
+    ),
+    "deep_cnn": Scenario(
+        name="deep_cnn",
+        description="deeper VGG-style CNN (multi-row x multi-column tiles)",
+        build=deep_cnn,
+    ),
+    "wide_mlp": Scenario(
+        name="wide_mlp",
+        description="wide MLP (96-macro first layer, cross-tile psums)",
+        build=wide_mlp,
+    ),
+}

@@ -1,0 +1,344 @@
+"""Mapping-driven chip simulator: accuracy, energy, and latency in one pass.
+
+:class:`ChipSimulator` is the paper's weight-stationary chip as one
+executable object.  It maps every conv / linear layer of a trained model
+onto the macro tile grid (via :func:`repro.system.mapping.map_layer` /
+:func:`repro.chipsim.tiling.plan_tiles`), runs batched quantised inference
+through the device-detailed tile engines, counts the hardware activity the
+run actually caused, and prices that activity with the NeuroSim-style
+system model — so the Fig. 10 accuracy and the Figs. 11-12 energy /
+latency / TOPS/W come from the *same* simulated hardware doing the *same*
+work.
+
+Typical use::
+
+    model, dataset, _ = reference_model_and_dataset()
+    sim = ChipSimulator(model, design="chgfe", input_bits=4, weight_bits=8)
+    report = sim.run(dataset.test_images[:100], dataset.test_labels[:100])
+    report.accuracy                    # measured on the simulated chip
+    report.performance.tops_per_watt   # priced from the counted activity
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..devices.variation import DEFAULT_VARIATION, VariationModel
+from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
+from ..system.activity import LayerActivity
+from ..system.chip import ChipParameters
+from ..system.htree import HTreeParameters
+from ..system.inference import InferenceConfig, QuantizedInferenceEngine
+from ..system.layers import ConvLayer, LinearLayer, PoolLayer
+from ..system.mapping import map_layer
+from ..system.networks import NetworkSpec
+from ..system.nn import Conv2D, Linear, MaxPool2D, SequentialNet
+from ..system.performance import SystemPerformanceModel, SystemPerformanceResult
+
+__all__ = ["ChipReport", "ChipSimulator", "network_spec_from_model"]
+
+
+def network_spec_from_model(
+    model: SequentialNet, *, name: Optional[str] = None, dataset: str = "synthetic"
+) -> NetworkSpec:
+    """Derive the shape-level :class:`NetworkSpec` of a runtime model.
+
+    Walks ``model.layers`` tracking the spatial size, emitting one
+    descriptor per conv / pool / linear layer; weight layers keep the names
+    of ``model.weight_layers()`` so simulator-side activity can be joined
+    back onto the spec.
+    """
+    names = {id(layer): key for key, layer in model.weight_layers().items()}
+    channels, height, width = model.input_shape
+    if height != width:
+        raise ValueError("network_spec_from_model requires square inputs")
+    size = height
+    specs: List[object] = []
+    pool_count = 0
+    for layer in model.layers:
+        if isinstance(layer, Conv2D):
+            spec = ConvLayer(
+                names[id(layer)],
+                layer.in_channels,
+                layer.out_channels,
+                layer.kernel_size,
+                size,
+                stride=layer.stride,
+                padding=layer.padding,
+            )
+            specs.append(spec)
+            size = spec.output_size
+            channels = layer.out_channels
+        elif isinstance(layer, MaxPool2D):
+            pool_count += 1
+            specs.append(
+                PoolLayer(
+                    f"pool{pool_count}", channels, size, kernel_size=layer.kernel_size
+                )
+            )
+            size = size // layer.kernel_size
+        elif isinstance(layer, Linear):
+            specs.append(
+                LinearLayer(names[id(layer)], layer.in_features, layer.out_features)
+            )
+    return NetworkSpec(
+        name=name or type(model).__name__,
+        dataset=dataset,
+        layers=tuple(specs),
+        num_classes=model.num_classes,
+        input_shape=model.input_shape,
+    )
+
+
+@dataclass
+class ChipReport:
+    """Co-report of one simulated pass: accuracy + energy/latency.
+
+    Attributes:
+        network: The shape-level network the chip executed.
+        images: Images in the evaluated workload.
+        accuracy: Measured top-1 accuracy (None when no labels were given).
+        predictions: Per-image class predictions.
+        performance: Chip-level energy / latency / area result priced from
+            the pass's counted activity.
+        activities: The per-layer activity fed to the performance model.
+        wall_seconds: Host wall-clock time of the simulated pass.
+        tiles_executed: Tile-level matmul invocations during the pass.
+    """
+
+    network: NetworkSpec
+    images: int
+    accuracy: Optional[float]
+    predictions: np.ndarray
+    performance: SystemPerformanceResult
+    activities: List[LayerActivity]
+    wall_seconds: float
+    tiles_executed: int
+
+    @property
+    def simulated_images_per_second(self) -> float:
+        """Host-side simulation throughput (images/s of wall time)."""
+        return self.images / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def tiles_per_second(self) -> float:
+        """Host-side tile matmul throughput (tiles/s of wall time)."""
+        return (
+            self.tiles_executed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+
+    def summary(self) -> str:
+        """Human-readable co-report."""
+        perf = self.performance
+        lines = [
+            f"{self.network.name} on {perf.design} chip "
+            f"({perf.input_bits}b-IN / {perf.weight_bits}b-W, "
+            f"{perf.total_macros} macros)",
+        ]
+        if self.accuracy is not None:
+            lines.append(f"  accuracy          : {self.accuracy * 100:.1f} %")
+        lines.extend(
+            [
+                f"  energy / image    : {perf.total_energy * 1e6:.3f} uJ",
+                f"  latency / image   : {perf.total_latency * 1e3:.3f} ms",
+                f"  throughput        : {perf.frames_per_second:.1f} FPS",
+                f"  efficiency        : {perf.tops_per_watt:.2f} TOPS/W",
+                f"  area              : {perf.area_mm2:.2f} mm^2",
+                f"  simulated at      : {self.simulated_images_per_second:.2f} "
+                f"images/s ({self.tiles_per_second:.1f} tile matmuls/s)",
+            ]
+        )
+        return "\n".join(lines)
+
+
+class ChipSimulator:
+    """Runs a trained model on the simulated macro-tiled chip.
+
+    Args:
+        model: A trained :class:`~repro.system.nn.SequentialNet`-protocol
+            model (e.g. :class:`~repro.system.nn.SmallCNN` or the
+            :mod:`repro.chipsim.scenarios` networks).
+        design: ``"curfe"`` or ``"chgfe"``.
+        input_bits: Activation precision (1..8).
+        weight_bits: Weight precision (4 or 8).
+        adc_bits: SAR ADC resolution.
+        geometry: Macro geometry shared by mapper, tiles, and cost model.
+        variation: Device-variation statistics of every cell.
+        seed: Seed of the programming-variation draws.
+        tiling: ``"tiled"`` (macro grid, counted activity) or
+            ``"monolithic"`` (PR-1 single oversized macro; activity falls
+            back to the analytic mapping — results are bit-identical
+            either way).
+        device_exec: Engine row-reduction method — ``"exact"``, ``"fast"``
+            (default), or ``"turbo"`` (throughput mode, ULP-class
+            differences).
+        tile_workers: Worker threads per tiled layer matmul (0 = auto).
+        chip: Chip-level cost parameters.
+        htree_params: H-tree wire parameters.
+        name: Network name for reports (defaults to the model class name).
+        dataset: Dataset name for reports.
+    """
+
+    def __init__(
+        self,
+        model: SequentialNet,
+        *,
+        design: str = "curfe",
+        input_bits: int = 4,
+        weight_bits: int = 8,
+        adc_bits: int = 5,
+        geometry: MacroGeometry = DEFAULT_GEOMETRY,
+        variation: VariationModel = DEFAULT_VARIATION,
+        seed: int = 0,
+        tiling: str = "tiled",
+        device_exec: str = "fast",
+        tile_workers: int = 0,
+        chip: Optional[ChipParameters] = None,
+        htree_params: Optional[HTreeParameters] = None,
+        name: Optional[str] = None,
+        dataset: str = "synthetic",
+    ) -> None:
+        self.model = model
+        self.network = network_spec_from_model(model, name=name, dataset=dataset)
+        self.config = InferenceConfig(
+            design=design,
+            backend="device",
+            tiling=tiling,
+            device_exec=device_exec,
+            input_bits=input_bits,
+            weight_bits=weight_bits,
+            adc_bits=adc_bits,
+            geometry=geometry,
+            variation=variation,
+            seed=seed,
+            tile_workers=tile_workers,
+        )
+        self.inference = QuantizedInferenceEngine(model, self.config)
+        self.performance_model = SystemPerformanceModel(
+            design,
+            input_bits=input_bits,
+            weight_bits=weight_bits,
+            adc_bits=adc_bits,
+            geometry=geometry,
+            chip=chip,
+            htree_params=htree_params,
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _tiled_engines(self) -> Dict[str, object]:
+        """The per-layer tile engines (empty for the monolithic tiling)."""
+        engines = {}
+        for layer_name, quantized in self.inference.quantized_layers.items():
+            tiled = quantized.tiled_engine
+            if tiled is not None:
+                engines[layer_name] = tiled
+        return engines
+
+    def layer_activities(self, images: int) -> List[LayerActivity]:
+        """Per-image activity of the last run, one entry per network layer.
+
+        Weight layers report the *counted* tile activity (macro grid
+        execution); pooling layers, which run in the digital periphery, use
+        the analytic data-movement counts.  With ``tiling="monolithic"``
+        every layer falls back to the analytic mapping.
+        """
+        if images < 1:
+            raise ValueError("images must be positive")
+        engines = self._tiled_engines()
+        perf = self.performance_model
+        buffer = perf.chip.buffer
+        activities: List[LayerActivity] = []
+        for layer in self.network.layers:
+            if isinstance(layer, PoolLayer) or layer.name not in engines:
+                activities.append(
+                    perf.pool_layer_activity(layer)
+                    if isinstance(layer, PoolLayer)
+                    else perf.weight_layer_activity(layer)
+                )
+                continue
+            engine = engines[layer.name]
+            mapping = map_layer(layer, perf.geometry)
+            pixels = engine.columns_processed / images
+            psum_adds = engine.psum_adds / images
+            activities.append(
+                LayerActivity(
+                    layer_name=layer.name,
+                    macs=pixels * layer.num_weights,
+                    num_macros=engine.num_tiles,
+                    row_tiles=engine.row_tiles,
+                    col_tiles=engine.col_tiles,
+                    block_macs=engine.block_macs / images,
+                    block_steps=pixels * mapping.block_activations_per_pixel,
+                    input_bits_moved=pixels
+                    * layer.weight_rows
+                    * perf.input_bits,
+                    output_bits_moved=pixels
+                    * layer.weight_cols
+                    * buffer.output_bits,
+                    psum_bits_moved=psum_adds * buffer.partial_sum_bits,
+                    psum_adds=psum_adds,
+                    activation_ops=pixels * layer.weight_cols,
+                    source="simulated",
+                )
+            )
+        return activities
+
+    # -------------------------------------------------------------- interface
+
+    def run(
+        self,
+        images: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        *,
+        batch_size: int = 128,
+    ) -> ChipReport:
+        """Execute a workload and co-report accuracy with energy / latency.
+
+        Args:
+            images: Input batch of shape (N, C, H, W).
+            labels: Optional ground-truth labels; enables the accuracy
+                field of the report.
+            batch_size: Images per inference batch.
+
+        Returns:
+            The :class:`ChipReport` of this pass.
+        """
+        engines = self._tiled_engines()
+        for engine in engines.values():
+            engine.reset_counters()
+        start = time.perf_counter()
+        predictions = self.inference.predict(images, batch_size=batch_size)
+        wall_seconds = time.perf_counter() - start
+        accuracy = (
+            float(np.mean(predictions == np.asarray(labels)))
+            if labels is not None
+            else None
+        )
+        activities = self.layer_activities(len(images))
+        performance = self.performance_model.evaluate_activities(
+            self.network, activities
+        )
+        tiles_executed = sum(engine.tile_matmats for engine in engines.values())
+        return ChipReport(
+            network=self.network,
+            images=len(images),
+            accuracy=accuracy,
+            predictions=predictions,
+            performance=performance,
+            activities=activities,
+            wall_seconds=wall_seconds,
+            tiles_executed=tiles_executed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ChipSimulator({self.network.name}, design={self.config.design}, "
+            f"tiling={self.config.tiling}, x={self.config.input_bits}b, "
+            f"w={self.config.weight_bits}b)"
+        )

@@ -1,0 +1,359 @@
+"""Tiled execution of one layer's weight matrix across a grid of real macros.
+
+The paper's chip stores weights stationary on 128×128b macros (16 8-bit
+weight columns each).  A layer whose unrolled weight matrix exceeds one
+macro is sharded across a tile grid: **row tiles** each hold up to 128
+consecutive weight rows and their digital partial sums are accumulated
+across tiles, **column tiles** own disjoint output channels.
+
+Bit-identity with the monolithic path
+-------------------------------------
+
+:class:`TiledLayerEngine` characterises the *full* layer array once — with
+``ArrayState.build`` on exactly the configuration (and generator
+consumption) the monolithic single-macro path of
+:mod:`repro.system.inference` uses — and gives every tile engine a *view*
+of that state (:meth:`~repro.engine.array_state.ArrayState.tile_view`).
+Per-block ADC results are therefore float-for-float those of the monolithic
+engine, and the cross-tile digital accumulation walks the blocks of all row
+tiles in **global block order**, reproducing the monolithic accumulation
+nesting exactly.  ``matmat`` results are bit-identical to one oversized
+macro for ``method="exact"`` and ``method="fast"`` alike; ``"turbo"``
+(cached BLAS operands) carries the engine's documented ULP-class caveat.
+
+Parallelism
+-----------
+
+Tiles are independent until the final accumulation, so ``workers > 1`` runs
+their conversions in a thread pool (numpy releases the GIL inside the heavy
+kernels).  ``workers=0`` picks one thread per core and stays serial on
+single-core hosts, where the ``"turbo"`` per-tile kernel is the speed lever
+instead.
+
+Activity counters
+-----------------
+
+Every ``matmat`` updates per-tile activity counters (input columns
+processed, bank-level block MACs, cross-tile partial-sum additions, tile
+invocations).  :class:`~repro.chipsim.ChipSimulator` harvests them to price
+energy and latency from the *same* pass that produced the accuracy.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.macro import IMCMacroConfig
+from ..devices.variation import NO_VARIATION, VariationModel
+from ..engine.array_state import ArrayState
+from ..engine.macro_engine import MacroEngine
+from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
+
+__all__ = ["TileSpec", "plan_tiles", "TiledLayerEngine"]
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One macro tile of a sharded weight matrix.
+
+    Attributes:
+        row_tile: Index along the input (weight-row) dimension.
+        col_tile: Index along the output (weight-column) dimension.
+        row_start: First weight row held by the tile.
+        row_stop: One past the last weight row (unpadded).
+        col_start: First weight column held by the tile.
+        col_stop: One past the last weight column.
+        block_start: First global 32-row block index covered.
+        block_stop: One past the last global block index.
+    """
+
+    row_tile: int
+    col_tile: int
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+    block_start: int
+    block_stop: int
+
+    @property
+    def rows(self) -> int:
+        """Weight rows stored on the tile (before block padding)."""
+        return self.row_stop - self.row_start
+
+    @property
+    def banks(self) -> int:
+        """Weight columns (banks) owned by the tile."""
+        return self.col_stop - self.col_start
+
+    @property
+    def num_blocks(self) -> int:
+        """32-row blocks the tile activates per conversion sweep."""
+        return self.block_stop - self.block_start
+
+
+def plan_tiles(
+    weight_rows: int,
+    weight_cols: int,
+    geometry: MacroGeometry = DEFAULT_GEOMETRY,
+) -> List[TileSpec]:
+    """Shard a weight matrix onto the macro grid.
+
+    Row tiles hold up to ``geometry.rows`` consecutive rows; the last row
+    tile's remainder is padded up to whole ``geometry.block_rows`` blocks.
+    Column tiles hold up to ``geometry.weight_columns`` columns.  Tiles are
+    returned column-tile major, row-tile minor (the accumulation order).
+    """
+    if weight_rows < 1 or weight_cols < 1:
+        raise ValueError("weight matrix dimensions must be positive")
+    block = geometry.block_rows
+    total_blocks = -(-weight_rows // block)
+    tiles: List[TileSpec] = []
+    for j in range(geometry.col_tile_count(weight_cols)):
+        col_start, col_stop = geometry.col_tile_bounds(weight_cols, j)
+        for i in range(geometry.row_tile_count(weight_rows)):
+            row_start, row_stop = geometry.row_tile_bounds(weight_rows, i)
+            block_start = i * geometry.blocks_per_macro
+            tiles.append(
+                TileSpec(
+                    row_tile=i,
+                    col_tile=j,
+                    row_start=row_start,
+                    row_stop=row_stop,
+                    col_start=col_start,
+                    col_stop=col_stop,
+                    block_start=block_start,
+                    block_stop=min(
+                        block_start + geometry.blocks_per_macro, total_blocks
+                    ),
+                )
+            )
+    return tiles
+
+
+class TiledLayerEngine:
+    """Executes one layer's integer weight matrix on a grid of macro tiles.
+
+    Args:
+        weights: Signed integer weight matrix of shape (rows, cols).
+        design: ``"curfe"`` or ``"chgfe"``.
+        geometry: Macro geometry of the tiles.
+        adc_bits: SAR ADC resolution.
+        weight_bits: Weight precision (4 or 8).
+        variation: Device-variation statistics of every cell.
+        seed: Variation-draw seed used when no ``rng`` is passed.
+        rng: Optional generator; consumed exactly as the monolithic
+            single-macro build would, so surrounding draws are unaffected.
+        workers: Worker threads per ``matmat`` (0 = one per core; tile
+            execution stays serial on single-core hosts).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        *,
+        design: str,
+        geometry: MacroGeometry = DEFAULT_GEOMETRY,
+        adc_bits: int = 5,
+        weight_bits: int = 8,
+        variation: VariationModel = NO_VARIATION,
+        seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        workers: int = 0,
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 2:
+            raise ValueError("weights must be a 2-D (rows, cols) matrix")
+        self.design = design
+        self.geometry = geometry
+        self.weight_rows, self.weight_cols = weights.shape
+        self.workers = int(workers)
+        block = geometry.block_rows
+        self.padded_rows = -(-self.weight_rows // block) * block
+        padded = np.zeros((self.padded_rows, self.weight_cols), dtype=np.int64)
+        padded[: self.weight_rows] = weights
+
+        # One characterisation pass for the whole layer, identical to the
+        # monolithic single-macro build (same config, same rng consumption);
+        # each tile engine then works on a view of this state.
+        macro_config = IMCMacroConfig(
+            rows=self.padded_rows,
+            banks=self.weight_cols,
+            block_rows=block,
+            adc_bits=adc_bits,
+            weight_bits=weight_bits,
+            variation=variation,
+            seed=seed,
+        )
+        state = ArrayState.build(design, macro_config, rng=rng)
+        self.tiles = plan_tiles(self.weight_rows, self.weight_cols, geometry)
+        self._engines: List[MacroEngine] = []
+        for tile in self.tiles:
+            view = state.tile_view(
+                tile.col_start, tile.col_stop, tile.block_start, tile.block_stop
+            )
+            engine = MacroEngine(view, adc_bits=adc_bits, weight_bits=weight_bits)
+            engine.program_weights(
+                padded[
+                    tile.block_start * block : tile.block_stop * block,
+                    tile.col_start : tile.col_stop,
+                ]
+            )
+            self._engines.append(engine)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self.reset_counters()
+
+    # ------------------------------------------------------------- structure
+
+    @property
+    def num_tiles(self) -> int:
+        """Macros allocated to the layer."""
+        return len(self.tiles)
+
+    @property
+    def row_tiles(self) -> int:
+        """Tiles along the input (row) dimension."""
+        return max(tile.row_tile for tile in self.tiles) + 1
+
+    @property
+    def col_tiles(self) -> int:
+        """Tiles along the output (column) dimension."""
+        return max(tile.col_tile for tile in self.tiles) + 1
+
+    @property
+    def total_blocks(self) -> int:
+        """Global 32-row blocks covering the (padded) weight rows."""
+        return self.padded_rows // self.geometry.block_rows
+
+    # -------------------------------------------------------------- counters
+
+    def reset_counters(self) -> None:
+        """Zero the activity counters."""
+        self.columns_processed = 0
+        self.block_macs = 0
+        self.psum_adds = 0
+        self.tile_matmats = 0
+
+    def _worker_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The layer's persistent tile thread pool (None when serial).
+
+        Created once and reused across ``matmat`` calls; the idle pool
+        costs nothing between batches and its threads are joined at
+        interpreter exit.
+        """
+        if self._pool is None:
+            workers = self.workers or min(self.num_tiles, os.cpu_count() or 1)
+            if workers > 1 and self.num_tiles > 1:
+                self._pool = ThreadPoolExecutor(max_workers=workers)
+        return self._pool
+
+    # -------------------------------------------------------------- operation
+
+    def matmat(
+        self,
+        inputs: np.ndarray,
+        *,
+        bits: int,
+        method: str = "fast",
+        batch_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """Batched bit-serial MAC of many input vectors across the tile grid.
+
+        Args:
+            inputs: Integer array of shape (weight_rows, batch) — one
+                unsigned activation vector per column (unpadded; block
+                padding is applied internally).
+            bits: Input precision (1..8).
+            method: ``"exact"`` / ``"fast"`` (both bit-identical to the
+                monolithic macro) or ``"turbo"`` (fastest, ULP-class
+                differences).
+            batch_chunk: Input columns per internal engine chunk.
+
+        Returns:
+            Float array of shape (weight_cols, batch).
+        """
+        inputs = np.asarray(inputs)
+        if inputs.ndim == 1:
+            inputs = inputs[:, None]
+        if inputs.ndim != 2 or inputs.shape[0] != self.weight_rows:
+            raise ValueError(
+                f"inputs must have shape ({self.weight_rows}, batch), "
+                f"got {inputs.shape}"
+            )
+        if not np.issubdtype(inputs.dtype, np.integer):
+            # Same contract as MacroEngine: never silently truncate floats.
+            if not np.all(inputs == np.round(inputs)):
+                raise ValueError("inputs must be integers")
+            inputs = inputs.astype(np.int64)
+        batch = inputs.shape[1]
+        block = self.geometry.block_rows
+        padded = np.zeros((self.padded_rows, batch), dtype=np.int64)
+        padded[: self.weight_rows] = inputs
+
+        def run_tile(index: int) -> np.ndarray:
+            tile = self.tiles[index]
+            return self._engines[index].matmat_blocks(
+                padded[tile.block_start * block : tile.block_stop * block],
+                bits=bits,
+                method=method,
+                batch_chunk=batch_chunk,
+            )
+
+        pool = self._worker_pool()
+        if pool is not None:
+            block_outputs = list(pool.map(run_tile, range(self.num_tiles)))
+        else:
+            block_outputs = [run_tile(index) for index in range(self.num_tiles)]
+
+        # Digital partial-sum accumulation: per column tile, walk the blocks
+        # of its row tiles in global block order — the monolithic nesting.
+        results = np.empty((self.weight_cols, batch))
+        for col_tile in range(self.col_tiles):
+            members = [
+                (tile, block_outputs[index])
+                for index, tile in enumerate(self.tiles)
+                if tile.col_tile == col_tile
+            ]
+            members.sort(key=lambda item: item[0].row_tile)
+            first = members[0][0]
+            totals = np.zeros((first.banks, batch))
+            for tile, blocks in members:
+                for block_row in range(blocks.shape[1]):
+                    totals = totals + blocks[:, block_row, :]
+            results[first.col_start : first.col_stop] = totals
+
+        self.columns_processed += batch
+        self.block_macs += batch * sum(
+            tile.num_blocks * tile.banks for tile in self.tiles
+        )
+        row_tiles = self.row_tiles
+        self.psum_adds += batch * (row_tiles - 1) * self.weight_cols
+        self.tile_matmats += self.num_tiles
+        return results
+
+    def ideal_matmat(self, inputs: np.ndarray) -> np.ndarray:
+        """Exact integer reference for the stored weights."""
+        inputs = np.asarray(inputs, dtype=np.int64)
+        if inputs.ndim == 1:
+            inputs = inputs[:, None]
+        block = self.geometry.block_rows
+        totals = np.zeros((self.weight_cols, inputs.shape[1]), dtype=np.int64)
+        padded = np.zeros((self.padded_rows, inputs.shape[1]), dtype=np.int64)
+        padded[: self.weight_rows] = inputs
+        for tile, engine in zip(self.tiles, self._engines):
+            totals[tile.col_start : tile.col_stop] += engine.ideal_matmat(
+                padded[tile.block_start * block : tile.block_stop * block]
+            )
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TiledLayerEngine(design={self.design!r}, "
+            f"{self.weight_rows}x{self.weight_cols} weights, "
+            f"{self.row_tiles}x{self.col_tiles} tiles)"
+        )

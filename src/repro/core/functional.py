@@ -43,6 +43,7 @@ from ..cells.chgfe_cell import ChgFeCellParameters, ChgFeNCell, ChgFePCell
 from ..cells.curfe_cell import CurFeCell, CurFeCellParameters
 from ..devices.variation import DEFAULT_VARIATION, NO_VARIATION, VariationModel
 from ..engine.readout_core import combine_nibbles, shift_add_planes
+from ..geometry import DEFAULT_GEOMETRY
 from ..quant.quantize import signed_range, unsigned_range
 from .readout import mac_range_for_group
 from .weights import encode_weight_matrix
@@ -235,7 +236,7 @@ class FunctionalModelConfig:
     weight_bits: int = 8
     input_bits: int = 8
     adc_bits: Optional[int] = 5
-    rows_per_block: int = 32
+    rows_per_block: int = DEFAULT_GEOMETRY.block_rows
     variation: VariationModel = DEFAULT_VARIATION
 
     def __post_init__(self) -> None:

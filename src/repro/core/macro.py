@@ -53,6 +53,7 @@ import numpy as np
 from ..cells.chgfe_cell import ChgFeCellParameters
 from ..cells.curfe_cell import CurFeCellParameters
 from ..devices.variation import NO_VARIATION, VariationModel
+from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
 from .bank import IMCBank
 from .chgfe import ChgFeBlock, ChgFeBlockConfig
 from .curfe import CurFeBlock, CurFeBlockConfig
@@ -80,9 +81,9 @@ class IMCMacroConfig:
             explicitly passed generator always takes precedence.
     """
 
-    rows: int = 128
-    banks: int = 16
-    block_rows: int = 32
+    rows: int = DEFAULT_GEOMETRY.rows
+    banks: int = DEFAULT_GEOMETRY.weight_columns
+    block_rows: int = DEFAULT_GEOMETRY.block_rows
     adc_bits: int = 5
     weight_bits: int = 8
     variation: VariationModel = NO_VARIATION
@@ -97,6 +98,36 @@ class IMCMacroConfig:
             raise ValueError("weight_bits must be 4 or 8")
         if self.adc_bits < 1:
             raise ValueError("adc_bits must be at least 1")
+
+    @classmethod
+    def from_geometry(
+        cls, geometry: MacroGeometry = DEFAULT_GEOMETRY, **overrides
+    ) -> "IMCMacroConfig":
+        """A config whose dimensions come from a shared :class:`MacroGeometry`.
+
+        ``overrides`` may set the non-dimensional fields (``adc_bits``,
+        ``weight_bits``, ``variation``, ``seed``); passing a dimension both
+        ways raises so the geometry stays the single source of truth.
+        """
+        clashes = {"rows", "banks", "block_rows"} & set(overrides)
+        if clashes:
+            raise ValueError(
+                f"dimensions {sorted(clashes)} are defined by the geometry; "
+                "override the MacroGeometry instead"
+            )
+        return cls(
+            rows=geometry.rows,
+            banks=geometry.weight_columns,
+            block_rows=geometry.block_rows,
+            **overrides,
+        )
+
+    @property
+    def geometry(self) -> MacroGeometry:
+        """This macro's dimensions as a mapper-facing :class:`MacroGeometry`."""
+        return MacroGeometry(
+            rows=self.rows, weight_columns=self.banks, block_rows=self.block_rows
+        )
 
     @property
     def num_block_rows(self) -> int:

@@ -127,6 +127,10 @@ class CircuitEnergyModel:
         rows: Total array rows (128).
         adc_bits: Override of the ADC resolution (defaults to the value in
             ``energy_params.adc``).
+        rows_per_block: Override of the activated rows per MAC (defaults to
+            the value in ``energy_params``); pass the shared
+            ``MacroGeometry.block_rows`` so the priced macro matches the
+            simulated one.
     """
 
     def __init__(
@@ -139,6 +143,7 @@ class CircuitEnergyModel:
         banks: int = 16,
         rows: int = 128,
         adc_bits: Optional[int] = None,
+        rows_per_block: Optional[int] = None,
     ) -> None:
         if design not in ("curfe", "chgfe"):
             raise ValueError("design must be 'curfe' or 'chgfe'")
@@ -158,14 +163,18 @@ class CircuitEnergyModel:
         self.area_params = area_params
         self.banks = int(banks)
         self.rows = int(rows)
-        if adc_bits is not None:
-            # Rebuild the (frozen) ADC parameters with the requested resolution.
+        if adc_bits is not None or rows_per_block is not None:
+            # Rebuild the (frozen) parameters with the requested overrides.
             from dataclasses import replace
 
-            self.params = replace(
-                energy_params,
-                adc=replace(energy_params.adc, resolution_bits=adc_bits),
-            )
+            overrides = {}
+            if adc_bits is not None:
+                overrides["adc"] = replace(
+                    self.params.adc, resolution_bits=adc_bits
+                )
+            if rows_per_block is not None:
+                overrides["rows_per_block"] = rows_per_block
+            self.params = replace(self.params, **overrides)
 
     # ------------------------------------------------------- per-plane energy
 
@@ -268,6 +277,26 @@ class CircuitEnergyModel:
         if not 1 <= input_bits <= 8:
             raise ValueError("input_bits must be between 1 and 8")
         return input_bits * self.cycle_time()
+
+    def energy_for_block_macs(
+        self, block_macs: float, input_bits: int, weight_bits: int = 8
+    ) -> float:
+        """Macro energy of a counted number of bank-level block MACs (J).
+
+        ``block_macs`` is the activity unit emitted by the tiled chip
+        simulator (and derived analytically by the system performance
+        model): one 32-row analog accumulation + conversion per weight
+        column, covering the full bit-serial input sweep.
+        """
+        if block_macs < 0:
+            raise ValueError("block_macs must be non-negative")
+        return block_macs * self.mac_energy(input_bits, weight_bits)
+
+    def latency_for_block_steps(self, block_steps: float, input_bits: int) -> float:
+        """Latency of a counted number of sequential block activations (s)."""
+        if block_steps < 0:
+            raise ValueError("block_steps must be non-negative")
+        return block_steps * self.mac_latency(input_bits)
 
     def tops_per_watt(self, input_bits: int, weight_bits: int = 8) -> float:
         """Circuit-level energy efficiency at the given precision (TOPS/W)."""

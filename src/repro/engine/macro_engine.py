@@ -16,10 +16,24 @@ sequential accumulation nesting as the legacy
 :meth:`repro.core.macro.IMCMacro.matvec_reference` loop, so the results are
 **bit-identical** — matvec, and matmat column-by-column, reproduce the
 per-device path float for float (the golden-equivalence suite asserts
-this).  ``method="fast"`` replaces the row reduction with a BLAS-backed
-``einsum`` — typically a further large speedup at DNN scale, identical to
-within a few ULPs of analog voltage (which only matters for voltages
-landing exactly on an ADC decision boundary).
+this).  ``method="fast"`` replaces the row reduction with an ``einsum`` —
+typically a further large speedup at DNN scale, identical to within a few
+ULPs of analog voltage (which only matters for voltages landing exactly on
+an ADC decision boundary).  ``method="turbo"`` goes one step further and
+routes the same row reduction through BLAS ``dgemm`` against per-block
+transposed difference tables cached at programming time (weights are
+stationary); it is the throughput mode of the tiled chip simulator and
+carries the same ULP-class caveat as ``fast``.
+
+Tiling support
+--------------
+
+:meth:`MacroEngine.matmat_blocks` exposes the per-block-row digital totals
+*before* the cross-block accumulation.  A caller sharding a layer across
+row tiles (see :mod:`repro.chipsim`) can then accumulate the blocks of all
+tiles in global block order — reproducing the monolithic accumulation
+nesting exactly, which is what keeps tiled execution bit-identical to one
+oversized macro.
 """
 
 from __future__ import annotations
@@ -48,7 +62,7 @@ __all__ = ["MacroEngine"]
 #: affecting results (columns are independent).
 DEFAULT_BATCH_CHUNK = 256
 
-_METHODS = ("exact", "fast")
+_METHODS = ("exact", "fast", "turbo")
 
 
 class MacroEngine:
@@ -99,6 +113,7 @@ class MacroEngine:
         self._plan: Optional[WeightPlan] = None
         self._stored: Dict[str, np.ndarray] = {}
         self._selected: Dict[str, np.ndarray] = {}
+        self._turbo_tables: Dict[str, tuple] = {}
 
     # ----------------------------------------------------------- construction
 
@@ -162,12 +177,37 @@ class MacroEngine:
         # stored pattern: stored ? on : off_selected (same expression the
         # legacy blocks evaluate per conversion).
         self._selected = {}
+        self._turbo_tables = {}
         for key, stored in self._stored.items():
             group = self.state.group(key)
             self._selected[key] = (
                 stored * group.on + (1 - stored) * group.off_selected
             )
         return plan
+
+    def _turbo_group_tables(self, key: str) -> tuple:
+        """Cached per-block gemm operands for the stored pattern of a group.
+
+        Returns ``(difference_t, unselected_sum)`` where ``difference_t[j]``
+        is the (block_rows, banks*4) right-hand operand of block row ``j``
+        and ``unselected_sum`` has shape (banks, num_block_rows, 4).
+        """
+        tables = self._turbo_tables.get(key)
+        if tables is None:
+            state = self.state
+            group = state.group(key)
+            difference = self._selected[key] - group.unselected
+            difference_t = [
+                np.ascontiguousarray(
+                    difference[:, j]
+                    .transpose(1, 0, 2)
+                    .reshape(state.block_rows, state.banks * NUM_COLUMNS)
+                )
+                for j in range(state.num_block_rows)
+            ]
+            tables = (difference_t, group.unselected.sum(axis=2))
+            self._turbo_tables[key] = tables
+        return tables
 
     def program_weights(self, weights: np.ndarray) -> WeightPlan:
         """Encode and program a signed weight matrix of shape (rows, banks)."""
@@ -225,11 +265,22 @@ class MacroEngine:
             x = plane[:, None, :, :, None]
             contributions = x * selected + (1 - x) * unselected
             columns = contributions.sum(axis=3)
-        else:
+        elif method == "fast":
             difference = selected - unselected
             columns = unselected.sum(axis=2)[None] + np.einsum(
                 "njr,bjrc->nbjc", plane, difference
             )
+        else:  # turbo: the same row reduction through cached BLAS operands
+            difference_t, unselected_sum = self._turbo_group_tables(key)
+            batch = plane.shape[0]
+            reduced = np.empty(
+                (batch, state.banks, state.num_block_rows, NUM_COLUMNS)
+            )
+            for j in range(state.num_block_rows):
+                reduced[:, :, j, :] = (plane[:, j] @ difference_t[j]).reshape(
+                    batch, state.banks, NUM_COLUMNS
+                )
+            columns = unselected_sum[None] + reduced
         if state.design == CURFE_DESIGN:
             summed = columns.sum(axis=-1)
             voltages = np.clip(
@@ -279,8 +330,9 @@ class MacroEngine:
                 ``bits`` range.  A 1-D vector is treated as batch 1.
             bits: Input precision (1..8).
             method: ``"exact"`` (bit-identical to column-stacked
-                :meth:`matvec`) or ``"fast"`` (BLAS row reduction, ULP-level
-                differences).
+                :meth:`matvec`), ``"fast"`` (einsum row reduction, ULP-level
+                differences), or ``"turbo"`` (cached-operand BLAS gemm row
+                reduction, same ULP-level caveat, fastest).
             batch_chunk: Input columns processed per internal chunk; bounds
                 transient memory without affecting results.
 
@@ -288,6 +340,58 @@ class MacroEngine:
             Float array of shape (banks, batch): column ``j`` is the matvec
             of input column ``j``.
         """
+        inputs = self._validated_inputs(inputs, bits, method)
+        batch = inputs.shape[1]
+        chunk = batch_chunk or DEFAULT_BATCH_CHUNK
+        results = np.empty((self.banks, batch))
+        for start in range(0, batch, chunk):
+            stop = min(start + chunk, batch)
+            results[:, start:stop] = self._matmat_chunk(
+                inputs[:, start:stop], bits, method
+            )
+        return results
+
+    def matmat_blocks(
+        self,
+        inputs: np.ndarray,
+        *,
+        bits: int,
+        method: str = "exact",
+        batch_chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """Per-block-row digital totals, before the cross-block accumulation.
+
+        Each block row's total is its bit planes combined LSB-first — the
+        exact partial value the digital accumulator adds per 32-row block
+        step.  :meth:`matmat` equals these totals accumulated sequentially
+        over the block-row axis; a tiled caller accumulating the blocks of
+        several row-tile engines in global block order therefore reproduces
+        a monolithic engine bit for bit.
+
+        Args:
+            inputs: Integer array of shape (rows, batch); see :meth:`matmat`.
+            bits: Input precision (1..8).
+            method: ``"exact"``, ``"fast"``, or ``"turbo"``.
+            batch_chunk: Input columns per internal chunk.
+
+        Returns:
+            Float array of shape (banks, num_block_rows, batch).
+        """
+        inputs = self._validated_inputs(inputs, bits, method)
+        batch = inputs.shape[1]
+        chunk = batch_chunk or DEFAULT_BATCH_CHUNK
+        results = np.empty((self.banks, self.state.num_block_rows, batch))
+        for start in range(0, batch, chunk):
+            stop = min(start + chunk, batch)
+            block_totals = self._block_totals_chunk(
+                inputs[:, start:stop], bits, method
+            )
+            results[:, :, start:stop] = block_totals.transpose(1, 2, 0)
+        return results
+
+    def _validated_inputs(
+        self, inputs: np.ndarray, bits: int, method: str
+    ) -> np.ndarray:
         self._check_programmed()
         if method not in _METHODS:
             raise ValueError(f"method must be one of {_METHODS}")
@@ -307,25 +411,28 @@ class MacroEngine:
         lo, hi = unsigned_range(bits)
         if np.any(inputs < lo) or np.any(inputs > hi):
             raise ValueError(f"inputs outside unsigned {bits}-bit range [{lo}, {hi}]")
-
-        batch = inputs.shape[1]
-        chunk = batch_chunk or DEFAULT_BATCH_CHUNK
-        results = np.empty((self.banks, batch))
-        for start in range(0, batch, chunk):
-            stop = min(start + chunk, batch)
-            results[:, start:stop] = self._matmat_chunk(
-                inputs[:, start:stop], bits, method
-            )
-        return results
+        return inputs
 
     def _matmat_chunk(self, values: np.ndarray, bits: int, method: str) -> np.ndarray:
+        # Cross-block accumulation with the legacy nesting: per bank, block
+        # rows accumulate sequentially.
+        block_totals = self._block_totals_chunk(values, bits, method)
+        totals = np.zeros(block_totals.shape[:2])
+        for block_row in range(self.state.num_block_rows):
+            totals = totals + block_totals[:, :, block_row]
+        return totals.T
+
+    def _block_totals_chunk(
+        self, values: np.ndarray, bits: int, method: str
+    ) -> np.ndarray:
+        """Per-block-row totals of one batch chunk, shape (batch, banks, R)."""
         state = self.state
         batch = values.shape[1]
         num_block_rows, block_rows = state.num_block_rows, state.block_rows
         combined = np.empty((bits, batch, self.banks, num_block_rows))
         for bit in range(bits):
             plane = ((values >> bit) & 1).T.reshape(batch, num_block_rows, block_rows)
-            if method == "fast":
+            if method != "exact":
                 plane = plane.astype(float)
             mac_high = self._convert_group(plane, "high", method)
             mac_low = (
@@ -334,17 +441,11 @@ class MacroEngine:
                 else None
             )
             combined[bit] = combine_nibbles(mac_high, mac_low, self.weight_bits)
-        # Shift-add with the legacy nesting: per bank, block rows accumulate
-        # sequentially, each block row summing its bit planes LSB-first.
-        totals = np.zeros((batch, self.banks))
-        for block_row in range(num_block_rows):
-            block_total = np.zeros((batch, self.banks))
-            for bit in range(bits):
-                block_total = block_total + combined[bit, :, :, block_row] * float(
-                    2**bit
-                )
-            totals = totals + block_total
-        return totals.T
+        # Each block row sums its bit planes LSB-first (legacy order).
+        block_totals = np.zeros((batch, self.banks, num_block_rows))
+        for bit in range(bits):
+            block_totals = block_totals + combined[bit] * float(2**bit)
+        return block_totals
 
     # -------------------------------------------------------------- reference
 

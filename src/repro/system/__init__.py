@@ -1,13 +1,14 @@
 """System-level evaluation: NeuroSim-style performance model, DNN inference, accuracy."""
 
 from .accuracy import AccuracyPoint, AccuracySweep, adc_resolution_sweep, evaluate_accuracy
+from .activity import LayerActivity
 from .chip import BufferParameters, ChipParameters, DigitalLogicParameters
 from .htree import HTree, HTreeParameters
 from .inference import InferenceConfig, QuantizedInferenceEngine
 from .layers import ConvLayer, LayerShape, LinearLayer, PoolLayer
 from .mapping import LayerMapping, MacroGeometry, map_layer
 from .networks import NetworkSpec, resnet18_cifar10, resnet18_imagenet, vgg8_cifar10
-from .nn import SmallCNN
+from .nn import SequentialNet, SmallCNN
 from .performance import (
     LayerPerformance,
     SystemPerformanceModel,
@@ -25,6 +26,7 @@ __all__ = [
     "AccuracySweep",
     "adc_resolution_sweep",
     "evaluate_accuracy",
+    "LayerActivity",
     "BufferParameters",
     "ChipParameters",
     "DigitalLogicParameters",
@@ -43,6 +45,7 @@ __all__ = [
     "resnet18_cifar10",
     "resnet18_imagenet",
     "vgg8_cifar10",
+    "SequentialNet",
     "SmallCNN",
     "LayerPerformance",
     "SystemPerformanceModel",

@@ -17,11 +17,24 @@ Two backends execute the layer matmuls:
   folded into per-significance statistics; fastest, supports workload-
   calibrated ADC references.
 * ``backend="device"`` — the device-detailed
-  :class:`~repro.engine.MacroEngine`: each layer's weight matrix is mapped
-  onto a structure-of-arrays macro (rows zero-padded up to whole 32-row
-  blocks, one bank per output column) whose every cell carries its own
-  variation draw, and activations run through the actual voltage-domain
-  readout + SAR conversion, vectorised over the batch.
+  :class:`~repro.engine.MacroEngine`, in one of two tilings:
+
+  * ``tiling="tiled"`` (default) — the layer's weight matrix is sharded
+    across a grid of real macro tiles by
+    :class:`~repro.chipsim.TiledLayerEngine`: row tiles accumulate digital
+    partial sums in global block order, column tiles own disjoint output
+    channels.  This is the same hardware the system performance model
+    prices, and it emits per-tile activity counts for the
+    :class:`~repro.chipsim.ChipSimulator` co-report.  Bit-identical to the
+    monolithic path by construction (the tile engines are views of the
+    monolithic array state).
+  * ``tiling="monolithic"`` — the single oversized macro of PR 1 (rows
+    zero-padded up to whole 32-row blocks, one bank per output column);
+    kept as the golden-equivalence reference.
+
+Any model following the :class:`~repro.system.nn.SequentialNet` protocol
+(ordered ``layers`` + named ``weight_layers()``) can be replayed, not just
+:class:`~repro.system.nn.SmallCNN`.
 """
 
 from __future__ import annotations
@@ -36,12 +49,15 @@ from ..core.functional import (
     FunctionalModelConfig,
 )
 from ..devices.variation import DEFAULT_VARIATION, VariationModel
+from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
 from ..quant.quantize import signed_range, unsigned_range
-from .nn import Conv2D, Linear, SmallCNN, im2col
+from .nn import Conv2D, Linear, SequentialNet, im2col
 
 __all__ = ["InferenceConfig", "QuantizedInferenceEngine"]
 
 _BACKENDS = ("functional", "device")
+_TILINGS = ("tiled", "monolithic")
+_DEVICE_METHODS = ("exact", "fast", "turbo")
 
 
 @dataclass(frozen=True)
@@ -53,27 +69,58 @@ class InferenceConfig:
         backend: ``"functional"`` (statistical, fastest) or ``"device"``
             (per-cell device-detailed engine; requires a concrete design and
             an ADC resolution).
+        tiling: Device-backend execution layout — ``"tiled"`` (macro grid,
+            default) or ``"monolithic"`` (single oversized macro).
+        device_exec: Row-reduction method of the device backend:
+            ``"exact"``, ``"fast"`` (default), or ``"turbo"`` (cached BLAS
+            operands; ULP-class differences, fastest).
         input_bits: Activation precision (unsigned, 1..8).
         weight_bits: Weight precision (signed, 4 or 8).
         adc_bits: ADC resolution; None disables ADC quantisation
             (functional backend only).
-        rows_per_block: Analog accumulation depth (32 in the paper).
+        geometry: Macro geometry shared with the mapper and the performance
+            model — the single source of truth for rows / weight columns /
+            block rows.
+        rows_per_block: Analog accumulation depth.  Defaults to
+            ``geometry.block_rows``; passing a disagreeing value raises, so
+            the geometry cannot silently fork.
         variation: Device-variation statistics.
         seed: Seed of the per-layer programming-variation draws.
+        tile_workers: Worker threads per tiled layer matmul (0 = auto:
+            serial on single-core hosts, one thread per core otherwise).
     """
 
     design: str = "curfe"
     backend: str = "functional"
+    tiling: str = "tiled"
+    device_exec: str = "fast"
     input_bits: int = 4
     weight_bits: int = 8
     adc_bits: Optional[int] = 5
-    rows_per_block: int = 32
+    geometry: MacroGeometry = DEFAULT_GEOMETRY
+    rows_per_block: Optional[int] = None
     variation: VariationModel = DEFAULT_VARIATION
     seed: int = 0
+    tile_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}")
+        if self.tiling not in _TILINGS:
+            raise ValueError(f"tiling must be one of {_TILINGS}")
+        if self.device_exec not in _DEVICE_METHODS:
+            raise ValueError(f"device_exec must be one of {_DEVICE_METHODS}")
+        if self.rows_per_block is None:
+            object.__setattr__(self, "rows_per_block", self.geometry.block_rows)
+        elif self.rows_per_block != self.geometry.block_rows:
+            raise ValueError(
+                f"rows_per_block={self.rows_per_block} disagrees with "
+                f"geometry.block_rows={self.geometry.block_rows}; the macro "
+                "geometry is the single source of truth — override the "
+                "MacroGeometry instead"
+            )
+        if self.tile_workers < 0:
+            raise ValueError("tile_workers must be non-negative")
         if self.backend == "device":
             if self.design == "ideal":
                 raise ValueError(
@@ -118,10 +165,47 @@ class _QuantizedLayer:
         self.config = config
         self._adc_calibrated = False
         if config.backend == "device":
-            self.engine = self._build_device_engine(weight_int, config, rng)
+            if config.tiling == "tiled":
+                self.engine = self._build_tiled_engine(weight_int, config, rng)
+            else:
+                self.engine = self._build_device_engine(weight_int, config, rng)
         else:
             self.engine = FunctionalIMCModel(config.functional_config(), rng=rng)
             self.engine.program(weight_int)
+
+    @property
+    def tiled_engine(self):
+        """The layer's :class:`~repro.chipsim.TiledLayerEngine`, or None."""
+        from ..chipsim.tiling import TiledLayerEngine
+
+        return self.engine if isinstance(self.engine, TiledLayerEngine) else None
+
+    def _build_tiled_engine(
+        self,
+        weight_int: np.ndarray,
+        config: InferenceConfig,
+        rng: np.random.Generator,
+    ):
+        """Shard the layer across a grid of real macro tiles.
+
+        The full layer state is characterised with the exact generator
+        consumption of the monolithic build, then viewed per tile, so the
+        tiled execution is bit-identical to the single-macro path (and the
+        variation stream seen by subsequent layers is unchanged).
+        """
+        from ..chipsim.tiling import TiledLayerEngine
+
+        return TiledLayerEngine(
+            weight_int,
+            design=config.design,
+            geometry=config.geometry,
+            adc_bits=config.adc_bits,
+            weight_bits=config.weight_bits,
+            variation=config.variation,
+            seed=config.seed,
+            rng=rng,
+            workers=config.tile_workers,
+        )
 
     def _build_device_engine(
         self,
@@ -129,7 +213,7 @@ class _QuantizedLayer:
         config: InferenceConfig,
         rng: np.random.Generator,
     ):
-        """Map the layer onto a device-detailed structure-of-arrays macro.
+        """Map the layer onto a single device-detailed monolithic macro.
 
         The weight rows are zero-padded up to whole analog blocks — the
         padding cells physically exist (programmed to zero, never selected)
@@ -167,13 +251,20 @@ class _QuantizedLayer:
         _, hi = unsigned_range(self.config.input_bits)
         codes = np.clip(np.round(activations / activation_scale), 0, hi).astype(np.int64)
         if self.config.backend == "device":
-            padded = np.zeros(
-                (codes.shape[0], self._device_padded_rows), dtype=np.int64
-            )
-            padded[:, : self._device_rows] = codes
-            raw = self.engine.matmat(
-                padded.T, bits=self.config.input_bits, method="fast"
-            ).T
+            if self.config.tiling == "tiled":
+                raw = self.engine.matmat(
+                    codes.T, bits=self.config.input_bits,
+                    method=self.config.device_exec,
+                ).T
+            else:
+                padded = np.zeros(
+                    (codes.shape[0], self._device_padded_rows), dtype=np.int64
+                )
+                padded[:, : self._device_rows] = codes
+                raw = self.engine.matmat(
+                    padded.T, bits=self.config.input_bits,
+                    method=self.config.device_exec,
+                ).T
         else:
             if not self._adc_calibrated and self.config.adc_bits is not None:
                 # Programme this layer's reference bank to the partial-sum
@@ -187,14 +278,22 @@ class _QuantizedLayer:
 
 
 class QuantizedInferenceEngine:
-    """Runs a trained :class:`SmallCNN` through the quantised IMC pipeline.
+    """Replays a trained sequential model through the quantised IMC pipeline.
+
+    Works with any model following the :class:`~repro.system.nn.SequentialNet`
+    protocol — an ordered ``layers`` list whose weight layers are named by
+    ``weight_layers()``.  Conv / linear layers execute on the configured IMC
+    backend; ReLU, pooling, and flatten run in the digital periphery
+    unchanged.
 
     Args:
         model: The trained floating-point network.
         config: Quantisation / design configuration.
     """
 
-    def __init__(self, model: SmallCNN, config: InferenceConfig | None = None) -> None:
+    def __init__(
+        self, model: SequentialNet, config: InferenceConfig | None = None
+    ) -> None:
         self.model = model
         self.config = config or InferenceConfig()
         rng = np.random.default_rng(self.config.seed)
@@ -203,6 +302,9 @@ class QuantizedInferenceEngine:
             self._layers[name] = _QuantizedLayer(
                 name, layer.weight, layer.bias, self.config, rng
             )
+        self._names = {
+            id(layer): name for name, layer in model.weight_layers().items()
+        }
 
     # ------------------------------------------------------------- internals
 
@@ -238,19 +340,23 @@ class QuantizedInferenceEngine:
 
     # -------------------------------------------------------------- interface
 
+    @property
+    def quantized_layers(self) -> Dict[str, _QuantizedLayer]:
+        """The programmed IMC layers, keyed by weight-layer name."""
+        return dict(self._layers)
+
     def forward(self, images: np.ndarray) -> np.ndarray:
-        """Quantised forward pass mirroring :meth:`SmallCNN.forward`."""
-        m = self.model
-        out = self._conv("conv1", m.conv1, images)
-        out = np.maximum(out, 0.0)
-        out = m.pool1.forward(out)
-        out = self._conv("conv2", m.conv2, out)
-        out = np.maximum(out, 0.0)
-        out = m.pool2.forward(out)
-        out = out.reshape(out.shape[0], -1)
-        out = self._linear("fc1", m.fc1, out)
-        out = np.maximum(out, 0.0)
-        return self._linear("fc2", m.fc2, out)
+        """Quantised forward pass mirroring the model's own layer order."""
+        out = images
+        for layer in self.model.layers:
+            name = self._names.get(id(layer))
+            if name is None:
+                out = layer.forward(out)
+            elif isinstance(layer, Conv2D):
+                out = self._conv(name, layer, out)
+            else:
+                out = self._linear(name, layer, out)
+        return out
 
     def predict(self, images: np.ndarray, *, batch_size: int = 128) -> np.ndarray:
         """Class predictions under the quantised IMC pipeline."""

@@ -13,45 +13,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Union
+from typing import Tuple, Union
 
+from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
 from .layers import ConvLayer, LinearLayer
 
 __all__ = ["MacroGeometry", "LayerMapping", "map_layer"]
 
 WeightLayer = Union[ConvLayer, LinearLayer]
-
-
-@dataclass(frozen=True)
-class MacroGeometry:
-    """Geometry of one IMC macro as seen by the mapper.
-
-    Attributes:
-        rows: Physical array rows (128).
-        weight_columns: Weight columns per macro (16 = 128 bit-columns /
-            8 bit-columns per 8-bit weight).
-        block_rows: Rows activated per block step (32).
-    """
-
-    rows: int = 128
-    weight_columns: int = 16
-    block_rows: int = 32
-
-    def __post_init__(self) -> None:
-        if self.rows < 1 or self.weight_columns < 1 or self.block_rows < 1:
-            raise ValueError("all geometry fields must be positive")
-        if self.rows % self.block_rows != 0:
-            raise ValueError("rows must be a multiple of block_rows")
-
-    @property
-    def blocks_per_macro(self) -> int:
-        """Sequential block activations needed to cover all rows of a macro."""
-        return self.rows // self.block_rows
-
-    @property
-    def weights_per_macro(self) -> int:
-        """Weight parameters stored per macro."""
-        return self.rows * self.weight_columns
 
 
 @dataclass(frozen=True)
@@ -120,6 +89,14 @@ class LayerMapping:
         """Cross-macro partial-sum additions per output pixel."""
         return (self.row_tiles - 1) * self.weight_cols
 
+    def row_tile_bounds(self, index: int) -> Tuple[int, int]:
+        """Weight-row range ``[start, stop)`` held by row tile ``index``."""
+        return self.geometry.row_tile_bounds(self.weight_rows, index)
+
+    def col_tile_bounds(self, index: int) -> Tuple[int, int]:
+        """Weight-column range ``[start, stop)`` held by column tile ``index``."""
+        return self.geometry.col_tile_bounds(self.weight_cols, index)
+
 
 def map_layer(layer: WeightLayer, geometry: MacroGeometry | None = None) -> LayerMapping:
     """Map a conv/linear layer onto the macro grid.
@@ -131,12 +108,22 @@ def map_layer(layer: WeightLayer, geometry: MacroGeometry | None = None) -> Laye
 
     Returns:
         The resulting :class:`LayerMapping`.
+
+    Raises:
+        TypeError: For layers that hold no weights (pooling layers live in
+            the digital periphery, not on macros).
     """
-    geometry = geometry or MacroGeometry()
+    geometry = geometry or DEFAULT_GEOMETRY
+    if not hasattr(layer, "weight_rows"):
+        raise TypeError(
+            f"layer {getattr(layer, 'name', layer)!r} holds no weights and "
+            "cannot be mapped onto macros (pooling runs in the digital "
+            "periphery)"
+        )
     rows = layer.weight_rows
     cols = layer.weight_cols
-    row_tiles = math.ceil(rows / geometry.rows)
-    col_tiles = math.ceil(cols / geometry.weight_columns)
+    row_tiles = geometry.row_tile_count(rows)
+    col_tiles = geometry.col_tile_count(cols)
     return LayerMapping(
         layer_name=layer.name,
         weight_rows=rows,

@@ -14,7 +14,6 @@ the synthetic dataset, not to be a general framework.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -29,6 +28,7 @@ __all__ = [
     "Flatten",
     "softmax",
     "cross_entropy_loss",
+    "SequentialNet",
     "SmallCNN",
 ]
 
@@ -161,6 +161,8 @@ class Linear:
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
         self.weight = rng.normal(
             0.0, np.sqrt(2.0 / in_features), size=(in_features, out_features)
         )
@@ -292,52 +294,42 @@ def cross_entropy_loss(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, n
     return loss, grad / n
 
 
-class SmallCNN:
-    """A compact VGG-style CNN used as the accuracy-study classifier.
+class SequentialNet:
+    """A generic sequential network assembled from the substrate's layers.
 
-    Architecture (for 16×16×3 inputs): conv3×3(3→16) → ReLU → pool2 →
-    conv3×3(16→32) → ReLU → pool2 → flatten → fc(512→64) → ReLU → fc(64→C).
+    This is the model protocol the quantised inference engine and the tiled
+    chip simulator operate on: an ordered ``layers`` list (any mix of
+    :class:`Conv2D`, :class:`Linear`, :class:`ReLU`, :class:`MaxPool2D`,
+    :class:`Flatten`), ``input_shape`` / ``num_classes`` metadata, and a
+    :meth:`weight_layers` map naming the layers that hold MAC weights
+    (``conv1..convN`` / ``fc1..fcN`` in execution order).
 
-    The two convolutions and two fully-connected layers are the layers later
-    mapped onto the IMC macros by the quantised inference engine.
+    Args:
+        layers: The layers in execution order.
+        input_shape: (channels, height, width) of the network input.
+        num_classes: Classifier output dimension.
     """
 
     def __init__(
         self,
+        layers: List[object],
         *,
-        input_shape: Tuple[int, int, int] = (3, 16, 16),
-        num_classes: int = 10,
-        channels: Tuple[int, int] = (16, 32),
-        hidden: int = 64,
-        seed: int = 0,
+        input_shape: Tuple[int, int, int],
+        num_classes: int,
     ) -> None:
-        rng = np.random.default_rng(seed)
-        c, h, w = input_shape
-        self.input_shape = input_shape
-        self.num_classes = num_classes
-        self.conv1 = Conv2D(c, channels[0], 3, padding=1, rng=rng)
-        self.relu1 = ReLU()
-        self.pool1 = MaxPool2D(2)
-        self.conv2 = Conv2D(channels[0], channels[1], 3, padding=1, rng=rng)
-        self.relu2 = ReLU()
-        self.pool2 = MaxPool2D(2)
-        self.flatten = Flatten()
-        flat_features = channels[1] * (h // 4) * (w // 4)
-        self.fc1 = Linear(flat_features, hidden, rng=rng)
-        self.relu3 = ReLU()
-        self.fc2 = Linear(hidden, num_classes, rng=rng)
-        self.layers = [
-            self.conv1,
-            self.relu1,
-            self.pool1,
-            self.conv2,
-            self.relu2,
-            self.pool2,
-            self.flatten,
-            self.fc1,
-            self.relu3,
-            self.fc2,
-        ]
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        self.num_classes = int(num_classes)
+        named: Dict[str, object] = {}
+        conv_count = fc_count = 0
+        for layer in self.layers:
+            if isinstance(layer, Conv2D):
+                conv_count += 1
+                named[f"conv{conv_count}"] = layer
+            elif isinstance(layer, Linear):
+                fc_count += 1
+                named[f"fc{fc_count}"] = layer
+        self._weight_layers = named
 
     def forward(
         self,
@@ -351,11 +343,9 @@ class SmallCNN:
         Args:
             images: Input batch.
             noise_sigma: Optional relative activation-noise level injected
-                after every MAC layer during training.  Networks destined
-                for analog IMC deployment are routinely trained with such
-                noise so that ADC quantisation and device variation at
-                inference time do not collapse the accuracy; gradients treat
-                the injected noise as a constant.
+                after every MAC layer during training (noise-aware training
+                for analog IMC deployment); gradients treat the injected
+                noise as a constant.
             rng: Generator for the injected noise (required when
                 ``noise_sigma`` > 0).
 
@@ -401,9 +391,54 @@ class SmallCNN:
 
     def weight_layers(self) -> Dict[str, object]:
         """The layers that hold MAC weights, keyed by name (mapped to IMC)."""
-        return {
-            "conv1": self.conv1,
-            "conv2": self.conv2,
-            "fc1": self.fc1,
-            "fc2": self.fc2,
-        }
+        return dict(self._weight_layers)
+
+
+class SmallCNN(SequentialNet):
+    """A compact VGG-style CNN used as the accuracy-study classifier.
+
+    Architecture (for 16×16×3 inputs): conv3×3(3→16) → ReLU → pool2 →
+    conv3×3(16→32) → ReLU → pool2 → flatten → fc(512→64) → ReLU → fc(64→C).
+
+    The two convolutions and two fully-connected layers are the layers later
+    mapped onto the IMC macros by the quantised inference engine.
+    """
+
+    def __init__(
+        self,
+        *,
+        input_shape: Tuple[int, int, int] = (3, 16, 16),
+        num_classes: int = 10,
+        channels: Tuple[int, int] = (16, 32),
+        hidden: int = 64,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        c, h, w = input_shape
+        self.conv1 = Conv2D(c, channels[0], 3, padding=1, rng=rng)
+        self.relu1 = ReLU()
+        self.pool1 = MaxPool2D(2)
+        self.conv2 = Conv2D(channels[0], channels[1], 3, padding=1, rng=rng)
+        self.relu2 = ReLU()
+        self.pool2 = MaxPool2D(2)
+        self.flatten = Flatten()
+        flat_features = channels[1] * (h // 4) * (w // 4)
+        self.fc1 = Linear(flat_features, hidden, rng=rng)
+        self.relu3 = ReLU()
+        self.fc2 = Linear(hidden, num_classes, rng=rng)
+        super().__init__(
+            [
+                self.conv1,
+                self.relu1,
+                self.pool1,
+                self.conv2,
+                self.relu2,
+                self.pool2,
+                self.flatten,
+                self.fc1,
+                self.relu3,
+                self.fc2,
+            ],
+            input_shape=input_shape,
+            num_classes=num_classes,
+        )

@@ -22,21 +22,41 @@ Energy terms per layer:
   the total inference latency; because ChgFe's MAC cycle is longer, it pays
   more leakage per image, which is why the system-level gap between the two
   designs is smaller than the circuit-level gap.
+
+Activity-driven architecture
+----------------------------
+
+Costing is split into *producing* per-layer
+:class:`~repro.system.activity.LayerActivity` counts and *converting* them
+to energy / latency (:meth:`SystemPerformanceModel.layer_performance`).
+:meth:`SystemPerformanceModel.evaluate` produces the counts analytically
+from layer shapes and the macro mapping; the tiled
+:class:`~repro.chipsim.ChipSimulator` instead *counts* activity while
+executing a workload on the device-detailed macro grid and feeds it to the
+same converter via :meth:`SystemPerformanceModel.evaluate_activities` — so
+accuracy and energy/latency describe one simulated pass over one mapping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..energy.circuit_energy import CircuitEnergyModel
+from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
+from .activity import LayerActivity
 from .chip import ChipParameters
 from .htree import HTree, HTreeParameters
 from .layers import ConvLayer, LinearLayer, PoolLayer
-from .mapping import LayerMapping, MacroGeometry, map_layer
+from .mapping import map_layer
 from .networks import NetworkSpec
 
-__all__ = ["LayerPerformance", "SystemPerformanceResult", "SystemPerformanceModel"]
+__all__ = [
+    "LayerActivity",
+    "LayerPerformance",
+    "SystemPerformanceResult",
+    "SystemPerformanceModel",
+]
 
 WeightLayer = Union[ConvLayer, LinearLayer]
 
@@ -188,8 +208,17 @@ class SystemPerformanceModel:
         self.design = design
         self.input_bits = int(input_bits)
         self.weight_bits = int(weight_bits)
-        self.circuit = circuit_model or CircuitEnergyModel(design, adc_bits=adc_bits)
         self.geometry = geometry or self._default_geometry()
+        # The priced macro follows the shared geometry, so a non-default
+        # MacroGeometry changes energy/latency/area consistently with the
+        # mapping (an explicit circuit_model takes full responsibility).
+        self.circuit = circuit_model or CircuitEnergyModel(
+            design,
+            adc_bits=adc_bits,
+            banks=self.geometry.weight_columns,
+            rows=self.geometry.rows,
+            rows_per_block=self.geometry.block_rows,
+        )
         self.chip = chip or ChipParameters()
         self.htree_params = htree_params or HTreeParameters()
 
@@ -201,56 +230,103 @@ class SystemPerformanceModel:
         (the L4B groups are unused), keeping the mapper geometry identical;
         with 8-bit weights a weight occupies a full H4B+L4B pair.
         """
-        return MacroGeometry(rows=128, weight_columns=16, block_rows=32)
+        return DEFAULT_GEOMETRY
 
-    # --------------------------------------------------------------- per layer
+    # ------------------------------------------------------ activity producers
 
-    def _weight_layer_performance(self, layer: WeightLayer) -> LayerPerformance:
+    def weight_layer_activity(self, layer: WeightLayer) -> LayerActivity:
+        """Analytic per-image activity of a conv / linear layer (per mapping)."""
         mapping = map_layer(layer, self.geometry)
         pixels = layer.output_pixels
         buffer = self.chip.buffer
-        digital = self.chip.digital
-
-        block_macs = pixels * mapping.total_block_macs_per_pixel
-        macro_energy = block_macs * self.circuit.mac_energy(
-            self.input_bits, self.weight_bits
-        )
-
-        input_bits_moved = pixels * layer.weight_rows * self.input_bits
-        output_bits_moved = pixels * layer.weight_cols * buffer.output_bits
-        psum_transfers = (
-            pixels
-            * layer.weight_cols
-            * max(mapping.row_tiles - 1, 0)
-            * buffer.partial_sum_bits
-        )
-        buffer_energy = (
-            input_bits_moved * buffer.read_energy_per_bit
-            + output_bits_moved * buffer.write_energy_per_bit
-            + psum_transfers
-            * (buffer.read_energy_per_bit + buffer.write_energy_per_bit)
-        )
-
-        tree = HTree(max(mapping.num_macros, 1), self.htree_params)
-        interconnect_energy = tree.point_to_point_energy(
-            input_bits_moved
-        ) + tree.point_to_point_energy(output_bits_moved + psum_transfers)
-
-        digital_energy = (
-            pixels * mapping.partial_sum_adds_per_pixel * digital.add_energy
-            + pixels * layer.weight_cols * digital.activation_energy
-        )
-
-        latency = (
-            pixels
-            * mapping.block_activations_per_pixel
-            * self.circuit.mac_latency(self.input_bits)
-        )
-
-        return LayerPerformance(
+        return LayerActivity(
             layer_name=layer.name,
             macs=layer.macs,
             num_macros=mapping.num_macros,
+            row_tiles=mapping.row_tiles,
+            col_tiles=mapping.col_tiles,
+            block_macs=pixels * mapping.total_block_macs_per_pixel,
+            block_steps=pixels * mapping.block_activations_per_pixel,
+            input_bits_moved=pixels * layer.weight_rows * self.input_bits,
+            output_bits_moved=pixels * layer.weight_cols * buffer.output_bits,
+            psum_bits_moved=(
+                pixels
+                * layer.weight_cols
+                * max(mapping.row_tiles - 1, 0)
+                * buffer.partial_sum_bits
+            ),
+            psum_adds=pixels * mapping.partial_sum_adds_per_pixel,
+            activation_ops=pixels * layer.weight_cols,
+            source="analytic",
+        )
+
+    def pool_layer_activity(self, layer: PoolLayer) -> LayerActivity:
+        """Analytic per-image activity of a pooling layer (digital periphery)."""
+        buffer = self.chip.buffer
+        return LayerActivity(
+            layer_name=layer.name,
+            macs=0,
+            num_macros=0,
+            input_bits_moved=layer.input_shape.size * buffer.output_bits,
+            output_bits_moved=layer.output_shape.size * buffer.output_bits,
+            pool_elements=(
+                layer.output_shape.size * layer.kernel_size * layer.kernel_size
+            ),
+            digital_steps=layer.output_shape.size,
+            source="analytic",
+        )
+
+    def network_activities(self, network: NetworkSpec) -> List[LayerActivity]:
+        """Analytic activities of every layer of a network, in order."""
+        return [
+            self.pool_layer_activity(layer)
+            if isinstance(layer, PoolLayer)
+            else self.weight_layer_activity(layer)
+            for layer in network.layers
+        ]
+
+    # ------------------------------------------------------ activity converter
+
+    def layer_performance(self, activity: LayerActivity) -> LayerPerformance:
+        """Price one layer's activity counts into energy and latency.
+
+        This is the single converter behind both the analytic roll-up and
+        the chip simulator's measured counts.
+        """
+        buffer = self.chip.buffer
+        digital = self.chip.digital
+
+        macro_energy = self.circuit.energy_for_block_macs(
+            activity.block_macs, self.input_bits, self.weight_bits
+        )
+        buffer_energy = (
+            activity.input_bits_moved * buffer.read_energy_per_bit
+            + activity.output_bits_moved * buffer.write_energy_per_bit
+            + activity.psum_bits_moved
+            * (buffer.read_energy_per_bit + buffer.write_energy_per_bit)
+        )
+        if activity.num_macros > 0:
+            tree = HTree(max(activity.num_macros, 1), self.htree_params)
+            interconnect_energy = tree.point_to_point_energy(
+                activity.input_bits_moved
+            ) + tree.point_to_point_energy(
+                activity.output_bits_moved + activity.psum_bits_moved
+            )
+        else:
+            interconnect_energy = 0.0
+        digital_energy = (
+            activity.psum_adds * digital.add_energy
+            + activity.activation_ops * digital.activation_energy
+            + activity.pool_elements * digital.pooling_energy_per_element
+        )
+        latency = self.circuit.latency_for_block_steps(
+            activity.block_steps, self.input_bits
+        ) + activity.digital_steps * digital.add_latency
+
+        return LayerPerformance(
+            layer_name=activity.layer_name,
+            macs=int(round(activity.macs)),
+            num_macros=activity.num_macros,
             macro_energy=macro_energy,
             buffer_energy=buffer_energy,
             interconnect_energy=interconnect_energy,
@@ -258,40 +334,18 @@ class SystemPerformanceModel:
             latency=latency,
         )
 
-    def _pool_layer_performance(self, layer: PoolLayer) -> LayerPerformance:
-        elements = layer.output_shape.size * layer.kernel_size * layer.kernel_size
-        digital_energy = elements * self.chip.digital.pooling_energy_per_element
-        bits_moved = layer.input_shape.size * self.chip.buffer.output_bits
-        buffer_energy = bits_moved * (
-            self.chip.buffer.read_energy_per_bit
-        ) + layer.output_shape.size * self.chip.buffer.output_bits * (
-            self.chip.buffer.write_energy_per_bit
-        )
-        latency = layer.output_shape.size * self.chip.digital.add_latency
-        return LayerPerformance(
-            layer_name=layer.name,
-            macs=0,
-            num_macros=0,
-            macro_energy=0.0,
-            buffer_energy=buffer_energy,
-            interconnect_energy=0.0,
-            digital_energy=digital_energy,
-            latency=latency,
-        )
-
     # ----------------------------------------------------------------- totals
 
     def evaluate(self, network: NetworkSpec) -> SystemPerformanceResult:
-        """Evaluate a full network and return the chip-level result."""
-        layer_results: List[LayerPerformance] = []
-        total_macros = 0
-        for layer in network.layers:
-            if isinstance(layer, PoolLayer):
-                layer_results.append(self._pool_layer_performance(layer))
-            else:
-                result = self._weight_layer_performance(layer)
-                total_macros += result.num_macros
-                layer_results.append(result)
+        """Evaluate a full network analytically (shape-derived activity)."""
+        return self.evaluate_activities(network, self.network_activities(network))
+
+    def evaluate_activities(
+        self, network: NetworkSpec, activities: Sequence[LayerActivity]
+    ) -> SystemPerformanceResult:
+        """Roll activities (analytic or simulator-counted) up to chip level."""
+        layer_results = [self.layer_performance(activity) for activity in activities]
+        total_macros = sum(result.num_macros for result in layer_results)
 
         total_latency = sum(result.latency for result in layer_results)
         leakage_energy = (
