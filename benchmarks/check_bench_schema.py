@@ -40,6 +40,7 @@ CHIPSIM_SCHEMA = {
     "input_bits": int,
     "weight_bits": int,
     "adc_bits": int,
+    "calibration": str,
     "images": int,
     "tiny": bool,
     "scenarios": dict,
@@ -60,6 +61,7 @@ SCENARIO_SCHEMA = {
     "total_macros": int,
     "modeled_tops_per_watt": float,
     "modeled_fps": float,
+    "calibrated_layers": int,
     "speedup_tiled_fast": float,
     "speedup_tiled_turbo": float,
 }

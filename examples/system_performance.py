@@ -26,10 +26,8 @@ def chip_co_report() -> None:
     print("=== Chip-simulator co-report (accuracy + TOPS/W, one pass) ===")
     model, dataset, _ = reference_model_and_dataset()
     for design in ("curfe", "chgfe"):
-        # 8-bit ADC: the device-detailed path converts against nominal
-        # (uncalibrated) reference ranges; see the ROADMAP open item.
         report = ChipSimulator(
-            model, design=design, input_bits=4, weight_bits=8, adc_bits=8
+            model, design=design, input_bits=4, weight_bits=8, adc_bits=5
         ).run(
             dataset.test_images[:CHIPSIM_SAMPLES],
             dataset.test_labels[:CHIPSIM_SAMPLES],

@@ -178,6 +178,11 @@ class ChipSimulator:
             (default), or ``"turbo"`` (throughput mode, ULP-class
             differences).
         tile_workers: Worker threads per tiled layer matmul (0 = auto).
+        calibration: ``"workload"`` (default) programs each layer's ADC
+            reference bank from its first batch, which is what reaches the
+            paper's accuracy at ``adc_bits=5``; ``"nominal"`` keeps the
+            fixed worst-case references.
+        calibration_samples: Per-layer calibration-batch budget.
         chip: Chip-level cost parameters.
         htree_params: H-tree wire parameters.
         name: Network name for reports (defaults to the model class name).
@@ -198,6 +203,8 @@ class ChipSimulator:
         tiling: str = "tiled",
         device_exec: str = "fast",
         tile_workers: int = 0,
+        calibration: str = "workload",
+        calibration_samples: int = 4096,
         chip: Optional[ChipParameters] = None,
         htree_params: Optional[HTreeParameters] = None,
         name: Optional[str] = None,
@@ -217,6 +224,8 @@ class ChipSimulator:
             variation=variation,
             seed=seed,
             tile_workers=tile_workers,
+            calibration=calibration,
+            calibration_samples=calibration_samples,
         )
         self.inference = QuantizedInferenceEngine(model, self.config)
         self.performance_model = SystemPerformanceModel(
@@ -239,6 +248,18 @@ class ChipSimulator:
             if tiled is not None:
                 engines[layer_name] = tiled
         return engines
+
+    def calibrated_layers(self) -> int:
+        """Weight layers whose ADC references are workload-programmed.
+
+        Zero until the first batch has run (calibration is derived from
+        it), and always zero with ``calibration="nominal"``.
+        """
+        count = 0
+        for quantized in self.inference.quantized_layers.values():
+            if getattr(quantized.engine, "reference_levels", None) is not None:
+                count += 1
+        return count
 
     def layer_activities(self, images: int) -> List[LayerActivity]:
         """Per-image activity of the last run, one entry per network layer.

@@ -37,6 +37,19 @@ Every ``matmat`` updates per-tile activity counters (input columns
 processed, bank-level block MACs, cross-tile partial-sum additions, tile
 invocations).  :class:`~repro.chipsim.ChipSimulator` harvests them to price
 energy and latency from the *same* pass that produced the accuracy.
+
+Workload-calibrated references
+------------------------------
+
+:meth:`TiledLayerEngine.calibrate_references` programs the reference banks
+of **all** tiles with one layer-wide Lloyd-Max level set computed from a
+calibration batch (shared maths: :mod:`repro.quant.calibration`).  Because
+the levels are computed from the full padded weight plan — the identical
+computation a monolithic engine performs — and applied uniformly to every
+tile, calibrated tiled execution remains bit-identical to the calibrated
+monolithic path.  This is what lets the device-detailed chip simulator run
+at the paper's 5-bit ADC instead of the 8 bits the nominal worst-case
+references needed.
 """
 
 from __future__ import annotations
@@ -44,7 +57,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -53,6 +66,8 @@ from ..devices.variation import NO_VARIATION, VariationModel
 from ..engine.array_state import ArrayState
 from ..engine.macro_engine import MacroEngine
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
+from ..quant.calibration import DEFAULT_MAX_SAMPLES, reference_levels_for_plan
+from ..quant.quantize import coerce_unsigned_codes
 
 __all__ = ["TileSpec", "plan_tiles", "TiledLayerEngine"]
 
@@ -171,12 +186,15 @@ class TiledLayerEngine:
             raise ValueError("weights must be a 2-D (rows, cols) matrix")
         self.design = design
         self.geometry = geometry
+        self.adc_bits = int(adc_bits)
+        self.weight_bits = int(weight_bits)
         self.weight_rows, self.weight_cols = weights.shape
         self.workers = int(workers)
         block = geometry.block_rows
         self.padded_rows = -(-self.weight_rows // block) * block
         padded = np.zeros((self.padded_rows, self.weight_cols), dtype=np.int64)
         padded[: self.weight_rows] = weights
+        self._reference_levels: Optional[Dict[str, np.ndarray]] = None
 
         # One characterisation pass for the whole layer, identical to the
         # monolithic single-macro build (same config, same rng consumption);
@@ -252,6 +270,111 @@ class TiledLayerEngine:
                 self._pool = ThreadPoolExecutor(max_workers=workers)
         return self._pool
 
+    # ------------------------------------------------------------ calibration
+
+    def _layer_nibbles(self):
+        """The full layer's exact nibble matrices, assembled from tile plans.
+
+        Every tile engine already holds the encoded plan of its sub-matrix;
+        stitching them back together in (block range × column range) order
+        reproduces ``encode_weight_matrix`` of the whole padded layer
+        (nibble encoding is elementwise), without keeping a layer-sized
+        weight copy alive or re-encoding on every calibration.
+        """
+        block = self.geometry.block_rows
+        high = np.empty((self.padded_rows, self.weight_cols), dtype=np.int64)
+        low = np.empty_like(high) if self.weight_bits == 8 else None
+        for tile, engine in zip(self.tiles, self._engines):
+            plan = engine.weight_plan
+            rows = slice(tile.block_start * block, tile.block_stop * block)
+            cols = slice(tile.col_start, tile.col_stop)
+            high[rows, cols] = plan.high_nibbles
+            if low is not None:
+                low[rows, cols] = plan.low_nibbles
+        return high, low
+
+    @property
+    def reference_levels(self) -> Optional[Dict[str, np.ndarray]]:
+        """The layer-wide calibrated reference levels, or None (nominal)."""
+        if self._reference_levels is None:
+            return None
+        return {key: value.copy() for key, value in self._reference_levels.items()}
+
+    def apply_reference_levels(
+        self, levels: Dict[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Program one explicit level set into *every* tile engine.
+
+        All row and column tiles of a layer share the layer's reference
+        bank programming; applying identical levels everywhere is what
+        keeps tiled execution bit-identical to a monolithic macro
+        calibrated with the same levels.
+        """
+        for engine in self._engines:
+            engine.apply_reference_levels(levels)
+        # Cache the engines' normalised (sorted, deduplicated) form so the
+        # layer-level view always equals what every tile reports.
+        self._reference_levels = {
+            key: np.unique(np.asarray(value, dtype=float))
+            for key, value in levels.items()
+        }
+        return self.reference_levels
+
+    def clear_calibration(self) -> None:
+        """Drop workload calibration on every tile (back to nominal)."""
+        for engine in self._engines:
+            engine.clear_calibration()
+        self._reference_levels = None
+
+    def calibrate_references(
+        self,
+        samples: np.ndarray,
+        *,
+        bits: int,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> Dict[str, np.ndarray]:
+        """Program layer-wide ADC references from a calibration batch.
+
+        The levels are computed **once** for the whole layer — from the
+        full (padded) weight plan and the padded calibration batch, exactly
+        the computation a monolithic :class:`~repro.engine.MacroEngine`
+        holding the same padded weights performs in its
+        ``calibrate_references`` — and then applied identically to every
+        tile, preserving the tiled-vs-monolithic bit-identity contract.
+
+        Args:
+            samples: Integer array of shape (weight_rows, batch) — one
+                unsigned calibration vector per column (unpadded), same
+                orientation as :meth:`matmat`.
+            bits: Input precision of the calibration vectors (1..8).
+            max_samples: Per-group cap on collected partial-sum samples.
+
+        Returns:
+            The programmed level arrays keyed by ``"high"`` / ``"low"``.
+        """
+        samples = np.asarray(samples)
+        if samples.ndim == 1:
+            samples = samples[:, None]
+        if samples.ndim != 2 or samples.shape[0] != self.weight_rows:
+            raise ValueError(
+                f"samples must have shape ({self.weight_rows}, batch), "
+                f"got {samples.shape}"
+            )
+        samples = coerce_unsigned_codes(samples, bits, name="samples")
+        padded = np.zeros((self.padded_rows, samples.shape[1]), dtype=np.int64)
+        padded[: self.weight_rows] = samples
+        high_nibbles, low_nibbles = self._layer_nibbles()
+        levels = reference_levels_for_plan(
+            high_nibbles,
+            low_nibbles,
+            padded.T,
+            adc_bits=self.adc_bits,
+            input_bits=bits,
+            rows_per_block=self.geometry.block_rows,
+            max_samples=max_samples,
+        )
+        return self.apply_reference_levels(levels)
+
     # -------------------------------------------------------------- operation
 
     def matmat(
@@ -285,11 +408,7 @@ class TiledLayerEngine:
                 f"inputs must have shape ({self.weight_rows}, batch), "
                 f"got {inputs.shape}"
             )
-        if not np.issubdtype(inputs.dtype, np.integer):
-            # Same contract as MacroEngine: never silently truncate floats.
-            if not np.all(inputs == np.round(inputs)):
-                raise ValueError("inputs must be integers")
-            inputs = inputs.astype(np.int64)
+        inputs = coerce_unsigned_codes(inputs, bits)
         batch = inputs.shape[1]
         block = self.geometry.block_rows
         padded = np.zeros((self.padded_rows, batch), dtype=np.int64)

@@ -1,7 +1,7 @@
 """Peripheral circuit substrate: TIA, SAR ADC, TGs, PCTs, accumulators, drivers."""
 
 from .accumulator import AccumulationModule, AccumulatorParameters
-from .adc import ADCMode, ADCParameters, MACQuantizer, SARADC
+from .adc import ADCMode, ADCParameters, CalibratedMACQuantizer, MACQuantizer, SARADC
 from .precharge import PrechargeCircuit, PrechargeParameters
 from .reference_bank import ReferenceBank, ReferenceBankParameters
 from .switch_matrix import SwitchMatrix, SwitchMatrixParameters
@@ -14,6 +14,7 @@ __all__ = [
     "AccumulatorParameters",
     "ADCMode",
     "ADCParameters",
+    "CalibratedMACQuantizer",
     "MACQuantizer",
     "SARADC",
     "PrechargeCircuit",

@@ -28,7 +28,13 @@ import numpy as np
 
 from ..engine.readout_core import adc_raw_codes, codes_to_mac
 
-__all__ = ["ADCMode", "ADCParameters", "SARADC", "MACQuantizer"]
+__all__ = [
+    "ADCMode",
+    "ADCParameters",
+    "SARADC",
+    "MACQuantizer",
+    "CalibratedMACQuantizer",
+]
 
 
 class ADCMode:
@@ -291,4 +297,67 @@ class MACQuantizer:
         return (
             f"MACQuantizer(mac_range=[{self.mac_at_v_min}, {self.mac_at_v_max}], "
             f"lsb={self.mac_per_lsb:.3f})"
+        )
+
+
+class CalibratedMACQuantizer:
+    """SAR conversion against a workload-programmed reference bank.
+
+    The reference bank is *programmable* (FeFET replica cells), so instead
+    of the uniform references spanning the worst-case
+    :func:`~repro.core.readout.mac_range_for_group` range, the SAR search
+    can compare against the voltages of arbitrary MAC-domain levels —
+    typically the Lloyd-Max levels of the partial-sum distribution a
+    workload actually produces (:mod:`repro.quant.calibration`).  Each
+    conversion then reports the calibrated level whose reference voltage is
+    nearest to the column voltage — the same nearest-level quantisation the
+    functional model applies in the MAC domain, up to the tie direction of
+    values landing exactly on a level midpoint (the voltage-domain midpoint
+    can differ from the MAC-domain one by ULPs, and a negative-slope
+    transfer inverts which neighbour a tie resolves to).
+
+    Args:
+        levels: MAC-domain reference levels (any order; deduplicated and
+            sorted internally).
+        nominal_voltage_for_mac: The group's nominal transfer function
+            (MAC value -> readout voltage); its slope may have either sign
+            (positive for the CurFe H4B, negative for ChgFe).
+    """
+
+    def __init__(self, levels: np.ndarray, *, nominal_voltage_for_mac) -> None:
+        levels = np.unique(np.asarray(levels, dtype=float).ravel())
+        if levels.size == 0:
+            raise ValueError("levels must not be empty")
+        self.levels = levels
+        voltages = np.asarray(
+            [float(nominal_voltage_for_mac(level)) for level in levels]
+        )
+        order = np.argsort(voltages)
+        self._level_voltages = voltages[order]
+        self._levels_by_voltage = levels[order]
+        self._thresholds = 0.5 * (
+            self._level_voltages[:-1] + self._level_voltages[1:]
+        )
+
+    @property
+    def num_levels(self) -> int:
+        """Number of programmed reference levels."""
+        return int(self.levels.size)
+
+    def quantize_voltages(self, voltages: np.ndarray) -> np.ndarray:
+        """MAC estimates for an array of column voltages (nearest reference)."""
+        voltages = np.asarray(voltages, dtype=float)
+        if self.levels.size == 1:
+            return np.full_like(voltages, self.levels[0])
+        indices = np.searchsorted(self._thresholds, voltages)
+        return self._levels_by_voltage[indices]
+
+    def quantize_voltage(self, voltage: float) -> float:
+        """Scalar :meth:`quantize_voltages`."""
+        return float(self.quantize_voltages(np.asarray([voltage]))[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CalibratedMACQuantizer({self.num_levels} levels in "
+            f"[{self.levels[0]:.1f}, {self.levels[-1]:.1f}])"
         )

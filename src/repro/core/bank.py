@@ -43,7 +43,10 @@ def build_mac_quantizer(
     end of the range corresponds to which MAC extreme (the CurFe H4B slope is
     positive, the ChgFe slope negative).  Shared by :class:`IMCBank` and the
     vectorised :class:`repro.engine.MacroEngine` so both build identical
-    converters.
+    converters.  These are the *nominal* worst-case references; the engine
+    can override them with workload-programmed levels
+    (:meth:`repro.engine.MacroEngine.calibrate_references`, backed by
+    :class:`repro.circuits.adc.CalibratedMACQuantizer`).
 
     Args:
         mac_range: Representable partial-MAC range of the group.

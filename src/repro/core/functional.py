@@ -22,13 +22,18 @@ arithmetic of :mod:`repro.engine.readout_core`:
 
 * **This model** folds variation into per-significance statistics and
   quantises in the MAC-value domain — the cheapest statistically faithful
-  path, ideal for the largest accuracy sweeps (and the only one offering
-  workload-calibrated Lloyd-Max ADC references).
+  path, ideal for the largest accuracy sweeps.
 * **The device-detailed engine** (:mod:`repro.engine`) keeps each cell's
   individual variation draw and runs the actual voltage-domain readout +
   SAR conversion, vectorised; select it at DNN scale with
   ``InferenceConfig(backend="device")`` when per-device fidelity matters
   more than throughput.
+
+Both paths program their ADC references from the same shared
+workload-calibration maths (:mod:`repro.quant.calibration`): this model
+quantises directly against the Lloyd-Max levels in the MAC domain, the
+engine programs the same levels into its reference bank and converts in
+the voltage domain.
 """
 
 from __future__ import annotations
@@ -44,6 +49,11 @@ from ..cells.curfe_cell import CurFeCell, CurFeCellParameters
 from ..devices.variation import DEFAULT_VARIATION, NO_VARIATION, VariationModel
 from ..engine.readout_core import combine_nibbles, shift_add_planes
 from ..geometry import DEFAULT_GEOMETRY
+from ..quant.calibration import (
+    DEFAULT_MAX_SAMPLES,
+    quantize_to_levels,
+    reference_levels_for_plan,
+)
 from ..quant.quantize import signed_range, unsigned_range
 from .readout import mac_range_for_group
 from .weights import encode_weight_matrix
@@ -63,51 +73,6 @@ CHGFE_DESIGN = "chgfe"
 IDEAL_DESIGN = "ideal"
 
 _SUPPORTED_DESIGNS = (CURFE_DESIGN, CHGFE_DESIGN, IDEAL_DESIGN)
-
-
-def _lloyd_max_levels(samples: np.ndarray, num_levels: int, iterations: int = 25) -> np.ndarray:
-    """MSE-optimal (Lloyd-Max) reference levels for a sampled distribution.
-
-    This is the nonlinear ADC-reference placement used when calibrating the
-    programmable reference bank to a workload: levels are the centroids of a
-    1-D k-means over the observed partial sums, which minimises the mean
-    squared quantisation error.  When the distribution occupies no more than
-    ``num_levels`` distinct values the levels reproduce them exactly (the
-    conversion becomes lossless).
-
-    Args:
-        samples: Observed partial-sum samples.
-        num_levels: Number of ADC output levels (2^resolution).
-        iterations: Lloyd iterations.
-
-    Returns:
-        Sorted array of at most ``num_levels`` reference levels.
-    """
-    samples = np.asarray(samples, dtype=float).ravel()
-    if samples.size == 0:
-        raise ValueError("samples must not be empty")
-    unique_values = np.unique(samples)
-    if unique_values.size <= num_levels:
-        return unique_values
-    # Initialise at evenly spaced quantiles of the *unique values* so sparse
-    # tails still receive levels, then run Lloyd iterations on the samples.
-    quantiles = np.linspace(0.0, 1.0, num_levels)
-    levels = np.quantile(unique_values, quantiles)
-    levels = np.unique(levels)
-    for _ in range(iterations):
-        boundaries = 0.5 * (levels[:-1] + levels[1:])
-        assignment = np.searchsorted(boundaries, samples)
-        sums = np.bincount(assignment, weights=samples, minlength=levels.size)
-        counts = np.bincount(assignment, minlength=levels.size)
-        occupied = counts > 0
-        new_levels = levels.copy()
-        new_levels[occupied] = sums[occupied] / counts[occupied]
-        new_levels = np.unique(new_levels)
-        if new_levels.size == levels.size and np.allclose(new_levels, levels):
-            levels = new_levels
-            break
-        levels = new_levels
-    return levels
 
 
 @dataclass(frozen=True)
@@ -326,23 +291,17 @@ class FunctionalIMCModel:
         return {key: levels.copy() for key, levels in self._adc_ranges.items()}
 
     def calibrate_adc_ranges(
-        self, activations: np.ndarray, *, max_samples: int = 200_000
+        self, activations: np.ndarray, *, max_samples: int = DEFAULT_MAX_SAMPLES
     ) -> Dict[str, np.ndarray]:
         """Programme the reference bank to the observed partial-sum distribution.
 
-        The ADC references of both designs come from a *programmable* FeFET
-        reference bank; following the NeuroSim practice for multi-level-cell
-        arrays ("modifications have been made to NeuroSim to accommodate our
-        proposed architectures", Section 4.2), the reference levels are
-        placed at the quantiles of the partial sums the workload actually
-        produces rather than uniformly over the worst-case arithmetic range —
-        a 5-bit converter over the full ±256 range would otherwise waste most
-        of its codes on values that never occur.
-
-        This method runs the *ideal* (noise-free) partial sums of a
-        calibration batch through the same 32-row blocking as :meth:`matmul`
-        and stores, per group, the 2^adc_bits reference levels at evenly
-        spaced quantiles of the observed distribution.
+        Runs the *ideal* (noise-free) partial sums of a calibration batch
+        through the same 32-row blocking as :meth:`matmul` and stores, per
+        group, the 2^adc_bits Lloyd-Max reference levels of the observed
+        distribution — the shared placement maths of
+        :mod:`repro.quant.calibration` (see that module for the reference-
+        bank rationale), also used by the device-detailed engine's
+        :meth:`~repro.engine.MacroEngine.calibrate_references`.
 
         Args:
             activations: Calibration batch, shape (batch, rows), unsigned
@@ -359,46 +318,16 @@ class FunctionalIMCModel:
         if self.config.adc_bits is None:
             self._adc_ranges = {}
             return {}
-        activations = np.asarray(activations, dtype=np.int64)
-        if activations.ndim == 1:
-            activations = activations[None, :]
-        rows = self._weights.shape[0]
-        block = self.config.rows_per_block
-        num_levels = 2**self.config.adc_bits
-
-        def observed_levels(exact: np.ndarray, signed: bool) -> np.ndarray:
-            samples = []
-            total = 0
-            for bit in range(self.config.input_bits):
-                plane = ((activations >> bit) & 1).astype(float)
-                for start in range(0, rows, block):
-                    stop = min(start + block, rows)
-                    partial = (plane[:, start:stop] @ exact[start:stop]).ravel()
-                    samples.append(partial)
-                    total += partial.size
-                    if total >= max_samples:
-                        break
-                if total >= max_samples:
-                    break
-            data = np.concatenate(samples)
-            return _lloyd_max_levels(data, num_levels)
-
-        self._adc_ranges = {"high": observed_levels(self._exact_high, signed=True)}
-        if self.config.weight_bits == 8 and self._exact_low is not None:
-            self._adc_ranges["low"] = observed_levels(self._exact_low, signed=False)
+        self._adc_ranges = reference_levels_for_plan(
+            self._exact_high,
+            self._exact_low if self.config.weight_bits == 8 else None,
+            activations,
+            adc_bits=self.config.adc_bits,
+            input_bits=self.config.input_bits,
+            rows_per_block=self.config.rows_per_block,
+            max_samples=max_samples,
+        )
         return self.adc_levels
-
-    @staticmethod
-    def _quantize_to_levels(values: np.ndarray, levels: np.ndarray) -> np.ndarray:
-        """Map every value to its nearest reference level (vectorised)."""
-        if levels.size == 1:
-            return np.full_like(values, levels[0], dtype=float)
-        indices = np.searchsorted(levels, values)
-        indices = np.clip(indices, 1, levels.size - 1)
-        lower = levels[indices - 1]
-        upper = levels[indices]
-        choose_upper = (values - lower) > (upper - values)
-        return np.where(choose_upper, upper, lower)
 
     def _quantize_partial(self, partial: np.ndarray, signed: bool) -> np.ndarray:
         """Apply the ADC transfer to a partial-MAC array (2CM or N2CM group)."""
@@ -406,7 +335,7 @@ class FunctionalIMCModel:
             return partial
         key = "high" if signed else "low"
         if key in self._adc_ranges:
-            return self._quantize_to_levels(partial, self._adc_ranges[key])
+            return quantize_to_levels(partial, self._adc_ranges[key])
         mac_range = mac_range_for_group(signed, self.config.rows_per_block)
         lower, upper = float(mac_range.minimum), float(mac_range.maximum)
         levels = 2**self.config.adc_bits

@@ -34,6 +34,19 @@ row tiles (see :mod:`repro.chipsim`) can then accumulate the blocks of all
 tiles in global block order — reproducing the monolithic accumulation
 nesting exactly, which is what keeps tiled execution bit-identical to one
 oversized macro.
+
+Workload-calibrated references
+------------------------------
+
+By default every 32-row block converts against the nominal
+``mac_range_for_group`` references — uniform levels over the worst-case
+arithmetic range, most of which a real workload never produces.
+:meth:`MacroEngine.calibrate_references` programs the reference bank to the
+Lloyd-Max levels of the partial sums a calibration batch actually causes
+(the same shared maths the functional backend uses,
+:mod:`repro.quant.calibration`), after which conversions report the nearest
+calibrated level.  Re-programming the weights invalidates the calibration
+(the stored pattern the levels were derived from is gone).
 """
 
 from __future__ import annotations
@@ -42,13 +55,14 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from ..circuits.adc import ADCMode, MACQuantizer
+from ..circuits.adc import ADCMode, CalibratedMACQuantizer, MACQuantizer
 from ..circuits.reference_bank import ReferenceBank
 from ..core.bank import build_mac_quantizer
 from ..core.inputs import InputVector
 from ..core.readout import mac_range_for_group
 from ..core.weights import WeightPlan, encode_weight_matrix
-from ..quant.quantize import unsigned_range
+from ..quant.calibration import DEFAULT_MAX_SAMPLES, reference_levels_for_plan
+from ..quant.quantize import coerce_unsigned_codes
 from .array_state import CURFE_DESIGN, NUM_COLUMNS, ArrayState
 from .readout_core import charge_share, combine_nibbles
 
@@ -114,6 +128,7 @@ class MacroEngine:
         self._stored: Dict[str, np.ndarray] = {}
         self._selected: Dict[str, np.ndarray] = {}
         self._turbo_tables: Dict[str, tuple] = {}
+        self._calibrated: Dict[str, CalibratedMACQuantizer] = {}
 
     # ----------------------------------------------------------- construction
 
@@ -178,6 +193,9 @@ class MacroEngine:
         # legacy blocks evaluate per conversion).
         self._selected = {}
         self._turbo_tables = {}
+        # New stored pattern -> any workload calibration derived from the
+        # previous pattern is stale; fall back to the nominal references.
+        self._calibrated = {}
         for key, stored in self._stored.items():
             group = self.state.group(key)
             self._selected[key] = (
@@ -236,6 +254,101 @@ class MacroEngine:
                 self._stored["low"], low_bits
             )
         return True
+
+    # ------------------------------------------------------------ calibration
+
+    @property
+    def reference_levels(self) -> Optional[Dict[str, np.ndarray]]:
+        """Workload-programmed MAC-domain reference levels, or None (nominal).
+
+        Keyed by ``"high"`` / ``"low"``; reset by (re-)programming weights.
+        """
+        if not self._calibrated:
+            return None
+        return {
+            key: quantizer.levels.copy()
+            for key, quantizer in self._calibrated.items()
+        }
+
+    def clear_calibration(self) -> None:
+        """Drop workload calibration; convert against nominal references."""
+        self._calibrated = {}
+
+    def apply_reference_levels(
+        self, levels: Dict[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Program explicit MAC-domain reference levels per column group.
+
+        Used directly by the tiled path, which computes one level set for
+        the whole layer and applies it *identically* to every row / column
+        tile — the nominal-reference analogue of sharing one quantiser —
+        so tiled and monolithic execution stay bit-identical under
+        calibration.
+
+        Args:
+            levels: Level arrays keyed by ``"high"`` and, for 8-bit
+                weights, ``"low"`` (exactly the groups the engine owns).
+
+        Returns:
+            The applied levels (defensive copies).
+        """
+        expected = {"high", "low"} if self.weight_bits == 8 else {"high"}
+        if set(levels) != expected:
+            raise ValueError(
+                f"levels must be keyed by {sorted(expected)}, got {sorted(levels)}"
+            )
+        transfers = {
+            "high": self.state.readout_high.voltage,
+            "low": self.state.readout_low.voltage,
+        }
+        self._calibrated = {
+            key: CalibratedMACQuantizer(
+                np.asarray(values, dtype=float),
+                nominal_voltage_for_mac=transfers[key],
+            )
+            for key, values in levels.items()
+        }
+        return self.reference_levels
+
+    def calibrate_references(
+        self,
+        samples: np.ndarray,
+        *,
+        bits: int,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> Dict[str, np.ndarray]:
+        """Program the reference bank to a calibration batch's partial sums.
+
+        Collects the ideal per-block partial sums the stored weight plan
+        produces for ``samples`` and places the ``2^adc_bits`` Lloyd-Max
+        levels per group — the shared placement maths of
+        :mod:`repro.quant.calibration`, so the levels equal the functional
+        backend's :meth:`~repro.core.functional.FunctionalIMCModel.calibrate_adc_ranges`
+        result for the same samples.  Subsequent conversions report the
+        nearest calibrated level instead of the nominal uniform grid.
+
+        Args:
+            samples: Integer array of shape (rows, batch) — one unsigned
+                calibration vector per column, same orientation as
+                :meth:`matmat`.  A 1-D vector is treated as batch 1.
+            bits: Input precision of the calibration vectors (1..8).
+            max_samples: Per-group cap on collected partial-sum samples.
+
+        Returns:
+            The programmed level arrays keyed by ``"high"`` / ``"low"``.
+        """
+        samples = self._validated_inputs(samples, bits, "exact", name="samples")
+        assert self._plan is not None
+        levels = reference_levels_for_plan(
+            self._plan.high_nibbles,
+            self._plan.low_nibbles if self.weight_bits == 8 else None,
+            samples.T,
+            adc_bits=self.adc_bits,
+            input_bits=bits,
+            rows_per_block=self.state.block_rows,
+            max_samples=max_samples,
+        )
+        return self.apply_reference_levels(levels)
 
     # -------------------------------------------------------------- operation
 
@@ -297,7 +410,8 @@ class MacroEngine:
                 group.capacitance[None],
                 group.capacitance_total[None],
             )
-        return self._quantizers[key].quantize_voltages(voltages)
+        quantizer = self._calibrated.get(key) or self._quantizers[key]
+        return quantizer.quantize_voltages(voltages)
 
     def matvec(self, inputs: InputVector) -> np.ndarray:
         """Bit-serial MAC of one input vector; bit-identical to the legacy loop.
@@ -390,7 +504,7 @@ class MacroEngine:
         return results
 
     def _validated_inputs(
-        self, inputs: np.ndarray, bits: int, method: str
+        self, inputs: np.ndarray, bits: int, method: str, *, name: str = "inputs"
     ) -> np.ndarray:
         self._check_programmed()
         if method not in _METHODS:
@@ -402,16 +516,9 @@ class MacroEngine:
             inputs = inputs[:, None]
         if inputs.ndim != 2 or inputs.shape[0] != self.rows:
             raise ValueError(
-                f"inputs must have shape ({self.rows}, batch), got {inputs.shape}"
+                f"{name} must have shape ({self.rows}, batch), got {inputs.shape}"
             )
-        if not np.issubdtype(inputs.dtype, np.integer):
-            if not np.all(inputs == np.round(inputs)):
-                raise ValueError("inputs must be integers")
-        inputs = inputs.astype(np.int64)
-        lo, hi = unsigned_range(bits)
-        if np.any(inputs < lo) or np.any(inputs > hi):
-            raise ValueError(f"inputs outside unsigned {bits}-bit range [{lo}, {hi}]")
-        return inputs
+        return coerce_unsigned_codes(inputs, bits, name=name)
 
     def _matmat_chunk(self, values: np.ndarray, bits: int, method: str) -> np.ndarray:
         # Cross-block accumulation with the legacy nesting: per bank, block

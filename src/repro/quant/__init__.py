@@ -1,9 +1,18 @@
-"""Fixed-point quantisation utilities (2's-complement codecs, bit-serial slicing)."""
+"""Fixed-point quantisation utilities (2's-complement codecs, bit-serial
+slicing) and workload calibration of the programmable ADC reference bank."""
 
+from .calibration import (
+    CALIBRATION_MODES,
+    collect_block_partial_sums,
+    lloyd_max_levels,
+    quantize_to_levels,
+    reference_levels_for_plan,
+)
 from .quantize import (
     QuantizationSpec,
     bit_planes_to_input,
     bits_to_weight,
+    coerce_unsigned_codes,
     combine_weight_nibbles,
     dequantize_tensor,
     from_twos_complement,
@@ -17,9 +26,15 @@ from .quantize import (
 )
 
 __all__ = [
+    "CALIBRATION_MODES",
+    "collect_block_partial_sums",
+    "lloyd_max_levels",
+    "quantize_to_levels",
+    "reference_levels_for_plan",
     "QuantizationSpec",
     "bit_planes_to_input",
     "bits_to_weight",
+    "coerce_unsigned_codes",
     "combine_weight_nibbles",
     "dequantize_tensor",
     "from_twos_complement",

@@ -18,6 +18,7 @@ import numpy as np
 __all__ = [
     "signed_range",
     "unsigned_range",
+    "coerce_unsigned_codes",
     "to_twos_complement",
     "from_twos_complement",
     "split_signed_weight",
@@ -44,6 +45,34 @@ def unsigned_range(bits: int) -> Tuple[int, int]:
     if bits < 1:
         raise ValueError("unsigned values need at least 1 bit")
     return 0, 2**bits - 1
+
+
+def coerce_unsigned_codes(
+    values: np.ndarray, bits: int, *, name: str = "inputs"
+) -> np.ndarray:
+    """Validate and cast an array of unsigned bit-serial codes to int64.
+
+    The single input contract of everything that consumes activation codes
+    (engine matmats, reference calibration): values must be integral (no
+    silent float truncation) and inside the unsigned ``bits`` range.
+
+    Args:
+        values: Array of candidate codes (any shape).
+        bits: Input precision (1..8 for the macros).
+        name: Noun used in error messages.
+
+    Returns:
+        The values as an int64 array.
+    """
+    values = np.asarray(values)
+    if not np.issubdtype(values.dtype, np.integer):
+        if not np.all(values == np.round(values)):
+            raise ValueError(f"{name} must be integers")
+    values = values.astype(np.int64)
+    lo, hi = unsigned_range(bits)
+    if np.any(values < lo) or np.any(values > hi):
+        raise ValueError(f"{name} outside unsigned {bits}-bit range [{lo}, {hi}]")
+    return values
 
 
 def to_twos_complement(value: int, bits: int) -> int:

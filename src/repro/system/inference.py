@@ -14,8 +14,7 @@ Two backends execute the layer matmuls:
 
 * ``backend="functional"`` (default) —
   :class:`~repro.core.functional.FunctionalIMCModel`, device variation
-  folded into per-significance statistics; fastest, supports workload-
-  calibrated ADC references.
+  folded into per-significance statistics; fastest.
 * ``backend="device"`` — the device-detailed
   :class:`~repro.engine.MacroEngine`, in one of two tilings:
 
@@ -31,6 +30,14 @@ Two backends execute the layer matmuls:
   * ``tiling="monolithic"`` — the single oversized macro of PR 1 (rows
     zero-padded up to whole 32-row blocks, one bank per output column);
     kept as the golden-equivalence reference.
+
+Both backends programme their per-layer ADC references from the workload by
+default (``calibration="workload"``): the first batch of each layer acts as
+the calibration set and the reference bank is written to the Lloyd-Max
+levels of the observed partial sums (one shared implementation,
+:mod:`repro.quant.calibration`).  This is what lets the device-detailed
+paths reproduce the paper's 5-bit-ADC accuracy; ``calibration="nominal"``
+recovers the fixed worst-case references.
 
 Any model following the :class:`~repro.system.nn.SequentialNet` protocol
 (ordered ``layers`` + named ``weight_layers()``) can be replayed, not just
@@ -50,6 +57,7 @@ from ..core.functional import (
 )
 from ..devices.variation import DEFAULT_VARIATION, VariationModel
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
+from ..quant.calibration import CALIBRATION_MODES
 from ..quant.quantize import signed_range, unsigned_range
 from .nn import Conv2D, Linear, SequentialNet, im2col
 
@@ -88,6 +96,15 @@ class InferenceConfig:
         seed: Seed of the per-layer programming-variation draws.
         tile_workers: Worker threads per tiled layer matmul (0 = auto:
             serial on single-core hosts, one thread per core otherwise).
+        calibration: ADC reference placement — ``"workload"`` (default)
+            programs each layer's reference bank to the Lloyd-Max levels of
+            the partial sums its first batch produces
+            (:mod:`repro.quant.calibration`); ``"nominal"`` keeps the fixed
+            worst-case ``mac_range_for_group`` references.  Applies to both
+            backends; with workload calibration the device path matches the
+            paper's 5-bit-ADC accuracy instead of needing 8 bits.
+        calibration_samples: Calibration-batch budget — at most this many
+            activation vectors of the first batch are used per layer.
     """
 
     design: str = "curfe"
@@ -102,6 +119,8 @@ class InferenceConfig:
     variation: VariationModel = DEFAULT_VARIATION
     seed: int = 0
     tile_workers: int = 0
+    calibration: str = "workload"
+    calibration_samples: int = 4096
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -110,6 +129,10 @@ class InferenceConfig:
             raise ValueError(f"tiling must be one of {_TILINGS}")
         if self.device_exec not in _DEVICE_METHODS:
             raise ValueError(f"device_exec must be one of {_DEVICE_METHODS}")
+        if self.calibration not in CALIBRATION_MODES:
+            raise ValueError(f"calibration must be one of {CALIBRATION_MODES}")
+        if self.calibration_samples < 1:
+            raise ValueError("calibration_samples must be at least 1")
         if self.rows_per_block is None:
             object.__setattr__(self, "rows_per_block", self.geometry.block_rows)
         elif self.rows_per_block != self.geometry.block_rows:
@@ -246,10 +269,46 @@ class _QuantizedLayer:
         engine.program_weights(padded)
         return engine
 
+    def _pad_device_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Zero-pad activation codes up to the monolithic macro's block rows."""
+        padded = np.zeros(
+            (codes.shape[0], self._device_padded_rows), dtype=np.int64
+        )
+        padded[:, : self._device_rows] = codes
+        return padded
+
+    def _calibrate_from_batch(self, codes: np.ndarray) -> None:
+        """Programme this layer's reference bank from its first batch.
+
+        The first batch acts as the calibration set (bounded by the
+        configured sample budget), mirroring how the FeFET reference bank
+        is written to span the useful ADC input range.  Both backends use
+        the shared placement maths of :mod:`repro.quant.calibration`; on
+        the device path the monolithic and tiled engines derive identical
+        layer-wide levels, so the tiled-vs-monolithic bit-identity holds
+        under calibration too.
+        """
+        budget = codes[: min(len(codes), self.config.calibration_samples)]
+        if self.config.backend != "device":
+            self.engine.calibrate_adc_ranges(budget)
+        elif self.config.tiling == "tiled":
+            self.engine.calibrate_references(budget.T, bits=self.config.input_bits)
+        else:
+            self.engine.calibrate_references(
+                self._pad_device_codes(budget).T, bits=self.config.input_bits
+            )
+
     def matmul(self, activations: np.ndarray, activation_scale: float) -> np.ndarray:
         """Quantise activations, run the IMC matmul, and dequantise the result."""
         _, hi = unsigned_range(self.config.input_bits)
         codes = np.clip(np.round(activations / activation_scale), 0, hi).astype(np.int64)
+        if (
+            not self._adc_calibrated
+            and self.config.calibration == "workload"
+            and self.config.adc_bits is not None
+        ):
+            self._calibrate_from_batch(codes)
+            self._adc_calibrated = True
         if self.config.backend == "device":
             if self.config.tiling == "tiled":
                 raw = self.engine.matmat(
@@ -257,22 +316,11 @@ class _QuantizedLayer:
                     method=self.config.device_exec,
                 ).T
             else:
-                padded = np.zeros(
-                    (codes.shape[0], self._device_padded_rows), dtype=np.int64
-                )
-                padded[:, : self._device_rows] = codes
                 raw = self.engine.matmat(
-                    padded.T, bits=self.config.input_bits,
+                    self._pad_device_codes(codes).T, bits=self.config.input_bits,
                     method=self.config.device_exec,
                 ).T
         else:
-            if not self._adc_calibrated and self.config.adc_bits is not None:
-                # Programme this layer's reference bank to the partial-sum
-                # range the workload actually produces (first batch acts as
-                # the calibration set), mirroring how the FeFET reference
-                # bank is written to span the useful ADC input range.
-                self.engine.calibrate_adc_ranges(codes[: min(len(codes), 4096)])
-                self._adc_calibrated = True
             raw = self.engine.matmul(codes)
         return raw * self.weight_scale * activation_scale + self.bias
 

@@ -66,6 +66,29 @@ class TestQuantizedInference:
         assert acc_5 > acc_3
         assert acc_5 > float_acc - 0.25
 
+    def test_device_5bit_calibrated_tracks_functional(self, tiny_setup):
+        """Workload calibration closes the device path's 5-bit ADC gap.
+
+        Kept small (the device path is per-cell faithful); the full-size
+        floor assertion lives in benchmarks/check_accuracy_floor.py and the
+        accuracy-smoke CI job.
+        """
+        model, dataset, _ = tiny_setup
+        images = dataset.test_images[:32]
+        labels = dataset.test_labels[:32]
+        functional = evaluate_accuracy(
+            model, dataset, design="curfe", adc_bits=5, input_bits=4, weight_bits=8,
+            max_test_samples=32,
+        )
+        device = QuantizedInferenceEngine(
+            model,
+            InferenceConfig(
+                design="curfe", backend="device", adc_bits=5, input_bits=4,
+                weight_bits=8, calibration="workload",
+            ),
+        ).accuracy(images, labels)
+        assert device >= functional - 0.1
+
     def test_predictions_shape(self, tiny_setup):
         model, dataset, _ = tiny_setup
         engine = QuantizedInferenceEngine(model, InferenceConfig(design="ideal", adc_bits=None))
