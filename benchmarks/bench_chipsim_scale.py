@@ -15,29 +15,24 @@ assertions.
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from conftest import emit
+from conftest import BENCH_TINY as TINY, emit, tiny
 from repro.chipsim import SCENARIOS, ChipSimulator
 from repro.devices.variation import DEFAULT_VARIATION, NO_VARIATION
-
-TINY = os.environ.get("REPRO_BENCH_TINY", "0") == "1"
 
 DESIGN = "curfe"
 INPUT_BITS = 4
 WEIGHT_BITS = 8
 ADC_BITS = 5
 CALIBRATION = "workload"
-IMAGES = 2 if TINY else 16
-REPEATS = 1 if TINY else 3
-VARIATION = NO_VARIATION if TINY else DEFAULT_VARIATION
-SCENARIO_NAMES = ("deep_cnn", "wide_mlp") if TINY else (
-    "small_cnn", "deep_cnn", "wide_mlp"
-)
+IMAGES = tiny(16, 2)
+REPEATS = tiny(3, 1)
+VARIATION = tiny(DEFAULT_VARIATION, NO_VARIATION)
+SCENARIO_NAMES = tiny(("small_cnn", "deep_cnn", "wide_mlp"), ("deep_cnn", "wide_mlp"))
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_chipsim.json"
 

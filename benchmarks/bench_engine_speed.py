@@ -13,7 +13,6 @@ dominates tiny shapes).
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
@@ -21,14 +20,12 @@ import numpy as np
 
 from repro.core.inputs import InputVector
 from repro.core.macro import CurFeMacro, IMCMacroConfig
-from conftest import emit
-
-TINY = os.environ.get("REPRO_BENCH_TINY", "0") == "1"
+from conftest import BENCH_TINY as TINY, emit, tiny
 
 INPUT_BITS = 8
-BATCH = 8 if TINY else 64
-MATVEC_REPEATS = 3 if TINY else 20
-LEGACY_REPEATS = 1 if TINY else 3
+BATCH = tiny(64, 8)
+MATVEC_REPEATS = tiny(20, 3)
+LEGACY_REPEATS = tiny(3, 1)
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 

@@ -7,40 +7,57 @@ substitution documented in DESIGN.md, this reproduction uses the synthetic
 dataset and the SmallCNN reference classifier; the *shape* of the result
 (3-bit collapse, 4-bit partial loss, 5-bit near baseline, CurFe >= ChgFe on
 average) is the reproduced quantity.
+
+Since PR 4 the grid itself is one declarative :class:`repro.sweep.SweepSpec`
+over the trained ``reference`` scenario — this benchmark is a thin consumer
+that expands design × precision × ADC into sweep jobs, runs them through
+the shared runner, and reads the accuracies back out of the records.
 """
 
 import numpy as np
 
-from repro.analysis.reporting import render_table
-from repro.system.accuracy import adc_resolution_sweep
-from repro.system.training import reference_model_and_dataset
 from conftest import emit
+from repro.analysis.reporting import render_table
+from repro.sweep import SweepRunner, SweepSpec
 
 ADC_RESOLUTIONS = (3, 4, 5)
 PRECISIONS = ((4, 4), (4, 8))
 MAX_TEST_SAMPLES = 250
 
+SPEC = SweepSpec(
+    scenarios=("reference",),
+    backends=("functional",),
+    designs=("curfe", "chgfe"),
+    precisions=PRECISIONS,
+    adc_bits=ADC_RESOLUTIONS,
+    calibrations=("workload",),
+    images=MAX_TEST_SAMPLES,
+    batch_size=128,
+    seed=0,
+)
+
+
+def job_id(design, input_bits, weight_bits, adc):
+    return f"reference:functional:{design}:x{input_bits}w{weight_bits}:adc{adc}:workload"
+
 
 def run_accuracy_sweep():
-    model, dataset, baseline = reference_model_and_dataset()
-    sweep = adc_resolution_sweep(
-        designs=("curfe", "chgfe"),
-        adc_resolutions=ADC_RESOLUTIONS,
-        precisions=PRECISIONS,
-        model=model,
-        dataset=dataset,
-        max_test_samples=MAX_TEST_SAMPLES,
-    )
-    return sweep
+    return SweepRunner(SPEC, workers=1).run()
 
 
 def test_fig10_accuracy_vs_adc_resolution(benchmark):
-    sweep = benchmark.pedantic(run_accuracy_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_accuracy_sweep, rounds=1, iterations=1)
+    records = result.records_by_id
+
+    def accuracy(design, input_bits, weight_bits, adc):
+        return records[job_id(design, input_bits, weight_bits, adc)]["accuracy"]
+
+    baseline = result.records[0]["float_baseline"]
     rows = []
     for design in ("curfe", "chgfe"):
         for input_bits, weight_bits in PRECISIONS:
             accs = [
-                sweep.lookup(design, adc, input_bits, weight_bits).accuracy
+                accuracy(design, input_bits, weight_bits, adc)
                 for adc in ADC_RESOLUTIONS
             ]
             rows.append(
@@ -52,20 +69,24 @@ def test_fig10_accuracy_vs_adc_resolution(benchmark):
             )
     emit(
         f"Fig. 10 — accuracy vs ADC resolution (float baseline "
-        f"{sweep.baseline_accuracy * 100:.1f} %)",
+        f"{baseline * 100:.1f} %, {result.spec.images}-image sweep, "
+        f"{len(result.records)} jobs)",
         render_table(("design", "precision", "ADC 3b", "ADC 4b", "ADC 5b"), rows),
     )
 
-    baseline = sweep.baseline_accuracy
     for design in ("curfe", "chgfe"):
         for input_bits, weight_bits in PRECISIONS:
-            acc3 = sweep.lookup(design, 3, input_bits, weight_bits).accuracy
-            acc5 = sweep.lookup(design, 5, input_bits, weight_bits).accuracy
+            acc3 = accuracy(design, input_bits, weight_bits, 3)
+            acc5 = accuracy(design, input_bits, weight_bits, 5)
             # 3-bit ADC collapses accuracy; 5-bit recovers most of the baseline.
             assert acc3 < baseline - 0.3
             assert acc5 > acc3
             assert acc5 > baseline - 0.25
     # Averaged over configurations CurFe is at least as accurate as ChgFe.
-    curfe_mean = np.mean([p.accuracy for p in sweep.points if p.design == "curfe" and p.adc_bits == 5])
-    chgfe_mean = np.mean([p.accuracy for p in sweep.points if p.design == "chgfe" and p.adc_bits == 5])
+    curfe_mean = np.mean(
+        [accuracy("curfe", i, w, 5) for i, w in PRECISIONS]
+    )
+    chgfe_mean = np.mean(
+        [accuracy("chgfe", i, w, 5) for i, w in PRECISIONS]
+    )
     assert curfe_mean >= chgfe_mean - 0.05

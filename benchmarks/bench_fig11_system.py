@@ -4,38 +4,58 @@ For every precision corner (4b/4b, 4b/8b, 8b/8b) and both designs the
 benchmark reports system energy efficiency (TOPS/W), throughput (FPS), and
 normalised area, reproducing the orderings of the paper: ChgFe is the more
 energy-efficient design, CurFe the faster one, and the areas are similar.
+
+Since PR 4 the corner grid is one declarative
+:class:`repro.sweep.SweepSpec` over the spec-only ``resnet18_*`` scenarios
+(analytic backend — shape-level performance model, no runtime inference);
+this benchmark is a thin consumer of the sweep records.
 """
 
-from repro.analysis.reporting import render_table
-from repro.system.networks import resnet18_cifar10, resnet18_imagenet
-from repro.system.performance import SystemPerformanceModel
 from conftest import emit
+from repro.analysis.reporting import render_table
+from repro.sweep import SweepRunner, SweepSpec
 
 PRECISIONS = ((4, 4), (4, 8), (8, 8))
 
 
-def evaluate_network(network):
-    results = {}
-    for design in ("curfe", "chgfe"):
-        for input_bits, weight_bits in PRECISIONS:
-            model = SystemPerformanceModel(
-                design, input_bits=input_bits, weight_bits=weight_bits
-            )
-            results[(design, input_bits, weight_bits)] = model.evaluate(network)
-    return results
+def network_spec(scenario):
+    return SweepSpec(
+        scenarios=(scenario,),
+        backends=("analytic",),
+        designs=("curfe", "chgfe"),
+        precisions=PRECISIONS,
+        adc_bits=(5,),
+        images=1,
+    )
+
+
+def job_id(scenario, design, input_bits, weight_bits):
+    return f"{scenario}:analytic:{design}:x{input_bits}w{weight_bits}:adc5"
+
+
+def evaluate_network(scenario):
+    result = SweepRunner(network_spec(scenario), workers=1).run()
+    records = result.records_by_id
+    return {
+        (design, input_bits, weight_bits): records[
+            job_id(scenario, design, input_bits, weight_bits)
+        ]["modeled"]
+        for design in ("curfe", "chgfe")
+        for input_bits, weight_bits in PRECISIONS
+    }
 
 
 def _report(title, results):
-    area_reference = max(result.area_mm2 for result in results.values())
+    area_reference = max(result["area_mm2"] for result in results.values())
     rows = []
     for (design, input_bits, weight_bits), result in results.items():
         rows.append(
             (
                 design,
                 f"{input_bits}b-IN {weight_bits}b-W",
-                f"{result.tops_per_watt:.2f}",
-                f"{result.frames_per_second:.1f}",
-                f"{result.area_mm2 / area_reference:.3f}",
+                f"{result['tops_per_watt']:.2f}",
+                f"{result['fps']:.1f}",
+                f"{result['area_mm2'] / area_reference:.3f}",
             )
         )
     emit(title, render_table(("design", "precision", "TOPS/W", "FPS", "area (norm.)"), rows))
@@ -50,29 +70,35 @@ def _check_orderings(results):
         # model because ChgFe's longer cycle costs extra leakage energy while
         # its macro-energy advantage shrinks, so the comparison there is made
         # with a 3% tolerance (see EXPERIMENTS.md).
-        assert chgfe.tops_per_watt > 0.97 * curfe.tops_per_watt
+        assert chgfe["tops_per_watt"] > 0.97 * curfe["tops_per_watt"]
         if weight_bits == 8:
-            assert chgfe.tops_per_watt > curfe.tops_per_watt
-        assert curfe.frames_per_second > chgfe.frames_per_second
-        assert 0.5 < curfe.area_mm2 / chgfe.area_mm2 < 2.0
+            assert chgfe["tops_per_watt"] > curfe["tops_per_watt"]
+        assert curfe["fps"] > chgfe["fps"]
+        assert 0.5 < curfe["area_mm2"] / chgfe["area_mm2"] < 2.0
     for design in ("curfe", "chgfe"):
-        efficiency = [results[(design, i, w)].tops_per_watt for i, w in PRECISIONS]
+        efficiency = [results[(design, i, w)]["tops_per_watt"] for i, w in PRECISIONS]
         assert efficiency[0] > efficiency[1] > efficiency[2]
 
 
 def test_fig11a_cifar10_resnet18(benchmark):
-    results = benchmark.pedantic(evaluate_network, args=(resnet18_cifar10(),), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        evaluate_network, args=("resnet18_cifar10",), rounds=1, iterations=1
+    )
     _report("Fig. 11(a) — ResNet18 / CIFAR10 system performance", results)
     _check_orderings(results)
     # Table 1 system row at (4b, 8b).
-    assert abs(results[("curfe", 4, 8)].tops_per_watt - 12.41) / 12.41 < 0.08
-    assert abs(results[("chgfe", 4, 8)].tops_per_watt - 12.92) / 12.92 < 0.08
+    assert abs(results[("curfe", 4, 8)]["tops_per_watt"] - 12.41) / 12.41 < 0.08
+    assert abs(results[("chgfe", 4, 8)]["tops_per_watt"] - 12.92) / 12.92 < 0.08
 
 
 def test_fig11b_imagenet_resnet18(benchmark):
-    results = benchmark.pedantic(evaluate_network, args=(resnet18_imagenet(),), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        evaluate_network, args=("resnet18_imagenet",), rounds=1, iterations=1
+    )
     _report("Fig. 11(b) — ResNet18 / ImageNet system performance", results)
     _check_orderings(results)
     # ImageNet throughput is well below CIFAR10 throughput at equal precision.
-    cifar = SystemPerformanceModel("curfe", input_bits=4, weight_bits=8).evaluate(resnet18_cifar10())
-    assert results[("curfe", 4, 8)].frames_per_second < cifar.frames_per_second
+    cifar = evaluate_network("resnet18_cifar10")
+    assert (
+        results[("curfe", 4, 8)]["fps"] < cifar[("curfe", 4, 8)]["fps"]
+    )

@@ -46,6 +46,76 @@ CHIPSIM_SCHEMA = {
     "scenarios": dict,
 }
 
+#: Required top-level keys and types of BENCH_sweep.json.
+SWEEP_SCHEMA = {
+    "benchmark": str,
+    "tiny": bool,
+    "spec": dict,
+    "spec_digest": str,
+    "workers": int,
+    "jobs": int,
+    "records": dict,
+    "pareto": dict,
+    "cache_totals": dict,
+    "throughput": dict,
+    "serial_equals_parallel": bool,
+    "parallel": dict,
+    "cache_probe": dict,
+}
+
+#: Required keys and types of every job record in BENCH_sweep.json.
+SWEEP_JOB_SCHEMA = {
+    "job_id": str,
+    "scenario": str,
+    "backend": str,
+    "design": str,
+    "input_bits": int,
+    "weight_bits": int,
+    "adc_bits": int,
+    "calibration": str,
+    "tiling": str,
+    "device_exec": str,
+    "seed": int,
+    "data_seed": int,
+    "images": int,
+    "tiles_executed": int,
+    "calibrated_layers": int,
+    "float_agreement": float,
+    "predictions_sha256": str,
+    "modeled": dict,
+    "timing": dict,
+    "cache": dict,
+}
+
+#: Modeled chip metrics of every sweep job.
+SWEEP_MODELED_SCHEMA = {
+    "tops_per_watt": float,
+    "fps": float,
+    "energy_per_image_j": float,
+    "latency_per_image_s": float,
+    "area_mm2": float,
+    "total_macros": int,
+    "layers": list,
+}
+
+#: Host timing of every sweep job.
+SWEEP_TIMING_SCHEMA = {
+    "setup_s": float,
+    "run_s": float,
+    "wall_s": float,
+    "images_per_s": float,
+    "tiles_per_s": float,
+}
+
+#: Aggregate throughput / cache-probe sections of BENCH_sweep.json.
+SWEEP_THROUGHPUT_SCHEMA = {"total_s": float, "jobs_per_s": float}
+SWEEP_CACHE_PROBE_SCHEMA = {
+    "job_id": str,
+    "cold_s": float,
+    "warm_s": float,
+    "speedup": float,
+}
+
 #: Required keys and types of every scenario record in BENCH_chipsim.json.
 SCENARIO_SCHEMA = {
     "description": str,
@@ -88,11 +158,64 @@ def check_record(record: dict, schema: dict, context: str) -> list:
     return errors
 
 
+def check_sweep_record(record: dict, filename: str) -> list:
+    """Validate the nested sections of one BENCH_sweep.json payload."""
+    errors = check_record(record, SWEEP_SCHEMA, filename)
+    if isinstance(record.get("throughput"), dict):
+        errors.extend(
+            check_record(
+                record["throughput"], SWEEP_THROUGHPUT_SCHEMA, f"{filename}:throughput"
+            )
+        )
+    if isinstance(record.get("cache_probe"), dict):
+        errors.extend(
+            check_record(
+                record["cache_probe"], SWEEP_CACHE_PROBE_SCHEMA, f"{filename}:cache_probe"
+            )
+        )
+    jobs = record.get("records")
+    if not isinstance(jobs, dict):
+        return errors
+    if not jobs:
+        errors.append(f"{filename}: records is empty")
+    for job_id, job in jobs.items():
+        context = f"{filename}:{job_id}"
+        if not isinstance(job, dict):
+            errors.append(f"{context}: job record is not an object")
+            continue
+        schema = dict(SWEEP_JOB_SCHEMA)
+        if job.get("backend") == "analytic":
+            # Analytic jobs run no inference: quality fields are null.
+            schema.pop("float_agreement")
+            schema.pop("predictions_sha256")
+        errors.extend(check_record(job, schema, context))
+        # accuracy / float_baseline are honestly nullable (unlabelled
+        # scenarios); when present they must be numbers.
+        for key in ("accuracy", "float_baseline"):
+            value = job.get(key, "absent")
+            if value == "absent":
+                errors.append(f"{context}: missing key {key!r}")
+            elif value is not None and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                errors.append(f"{context}: {key!r} must be a number or null")
+        if isinstance(job.get("modeled"), dict):
+            errors.extend(
+                check_record(job["modeled"], SWEEP_MODELED_SCHEMA, f"{context}:modeled")
+            )
+        if isinstance(job.get("timing"), dict):
+            errors.extend(
+                check_record(job["timing"], SWEEP_TIMING_SCHEMA, f"{context}:timing")
+            )
+    return errors
+
+
 def main(root: Path) -> int:
     errors = []
     for filename, schema in (
         ("BENCH_engine.json", ENGINE_SCHEMA),
         ("BENCH_chipsim.json", CHIPSIM_SCHEMA),
+        ("BENCH_sweep.json", SWEEP_SCHEMA),
     ):
         path = root / filename
         if not path.exists():
@@ -102,6 +225,9 @@ def main(root: Path) -> int:
             record = json.loads(path.read_text())
         except json.JSONDecodeError as error:
             errors.append(f"{filename}: invalid JSON ({error})")
+            continue
+        if filename == "BENCH_sweep.json":
+            errors.extend(check_sweep_record(record, filename))
             continue
         errors.extend(check_record(record, schema, filename))
         if filename == "BENCH_chipsim.json" and isinstance(

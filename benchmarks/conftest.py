@@ -4,10 +4,26 @@ Every benchmark prints the rows/series it regenerates (the text analogue of
 the paper's figure) in addition to timing the underlying computation with
 pytest-benchmark, so a ``pytest benchmarks/ --benchmark-only -s`` run doubles
 as a reproduction report.
+
+The ``REPRO_BENCH_TINY`` environment switch (read once here, consumed by
+every bench through :data:`BENCH_TINY` / :func:`tiny`) selects the
+seconds-scale CI smoke configuration: fewer images, reduced grids, no
+speedup assertions.  Records produced under it carry ``"tiny": true`` so
+the schema / perf-floor checkers can pick the matching baselines.
 """
+
+import os
 
 import numpy as np
 import pytest
+
+#: True when the benchmarks run in the reduced CI smoke configuration.
+BENCH_TINY = os.environ.get("REPRO_BENCH_TINY", "0") == "1"
+
+
+def tiny(full_value, tiny_value):
+    """Pick the tiny-mode value iff ``REPRO_BENCH_TINY=1`` is set."""
+    return tiny_value if BENCH_TINY else full_value
 
 
 @pytest.fixture

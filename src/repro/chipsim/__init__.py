@@ -11,7 +11,17 @@ networks large enough to exercise multi-tile mapping.
 """
 
 from ..system.activity import LayerActivity
-from .scenarios import SCENARIOS, Scenario, deep_cnn, small_cnn, wide_mlp
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioWorkload,
+    deep_cnn,
+    get_scenario,
+    register_scenario,
+    small_cnn,
+    tiny_mlp,
+    wide_mlp,
+)
 from .simulator import ChipReport, ChipSimulator, network_spec_from_model
 from .tiling import TiledLayerEngine, TileSpec, plan_tiles
 
@@ -19,8 +29,12 @@ __all__ = [
     "LayerActivity",
     "SCENARIOS",
     "Scenario",
+    "ScenarioWorkload",
     "deep_cnn",
+    "get_scenario",
+    "register_scenario",
     "small_cnn",
+    "tiny_mlp",
     "wide_mlp",
     "ChipReport",
     "ChipSimulator",

@@ -1,28 +1,50 @@
-"""Network scenarios exercising multi-tile mapping on the simulated chip.
+"""Named, parameterised scenario registry for the chip simulator and sweeps.
 
 :class:`~repro.system.nn.SmallCNN` (the Fig. 10 accuracy workload) mostly
-fits single macros; these scenarios are built to *not* fit, so row-tile
-partial-sum accumulation and column-tile sharding are genuinely exercised:
+fits single macros; the multi-tile scenarios are built to *not* fit, so
+row-tile partial-sum accumulation and column-tile sharding are genuinely
+exercised.  Every entry is a :class:`Scenario` in the :data:`SCENARIOS`
+registry — the single catalogue the benchmarks (``bench_chipsim_scale.py``,
+``bench_sweep_grid.py``) and the design-space sweep runner
+(:mod:`repro.sweep`) draw from:
 
-* :func:`deep_cnn` — a deeper VGG-style CNN whose mid/late conv layers
-  unroll to several hundred weight rows and 32-48 output channels
-  (multi-row × multi-column tile grids on 128×16 macros);
-* :func:`wide_mlp` — a wide two-hidden-layer MLP whose first layer spans
-  6 row tiles × 16 column tiles (96 macros).
+* ``small_cnn`` / ``deep_cnn`` / ``wide_mlp`` — randomly initialised
+  runtime networks of increasing tile footprint, evaluated for throughput,
+  energy, and quantisation fidelity against their own float forward pass;
+* ``tiny_mlp`` — a seconds-scale single-tile network for CI smoke sweeps;
+* ``reference`` — the *trained* Fig. 10 reference classifier with its
+  labelled synthetic test split (real accuracy numbers);
+* ``resnet18_cifar10`` / ``resnet18_imagenet`` — shape-level
+  :class:`~repro.system.networks.NetworkSpec` entries for analytic
+  system-performance jobs (no runtime model).
 
-The :data:`SCENARIOS` registry is what ``bench_chipsim_scale.py`` sweeps.
+Entries are declarative: a builder plus a parameter mapping, so variants
+(e.g. a 32×32 ``deep_cnn``) are registered as data —
+``SCENARIOS["deep_cnn"].with_params("deep_cnn_32", input_shape=(3, 32, 32))``
+— instead of new functions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..system.networks import NetworkSpec
 from ..system.nn import Conv2D, Flatten, Linear, MaxPool2D, ReLU, SequentialNet
 
-__all__ = ["Scenario", "SCENARIOS", "deep_cnn", "wide_mlp", "small_cnn"]
+__all__ = [
+    "Scenario",
+    "ScenarioWorkload",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "deep_cnn",
+    "wide_mlp",
+    "small_cnn",
+    "tiny_mlp",
+]
 
 
 def small_cnn(
@@ -85,37 +107,262 @@ def wide_mlp(
     return SequentialNet(layers, input_shape=input_shape, num_classes=num_classes)
 
 
+def tiny_mlp(
+    *, input_shape: Tuple[int, int, int] = (1, 6, 6), num_classes: int = 4, seed: int = 0
+) -> SequentialNet:
+    """A seconds-scale MLP (flatten → fc(36→16) → ReLU → fc(16→C)).
+
+    Fits a single macro tile; exists so CI smoke sweeps and the sweep-runner
+    tests can run full device-detailed jobs in well under a second each.
+    """
+    rng = np.random.default_rng(seed)
+    channels, height, width = input_shape
+    layers = [
+        Flatten(),
+        Linear(channels * height * width, 16, rng=rng),
+        ReLU(),
+        Linear(16, num_classes, rng=rng),
+    ]
+    return SequentialNet(layers, input_shape=input_shape, num_classes=num_classes)
+
+
+def _reference_trained(*, seed: int = 0, epochs: int = 12, **_ignored) -> SequentialNet:
+    """The trained Fig. 10 reference classifier (process-cached)."""
+    from ..system.training import reference_model_and_dataset
+
+    model, _dataset, _baseline = reference_model_and_dataset(seed=seed, epochs=epochs)
+    return model
+
+
+def _reference_skeleton(*, seed: int = 0, epochs: int = 12, **overrides) -> SequentialNet:
+    """The untrained reference architecture (``epochs`` is a training knob)."""
+    return small_cnn(seed=seed, **overrides)
+
+
+@dataclass(frozen=True)
+class ScenarioWorkload:
+    """The evaluation data of one scenario materialisation.
+
+    Attributes:
+        images: Input batch of shape (N, C, H, W).
+        labels: Ground-truth labels, or None when the scenario has no
+            labelled data (randomly initialised networks).
+    """
+
+    images: np.ndarray
+    labels: Optional[np.ndarray]
+
+
 @dataclass(frozen=True)
 class Scenario:
-    """A named benchmark scenario.
+    """A named, parameterised benchmark scenario.
 
     Attributes:
         name: Registry key.
         description: One-line description.
-        build: Model factory (keyword args: ``input_shape``,
-            ``num_classes``, ``seed``).
+        builder: Model factory (keyword args: ``seed`` plus ``params``);
+            None for spec-only scenarios.
+        params: Declarative builder parameters merged under any call-site
+            overrides — variants are registered as data, not as new
+            functions.
+        spec_builder: Shape-level :class:`NetworkSpec` factory for analytic
+            performance jobs; runtime scenarios derive their spec from the
+            built model instead.
+        trained: True when ``build`` returns a *trained* model (slow —
+            worth caching); such scenarios also provide ``skeleton`` so a
+            weight cache can rebuild the architecture without retraining.
+        skeleton: Untrained architecture factory matching ``builder``'s
+            output (trained scenarios only).
+        data_builder: Workload factory ``(images, seed, params) ->
+            ScenarioWorkload``; None selects uniform random inputs without
+            labels.
     """
 
     name: str
     description: str
-    build: Callable[..., SequentialNet]
+    builder: Optional[Callable[..., SequentialNet]] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    spec_builder: Optional[Callable[[], NetworkSpec]] = None
+    trained: bool = False
+    skeleton: Optional[Callable[..., SequentialNet]] = None
+    data_builder: Optional[Callable[..., ScenarioWorkload]] = None
+
+    def __post_init__(self) -> None:
+        if self.builder is None and self.spec_builder is None:
+            raise ValueError(
+                f"scenario {self.name!r} needs a builder or a spec_builder"
+            )
+        if self.trained and self.builder is not None and self.skeleton is None:
+            raise ValueError(
+                f"trained scenario {self.name!r} must provide a skeleton "
+                "factory for weight-cache rebuilds"
+            )
+
+    # -------------------------------------------------------------- interface
+
+    @property
+    def runtime(self) -> bool:
+        """True when the scenario builds an executable model."""
+        return self.builder is not None
+
+    def build(self, *, seed: int = 0, **overrides) -> SequentialNet:
+        """Build the scenario's model (training it for trained scenarios)."""
+        if self.builder is None:
+            raise ValueError(
+                f"scenario {self.name!r} is spec-only (analytic jobs); it "
+                "has no runtime model"
+            )
+        return self.builder(seed=seed, **{**dict(self.params), **overrides})
+
+    def build_skeleton(self, *, seed: int = 0, **overrides) -> SequentialNet:
+        """Build the untrained architecture (for weight-cache restores)."""
+        factory = self.skeleton if self.trained else self.builder
+        if factory is None:
+            raise ValueError(f"scenario {self.name!r} has no runtime model")
+        return factory(seed=seed, **{**dict(self.params), **overrides})
+
+    def network_spec(self) -> NetworkSpec:
+        """The shape-level network spec (spec-only scenarios)."""
+        if self.spec_builder is None:
+            raise ValueError(
+                f"scenario {self.name!r} has no spec builder; derive the "
+                "spec from the built model instead"
+            )
+        return self.spec_builder()
+
+    def workload(self, *, images: int, seed: int) -> ScenarioWorkload:
+        """Materialise the evaluation batch (deterministic in ``seed``).
+
+        Scenarios without a ``data_builder`` draw uniform random inputs and
+        carry no labels (their quality metric is fidelity against their own
+        float forward pass); labelled scenarios return real test data.
+        """
+        if images < 1:
+            raise ValueError("images must be positive")
+        if self.data_builder is not None:
+            return self.data_builder(images=images, seed=seed, params=dict(self.params))
+        model_shape = self.build_skeleton(seed=0).input_shape
+        rng = np.random.default_rng(seed)
+        return ScenarioWorkload(
+            images=rng.random((images, *model_shape)), labels=None
+        )
+
+    def with_params(
+        self, name: str, *, description: Optional[str] = None, **params
+    ) -> "Scenario":
+        """A derived entry with updated parameters (not auto-registered)."""
+        return replace(
+            self,
+            name=name,
+            description=description or self.description,
+            params={**dict(self.params), **params},
+        )
 
 
-#: Scenario registry swept by ``bench_chipsim_scale.py``.
-SCENARIOS: Dict[str, Scenario] = {
-    "small_cnn": Scenario(
+def _reference_workload(*, images: int, seed: int, params: Mapping[str, Any]) -> ScenarioWorkload:
+    """The labelled synthetic test split the reference model was trained for.
+
+    ``seed`` is ignored on purpose: the split is fixed by the dataset seed
+    (1234, the same configuration ``reference_model_and_dataset`` trains
+    on), so every sweep job of the scenario scores the same images.  The
+    dataset is built directly — *not* through the training entry point —
+    so a worker that restored the trained weights from the sweep cache
+    never pays for training just to fetch the evaluation data.
+    """
+    from ..system.training import reference_dataset
+
+    dataset = reference_dataset()
+    return ScenarioWorkload(
+        images=dataset.test_images[:images], labels=dataset.test_labels[:images]
+    )
+
+
+#: Scenario registry swept by ``bench_chipsim_scale.py`` / ``bench_sweep_grid.py``.
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (name collisions raise)."""
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario, failing with the available names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {sorted(SCENARIOS)}"
+        ) from None
+
+
+register_scenario(
+    Scenario(
         name="small_cnn",
         description="Fig. 10 reference CNN (mostly single-tile layers)",
-        build=small_cnn,
-    ),
-    "deep_cnn": Scenario(
+        builder=small_cnn,
+    )
+)
+register_scenario(
+    Scenario(
         name="deep_cnn",
         description="deeper VGG-style CNN (multi-row x multi-column tiles)",
-        build=deep_cnn,
-    ),
-    "wide_mlp": Scenario(
+        builder=deep_cnn,
+    )
+)
+register_scenario(
+    Scenario(
         name="wide_mlp",
         description="wide MLP (96-macro first layer, cross-tile psums)",
-        build=wide_mlp,
-    ),
-}
+        builder=wide_mlp,
+    )
+)
+register_scenario(
+    Scenario(
+        name="tiny_mlp",
+        description="seconds-scale single-tile MLP (CI smoke sweeps)",
+        builder=tiny_mlp,
+    )
+)
+register_scenario(
+    Scenario(
+        name="reference",
+        description="trained Fig. 10 reference classifier + labelled test split",
+        builder=_reference_trained,
+        params={"epochs": 12},
+        trained=True,
+        skeleton=_reference_skeleton,
+        data_builder=_reference_workload,
+    )
+)
+
+
+def _resnet18_cifar10_spec() -> NetworkSpec:
+    from ..system.networks import resnet18_cifar10
+
+    return resnet18_cifar10()
+
+
+def _resnet18_imagenet_spec() -> NetworkSpec:
+    from ..system.networks import resnet18_imagenet
+
+    return resnet18_imagenet()
+
+
+register_scenario(
+    Scenario(
+        name="resnet18_cifar10",
+        description="ResNet18 / CIFAR10 shape spec (analytic system perf)",
+        spec_builder=_resnet18_cifar10_spec,
+    )
+)
+register_scenario(
+    Scenario(
+        name="resnet18_imagenet",
+        description="ResNet18 / ImageNet shape spec (analytic system perf)",
+        spec_builder=_resnet18_imagenet_spec,
+    )
+)

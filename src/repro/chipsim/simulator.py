@@ -183,6 +183,13 @@ class ChipSimulator:
             paper's accuracy at ``adc_bits=5``; ``"nominal"`` keeps the
             fixed worst-case references.
         calibration_samples: Per-layer calibration-batch budget.
+        config: A complete device-backend :class:`InferenceConfig`; when
+            given it overrides every per-field argument above (the sweep
+            runner dispatches jobs this way after a serialisation round
+            trip).
+        layer_states: Optional prebuilt device array states keyed by weight
+            layer name (sweep programming cache); must cover every weight
+            layer when given.
         chip: Chip-level cost parameters.
         htree_params: H-tree wire parameters.
         name: Network name for reports (defaults to the model class name).
@@ -205,6 +212,8 @@ class ChipSimulator:
         tile_workers: int = 0,
         calibration: str = "workload",
         calibration_samples: int = 4096,
+        config: Optional[InferenceConfig] = None,
+        layer_states: Optional[Dict[str, object]] = None,
         chip: Optional[ChipParameters] = None,
         htree_params: Optional[HTreeParameters] = None,
         name: Optional[str] = None,
@@ -212,28 +221,37 @@ class ChipSimulator:
     ) -> None:
         self.model = model
         self.network = network_spec_from_model(model, name=name, dataset=dataset)
-        self.config = InferenceConfig(
-            design=design,
-            backend="device",
-            tiling=tiling,
-            device_exec=device_exec,
-            input_bits=input_bits,
-            weight_bits=weight_bits,
-            adc_bits=adc_bits,
-            geometry=geometry,
-            variation=variation,
-            seed=seed,
-            tile_workers=tile_workers,
-            calibration=calibration,
-            calibration_samples=calibration_samples,
+        if config is None:
+            config = InferenceConfig(
+                design=design,
+                backend="device",
+                tiling=tiling,
+                device_exec=device_exec,
+                input_bits=input_bits,
+                weight_bits=weight_bits,
+                adc_bits=adc_bits,
+                geometry=geometry,
+                variation=variation,
+                seed=seed,
+                tile_workers=tile_workers,
+                calibration=calibration,
+                calibration_samples=calibration_samples,
+            )
+        elif config.backend != "device":
+            raise ValueError(
+                "ChipSimulator runs the device backend; got "
+                f"backend={config.backend!r}"
+            )
+        self.config = config
+        self.inference = QuantizedInferenceEngine(
+            model, config, layer_states=layer_states
         )
-        self.inference = QuantizedInferenceEngine(model, self.config)
         self.performance_model = SystemPerformanceModel(
-            design,
-            input_bits=input_bits,
-            weight_bits=weight_bits,
-            adc_bits=adc_bits,
-            geometry=geometry,
+            config.design,
+            input_bits=config.input_bits,
+            weight_bits=config.weight_bits,
+            adc_bits=config.adc_bits,
+            geometry=config.geometry,
             chip=chip,
             htree_params=htree_params,
         )

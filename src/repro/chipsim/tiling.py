@@ -166,6 +166,10 @@ class TiledLayerEngine:
             single-macro build would, so surrounding draws are unaffected.
         workers: Worker threads per ``matmat`` (0 = one per core; tile
             execution stays serial on single-core hosts).
+        state: Optional prebuilt full-layer :class:`ArrayState` (e.g.
+            restored from the sweep cache).  When given, characterisation is
+            skipped entirely — including its generator consumption — and the
+            state's dimensions must match the padded layer.
     """
 
     def __init__(
@@ -180,6 +184,7 @@ class TiledLayerEngine:
         seed: int = 0,
         rng: Optional[np.random.Generator] = None,
         workers: int = 0,
+        state: Optional[ArrayState] = None,
     ) -> None:
         weights = np.asarray(weights, dtype=np.int64)
         if weights.ndim != 2:
@@ -199,16 +204,30 @@ class TiledLayerEngine:
         # One characterisation pass for the whole layer, identical to the
         # monolithic single-macro build (same config, same rng consumption);
         # each tile engine then works on a view of this state.
-        macro_config = IMCMacroConfig(
-            rows=self.padded_rows,
-            banks=self.weight_cols,
-            block_rows=block,
-            adc_bits=adc_bits,
-            weight_bits=weight_bits,
-            variation=variation,
-            seed=seed,
-        )
-        state = ArrayState.build(design, macro_config, rng=rng)
+        if state is None:
+            macro_config = IMCMacroConfig(
+                rows=self.padded_rows,
+                banks=self.weight_cols,
+                block_rows=block,
+                adc_bits=adc_bits,
+                weight_bits=weight_bits,
+                variation=variation,
+                seed=seed,
+            )
+            state = ArrayState.build(design, macro_config, rng=rng)
+        elif (
+            state.design != design
+            or state.rows != self.padded_rows
+            or state.banks != self.weight_cols
+            or state.block_rows != block
+        ):
+            raise ValueError(
+                f"prebuilt state ({state.design}, {state.rows}x{state.banks}, "
+                f"block {state.block_rows}) does not match the layer "
+                f"({design}, {self.padded_rows}x{self.weight_cols}, "
+                f"block {block})"
+            )
+        self.array_state = state
         self.tiles = plan_tiles(self.weight_rows, self.weight_cols, geometry)
         self._engines: List[MacroEngine] = []
         for tile in self.tiles:

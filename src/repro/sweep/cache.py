@@ -1,0 +1,274 @@
+"""Content-addressed cache for expensive per-job sweep state.
+
+Three kinds of state dominate a device-detailed sweep job's setup cost, and
+all three are deterministic functions of content the job already carries —
+so they are cached under SHA-256 keys of that content and shared across
+jobs, worker processes, and whole sweep runs:
+
+``model``
+    Trained scenario weights, keyed by (scenario, params, seed).  Only
+    trained scenarios store here; untrained builds are cheap.
+``programming``
+    The characterised per-cell array state of every weight layer
+    (:class:`~repro.engine.ArrayState` tensors), keyed by the model's
+    quantised weights plus the programming-relevant config fields —
+    *not* ``adc_bits`` / ``calibration`` / ``tiling`` / ``device_exec``,
+    none of which affect cell characterisation.  This is why the 5-bit and
+    nominal variants of a scenario do not recompute programming.
+``calibration``
+    The workload-calibrated ADC reference levels per layer, keyed by the
+    programming key plus the full inference config and the workload digest
+    (upstream layers' ADC settings change the activations reaching a layer,
+    so calibration cannot be shared across ADC variants — but repeat runs
+    of the same job, e.g. a parallel re-run, hit).
+
+Entries are ``.npz`` files written atomically (temp file + ``os.replace``),
+so racing worker processes at worst duplicate a computation — they never
+read a torn entry.  Everything here is best-effort: a cold or deleted cache
+only costs time, never changes results (guarded by the serial-vs-parallel
+bit-identity tests).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..core.macro import IMCMacroConfig
+from ..engine.array_state import ArrayState
+from ..system.inference import InferenceConfig
+from .hashing import digest_arrays, digest_payload
+
+__all__ = [
+    "SweepCache",
+    "arrays_from_state",
+    "restore_state",
+    "programming_key",
+    "calibration_key",
+    "model_key",
+    "weights_digest",
+]
+
+#: Cache kinds (subdirectories of the cache root).
+KINDS = ("model", "programming", "calibration")
+
+#: Separator between layer name and tensor name inside an ``.npz`` entry
+#: (layer names are Python identifiers, so ``"__"`` cannot collide).
+_SEP = "__"
+
+
+# --------------------------------------------------------------------- keys
+
+
+def model_key(scenario: str, params: Mapping[str, object], seed: int) -> str:
+    """Cache key of a trained scenario model's weights."""
+    return digest_payload(
+        {"scenario": scenario, "params": dict(params), "seed": seed}
+    )
+
+
+def _programming_config_payload(config: InferenceConfig) -> Dict[str, object]:
+    """The config fields that influence cell characterisation/programming.
+
+    ``adc_bits``, ``calibration``, ``tiling``, and ``device_exec`` are
+    deliberately absent: the programmed cell state is identical across
+    them (the tiled engines are views of the monolithic state).
+    """
+    payload = config.to_dict()
+    for key in ("adc_bits", "calibration", "calibration_samples",
+                "device_exec", "tiling", "tile_workers", "input_bits",
+                "backend"):
+        payload.pop(key)
+    return payload
+
+
+def programming_key(
+    config: InferenceConfig, weights_digest: str
+) -> str:
+    """Cache key of the characterised + programmed layer states."""
+    return digest_payload(
+        {
+            "kind": "programming",
+            "config": _programming_config_payload(config),
+            "weights": weights_digest,
+        }
+    )
+
+
+def calibration_key(
+    config: InferenceConfig, weights_digest: str, workload_digest: str,
+    batch_size: int,
+) -> str:
+    """Cache key of the per-layer calibrated reference levels.
+
+    The full config matters (a layer's calibration batch is shaped by every
+    upstream layer's ADC), as does the workload (first batch = calibration
+    set, hence ``batch_size``).  ``tiling`` is dropped: tiled and monolithic
+    execution are bit-identical, so their levels are too.
+    """
+    payload = config.to_dict()
+    payload.pop("tiling")
+    payload.pop("tile_workers")
+    return digest_payload(
+        {
+            "kind": "calibration",
+            "config": payload,
+            "weights": weights_digest,
+            "workload": workload_digest,
+            "batch_size": batch_size,
+        }
+    )
+
+
+# ----------------------------------------------------- ArrayState round trip
+
+
+def arrays_from_state(state: ArrayState) -> Dict[str, np.ndarray]:
+    """The variation-dependent tensors of a state, as a flat array dict.
+
+    Everything else in an :class:`ArrayState` (readout transfer objects,
+    cell parameters, TIA constants) is deterministic given the design and
+    dimensions, so :func:`restore_state` rebuilds it from a cheap
+    variation-free construction instead of serialising object graphs.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for key in ("high", "low"):
+        group = state.group(key)
+        arrays[f"{key}_on"] = np.ascontiguousarray(group.on)
+        arrays[f"{key}_off_selected"] = np.ascontiguousarray(group.off_selected)
+        arrays[f"{key}_unselected"] = np.ascontiguousarray(group.unselected)
+        if group.capacitance is not None:
+            arrays[f"{key}_capacitance"] = np.ascontiguousarray(group.capacitance)
+    return arrays
+
+
+def restore_state(
+    design: str,
+    *,
+    rows: int,
+    banks: int,
+    block_rows: int,
+    weight_bits: int,
+    arrays: Mapping[str, np.ndarray],
+) -> ArrayState:
+    """Rebuild a full :class:`ArrayState` from cached tensors.
+
+    A variation-free build supplies every deterministic piece (readouts,
+    cell parameters, feedback resistance, clamp voltages) without consuming
+    any random draws; the cached variation-dependent tensors then replace
+    the broadcast placeholders.
+    """
+    config = IMCMacroConfig(
+        rows=rows,
+        banks=banks,
+        block_rows=block_rows,
+        weight_bits=weight_bits,
+    )
+    state = ArrayState.build(design, config)
+    for key in ("high", "low"):
+        group = state.group(key)
+        group.on = np.asarray(arrays[f"{key}_on"])
+        group.off_selected = np.asarray(arrays[f"{key}_off_selected"])
+        group.unselected = np.asarray(arrays[f"{key}_unselected"])
+        cap = arrays.get(f"{key}_capacitance")
+        if cap is not None:
+            group.capacitance = np.asarray(cap)
+            group.capacitance_total = group.capacitance.sum(axis=-1)
+    return state
+
+
+# --------------------------------------------------------------------- store
+
+
+class SweepCache:
+    """A content-addressed on-disk store of numpy array bundles.
+
+    Args:
+        root: Cache directory (created on demand).  Safe to share between
+            concurrently running worker processes: reads see only fully
+            written entries, writes are atomic renames.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits: Dict[str, int] = {kind: 0 for kind in KINDS}
+        self.misses: Dict[str, int] = {kind: 0 for kind in KINDS}
+
+    def _path(self, kind: str, key: str) -> Path:
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}")
+        return self.root / kind / f"{key}.npz"
+
+    def get(self, kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Load an entry, counting the hit/miss; None when absent."""
+        path = self._path(kind, key)
+        if not path.exists():
+            self.misses[kind] += 1
+            return None
+        with np.load(path) as bundle:
+            arrays = {name: bundle[name] for name in bundle.files}
+        self.hits[kind] += 1
+        return arrays
+
+    def put(self, kind: str, key: str, arrays: Mapping[str, np.ndarray]) -> None:
+        """Store an entry atomically (last concurrent writer wins)."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **{k: np.asarray(v) for k, v in arrays.items()})
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    # -------------------------------------------------- layered-dict helpers
+
+    def get_layered(
+        self, kind: str, key: str
+    ) -> Optional[Dict[str, Dict[str, np.ndarray]]]:
+        """Load an entry of per-layer array dicts (``layer__tensor`` keys)."""
+        flat = self.get(kind, key)
+        if flat is None:
+            return None
+        layered: Dict[str, Dict[str, np.ndarray]] = {}
+        for name, array in flat.items():
+            layer, _, tensor = name.partition(_SEP)
+            layered.setdefault(layer, {})[tensor] = array
+        return layered
+
+    def put_layered(
+        self, kind: str, key: str, layers: Mapping[str, Mapping[str, np.ndarray]]
+    ) -> None:
+        """Store per-layer array dicts flattened to ``layer__tensor`` keys."""
+        flat: Dict[str, np.ndarray] = {}
+        for layer, arrays in layers.items():
+            if _SEP in layer:
+                raise ValueError(f"layer name {layer!r} contains {_SEP!r}")
+            for tensor, array in arrays.items():
+                flat[f"{layer}{_SEP}{tensor}"] = np.asarray(array)
+        self.put(kind, key, flat)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counters of this cache handle (per kind)."""
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+        }
+
+
+def weights_digest(quantized_weights: Mapping[str, np.ndarray]) -> str:
+    """Digest of a model's quantised integer weights, layer order included."""
+    hasher_parts = []
+    for name in sorted(quantized_weights):
+        hasher_parts.append(name)
+        hasher_parts.append(digest_arrays(quantized_weights[name]))
+    return digest_payload(hasher_parts)

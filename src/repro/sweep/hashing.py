@@ -1,0 +1,48 @@
+"""Deterministic content hashing for sweep jobs and the state cache.
+
+Everything the sweep runner keys on — job identities, per-job data seeds,
+content-addressed cache entries — reduces to one canonical form: JSON with
+sorted keys and fixed separators, hashed with SHA-256.  Numpy arrays are
+folded in as ``(dtype, shape, raw bytes)`` so two arrays hash equal exactly
+when ``np.array_equal`` holds and their dtypes match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonical_json", "digest_payload", "digest_arrays", "stable_seed"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical JSON text of a payload (sorted keys, fixed separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def digest_payload(payload: Any) -> str:
+    """SHA-256 hex digest of a JSON-compatible payload."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def digest_arrays(*arrays: np.ndarray) -> str:
+    """SHA-256 hex digest of one or more numpy arrays (dtype + shape + bytes)."""
+    hasher = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        hasher.update(str(array.dtype).encode())
+        hasher.update(str(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def stable_seed(*parts: Any) -> int:
+    """A deterministic 31-bit seed derived from arbitrary JSON-able parts.
+
+    Unlike ``hash()``, the result is stable across processes and Python
+    runs — the property worker dispatch needs for per-job reproducibility.
+    """
+    return int(digest_payload(list(parts))[:8], 16) & 0x7FFFFFFF

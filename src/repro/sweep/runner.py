@@ -1,0 +1,569 @@
+"""Parallel execution of design-space sweeps with cached per-job state.
+
+:class:`SweepRunner` shards the jobs of a :class:`~repro.sweep.spec.SweepSpec`
+across a ``ProcessPoolExecutor`` (or runs them serially with ``workers=1``
+— bit-identical results either way, which the test suite enforces).  Jobs
+cross the process boundary as plain ``to_dict()`` payloads, and every
+worker rebuilds its :class:`~repro.system.inference.InferenceConfig` from
+the serialised form — the round trip that also feeds the content-addressed
+:class:`~repro.sweep.cache.SweepCache` keys.
+
+Each job produces one structured record: the quality metrics (labelled
+accuracy where the scenario has labels, fidelity against the float forward
+pass otherwise, plus a prediction digest for bit-identity checks), the
+modeled chip metrics (TOPS/W, FPS, energy / latency per layer), host-side
+throughput, and the cache events that shaped its setup time.  Timing and
+cache fields are inherently run-dependent, so :func:`deterministic_view`
+strips them before any cross-run equality comparison.
+
+``SweepResult.to_record()`` merges everything — spec snapshot, per-job
+records, Pareto fronts, aggregate throughput and cache counters — into the
+``BENCH_sweep.json`` shape that ``benchmarks/bench_sweep_grid.py`` writes
+and ``benchmarks/check_perf_floor.py`` gates.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chipsim.scenarios import Scenario, get_scenario
+from ..chipsim.simulator import ChipSimulator, network_spec_from_model
+from ..system.inference import InferenceConfig, QuantizedInferenceEngine
+from ..system.performance import SystemPerformanceModel, SystemPerformanceResult
+from .cache import (
+    SweepCache,
+    arrays_from_state,
+    calibration_key,
+    model_key,
+    programming_key,
+    restore_state,
+    weights_digest,
+)
+from .hashing import digest_arrays
+from .spec import SweepJob, SweepSpec
+
+__all__ = ["SweepRunner", "SweepResult", "run_job", "deterministic_view", "pareto_front"]
+
+#: Record keys that legitimately differ between runs of the same job
+#: (wall-clock timing and cache temperature); everything else must be
+#: bit-identical for a fixed spec.
+NONDETERMINISTIC_KEYS = ("timing", "cache")
+
+
+# ----------------------------------------------------------------- job body
+
+
+def _float_or_none(value) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def _acquire_model(
+    scenario: Scenario, seed: int, cache: Optional[SweepCache]
+) -> Tuple[Any, str]:
+    """Build (or cache-restore) the scenario's runtime model.
+
+    Returns the model and the cache status — trained scenarios store their
+    weights content-addressed so only one worker ever pays for training.
+    """
+    if not scenario.trained or cache is None:
+        return scenario.build(seed=seed), "skipped"
+    key = model_key(scenario.name, scenario.params, seed)
+    cached = cache.get_layered("model", key)
+    if cached is not None:
+        model = scenario.build_skeleton(seed=seed)
+        for name, layer in model.weight_layers().items():
+            layer.weight[...] = cached[name]["weight"]
+            layer.bias[...] = cached[name]["bias"]
+        return model, "hit"
+    model = scenario.build(seed=seed)
+    cache.put_layered(
+        "model",
+        key,
+        {
+            name: {"weight": layer.weight, "bias": layer.bias}
+            for name, layer in model.weight_layers().items()
+        },
+    )
+    return model, "miss"
+
+
+def _model_weights_digest(model) -> str:
+    """Content digest of the model's float weights (and biases)."""
+    return weights_digest(
+        {
+            name: np.concatenate([layer.weight.ravel(), layer.bias.ravel()])
+            for name, layer in model.weight_layers().items()
+        }
+    )
+
+
+def _padded_layer_dims(model, config: InferenceConfig) -> Dict[str, Tuple[int, int]]:
+    """(padded_rows, cols) of every weight layer on the configured geometry."""
+    block = config.geometry.block_rows
+    dims = {}
+    for name, layer in model.weight_layers().items():
+        rows, cols = layer.weight.shape
+        dims[name] = (-(-rows // block) * block, cols)
+    return dims
+
+
+def _restore_layer_states(
+    layered: Mapping[str, Mapping[str, np.ndarray]],
+    model,
+    config: InferenceConfig,
+) -> Optional[Dict[str, Any]]:
+    """Rebuild per-layer ArrayStates from a programming-cache entry.
+
+    Returns None when the entry does not cover every weight layer (a stale
+    or foreign entry) — the caller then falls back to a cold build.
+    """
+    dims = _padded_layer_dims(model, config)
+    if set(layered) != set(dims):
+        return None
+    states = {}
+    for name, arrays in layered.items():
+        rows, cols = dims[name]
+        states[name] = restore_state(
+            config.design,
+            rows=rows,
+            banks=cols,
+            block_rows=config.geometry.block_rows,
+            weight_bits=config.weight_bits,
+            arrays=arrays,
+        )
+    return states
+
+
+def _performance_payload(perf: SystemPerformanceResult) -> Dict[str, Any]:
+    """The modeled chip metrics of one job, JSON-ready."""
+    return {
+        "tops_per_watt": float(perf.tops_per_watt),
+        "fps": float(perf.frames_per_second),
+        "energy_per_image_j": float(perf.total_energy),
+        "latency_per_image_s": float(perf.total_latency),
+        "area_mm2": float(perf.area_mm2),
+        "total_macros": int(perf.total_macros),
+        "layers": [
+            {
+                "name": layer.layer_name,
+                "energy_j": float(layer.dynamic_energy),
+                "latency_s": float(layer.latency),
+            }
+            for layer in perf.layers
+        ],
+    }
+
+
+#: Per-process memo of float-forward predictions.  Every job of a scenario
+#: shares (model seed, data seed, image count) within a sweep, so a worker
+#: that executes several jobs of the same scenario runs the float reference
+#: pass once instead of per job.
+_FLOAT_PREDICTIONS: Dict[Tuple[str, int, int, int], np.ndarray] = {}
+
+
+def _float_predictions(job: SweepJob, model, images: np.ndarray) -> np.ndarray:
+    key = (job.scenario, int(job.config["seed"]), job.data_seed, len(images))
+    cached = _FLOAT_PREDICTIONS.get(key)
+    if cached is None:
+        cached = np.argmax(model.forward(images), axis=-1)
+        _FLOAT_PREDICTIONS.clear()  # one scenario at a time is the hot case
+        _FLOAT_PREDICTIONS[key] = cached
+    return cached
+
+
+def _quality_payload(
+    predictions: np.ndarray,
+    labels: Optional[np.ndarray],
+    float_predictions: np.ndarray,
+) -> Dict[str, Any]:
+    """Accuracy (when labelled), float-fidelity, and the prediction digest."""
+    accuracy = (
+        None
+        if labels is None
+        else float(np.mean(predictions == np.asarray(labels)))
+    )
+    float_baseline = (
+        None
+        if labels is None
+        else float(np.mean(float_predictions == np.asarray(labels)))
+    )
+    return {
+        "accuracy": accuracy,
+        "float_baseline": float_baseline,
+        "float_agreement": float(np.mean(predictions == float_predictions)),
+        "predictions_sha256": digest_arrays(predictions),
+    }
+
+
+def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Execute one sweep job from its serialised payload.
+
+    This is the function worker processes run; it is importable top-level
+    so ``ProcessPoolExecutor`` can dispatch it, and it takes the job in
+    ``SweepJob.to_dict()`` form — the config round-trips through
+    :meth:`InferenceConfig.from_dict` exactly as the cache keys assume.
+    """
+    wall_start = time.perf_counter()
+    job = SweepJob.from_dict(payload)
+    scenario = get_scenario(job.scenario)
+    cache = SweepCache(cache_dir) if cache_dir else None
+    cache_events = {"model": "skipped", "programming": "skipped", "calibration": "skipped"}
+
+    record: Dict[str, Any] = {
+        "job_id": job.job_id,
+        "scenario": job.scenario,
+        "backend": job.backend,
+        "design": job.config["design"],
+        "input_bits": job.config["input_bits"],
+        "weight_bits": job.config["weight_bits"],
+        "adc_bits": job.config["adc_bits"],
+        "calibration": job.config["calibration"],
+        "tiling": job.config["tiling"],
+        "device_exec": job.config["device_exec"],
+        "seed": job.config["seed"],
+        "data_seed": job.data_seed,
+        "images": job.images,
+    }
+
+    if job.backend == "analytic":
+        if scenario.runtime:
+            model, cache_events["model"] = _acquire_model(
+                scenario, int(job.config["seed"]), cache
+            )
+            network = network_spec_from_model(model, name=scenario.name)
+        else:
+            network = scenario.network_spec()
+        perf_model = SystemPerformanceModel(
+            job.config["design"],
+            input_bits=int(job.config["input_bits"]),
+            weight_bits=int(job.config["weight_bits"]),
+            adc_bits=int(job.config["adc_bits"]),
+        )
+        setup_seconds = time.perf_counter() - wall_start
+        run_start = time.perf_counter()
+        perf = perf_model.evaluate(network)
+        run_seconds = time.perf_counter() - run_start
+        record.update(
+            {
+                "accuracy": None,
+                "float_baseline": None,
+                "float_agreement": None,
+                "predictions_sha256": None,
+                "tiles_executed": 0,
+                "calibrated_layers": 0,
+                "modeled": _performance_payload(perf),
+            }
+        )
+        record["cache"] = cache_events
+        record["timing"] = _timing_payload(
+            setup_seconds, run_seconds, wall_start, job.images, tiles=0
+        )
+        return record
+
+    config = job.inference_config()
+    model, cache_events["model"] = _acquire_model(scenario, config.seed, cache)
+    workload = scenario.workload(images=job.images, seed=job.data_seed)
+
+    if job.backend == "functional":
+        engine = QuantizedInferenceEngine(model, config)
+        perf = SystemPerformanceModel(
+            config.design,
+            input_bits=config.input_bits,
+            weight_bits=config.weight_bits,
+            adc_bits=config.adc_bits or 5,
+            geometry=config.geometry,
+        ).evaluate(network_spec_from_model(model, name=scenario.name))
+        setup_seconds = time.perf_counter() - wall_start
+        run_start = time.perf_counter()
+        predictions = engine.predict(workload.images, batch_size=job.batch_size)
+        run_seconds = time.perf_counter() - run_start
+        record.update(
+            _quality_payload(
+                predictions,
+                workload.labels,
+                _float_predictions(job, model, workload.images),
+            )
+        )
+        record.update(
+            {
+                "tiles_executed": 0,
+                "calibrated_layers": 0,
+                "modeled": _performance_payload(perf),
+            }
+        )
+        record["cache"] = cache_events
+        record["timing"] = _timing_payload(
+            setup_seconds, run_seconds, wall_start, job.images, tiles=0
+        )
+        return record
+
+    # ------------------------------------------------------- device backend
+    wdigest = _model_weights_digest(model)
+    layer_states = None
+    if cache is not None and config.variation.enabled:
+        prog_key = programming_key(config, wdigest)
+        layered = cache.get_layered("programming", prog_key)
+        if layered is not None:
+            layer_states = _restore_layer_states(layered, model, config)
+        cache_events["programming"] = "hit" if layer_states is not None else "miss"
+
+    simulator = ChipSimulator(
+        model, config=config, layer_states=layer_states, name=scenario.name
+    )
+    if cache is not None and config.variation.enabled and layer_states is None:
+        cache.put_layered(
+            "programming",
+            programming_key(config, wdigest),
+            {
+                name: arrays_from_state(state)
+                for name, state in simulator.inference.layer_array_states().items()
+            },
+        )
+
+    cal_key = None
+    if cache is not None and config.calibration == "workload":
+        cal_key = calibration_key(
+            config, wdigest, digest_arrays(workload.images), job.batch_size
+        )
+        cached_levels = cache.get_layered("calibration", cal_key)
+        if cached_levels is not None:
+            simulator.inference.apply_calibration(cached_levels)
+            cache_events["calibration"] = "hit"
+        else:
+            cache_events["calibration"] = "miss"
+
+    setup_seconds = time.perf_counter() - wall_start
+    run_start = time.perf_counter()
+    report = simulator.run(
+        workload.images, workload.labels, batch_size=job.batch_size
+    )
+    run_seconds = time.perf_counter() - run_start
+
+    if cal_key is not None and cache_events["calibration"] == "miss":
+        levels = simulator.inference.calibration_levels()
+        if levels:
+            cache.put_layered("calibration", cal_key, levels)
+
+    record.update(
+        _quality_payload(
+            report.predictions,
+            workload.labels,
+            _float_predictions(job, model, workload.images),
+        )
+    )
+    record.update(
+        {
+            "tiles_executed": int(report.tiles_executed),
+            "calibrated_layers": int(simulator.calibrated_layers()),
+            "modeled": _performance_payload(report.performance),
+        }
+    )
+    record["cache"] = cache_events
+    record["timing"] = _timing_payload(
+        setup_seconds, run_seconds, wall_start, job.images,
+        tiles=int(report.tiles_executed),
+    )
+    return record
+
+
+def _timing_payload(
+    setup_seconds: float, run_seconds: float, wall_start: float, images: int, *, tiles: int
+) -> Dict[str, float]:
+    wall = time.perf_counter() - wall_start
+    return {
+        "setup_s": float(setup_seconds),
+        "run_s": float(run_seconds),
+        "wall_s": float(wall),
+        "images_per_s": float(images / run_seconds) if run_seconds > 0 else 0.0,
+        "tiles_per_s": float(tiles / run_seconds) if run_seconds > 0 else 0.0,
+    }
+
+
+def deterministic_view(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """A record with the run-dependent fields (timing, cache events) removed.
+
+    Two runs of the same spec — serial or parallel, cold or warm cache —
+    must agree exactly on this view; it is what the bit-identity tests and
+    ``bench_sweep_grid.py`` compare.
+    """
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in NONDETERMINISTIC_KEYS
+    }
+
+
+def _quality_metric(record: Mapping[str, Any]) -> Optional[float]:
+    """The record's quality axis: labelled accuracy, else float fidelity."""
+    if record.get("accuracy") is not None:
+        return float(record["accuracy"])
+    if record.get("float_agreement") is not None:
+        return float(record["float_agreement"])
+    return None
+
+
+def pareto_front(
+    points: Sequence[Tuple[str, float, float]]
+) -> List[str]:
+    """Non-dominated ``(key, metric_a, metric_b)`` points, both maximised.
+
+    Returns the keys of points no other point beats on one axis without
+    losing on the other, sorted by descending ``metric_a``.
+    """
+    front = []
+    for key, a, b in points:
+        dominated = any(
+            (oa >= a and ob >= b) and (oa > a or ob > b)
+            for okey, oa, ob in points
+            if okey != key
+        )
+        if not dominated:
+            front.append((key, a, b))
+    front.sort(key=lambda item: (-item[1], -item[2], item[0]))
+    return [key for key, _a, _b in front]
+
+
+@dataclass
+class SweepResult:
+    """The outcome of one sweep run.
+
+    Attributes:
+        spec: The expanded specification.
+        records: Per-job records in job order.
+        workers: Worker processes used (1 = in-process serial).
+        wall_seconds: Wall time of the whole run.
+        cache_dir: Cache directory, or None (uncached).
+    """
+
+    spec: SweepSpec
+    records: List[Dict[str, Any]]
+    workers: int
+    wall_seconds: float
+    cache_dir: Optional[str] = None
+
+    @property
+    def records_by_id(self) -> Dict[str, Dict[str, Any]]:
+        """Records keyed by job id."""
+        return {record["job_id"]: record for record in self.records}
+
+    def record(self, job_id: str) -> Dict[str, Any]:
+        """One job's record (raises on unknown id)."""
+        try:
+            return self.records_by_id[job_id]
+        except KeyError:
+            raise KeyError(
+                f"no record for {job_id!r}; jobs: "
+                f"{sorted(self.records_by_id)}"
+            ) from None
+
+    def deterministic_records(self) -> List[Dict[str, Any]]:
+        """Every record's deterministic view, in job order."""
+        return [deterministic_view(record) for record in self.records]
+
+    def cache_totals(self) -> Dict[str, int]:
+        """Aggregate cache hit/miss counts across all job records."""
+        totals = {"hits": 0, "misses": 0, "skipped": 0}
+        for record in self.records:
+            for status in record.get("cache", {}).values():
+                if status == "hit":
+                    totals["hits"] += 1
+                elif status == "miss":
+                    totals["misses"] += 1
+                else:
+                    totals["skipped"] += 1
+        return totals
+
+    def pareto(self) -> Dict[str, List[str]]:
+        """Pareto fronts of the grid (both axes maximised).
+
+        ``accuracy_efficiency``: quality (labelled accuracy, else float
+        fidelity) vs modeled TOPS/W, over jobs that report quality.
+        ``throughput_efficiency``: modeled FPS vs modeled TOPS/W, over all
+        jobs.
+        """
+        quality_points = []
+        throughput_points = []
+        for record in self.records:
+            tops = float(record["modeled"]["tops_per_watt"])
+            quality = _quality_metric(record)
+            if quality is not None:
+                quality_points.append((record["job_id"], quality, tops))
+            throughput_points.append(
+                (record["job_id"], float(record["modeled"]["fps"]), tops)
+            )
+        return {
+            "accuracy_efficiency": pareto_front(quality_points),
+            "throughput_efficiency": pareto_front(throughput_points),
+        }
+
+    def to_record(self) -> Dict[str, Any]:
+        """The mergeable ``BENCH_sweep.json`` payload of this run."""
+        total = self.wall_seconds
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_digest": self.spec.digest(),
+            "workers": self.workers,
+            "jobs": len(self.records),
+            "records": self.records_by_id,
+            "pareto": self.pareto(),
+            "cache_totals": self.cache_totals(),
+            "throughput": {
+                "total_s": float(total),
+                "jobs_per_s": float(len(self.records) / total) if total > 0 else 0.0,
+            },
+        }
+
+
+class SweepRunner:
+    """Executes a sweep spec, optionally across worker processes.
+
+    Args:
+        spec: The design-space grid to run.
+        workers: Worker processes; ``1`` (default) runs in-process serially
+            — results are bit-identical either way.
+        cache_dir: Content-addressed cache directory shared by all workers;
+            None disables caching.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        *,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.spec = spec
+        self.workers = workers
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+
+    def run(self) -> SweepResult:
+        """Expand the grid and execute every job, preserving job order."""
+        jobs = self.spec.expand()
+        payloads = [job.to_dict() for job in jobs]
+        start = time.perf_counter()
+        if self.workers == 1:
+            records = [run_job(payload, self.cache_dir) for payload in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                records = list(
+                    pool.map(
+                        run_job,
+                        payloads,
+                        [self.cache_dir] * len(payloads),
+                    )
+                )
+        wall_seconds = time.perf_counter() - start
+        return SweepResult(
+            spec=self.spec,
+            records=records,
+            workers=self.workers,
+            wall_seconds=wall_seconds,
+            cache_dir=self.cache_dir,
+        )

@@ -46,8 +46,8 @@ Any model following the :class:`~repro.system.nn.SequentialNet` protocol
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -60,6 +60,9 @@ from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
 from ..quant.calibration import CALIBRATION_MODES
 from ..quant.quantize import signed_range, unsigned_range
 from .nn import Conv2D, Linear, SequentialNet, im2col
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..engine.array_state import ArrayState
 
 __all__ = ["InferenceConfig", "QuantizedInferenceEngine"]
 
@@ -167,6 +170,56 @@ class InferenceConfig:
             variation=self.variation,
         )
 
+    # ------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-compatible snapshot of this configuration.
+
+        The payload is the worker-dispatch / cache-key format of the sweep
+        runner (:mod:`repro.sweep`): every field is a plain scalar or dict,
+        the nested :class:`~repro.geometry.MacroGeometry` and
+        :class:`~repro.devices.variation.VariationModel` are expanded to
+        their fields, and :meth:`from_dict` reconstructs an equal config
+        (``InferenceConfig.from_dict(c.to_dict()) == c``).
+        """
+        return {
+            "design": self.design,
+            "backend": self.backend,
+            "tiling": self.tiling,
+            "device_exec": self.device_exec,
+            "input_bits": self.input_bits,
+            "weight_bits": self.weight_bits,
+            "adc_bits": self.adc_bits,
+            "geometry": asdict(self.geometry),
+            "variation": asdict(self.variation),
+            "seed": self.seed,
+            "tile_workers": self.tile_workers,
+            "calibration": self.calibration,
+            "calibration_samples": self.calibration_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "InferenceConfig":
+        """Rebuild a config from a :meth:`to_dict` payload.
+
+        Unknown keys raise — a payload produced by a newer schema should
+        fail loudly rather than silently drop configuration.
+        """
+        data = dict(payload)
+        known = {
+            "design", "backend", "tiling", "device_exec", "input_bits",
+            "weight_bits", "adc_bits", "geometry", "variation", "seed",
+            "tile_workers", "calibration", "calibration_samples",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown InferenceConfig keys: {sorted(unknown)}")
+        if "geometry" in data:
+            data["geometry"] = MacroGeometry(**data["geometry"])
+        if "variation" in data:
+            data["variation"] = VariationModel(**data["variation"])
+        return cls(**data)
+
 
 class _QuantizedLayer:
     """A weight layer quantised and programmed into an IMC execution backend."""
@@ -178,6 +231,7 @@ class _QuantizedLayer:
         bias: np.ndarray,
         config: InferenceConfig,
         rng: np.random.Generator,
+        state: Optional["ArrayState"] = None,
     ) -> None:
         self.name = name
         self.bias = bias
@@ -189,10 +243,14 @@ class _QuantizedLayer:
         self._adc_calibrated = False
         if config.backend == "device":
             if config.tiling == "tiled":
-                self.engine = self._build_tiled_engine(weight_int, config, rng)
+                self.engine = self._build_tiled_engine(weight_int, config, rng, state)
             else:
-                self.engine = self._build_device_engine(weight_int, config, rng)
+                self.engine = self._build_device_engine(weight_int, config, rng, state)
         else:
+            if state is not None:
+                raise ValueError(
+                    "prebuilt array states only apply to the device backend"
+                )
             self.engine = FunctionalIMCModel(config.functional_config(), rng=rng)
             self.engine.program(weight_int)
 
@@ -203,18 +261,54 @@ class _QuantizedLayer:
 
         return self.engine if isinstance(self.engine, TiledLayerEngine) else None
 
+    @property
+    def array_state(self):
+        """The layer's full device :class:`~repro.engine.ArrayState`, or None.
+
+        For the tiled engine this is the monolithic state every tile views;
+        for the monolithic engine it is the engine's own state.  Functional
+        layers have no per-cell state and return None.  The sweep cache
+        (:mod:`repro.sweep.cache`) harvests these arrays after a build and
+        injects them back on later runs.
+        """
+        if self.config.backend != "device":
+            return None
+        tiled = self.tiled_engine
+        return tiled.array_state if tiled is not None else self.engine.state
+
+    def apply_calibration(self, levels: Dict[str, np.ndarray]) -> None:
+        """Program explicit reference levels and mark the layer calibrated.
+
+        Pre-applying cached levels (sweep calibration cache) replaces the
+        first-batch calibration: the lazily triggered ``matmul`` pass sees
+        ``_adc_calibrated`` set and skips the level computation.  Device
+        backend only — the functional model keeps its own range logic.
+        """
+        if self.config.backend != "device":
+            raise ValueError("apply_calibration requires the device backend")
+        self.engine.apply_reference_levels(levels)
+        self._adc_calibrated = True
+
+    def calibration_levels(self) -> Optional[Dict[str, np.ndarray]]:
+        """The layer's programmed reference levels, or None (uncalibrated)."""
+        levels = getattr(self.engine, "reference_levels", None)
+        return levels
+
     def _build_tiled_engine(
         self,
         weight_int: np.ndarray,
         config: InferenceConfig,
         rng: np.random.Generator,
+        state: Optional["ArrayState"] = None,
     ):
         """Shard the layer across a grid of real macro tiles.
 
         The full layer state is characterised with the exact generator
         consumption of the monolithic build, then viewed per tile, so the
         tiled execution is bit-identical to the single-macro path (and the
-        variation stream seen by subsequent layers is unchanged).
+        variation stream seen by subsequent layers is unchanged).  A
+        prebuilt ``state`` (e.g. restored from the sweep cache) skips the
+        characterisation — and its generator consumption — entirely.
         """
         from ..chipsim.tiling import TiledLayerEngine
 
@@ -228,6 +322,7 @@ class _QuantizedLayer:
             seed=config.seed,
             rng=rng,
             workers=config.tile_workers,
+            state=state,
         )
 
     def _build_device_engine(
@@ -235,13 +330,14 @@ class _QuantizedLayer:
         weight_int: np.ndarray,
         config: InferenceConfig,
         rng: np.random.Generator,
+        state: Optional["ArrayState"] = None,
     ):
         """Map the layer onto a single device-detailed monolithic macro.
 
         The weight rows are zero-padded up to whole analog blocks — the
         padding cells physically exist (programmed to zero, never selected)
         and contribute their unselected leakage, exactly as unused rows of a
-        real macro would.
+        real macro would.  A prebuilt ``state`` skips characterisation.
         """
         from ..core.macro import IMCMacroConfig
         from ..engine.array_state import ArrayState
@@ -253,16 +349,22 @@ class _QuantizedLayer:
         self._device_padded_rows = ((rows + block - 1) // block) * block
         padded = np.zeros((self._device_padded_rows, cols), dtype=np.int64)
         padded[:rows] = weight_int
-        macro_config = IMCMacroConfig(
-            rows=self._device_padded_rows,
-            banks=cols,
-            block_rows=block,
-            adc_bits=config.adc_bits,
-            weight_bits=config.weight_bits,
-            variation=config.variation,
-            seed=config.seed,
-        )
-        state = ArrayState.build(config.design, macro_config, rng=rng)
+        if state is None:
+            macro_config = IMCMacroConfig(
+                rows=self._device_padded_rows,
+                banks=cols,
+                block_rows=block,
+                adc_bits=config.adc_bits,
+                weight_bits=config.weight_bits,
+                variation=config.variation,
+                seed=config.seed,
+            )
+            state = ArrayState.build(config.design, macro_config, rng=rng)
+        elif state.rows != self._device_padded_rows or state.banks != cols:
+            raise ValueError(
+                f"prebuilt state is {state.rows}x{state.banks}, layer "
+                f"{self.name!r} needs {self._device_padded_rows}x{cols}"
+            )
         engine = MacroEngine(
             state, adc_bits=config.adc_bits, weight_bits=config.weight_bits
         )
@@ -337,22 +439,46 @@ class QuantizedInferenceEngine:
     Args:
         model: The trained floating-point network.
         config: Quantisation / design configuration.
+        layer_states: Optional prebuilt device array states keyed by weight
+            layer name (device backend only).  Layers present in the map
+            skip their characterisation build — and its generator
+            consumption — which is how the sweep cache restores programmed
+            state; the map must then cover *every* weight layer, otherwise
+            the remaining layers would see a shifted variation stream and
+            the run would not be bit-identical to an uncached one.
     """
 
     def __init__(
-        self, model: SequentialNet, config: InferenceConfig | None = None
+        self,
+        model: SequentialNet,
+        config: InferenceConfig | None = None,
+        *,
+        layer_states: Optional[Mapping[str, "ArrayState"]] = None,
     ) -> None:
         self.model = model
         self.config = config or InferenceConfig()
+        weight_layers = model.weight_layers()
+        if layer_states is not None:
+            if self.config.backend != "device":
+                raise ValueError("layer_states requires the device backend")
+            missing = set(weight_layers) - set(layer_states)
+            if missing:
+                raise ValueError(
+                    "layer_states must cover every weight layer; missing "
+                    f"{sorted(missing)}"
+                )
         rng = np.random.default_rng(self.config.seed)
         self._layers: Dict[str, _QuantizedLayer] = {}
-        for name, layer in model.weight_layers().items():
+        for name, layer in weight_layers.items():
             self._layers[name] = _QuantizedLayer(
-                name, layer.weight, layer.bias, self.config, rng
+                name,
+                layer.weight,
+                layer.bias,
+                self.config,
+                rng,
+                state=None if layer_states is None else layer_states[name],
             )
-        self._names = {
-            id(layer): name for name, layer in model.weight_layers().items()
-        }
+        self._names = {id(layer): name for name, layer in weight_layers.items()}
 
     # ------------------------------------------------------------- internals
 
@@ -392,6 +518,51 @@ class QuantizedInferenceEngine:
     def quantized_layers(self) -> Dict[str, _QuantizedLayer]:
         """The programmed IMC layers, keyed by weight-layer name."""
         return dict(self._layers)
+
+    def layer_array_states(self) -> Dict[str, "ArrayState"]:
+        """The full device array state of every weight layer.
+
+        Device backend only; the returned states are what
+        ``layer_states`` accepts back, closing the sweep-cache round trip.
+        """
+        if self.config.backend != "device":
+            raise ValueError("layer_array_states requires the device backend")
+        return {name: layer.array_state for name, layer in self._layers.items()}
+
+    def apply_calibration(
+        self, levels: Mapping[str, Mapping[str, np.ndarray]]
+    ) -> int:
+        """Pre-program cached reference levels, layer by layer.
+
+        Args:
+            levels: ``{layer_name: {"high": ..., "low": ...}}`` as returned
+                by :meth:`calibration_levels`.  Layers absent from the map
+                keep their lazy first-batch calibration.
+
+        Returns:
+            The number of layers programmed.
+        """
+        count = 0
+        for name, layer_levels in levels.items():
+            if name not in self._layers:
+                raise KeyError(f"unknown weight layer {name!r}")
+            self._layers[name].apply_calibration(dict(layer_levels))
+            count += 1
+        return count
+
+    def calibration_levels(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Harvest the programmed reference levels of every calibrated layer.
+
+        Only layers whose reference banks are workload-programmed appear in
+        the result (so an uncalibrated or functional-backend engine returns
+        an empty dict).
+        """
+        harvested: Dict[str, Dict[str, np.ndarray]] = {}
+        for name, layer in self._layers.items():
+            levels = layer.calibration_levels()
+            if levels is not None:
+                harvested[name] = levels
+        return harvested
 
     def forward(self, images: np.ndarray) -> np.ndarray:
         """Quantised forward pass mirroring the model's own layer order."""

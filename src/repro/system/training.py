@@ -23,6 +23,7 @@ __all__ = [
     "TrainingConfig",
     "TrainingHistory",
     "train_small_cnn",
+    "reference_dataset",
     "reference_model_and_dataset",
 ]
 
@@ -128,9 +129,18 @@ def train_small_cnn(
     return model, history
 
 
+def reference_dataset() -> SyntheticImageDataset:
+    """The fixed synthetic dataset of the reference setup (seed 1234).
+
+    Split from training so callers that only need the evaluation data (the
+    sweep's ``reference`` scenario workload) never pay for a training run.
+    """
+    return SyntheticImageDataset(SyntheticImageConfig(seed=1234))
+
+
 @lru_cache(maxsize=4)
 def _cached_reference(seed: int, epochs: int) -> Tuple[SmallCNN, SyntheticImageDataset, float]:
-    dataset = SyntheticImageDataset(SyntheticImageConfig(seed=1234))
+    dataset = reference_dataset()
     model, history = train_small_cnn(
         dataset, TrainingConfig(seed=seed, epochs=epochs)
     )

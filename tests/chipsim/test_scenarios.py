@@ -1,0 +1,75 @@
+"""The named, parameterised scenario registry."""
+
+import numpy as np
+import pytest
+
+from repro.chipsim import SCENARIOS, Scenario, get_scenario, register_scenario
+from repro.chipsim.scenarios import tiny_mlp
+
+
+class TestRegistry:
+    def test_core_entries_registered(self):
+        for name in (
+            "small_cnn", "deep_cnn", "wide_mlp", "tiny_mlp", "reference",
+            "resnet18_cifar10", "resnet18_imagenet",
+        ):
+            assert name in SCENARIOS
+
+    def test_get_scenario_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="tiny_mlp"):
+            get_scenario("not_a_scenario")
+
+    def test_register_rejects_collisions(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(SCENARIOS["tiny_mlp"])
+
+    def test_runtime_flags(self):
+        assert get_scenario("tiny_mlp").runtime
+        assert not get_scenario("resnet18_cifar10").runtime
+
+
+class TestScenarioBehaviour:
+    def test_build_is_seed_deterministic(self):
+        a = get_scenario("tiny_mlp").build(seed=3)
+        b = get_scenario("tiny_mlp").build(seed=3)
+        for (name, la), lb in zip(a.weight_layers().items(), b.weight_layers().values()):
+            np.testing.assert_array_equal(la.weight, lb.weight)
+
+    def test_workload_is_seed_deterministic(self):
+        scenario = get_scenario("tiny_mlp")
+        first = scenario.workload(images=4, seed=7)
+        second = scenario.workload(images=4, seed=7)
+        np.testing.assert_array_equal(first.images, second.images)
+        assert first.labels is None
+
+    def test_workload_validates_images(self):
+        with pytest.raises(ValueError, match="images"):
+            get_scenario("tiny_mlp").workload(images=0, seed=0)
+
+    def test_with_params_derives_variant(self):
+        variant = SCENARIOS["deep_cnn"].with_params(
+            "deep_cnn_32", input_shape=(3, 32, 32)
+        )
+        assert variant.name == "deep_cnn_32"
+        assert variant.build(seed=0).input_shape == (3, 32, 32)
+        assert "deep_cnn_32" not in SCENARIOS  # derived, not auto-registered
+
+    def test_spec_only_scenario_has_spec_and_no_model(self):
+        scenario = get_scenario("resnet18_cifar10")
+        assert scenario.network_spec().layers
+        with pytest.raises(ValueError, match="spec-only"):
+            scenario.build(seed=0)
+
+    def test_runtime_scenario_has_no_spec_builder(self):
+        with pytest.raises(ValueError, match="no spec builder"):
+            get_scenario("tiny_mlp").network_spec()
+
+    def test_scenario_requires_some_builder(self):
+        with pytest.raises(ValueError, match="builder"):
+            Scenario(name="empty", description="nothing")
+
+    def test_trained_scenario_requires_skeleton(self):
+        with pytest.raises(ValueError, match="skeleton"):
+            Scenario(
+                name="t", description="d", builder=tiny_mlp, trained=True
+            )

@@ -1,0 +1,148 @@
+"""The content-addressed cache and the ArrayState restore round trip."""
+
+import numpy as np
+import pytest
+
+from repro.chipsim.tiling import TiledLayerEngine
+from repro.devices.variation import DEFAULT_VARIATION
+from repro.sweep import SweepCache, arrays_from_state, restore_state
+from repro.sweep.cache import calibration_key, programming_key
+from repro.system.inference import InferenceConfig
+
+
+class TestSweepCacheStore:
+    def test_get_missing_counts_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.get("programming", "deadbeef") is None
+        assert cache.misses["programming"] == 1
+        assert cache.hits["programming"] == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        arrays = {"a": np.arange(6.0).reshape(2, 3), "b": np.array([1, 2, 3])}
+        cache.put("model", "k1", arrays)
+        loaded = cache.get("model", "k1")
+        assert cache.hits["model"] == 1
+        np.testing.assert_array_equal(loaded["a"], arrays["a"])
+        np.testing.assert_array_equal(loaded["b"], arrays["b"])
+
+    def test_layered_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        layers = {
+            "conv1": {"high": np.ones(3), "low": np.zeros(3)},
+            "fc1": {"high": np.full(2, 5.0)},
+        }
+        cache.put_layered("calibration", "k2", layers)
+        loaded = cache.get_layered("calibration", "k2")
+        assert set(loaded) == {"conv1", "fc1"}
+        np.testing.assert_array_equal(loaded["conv1"]["low"], np.zeros(3))
+        np.testing.assert_array_equal(loaded["fc1"]["high"], np.full(2, 5.0))
+
+    def test_unknown_kind_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="kind"):
+            SweepCache(tmp_path).get("nope", "k")
+
+    def test_no_partial_entries_on_disk(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("model", "k", {"a": np.zeros(2)})
+        leftovers = [p.name for p in (tmp_path / "model").iterdir()]
+        assert leftovers == ["k.npz"]
+
+
+class TestCacheKeys:
+    def test_programming_key_ignores_adc_and_calibration(self):
+        base = InferenceConfig(backend="device", adc_bits=5, calibration="workload")
+        variant = InferenceConfig(backend="device", adc_bits=4, calibration="nominal")
+        assert programming_key(base, "w") == programming_key(variant, "w")
+
+    def test_programming_key_ignores_tiling_and_exec(self):
+        tiled = InferenceConfig(backend="device", tiling="tiled", device_exec="turbo")
+        mono = InferenceConfig(backend="device", tiling="monolithic", device_exec="exact")
+        assert programming_key(tiled, "w") == programming_key(mono, "w")
+
+    def test_programming_key_tracks_design_seed_weights(self):
+        base = InferenceConfig(backend="device")
+        assert programming_key(base, "w1") != programming_key(base, "w2")
+        assert programming_key(base, "w") != programming_key(
+            InferenceConfig(backend="device", design="chgfe"), "w"
+        )
+        assert programming_key(base, "w") != programming_key(
+            InferenceConfig(backend="device", seed=1), "w"
+        )
+
+    def test_calibration_key_tracks_adc_and_workload(self):
+        config = InferenceConfig(backend="device")
+        assert calibration_key(config, "w", "d", 8) != calibration_key(
+            InferenceConfig(backend="device", adc_bits=4), "w", "d", 8
+        )
+        assert calibration_key(config, "w", "d1", 8) != calibration_key(
+            config, "w", "d2", 8
+        )
+        assert calibration_key(config, "w", "d", 8) != calibration_key(
+            config, "w", "d", 4
+        )
+
+    def test_calibration_key_shared_across_tilings(self):
+        tiled = InferenceConfig(backend="device", tiling="tiled")
+        mono = InferenceConfig(backend="device", tiling="monolithic")
+        assert calibration_key(tiled, "w", "d", 8) == calibration_key(mono, "w", "d", 8)
+
+
+class TestArrayStateRestore:
+    def test_restored_engine_is_bit_identical(self):
+        rng = np.random.default_rng(3)
+        weights = rng.integers(-127, 128, size=(40, 5))
+        built = TiledLayerEngine(
+            weights, design="curfe", variation=DEFAULT_VARIATION, seed=9
+        )
+        arrays = arrays_from_state(built.array_state)
+        restored_state = restore_state(
+            "curfe",
+            rows=built.padded_rows,
+            banks=built.weight_cols,
+            block_rows=built.geometry.block_rows,
+            weight_bits=8,
+            arrays=arrays,
+        )
+        restored = TiledLayerEngine(
+            weights, design="curfe", variation=DEFAULT_VARIATION, seed=9,
+            state=restored_state,
+        )
+        inputs = rng.integers(0, 16, size=(40, 3))
+        np.testing.assert_array_equal(
+            built.matmat(inputs, bits=4), restored.matmat(inputs, bits=4)
+        )
+
+    def test_restored_chgfe_state_keeps_capacitances(self):
+        rng = np.random.default_rng(4)
+        weights = rng.integers(-127, 128, size=(32, 4))
+        built = TiledLayerEngine(
+            weights, design="chgfe", variation=DEFAULT_VARIATION, seed=2
+        )
+        arrays = arrays_from_state(built.array_state)
+        restored = restore_state(
+            "chgfe",
+            rows=32,
+            banks=4,
+            block_rows=built.geometry.block_rows,
+            weight_bits=8,
+            arrays=arrays,
+        )
+        np.testing.assert_array_equal(
+            restored.high.capacitance, built.array_state.high.capacitance
+        )
+        np.testing.assert_array_equal(
+            restored.high.capacitance_total,
+            built.array_state.high.capacitance_total,
+        )
+
+    def test_mismatched_state_raises(self):
+        rng = np.random.default_rng(5)
+        weights = rng.integers(-127, 128, size=(40, 5))
+        built = TiledLayerEngine(weights, design="curfe", seed=0)
+        with pytest.raises(ValueError, match="does not match"):
+            TiledLayerEngine(
+                rng.integers(-127, 128, size=(80, 5)),
+                design="curfe",
+                state=built.array_state,
+            )
