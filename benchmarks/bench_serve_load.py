@@ -1,0 +1,193 @@
+"""Online serving under offered load: micro-batching over a warm chip pool.
+
+Drives :class:`repro.serve.ServeRuntime` — the always-on counterpart of the
+offline chip-simulator scripts — with seeded closed-loop traffic on the
+device-detailed ``turbo`` path, three ways:
+
+1. **offered-load sweep** — closed-loop client counts from idle to
+   saturation; each point reports completed throughput, p50/p95/p99
+   latency, queue behaviour, and how full the dynamically formed
+   micro-batches actually were;
+2. **batching on-vs-off probe** — the saturation point again with
+   ``max_batch=1`` (every request served alone): the measured throughput
+   ratio is the speedup dynamic micro-batching delivers on one warm chip;
+3. **determinism probe** — the per-request predictions of a served
+   workload must equal one offline ``ChipSimulator.run`` of the same warm
+   program over the same inputs, ``array_equal``.
+
+The record is written to ``BENCH_serve.json`` at the repository root;
+``check_bench_schema.py`` validates it and ``check_perf_floor.py`` gates
+the serving throughput and batching speedup against
+``benchmarks/perf_baseline.json``.
+
+Set ``REPRO_BENCH_TINY=1`` for a seconds-scale smoke run: the single-tile
+``tiny_mlp`` scenario, fewer requests, no speedup assertion.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from conftest import BENCH_TINY as TINY, emit, tiny
+from repro.serve import ChipProgram, LoadGenerator, ServeConfig, ServeRuntime
+from repro.sweep import digest_arrays
+
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+CONFIG = ServeConfig(
+    scenario=tiny("small_cnn", "tiny_mlp"),
+    backend="device",
+    design="curfe",
+    device_exec="turbo",
+    input_bits=4,
+    weight_bits=8,
+    adc_bits=5,
+    calibration_images=tiny(32, 8),
+    replicas=1,
+    pool="thread",
+    max_batch=16,
+    max_wait_s=0.0,
+    queue_depth=256,
+    backpressure="block",
+)
+
+#: Closed-loop client counts of the offered-load sweep.
+CONCURRENCIES = tiny((1, 4, 16), (1, 4))
+
+#: Requests per load point (each client re-submits on completion).
+REQUESTS = tiny(192, 24)
+
+
+def _point_payload(concurrency, result):
+    metrics = result.metrics
+    return {
+        "concurrency": int(concurrency),
+        "offered": int(result.offered),
+        "completed": int(result.completed),
+        "rejected": int(result.rejected),
+        "throughput_rps": float(result.throughput_rps),
+        "latency_p50_s": metrics.latency_p50_s,
+        "latency_p95_s": metrics.latency_p95_s,
+        "latency_p99_s": metrics.latency_p99_s,
+        "latency_mean_s": metrics.latency_mean_s,
+        "queue_wait_mean_s": metrics.queue_wait_mean_s,
+        "batch_size_mean": metrics.batch_size_mean,
+        "batch_occupancy_mean": metrics.batch_occupancy_mean,
+        "queue_depth_max": int(metrics.queue_depth_max),
+        "batches": int(metrics.batches),
+    }
+
+
+def run_measurements():
+    program = ChipProgram.build(CONFIG)
+    pool_images = program.calibration_images
+    generator = LoadGenerator(pool_images, seed=9)
+
+    # 1. offered-load sweep (fresh runtime per point, shared warm program)
+    points = []
+    for concurrency in CONCURRENCIES:
+        with ServeRuntime(CONFIG, program=program) as runtime:
+            result = generator.closed_loop(
+                runtime, requests=REQUESTS, concurrency=concurrency
+            )
+        points.append(_point_payload(concurrency, result))
+
+    # 2. batching on-vs-off probe at the saturation point
+    saturation = CONCURRENCIES[-1]
+    with ServeRuntime(
+        dataclasses.replace(CONFIG, max_batch=1), program=program
+    ) as runtime:
+        unbatched = generator.closed_loop(
+            runtime, requests=REQUESTS, concurrency=saturation
+        )
+    batched_rps = points[-1]["throughput_rps"]
+    unbatched_rps = unbatched.throughput_rps
+
+    # 3. determinism probe: serving == one offline ChipSimulator.run
+    offline = program.instantiate().run(pool_images).predictions
+    with ServeRuntime(CONFIG, program=program) as runtime:
+        served = runtime.serve(pool_images)
+    deterministic = bool(np.array_equal(served, offline))
+
+    return {
+        "benchmark": "serve_load",
+        "tiny": TINY,
+        "scenario": CONFIG.scenario,
+        "backend": CONFIG.backend,
+        "design": CONFIG.design,
+        "device_exec": CONFIG.device_exec,
+        "input_bits": CONFIG.input_bits,
+        "weight_bits": CONFIG.weight_bits,
+        "adc_bits": CONFIG.adc_bits,
+        "replicas": CONFIG.replicas,
+        "pool": CONFIG.pool,
+        "max_batch": CONFIG.max_batch,
+        "max_wait_s": CONFIG.max_wait_s,
+        "requests_per_point": REQUESTS,
+        "program_build_s": float(program.build_seconds),
+        "chip_latency_s": float(program.chip_latency_s),
+        "chip_energy_j": float(program.chip_energy_j),
+        "points": points,
+        "batching_probe": {
+            "concurrency": int(saturation),
+            "requests": REQUESTS,
+            "batched_rps": float(batched_rps),
+            "unbatched_rps": float(unbatched_rps),
+            "speedup": float(batched_rps / unbatched_rps)
+            if unbatched_rps > 0
+            else 0.0,
+        },
+        "deterministic": deterministic,
+        "predictions_sha256": digest_arrays(served),
+    }
+
+
+def test_serve_load(benchmark):
+    record = benchmark.pedantic(run_measurements, rounds=1, iterations=1)
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        f"{record['scenario']} on {record['design']}/{record['device_exec']} | "
+        f"{record['replicas']} replica(s), max_batch {record['max_batch']} | "
+        f"program build {record['program_build_s']:.2f} s",
+        f"modeled chip: {record['chip_latency_s'] * 1e6:.3f} us, "
+        f"{record['chip_energy_j'] * 1e6:.4f} uJ per image",
+    ]
+    for point in record["points"]:
+        lines.append(
+            f"  clients {point['concurrency']:3d}: "
+            f"{point['throughput_rps']:8.1f} req/s  "
+            f"p50 {point['latency_p50_s'] * 1e3:7.2f} ms  "
+            f"p95 {point['latency_p95_s'] * 1e3:7.2f} ms  "
+            f"p99 {point['latency_p99_s'] * 1e3:7.2f} ms  "
+            f"occupancy {point['batch_occupancy_mean']:.2f}"
+        )
+    probe = record["batching_probe"]
+    lines.append(
+        f"batching probe @ {probe['concurrency']} clients: "
+        f"{probe['batched_rps']:.1f} req/s batched vs "
+        f"{probe['unbatched_rps']:.1f} req/s batch-size-1 "
+        f"({probe['speedup']:.2f}x)"
+    )
+    lines.append(
+        f"deterministic vs offline run: {record['deterministic']} "
+        f"(sha {record['predictions_sha256'][:16]}...)"
+    )
+    lines.append(f"record: {RECORD_PATH}")
+    emit("Online serving — dynamic micro-batching over warm chips", "\n".join(lines))
+
+    # Acceptance: serving is lossless and deterministic, and (full config)
+    # micro-batching beats batch-size-1 serving on the turbo device path.
+    assert record["deterministic"]
+    for point in record["points"]:
+        assert point["completed"] == point["offered"]
+        assert point["rejected"] == 0
+        assert (
+            point["latency_p50_s"]
+            <= point["latency_p95_s"]
+            <= point["latency_p99_s"]
+        )
+    if not TINY:
+        assert probe["speedup"] > 1.1, probe

@@ -116,6 +116,59 @@ SWEEP_CACHE_PROBE_SCHEMA = {
     "speedup": float,
 }
 
+#: Required top-level keys and types of BENCH_serve.json.
+SERVE_SCHEMA = {
+    "benchmark": str,
+    "tiny": bool,
+    "scenario": str,
+    "backend": str,
+    "design": str,
+    "device_exec": str,
+    "input_bits": int,
+    "weight_bits": int,
+    "adc_bits": int,
+    "replicas": int,
+    "pool": str,
+    "max_batch": int,
+    "max_wait_s": float,
+    "requests_per_point": int,
+    "program_build_s": float,
+    "chip_latency_s": float,
+    "chip_energy_j": float,
+    "points": list,
+    "batching_probe": dict,
+    "deterministic": bool,
+    "predictions_sha256": str,
+}
+
+#: Required keys and types of every offered-load point in BENCH_serve.json.
+SERVE_POINT_SCHEMA = {
+    "concurrency": int,
+    "offered": int,
+    "completed": int,
+    "rejected": int,
+    "throughput_rps": float,
+    "latency_p50_s": float,
+    "latency_p95_s": float,
+    "latency_p99_s": float,
+    "latency_mean_s": float,
+    "queue_wait_mean_s": float,
+    "batch_size_mean": float,
+    "batch_occupancy_mean": float,
+    "queue_depth_max": int,
+    "batches": int,
+}
+
+#: Batching on-vs-off probe of BENCH_serve.json.
+SERVE_PROBE_SCHEMA = {
+    "concurrency": int,
+    "requests": int,
+    "batched_rps": float,
+    "unbatched_rps": float,
+    "speedup": float,
+}
+
+
 #: Required keys and types of every scenario record in BENCH_chipsim.json.
 SCENARIO_SCHEMA = {
     "description": str,
@@ -210,12 +263,38 @@ def check_sweep_record(record: dict, filename: str) -> list:
     return errors
 
 
+def check_serve_record(record: dict, filename: str) -> list:
+    """Validate the nested sections of one BENCH_serve.json payload."""
+    errors = check_record(record, SERVE_SCHEMA, filename)
+    if isinstance(record.get("batching_probe"), dict):
+        errors.extend(
+            check_record(
+                record["batching_probe"],
+                SERVE_PROBE_SCHEMA,
+                f"{filename}:batching_probe",
+            )
+        )
+    points = record.get("points")
+    if not isinstance(points, list):
+        return errors
+    if not points:
+        errors.append(f"{filename}: points is empty")
+    for index, point in enumerate(points):
+        context = f"{filename}:points[{index}]"
+        if not isinstance(point, dict):
+            errors.append(f"{context}: load point is not an object")
+            continue
+        errors.extend(check_record(point, SERVE_POINT_SCHEMA, context))
+    return errors
+
+
 def main(root: Path) -> int:
     errors = []
     for filename, schema in (
         ("BENCH_engine.json", ENGINE_SCHEMA),
         ("BENCH_chipsim.json", CHIPSIM_SCHEMA),
         ("BENCH_sweep.json", SWEEP_SCHEMA),
+        ("BENCH_serve.json", SERVE_SCHEMA),
     ):
         path = root / filename
         if not path.exists():
@@ -228,6 +307,9 @@ def main(root: Path) -> int:
             continue
         if filename == "BENCH_sweep.json":
             errors.extend(check_sweep_record(record, filename))
+            continue
+        if filename == "BENCH_serve.json":
+            errors.extend(check_serve_record(record, filename))
             continue
         errors.extend(check_record(record, schema, filename))
         if filename == "BENCH_chipsim.json" and isinstance(

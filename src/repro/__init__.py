@@ -16,6 +16,9 @@ Typical entry points:
 * ``repro.chipsim`` — the mapping-driven chip simulator: layers sharded
   across real 128×16 macro tiles, accuracy + energy/latency co-reported
   from one pass (``ChipSimulator`` / ``TiledLayerEngine``).
+* ``repro.serve`` — the online serving runtime: warm pre-programmed chip
+  replicas behind a dynamic micro-batching scheduler (``ServeRuntime`` /
+  ``ChipProgram``), with seeded load generation and latency metrics.
 * ``repro.geometry`` — the shared ``MacroGeometry`` single source of truth.
 * ``repro.energy`` — circuit-level energy efficiency (Fig. 9, Table 1).
 * ``repro.system`` — system-level performance and accuracy (Figs. 10-12).

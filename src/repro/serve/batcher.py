@@ -1,0 +1,97 @@
+"""Deadline-based dynamic micro-batching over a FIFO request queue.
+
+:class:`MicroBatcher` turns a stream of individually submitted requests
+into dispatchable micro-batches.  The policy is the classic serving one:
+
+* block until at least one request is available (a batch is never empty);
+* then coalesce follow-up requests in strict arrival order until either
+  ``max_batch`` is reached or ``max_wait_s`` has elapsed since the batch
+  opened — with ``max_wait_s=0`` the batcher is *greedy*: it drains
+  whatever is already queued and never waits for stragglers.
+
+Because the queue is FIFO and a batch is always a contiguous run of the
+arrival order, batch boundaries are the only degree of freedom — and the
+warm chips' pinned calibration makes results independent of those
+boundaries, so batching is purely a throughput lever.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import List, Optional
+
+__all__ = ["MicroBatcher", "CLOSE"]
+
+#: Sentinel the runtime enqueues to close the stream; requests enqueued
+#: before it are still batched and dispatched.
+CLOSE = object()
+
+
+class MicroBatcher:
+    """Coalesces queued requests into micro-batches in arrival order.
+
+    Args:
+        source: The FIFO queue requests (and finally :data:`CLOSE`) arrive
+            on.
+        max_batch: Most requests per batch.
+        max_wait_s: How long an under-filled batch stays open for late
+            arrivals, measured from the moment its first request is taken.
+            ``0`` never waits (greedy drain of the backlog).
+    """
+
+    def __init__(
+        self,
+        source: "queue.Queue",
+        *,
+        max_batch: int,
+        max_wait_s: float = 0.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        self.source = source
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :data:`CLOSE` has been consumed from the queue."""
+        return self._closed
+
+    def next_batch(self) -> Optional[List]:
+        """The next micro-batch, or None when the stream is closed and dry.
+
+        Blocks for the first request; coalescing then follows the
+        ``max_batch`` / ``max_wait_s`` policy.  The batch preserves arrival
+        order exactly.
+        """
+        if self._closed:
+            return None
+        first = self.source.get()
+        if first is CLOSE:
+            self._closed = True
+            return None
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch:
+            if self.max_wait_s == 0:
+                try:
+                    item = self.source.get_nowait()
+                except queue.Empty:
+                    break
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self.source.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            if item is CLOSE:
+                self._closed = True
+                break
+            batch.append(item)
+        return batch

@@ -1,0 +1,127 @@
+"""Configuration of the online inference serving runtime.
+
+:class:`ServeConfig` is the single declarative knob set of
+:class:`~repro.serve.runtime.ServeRuntime`: which scenario is served, on
+which simulated backend, how many warm chip replicas execute requests, how
+the micro-batcher coalesces them, and how the bounded request queue pushes
+back when the offered load exceeds the pool's capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..system.inference import InferenceConfig
+
+__all__ = ["ServeConfig", "BACKPRESSURE_POLICIES", "POOL_MODES"]
+
+#: What :meth:`ServeRuntime.submit` does when the bounded queue is full.
+BACKPRESSURE_POLICIES = ("block", "reject")
+
+#: How the replica pool executes batches.
+POOL_MODES = ("thread", "process")
+
+_BACKENDS = ("device", "functional")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Declarative configuration of one serving deployment.
+
+    Attributes:
+        scenario: Registered :mod:`repro.chipsim.scenarios` entry to serve.
+        backend: ``"device"`` (device-detailed tiled chip) or
+            ``"functional"`` (statistical model).
+        design: ``"curfe"`` or ``"chgfe"``.
+        input_bits: Activation precision (1..8).
+        weight_bits: Weight precision (4 or 8).
+        adc_bits: SAR ADC resolution.
+        device_exec: Device-backend kernel; ``"turbo"`` (default) is the
+            serving throughput mode.
+        calibration: ``"workload"`` (default) or ``"nominal"`` ADC
+            reference placement, applied once at program-build time.
+        seed: Programming-variation seed shared by every replica — equal
+            seeds are what make replicas interchangeable bit-for-bit.
+        data_seed: Seed of the calibration workload draw.
+        calibration_images: Images in the one-off calibration batch that
+            programs the ADC references and pins the activation scales.
+        replicas: Warm chip replicas in the pool.
+        pool: ``"thread"`` (replicas share the process, numpy releases the
+            GIL in the heavy kernels) or ``"process"`` (one replica per
+            worker process, program shipped once at pool start).
+        max_batch: Micro-batch size cap — the most requests one replica
+            dispatch may coalesce.
+        max_wait_s: How long the batcher holds an under-filled batch open
+            for late arrivals once a replica is free.  ``0`` (default)
+            coalesces greedily: everything already queued, no waiting.
+        queue_depth: Bound of the request queue; arrivals beyond it hit the
+            backpressure policy.
+        backpressure: ``"block"`` stalls the submitting client until queue
+            space frees; ``"reject"`` raises
+            :class:`~repro.serve.runtime.QueueFullError` immediately.
+        service_delay_s: Artificial extra service time per batch (fault
+            injection for backpressure / queueing tests; 0 in production).
+    """
+
+    scenario: str = "tiny_mlp"
+    backend: str = "device"
+    design: str = "curfe"
+    input_bits: int = 4
+    weight_bits: int = 8
+    adc_bits: Optional[int] = 5
+    device_exec: str = "turbo"
+    calibration: str = "workload"
+    seed: int = 0
+    data_seed: int = 1
+    calibration_images: int = 32
+    replicas: int = 1
+    pool: str = "thread"
+    max_batch: int = 8
+    max_wait_s: float = 0.0
+    queue_depth: int = 256
+    backpressure: str = "block"
+    service_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}")
+        if self.pool not in POOL_MODES:
+            raise ValueError(f"pool must be one of {POOL_MODES}")
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}"
+            )
+        if self.replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        if self.calibration_images < 1:
+            raise ValueError("calibration_images must be at least 1")
+        if self.service_delay_s < 0:
+            raise ValueError("service_delay_s must be non-negative")
+        if self.adc_bits is None:
+            # Serving co-reports modeled chip latency / energy, which price
+            # a concrete ADC; the no-ADC idealisation is an offline-analysis
+            # configuration, not a deployable chip.
+            raise ValueError(
+                "serving requires a concrete adc_bits (the functional "
+                "backend's adc_bits=None idealisation has no chip to model)"
+            )
+
+    def inference_config(self) -> InferenceConfig:
+        """The matching :class:`InferenceConfig` of one chip replica."""
+        return InferenceConfig(
+            design=self.design,
+            backend=self.backend,
+            device_exec=self.device_exec,
+            input_bits=self.input_bits,
+            weight_bits=self.weight_bits,
+            adc_bits=self.adc_bits,
+            seed=self.seed,
+            calibration=self.calibration,
+        )

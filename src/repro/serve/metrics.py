@@ -1,0 +1,205 @@
+"""Thread-safe serving metrics: latency tails, throughput, queue, batching.
+
+:class:`ServeMetrics` is the runtime's accumulator — every submit, reject,
+dispatch, and completion records into it under one lock — and
+:meth:`ServeMetrics.snapshot` freezes a consistent
+:class:`MetricsSnapshot` at any moment, including mid-load.  The snapshot
+carries the numbers a serving operator actually watches: p50/p95/p99
+latency, request throughput, queue depth, batch occupancy, and the
+accounting identity (submitted = completed + in-flight, with rejected
+counted separately — a rejected request is never "submitted") the test
+suite asserts.
+
+Counters are exact for the runtime's whole lifetime; the latency / wait /
+depth / batch-size *distributions* are kept in bounded ring buffers
+(:data:`DEFAULT_HISTORY` samples each), so an always-on runtime reports
+trailing-window percentiles at O(1) memory instead of growing without
+bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Deque, Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["MetricsSnapshot", "ServeMetrics", "DEFAULT_HISTORY"]
+
+#: Ring-buffer length of every sampled distribution (latencies, queue
+#: waits, batch sizes, depth samples, service times).
+DEFAULT_HISTORY = 65536
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile of a sample sequence (0.0 when empty)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One consistent view of the serving counters and distributions.
+
+    Attributes:
+        submitted: Requests accepted into the queue.
+        rejected: Requests refused by the ``"reject"`` backpressure policy.
+        completed: Requests whose response futures have resolved.
+        in_flight: Accepted requests not yet completed.
+        batches: Micro-batches dispatched.
+        throughput_rps: Completed requests per second of serving wall time
+            (first accepted arrival to last completion).
+        latency_p50_s / latency_p95_s / latency_p99_s / latency_mean_s:
+            Total per-request latency (arrival to response) percentiles.
+        queue_wait_mean_s: Mean time requests spent queued before dispatch.
+        service_mean_s: Mean host service time of a micro-batch.
+        batch_size_mean: Mean micro-batch size.
+        batch_occupancy_mean: Mean batch size over ``max_batch`` (how full
+            the batches the scheduler formed actually were).
+        queue_depth_max / queue_depth_mean: Queue depth sampled at every
+            accepted submit.
+    """
+
+    submitted: int
+    rejected: int
+    completed: int
+    in_flight: int
+    batches: int
+    throughput_rps: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    queue_wait_mean_s: float
+    service_mean_s: float
+    batch_size_mean: float
+    batch_occupancy_mean: float
+    queue_depth_max: int
+    queue_depth_mean: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (the ``BENCH_serve.json`` per-point shape)."""
+        return asdict(self)
+
+
+class ServeMetrics:
+    """Accumulates serving events; every method is thread-safe.
+
+    Args:
+        max_batch: The scheduler's batch cap, denominator of the
+            occupancy metric.
+        history: Samples each distribution ring buffer retains; counters
+            (submitted / completed / rejected / batches) stay exact
+            regardless.
+    """
+
+    def __init__(self, max_batch: int, *, history: int = DEFAULT_HISTORY) -> None:
+        if history < 1:
+            raise ValueError("history must be at least 1")
+        self.max_batch = int(max_batch)
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._batches = 0
+        self._batch_sizes: Deque[int] = deque(maxlen=history)
+        self._latencies: Deque[float] = deque(maxlen=history)
+        self._queue_waits: Deque[float] = deque(maxlen=history)
+        self._service_times: Deque[float] = deque(maxlen=history)
+        self._depth_samples: Deque[int] = deque(maxlen=history)
+        self._first_arrival: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    # -------------------------------------------------------------- recording
+
+    def record_submitted(self, queue_depth: int, arrival_s: float) -> None:
+        """One request accepted into the queue (depth sampled after the put)."""
+        with self._lock:
+            self._submitted += 1
+            self._depth_samples.append(int(queue_depth))
+            if self._first_arrival is None or arrival_s < self._first_arrival:
+                self._first_arrival = arrival_s
+
+    def record_rejected(self) -> None:
+        """One request refused by the backpressure policy."""
+        with self._lock:
+            self._rejected += 1
+
+    def record_batch(self, size: int, service_s: float) -> None:
+        """One micro-batch completed on a replica."""
+        with self._lock:
+            self._batches += 1
+            self._batch_sizes.append(int(size))
+            self._service_times.append(float(service_s))
+
+    def record_response(
+        self, latency_s: float, queue_wait_s: float, completion_s: float
+    ) -> None:
+        """One request's response resolved."""
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(float(latency_s))
+            self._queue_waits.append(float(queue_wait_s))
+            if (
+                self._last_completion is None
+                or completion_s > self._last_completion
+            ):
+                self._last_completion = completion_s
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze a consistent view of everything recorded so far."""
+        with self._lock:
+            wall = 0.0
+            if self._first_arrival is not None and self._last_completion is not None:
+                wall = max(0.0, self._last_completion - self._first_arrival)
+            throughput = self._completed / wall if wall > 0 else 0.0
+            batch_mean = (
+                float(np.mean(np.asarray(self._batch_sizes)))
+                if self._batch_sizes
+                else 0.0
+            )
+            return MetricsSnapshot(
+                submitted=self._submitted,
+                rejected=self._rejected,
+                completed=self._completed,
+                in_flight=self._submitted - self._completed,
+                batches=self._batches,
+                throughput_rps=float(throughput),
+                latency_p50_s=_percentile(self._latencies, 50),
+                latency_p95_s=_percentile(self._latencies, 95),
+                latency_p99_s=_percentile(self._latencies, 99),
+                latency_mean_s=(
+                    float(np.mean(np.asarray(self._latencies))) if self._latencies else 0.0
+                ),
+                queue_wait_mean_s=(
+                    float(np.mean(np.asarray(self._queue_waits))) if self._queue_waits else 0.0
+                ),
+                service_mean_s=(
+                    float(np.mean(np.asarray(self._service_times)))
+                    if self._service_times
+                    else 0.0
+                ),
+                batch_size_mean=batch_mean,
+                batch_occupancy_mean=(
+                    batch_mean / self.max_batch if self.max_batch > 0 else 0.0
+                ),
+                queue_depth_max=(
+                    max(self._depth_samples) if self._depth_samples else 0
+                ),
+                queue_depth_mean=(
+                    float(np.mean(np.asarray(self._depth_samples)))
+                    if self._depth_samples
+                    else 0.0
+                ),
+            )
+
+    @staticmethod
+    def now() -> float:
+        """The monotonic clock every serving timestamp uses."""
+        return time.monotonic()

@@ -1,0 +1,305 @@
+"""The programmed-chip image a serving pool replicates.
+
+Offline entry points rebuild everything per run: train / load weights,
+characterise every cell, calibrate the ADC references, then infer once and
+exit.  A serving pool cannot afford that — so :class:`ChipProgram` captures
+the *outcome* of the expensive one-off setup as plain arrays:
+
+* the scenario's float weights (so replicas rebuild the architecture with
+  :meth:`~repro.chipsim.scenarios.Scenario.build_skeleton`, never retrain);
+* the characterised per-cell :class:`~repro.engine.ArrayState` tensors of
+  every weight layer, via the same
+  :func:`~repro.sweep.cache.arrays_from_state` /
+  :func:`~repro.sweep.cache.restore_state` round trip the sweep cache uses;
+* the workload-calibrated ADC reference levels of every layer;
+* the frozen per-layer activation scales — pinning these is what makes a
+  request's result independent of whichever micro-batch it rides in;
+* the modeled per-image chip latency / energy of the deployment, priced
+  once from the calibration pass's counted activity.
+
+:meth:`ChipProgram.build` pays the setup cost once;
+:meth:`ChipProgram.instantiate` stamps out a :class:`WarmChip` replica in
+milliseconds-to-seconds without consuming any variation draws — replicas
+are bit-identical to each other and to the builder chip by construction.
+The dataclass holds only numpy arrays and plain scalars, so a program
+pickles cleanly across the process-pool boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..chipsim.scenarios import get_scenario
+from ..chipsim.simulator import ChipSimulator, network_spec_from_model
+from ..system.inference import InferenceConfig, QuantizedInferenceEngine
+from ..system.performance import SystemPerformanceModel
+from ..sweep.cache import arrays_from_state, restore_state
+from .config import ServeConfig
+
+__all__ = ["ChipProgram", "WarmChip"]
+
+
+class WarmChip:
+    """One ready-to-serve chip replica (programmed, calibrated, pinned).
+
+    Attributes:
+        engine: The replica's :class:`QuantizedInferenceEngine`.
+        simulator: The owning :class:`ChipSimulator` (device backend only;
+            None for functional replicas).
+        program: The :class:`ChipProgram` this replica was stamped from.
+    """
+
+    def __init__(
+        self,
+        engine: QuantizedInferenceEngine,
+        simulator: Optional[ChipSimulator],
+        program: "ChipProgram",
+    ) -> None:
+        self.engine = engine
+        self.simulator = simulator
+        self.program = program
+
+    @property
+    def chip_latency_s(self) -> float:
+        """Modeled chip latency per image (constant for a fixed network)."""
+        return self.program.chip_latency_s
+
+    @property
+    def chip_energy_j(self) -> float:
+        """Modeled chip energy per image."""
+        return self.program.chip_energy_j
+
+    def predict(
+        self, images: np.ndarray, *, batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Class predictions for a batch; independent of how it was split.
+
+        The engine's ADC references and activation scales are pinned, so
+        the result for image ``i`` does not depend on ``batch_size`` or on
+        the other images — the determinism contract ``tests/serve``
+        enforces.
+        """
+        images = np.asarray(images)
+        return self.engine.predict(images, batch_size=batch_size or len(images))
+
+    def run(self, images: np.ndarray, labels: Optional[np.ndarray] = None, *,
+            batch_size: Optional[int] = None):
+        """The offline :meth:`ChipSimulator.run` co-report of this warm chip.
+
+        Device backend only — this is the "single offline run over the same
+        inputs" the serving determinism contract compares against.
+        """
+        if self.simulator is None:
+            raise ValueError(
+                "offline co-reports need the device backend; functional "
+                "replicas only predict"
+            )
+        return self.simulator.run(
+            images, labels, batch_size=batch_size or len(images)
+        )
+
+
+@dataclass
+class ChipProgram:
+    """Content of one programmed chip, as plain picklable arrays.
+
+    Attributes:
+        scenario: Registered scenario name the program serves.
+        name: Network name used in reports.
+        config: ``InferenceConfig.to_dict()`` payload of every replica.
+        input_shape: Per-request input shape ``(C, H, W)``.
+        model_arrays: Float weights / biases per weight layer.
+        layer_arrays: Characterised cell tensors per weight layer (device
+            backend; None for functional programs).
+        layer_dims: ``(padded_rows, banks)`` of every weight layer's state.
+        calibration_levels: Calibrated ADC reference levels per layer
+            (device backend; empty under nominal calibration).
+        activation_scales: Frozen per-layer activation scales.
+        calibration_images: The calibration batch (functional replicas
+            re-run it to reproduce the builder's engine state exactly).
+        chip_latency_s: Modeled chip latency per image.
+        chip_energy_j: Modeled chip energy per image.
+        build_seconds: Wall time the one-off build took.
+    """
+
+    scenario: str
+    name: str
+    config: Dict[str, Any]
+    input_shape: Tuple[int, ...]
+    model_arrays: Dict[str, Dict[str, np.ndarray]]
+    layer_arrays: Optional[Dict[str, Dict[str, np.ndarray]]]
+    layer_dims: Dict[str, Tuple[int, int]]
+    calibration_levels: Dict[str, Dict[str, np.ndarray]]
+    activation_scales: Dict[str, float]
+    calibration_images: np.ndarray
+    chip_latency_s: float
+    chip_energy_j: float
+    build_seconds: float = field(default=0.0)
+
+    # ------------------------------------------------------------------ build
+
+    @classmethod
+    def build(
+        cls,
+        serve_config: ServeConfig,
+        *,
+        model=None,
+        inference_config: Optional[InferenceConfig] = None,
+    ) -> "ChipProgram":
+        """Pay the one-off setup cost and capture the programmed chip.
+
+        Builds (or accepts) the scenario model, programs one chip, runs the
+        calibration batch through it — which writes the ADC reference banks
+        and records every layer's activation scale — and harvests the
+        resulting state.
+
+        Args:
+            serve_config: The deployment configuration.
+            model: Optional prebuilt scenario model (skips
+                ``scenario.build``, e.g. when the caller already trained it).
+            inference_config: Optional explicit replica config; defaults to
+                ``serve_config.inference_config()``.
+        """
+        start = time.perf_counter()
+        scenario = get_scenario(serve_config.scenario)
+        config = inference_config or serve_config.inference_config()
+        if model is None:
+            model = scenario.build(seed=config.seed)
+        workload = scenario.workload(
+            images=serve_config.calibration_images, seed=serve_config.data_seed
+        )
+        calibration_images = np.asarray(workload.images)
+
+        if config.backend == "device":
+            simulator = ChipSimulator(
+                model, config=config, name=serve_config.scenario
+            )
+            report = simulator.run(
+                calibration_images, batch_size=len(calibration_images)
+            )
+            engine = simulator.inference
+            scales = engine.freeze_activation_scales()
+            levels = engine.calibration_levels()
+            states = engine.layer_array_states()
+            layer_arrays = {
+                layer: arrays_from_state(state) for layer, state in states.items()
+            }
+            layer_dims = {
+                layer: (state.rows, state.banks) for layer, state in states.items()
+            }
+            chip_latency = float(report.performance.total_latency)
+            chip_energy = float(report.performance.total_energy)
+        else:
+            engine = QuantizedInferenceEngine(model, config)
+            scales = engine.freeze_activation_scales(calibration_images)
+            levels = {}
+            layer_arrays = None
+            layer_dims = {}
+            if config.adc_bits is None:
+                raise ValueError(
+                    "a served chip needs a concrete adc_bits to price its "
+                    "modeled latency / energy"
+                )
+            perf = SystemPerformanceModel(
+                config.design,
+                input_bits=config.input_bits,
+                weight_bits=config.weight_bits,
+                adc_bits=config.adc_bits,
+                geometry=config.geometry,
+            ).evaluate(network_spec_from_model(model, name=serve_config.scenario))
+            chip_latency = float(perf.total_latency)
+            chip_energy = float(perf.total_energy)
+
+        model_arrays = {
+            layer_name: {
+                "weight": np.array(layer.weight, copy=True),
+                "bias": np.array(layer.bias, copy=True),
+            }
+            for layer_name, layer in model.weight_layers().items()
+        }
+        return cls(
+            scenario=serve_config.scenario,
+            name=serve_config.scenario,
+            config=config.to_dict(),
+            input_shape=tuple(model.input_shape),
+            model_arrays=model_arrays,
+            layer_arrays=layer_arrays,
+            layer_dims=layer_dims,
+            calibration_levels=levels,
+            activation_scales=scales,
+            calibration_images=calibration_images,
+            chip_latency_s=chip_latency,
+            chip_energy_j=chip_energy,
+            build_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------ instantiate
+
+    def _rebuild_model(self):
+        """The scenario architecture with the captured weights loaded."""
+        config_seed = int(self.config["seed"])
+        model = get_scenario(self.scenario).build_skeleton(seed=config_seed)
+        weight_layers = model.weight_layers()
+        missing = set(weight_layers) - set(self.model_arrays)
+        if missing:
+            raise ValueError(
+                f"program does not cover weight layers {sorted(missing)}"
+            )
+        for layer_name, layer in weight_layers.items():
+            layer.weight[...] = self.model_arrays[layer_name]["weight"]
+            layer.bias[...] = self.model_arrays[layer_name]["bias"]
+        return model
+
+    def instantiate(self) -> WarmChip:
+        """Stamp out one warm replica of the programmed chip.
+
+        Device programs restore the characterised cell state through the
+        sweep-cache round trip (no variation draws are consumed), apply the
+        captured reference levels, and pin the activation scales.
+        Functional programs rebuild the engine and replay the calibration
+        batch — the builder's own warmup, reproduced exactly.  Either way
+        the replica's per-image results are bit-identical to the builder's.
+        """
+        model = self._rebuild_model()
+        config = InferenceConfig.from_dict(self.config)
+        if config.backend == "device":
+            assert self.layer_arrays is not None
+            layer_states = {
+                layer: restore_state(
+                    config.design,
+                    rows=self.layer_dims[layer][0],
+                    banks=self.layer_dims[layer][1],
+                    block_rows=config.geometry.block_rows,
+                    weight_bits=config.weight_bits,
+                    arrays=arrays,
+                )
+                for layer, arrays in self.layer_arrays.items()
+            }
+            simulator = ChipSimulator(
+                model, config=config, layer_states=layer_states, name=self.name
+            )
+            engine = simulator.inference
+            if self.calibration_levels:
+                engine.apply_calibration(self.calibration_levels)
+            engine.apply_activation_scales(self.activation_scales)
+            return WarmChip(engine, simulator, self)
+        engine = QuantizedInferenceEngine(model, config)
+        engine.predict(
+            self.calibration_images, batch_size=len(self.calibration_images)
+        )
+        engine.apply_activation_scales(self.activation_scales)
+        return WarmChip(engine, None, self)
+
+    def validate_request(self, image: np.ndarray) -> np.ndarray:
+        """Coerce one request payload to the program's input shape."""
+        image = np.asarray(image, dtype=float)
+        if image.shape != self.input_shape:
+            raise ValueError(
+                f"request shape {image.shape} does not match the served "
+                f"network's input shape {self.input_shape}"
+            )
+        return image

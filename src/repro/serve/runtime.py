@@ -1,0 +1,308 @@
+"""The always-on serving runtime: queue → micro-batcher → warm chip pool.
+
+:class:`ServeRuntime` is the online counterpart of the offline
+:class:`~repro.chipsim.ChipSimulator` entry points.  It programs the
+scenario's chip **once** (a :class:`~repro.serve.program.ChipProgram`),
+stamps out ``replicas`` warm copies, and then serves individually
+submitted requests through a dynamic micro-batching scheduler:
+
+1. :meth:`submit` validates a request, stamps its arrival time, and puts
+   it on a bounded FIFO queue — blocking or rejecting per the configured
+   backpressure policy when the queue is full;
+2. the dispatcher thread waits for a *free* replica (in-flight batches are
+   capped at the replica count), then lets the
+   :class:`~repro.serve.batcher.MicroBatcher` coalesce queued requests —
+   up to ``max_batch``, waiting at most ``max_wait_s`` — preserving
+   arrival order;
+3. the batch runs on the free replica as **one** engine call (this is the
+   throughput lever: the turbo kernel amortises its fixed per-call cost
+   over the whole batch);
+4. results fan back out per request as :class:`InferenceResponse` futures
+   carrying the prediction, the measured host latencies, and the modeled
+   per-image chip latency / energy.
+
+Determinism contract: the replicas' ADC references and activation scales
+are pinned at program-build time, so per-request predictions are
+``array_equal`` to one offline :meth:`ChipSimulator.run` over the same
+inputs — for any replica count, any ``max_batch``, and any arrival timing.
+``tests/serve`` enforces this on both backends.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from functools import partial
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .batcher import CLOSE, MicroBatcher
+from .config import ServeConfig
+from .metrics import MetricsSnapshot, ServeMetrics
+from .program import ChipProgram
+from .worker import WorkerPool
+
+__all__ = [
+    "InferenceRequest",
+    "InferenceResponse",
+    "QueueFullError",
+    "ServeRuntime",
+]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`ServeRuntime.submit` under the ``"reject"`` policy."""
+
+
+@dataclass
+class InferenceRequest:
+    """One queued request (internal envelope around a submitted image)."""
+
+    request_id: int
+    image: np.ndarray
+    arrival_s: float
+    future: Future = field(repr=False)
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """The per-request serving result.
+
+    Attributes:
+        request_id: The id :meth:`ServeRuntime.submit` assigned.
+        prediction: Predicted class index.
+        batch_size: Occupancy of the micro-batch the request rode in.
+        queue_wait_s: Measured host time from arrival to dispatch.
+        service_s: Measured host service time of the whole micro-batch.
+        latency_s: Measured host time from arrival to response.
+        chip_latency_s: Modeled chip latency of this image (constant for a
+            fixed network / design point).
+        chip_energy_j: Modeled chip energy of this image.
+    """
+
+    request_id: int
+    prediction: int
+    batch_size: int
+    queue_wait_s: float
+    service_s: float
+    latency_s: float
+    chip_latency_s: float
+    chip_energy_j: float
+
+
+class ServeRuntime:
+    """Online inference over a pool of pre-programmed simulated chips.
+
+    Args:
+        config: The deployment configuration.
+        program: Optional pre-built chip program; building one is the slow
+            part of :meth:`start`, so callers standing up several runtimes
+            of the same deployment (bench sweeps, tests) build once and
+            share it.
+
+    Use as a context manager::
+
+        with ServeRuntime(ServeConfig(scenario="tiny_mlp")) as runtime:
+            future = runtime.submit(image)
+            response = future.result()
+    """
+
+    def __init__(
+        self, config: ServeConfig, *, program: Optional[ChipProgram] = None
+    ) -> None:
+        self.config = config
+        self.program = program
+        self.metrics = ServeMetrics(config.max_batch)
+        self._queue: Optional[queue.Queue] = None
+        self._pool: Optional[WorkerPool] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._slots: Optional[threading.Semaphore] = None
+        self._started = False
+        self._accepting = False
+        self._next_id = 0
+        # Serialises the accept-check + enqueue against stop()'s CLOSE, so a
+        # request can never land on the queue behind the sentinel (where the
+        # dispatcher would no longer see it and its future would never
+        # resolve).
+        self._accept_lock = threading.Lock()
+        self._outstanding = 0
+        self._done_cond = threading.Condition()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> "ServeRuntime":
+        """Program the chip (if needed), warm the replicas, begin serving."""
+        if self._started:
+            raise RuntimeError("runtime is already started")
+        if self.program is None:
+            self.program = ChipProgram.build(self.config)
+        self._queue = queue.Queue(maxsize=self.config.queue_depth)
+        self._pool = WorkerPool(self.program, self.config)
+        self._pool.start()
+        self._slots = threading.Semaphore(self.config.replicas)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._started = True
+        self._accepting = True
+        self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Serve everything already queued, then release the pool (idempotent)."""
+        if not self._started:
+            return
+        with self._accept_lock:
+            if self._accepting:
+                self._accepting = False
+                assert self._queue is not None
+                self._queue.put(CLOSE)
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        with self._done_cond:
+            self._done_cond.wait_for(lambda: self._outstanding == 0, timeout=60.0)
+        self._started = False
+
+    def __enter__(self) -> "ServeRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- submission
+
+    def submit(self, image: np.ndarray) -> Future:
+        """Enqueue one request; the future resolves to an :class:`InferenceResponse`.
+
+        Under ``backpressure="block"`` a full queue stalls the caller until
+        the dispatcher frees space; under ``"reject"`` it raises
+        :class:`QueueFullError` immediately (and counts the rejection).
+        """
+        if not (self._started and self._accepting):
+            raise RuntimeError("runtime is not accepting requests (call start)")
+        assert self.program is not None and self._queue is not None
+        image = self.program.validate_request(image)
+        # Count the request as outstanding BEFORE it can possibly complete;
+        # every decrement (including the rejection rollback) notifies, so
+        # drain() never misses its wakeup.
+        with self._done_cond:
+            request_id = self._next_id
+            self._next_id += 1
+            self._outstanding += 1
+        request = InferenceRequest(
+            request_id=request_id,
+            image=image,
+            arrival_s=ServeMetrics.now(),
+            future=Future(),
+        )
+        with self._accept_lock:
+            if not self._accepting:  # lost the race against stop()
+                self._mark_done(1)
+                raise RuntimeError(
+                    "runtime is not accepting requests (call start)"
+                )
+            if self.config.backpressure == "block":
+                self._queue.put(request)
+            else:
+                try:
+                    self._queue.put_nowait(request)
+                except queue.Full:
+                    self._mark_done(1)
+                    self.metrics.record_rejected()
+                    raise QueueFullError(
+                        f"request queue is full ({self.config.queue_depth} deep)"
+                    ) from None
+        self.metrics.record_submitted(self._queue.qsize(), request.arrival_s)
+        return request.future
+
+    def serve(self, images: Sequence[np.ndarray]) -> np.ndarray:
+        """Submit a workload request-by-request and gather predictions in order.
+
+        Convenience for benchmarks and the determinism tests; use
+        ``backpressure="block"`` so nothing is rejected.
+        """
+        futures = [self.submit(image) for image in images]
+        return np.array(
+            [future.result().prediction for future in futures], dtype=np.int64
+        )
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every accepted request has resolved; True on success."""
+        with self._done_cond:
+            return self._done_cond.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout
+            )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The current metrics snapshot (safe to call mid-load)."""
+        return self.metrics.snapshot()
+
+    # --------------------------------------------------------------- dispatch
+
+    def _dispatch_loop(self) -> None:
+        assert self._queue is not None and self._slots is not None
+        batcher = MicroBatcher(
+            self._queue,
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_s,
+        )
+        while True:
+            self._slots.acquire()  # wait for a free chip replica first ...
+            batch = batcher.next_batch()  # ... then coalesce the backlog
+            if batch is None:
+                self._slots.release()
+                return
+            assert self._pool is not None
+            dispatch_s = ServeMetrics.now()
+            images = np.stack([request.image for request in batch])
+            future = self._pool.submit(images)
+            future.add_done_callback(
+                partial(self._on_batch_done, batch, dispatch_s)
+            )
+
+    def _on_batch_done(
+        self,
+        batch: List[InferenceRequest],
+        dispatch_s: float,
+        future: Future,
+    ) -> None:
+        assert self._slots is not None
+        self._slots.release()
+        completion_s = ServeMetrics.now()
+        assert self.program is not None
+        try:
+            predictions = future.result()
+        except BaseException as error:  # surface the failure per request
+            for request in batch:
+                request.future.set_exception(error)
+            self._mark_done(len(batch))
+            return
+        self.metrics.record_batch(len(batch), completion_s - dispatch_s)
+        for request, prediction in zip(batch, predictions):
+            response = InferenceResponse(
+                request_id=request.request_id,
+                prediction=int(prediction),
+                batch_size=len(batch),
+                queue_wait_s=dispatch_s - request.arrival_s,
+                service_s=completion_s - dispatch_s,
+                latency_s=completion_s - request.arrival_s,
+                chip_latency_s=self.program.chip_latency_s,
+                chip_energy_j=self.program.chip_energy_j,
+            )
+            self.metrics.record_response(
+                response.latency_s, response.queue_wait_s, completion_s
+            )
+            request.future.set_result(response)
+        self._mark_done(len(batch))
+
+    def _mark_done(self, count: int) -> None:
+        with self._done_cond:
+            self._outstanding -= count
+            self._done_cond.notify_all()

@@ -1,0 +1,174 @@
+"""Warm chip replicas and the pool that executes micro-batches on them.
+
+A :class:`ChipWorker` owns exactly one :class:`~repro.serve.program.WarmChip`
+and executes one micro-batch at a time; :class:`WorkerPool` keeps
+``replicas`` of them behind an executor and guarantees a batch only ever
+runs on a *free* replica.
+
+Two pool modes share the interface:
+
+``"thread"``
+    Replicas are instantiated up front in the serving process and handed
+    out through a free-list; the heavy numpy kernels release the GIL, so
+    replicas genuinely overlap on multicore hosts.
+
+``"process"``
+    One replica per worker process, instantiated by the pool initializer
+    from the pickled :class:`~repro.serve.program.ChipProgram` — the
+    program is built once and shipped once, never re-characterised.
+
+Replicas are interchangeable by construction (same program, no variation
+draws consumed at instantiation), so *which* replica serves a batch can
+never change a result — only its timing.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+from .config import ServeConfig
+from .program import ChipProgram, WarmChip
+
+__all__ = ["ChipWorker", "WorkerPool"]
+
+
+class ChipWorker:
+    """One warm chip replica executing micro-batches sequentially.
+
+    Attributes:
+        replica_id: Stable identifier of the replica within its pool.
+        chip: The warm programmed chip.
+        service_delay_s: Artificial extra service time per batch (testing).
+        batches_served: Micro-batches this replica has executed.
+        images_served: Images this replica has executed.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        chip: WarmChip,
+        *,
+        service_delay_s: float = 0.0,
+    ) -> None:
+        self.replica_id = replica_id
+        self.chip = chip
+        self.service_delay_s = float(service_delay_s)
+        self.batches_served = 0
+        self.images_served = 0
+
+    def infer(self, images: np.ndarray) -> np.ndarray:
+        """Predictions of one micro-batch (one engine call for the batch)."""
+        if self.service_delay_s > 0:
+            time.sleep(self.service_delay_s)
+        predictions = self.chip.predict(images)
+        self.batches_served += 1
+        self.images_served += len(images)
+        return predictions
+
+
+#: The per-process replica of the process-pool mode (set by the initializer).
+_PROCESS_WORKER: Optional[ChipWorker] = None
+
+
+def _init_process_worker(program: ChipProgram, service_delay_s: float) -> None:
+    """Process-pool initializer: stamp this process's replica from the program."""
+    global _PROCESS_WORKER
+    _PROCESS_WORKER = ChipWorker(
+        os.getpid(), program.instantiate(), service_delay_s=service_delay_s
+    )
+
+
+def _process_infer(images: np.ndarray) -> np.ndarray:
+    """Process-pool task body: run one micro-batch on this process's replica."""
+    assert _PROCESS_WORKER is not None, "worker process was not initialised"
+    return _PROCESS_WORKER.infer(images)
+
+
+class WorkerPool:
+    """``replicas`` warm chips behind an executor, one batch per free chip.
+
+    Args:
+        program: The programmed chip every replica is stamped from.
+        config: The deployment configuration (replica count, pool mode,
+            service-delay injection).
+    """
+
+    def __init__(self, program: ChipProgram, config: ServeConfig) -> None:
+        self.program = program
+        self.config = config
+        self.replicas = config.replicas
+        self.mode = config.pool
+        self._executor = None
+        self._free: Optional[queue.SimpleQueue] = None
+        self._workers: List[ChipWorker] = []
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Instantiate the replicas and open the executor."""
+        if self._executor is not None:
+            raise RuntimeError("worker pool is already started")
+        if self.mode == "thread":
+            self._workers = [
+                ChipWorker(
+                    replica,
+                    self.program.instantiate(),
+                    service_delay_s=self.config.service_delay_s,
+                )
+                for replica in range(self.replicas)
+            ]
+            self._free = queue.SimpleQueue()
+            for worker in self._workers:
+                self._free.put(worker)
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.replicas, thread_name_prefix="chip-worker"
+            )
+        else:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.replicas,
+                initializer=_init_process_worker,
+                initargs=(self.program, self.config.service_delay_s),
+            )
+
+    def shutdown(self) -> None:
+        """Finish in-flight batches and release the replicas (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._workers = []
+        self._free = None
+
+    # -------------------------------------------------------------- dispatch
+
+    def _thread_infer(self, images: np.ndarray) -> np.ndarray:
+        assert self._free is not None
+        worker = self._free.get()  # a free replica always exists: the
+        try:                       # runtime caps in-flight batches at
+            return worker.infer(images)  # the replica count
+        finally:
+            self._free.put(worker)
+
+    def submit(self, images: np.ndarray) -> Future:
+        """Run one micro-batch on a free replica; resolves to predictions."""
+        if self._executor is None:
+            raise RuntimeError("worker pool is not started")
+        if self.mode == "thread":
+            return self._executor.submit(self._thread_infer, images)
+        return self._executor.submit(_process_infer, images)
+
+    def worker_stats(self) -> List[dict]:
+        """Per-replica batch/image counters (thread mode only; empty otherwise)."""
+        return [
+            {
+                "replica_id": worker.replica_id,
+                "batches_served": worker.batches_served,
+                "images_served": worker.images_served,
+            }
+            for worker in self._workers
+        ]

@@ -241,6 +241,10 @@ class _QuantizedLayer:
         weight_int = np.clip(np.round(weight / self.weight_scale), lo, hi).astype(np.int64)
         self.config = config
         self._adc_calibrated = False
+        #: Pinned activation scale (serving mode); None = per-batch percentile.
+        self.frozen_scale: Optional[float] = None
+        #: Scale used by the most recent matmul (frozen or computed).
+        self.last_scale: Optional[float] = None
         if config.backend == "device":
             if config.tiling == "tiled":
                 self.engine = self._build_tiled_engine(weight_int, config, rng, state)
@@ -501,15 +505,31 @@ class QuantizedInferenceEngine:
             reference = 1.0
         return reference / hi
 
+    def _layer_scale(self, name: str, activations: np.ndarray) -> float:
+        """The layer's activation scale: frozen when pinned, else per batch.
+
+        The per-batch percentile makes an image's quantisation depend on the
+        other images sharing its batch; a frozen scale (see
+        :meth:`freeze_activation_scales`) removes that coupling, which is
+        what lets the serving runtime split one workload into arbitrary
+        micro-batches without changing any per-image result.
+        """
+        layer = self._layers[name]
+        scale = layer.frozen_scale
+        if scale is None:
+            scale = self._activation_scale(activations, self.config.input_bits)
+        layer.last_scale = scale
+        return scale
+
     def _conv(self, name: str, layer: Conv2D, x: np.ndarray) -> np.ndarray:
         cols, out_h, out_w = im2col(x, layer.kernel_size, layer.stride, layer.padding)
-        scale = self._activation_scale(cols, self.config.input_bits)
+        scale = self._layer_scale(name, cols)
         out = self._layers[name].matmul(cols, scale)
         n = x.shape[0]
         return out.reshape(n, out_h, out_w, layer.out_channels).transpose(0, 3, 1, 2)
 
     def _linear(self, name: str, layer: Linear, x: np.ndarray) -> np.ndarray:
-        scale = self._activation_scale(x, self.config.input_bits)
+        scale = self._layer_scale(name, x)
         return self._layers[name].matmul(x, scale)
 
     # -------------------------------------------------------------- interface
@@ -563,6 +583,60 @@ class QuantizedInferenceEngine:
             if levels is not None:
                 harvested[name] = levels
         return harvested
+
+    def freeze_activation_scales(
+        self, images: Optional[np.ndarray] = None
+    ) -> Dict[str, float]:
+        """Pin every layer's activation scale to a calibration pass's value.
+
+        Args:
+            images: Calibration batch to run first (one forward pass, which
+                also triggers the lazy first-batch ADC calibration in
+                ``calibration="workload"`` mode).  ``None`` freezes the
+                scales recorded by the most recent forward pass instead —
+                useful when a calibration pass already ran (e.g. a
+                :meth:`predict` over the calibration set).
+
+        Returns:
+            The frozen scales keyed by weight-layer name — the payload
+            :meth:`apply_activation_scales` accepts, so a warm replica can
+            be pinned without rerunning calibration.
+
+        Raises:
+            RuntimeError: When no forward pass has recorded a scale yet.
+        """
+        if images is not None:
+            self.forward(images)
+        scales: Dict[str, float] = {}
+        for name, layer in self._layers.items():
+            if layer.last_scale is None:
+                raise RuntimeError(
+                    f"layer {name!r} has not run a forward pass yet; pass a "
+                    "calibration batch to freeze_activation_scales"
+                )
+            layer.frozen_scale = float(layer.last_scale)
+            scales[name] = layer.frozen_scale
+        return scales
+
+    def apply_activation_scales(self, scales: Mapping[str, float]) -> None:
+        """Pin per-layer activation scales harvested from a warm engine.
+
+        Layers absent from the map keep their per-batch percentile scale.
+        """
+        for name, scale in scales.items():
+            if name not in self._layers:
+                raise KeyError(f"unknown weight layer {name!r}")
+            if not float(scale) > 0:
+                raise ValueError(f"scale for {name!r} must be positive, got {scale}")
+            self._layers[name].frozen_scale = float(scale)
+
+    def activation_scales(self) -> Dict[str, float]:
+        """The currently frozen per-layer scales (empty when none pinned)."""
+        return {
+            name: layer.frozen_scale
+            for name, layer in self._layers.items()
+            if layer.frozen_scale is not None
+        }
 
     def forward(self, images: np.ndarray) -> np.ndarray:
         """Quantised forward pass mirroring the model's own layer order."""

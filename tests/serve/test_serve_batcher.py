@@ -1,0 +1,102 @@
+"""MicroBatcher: arrival-order coalescing, caps, deadlines, close semantics."""
+
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import CLOSE, MicroBatcher
+
+
+def _queue_of(*items):
+    source = queue.Queue()
+    for item in items:
+        source.put(item)
+    return source
+
+
+class TestGreedyCoalescing:
+    def test_batches_preserve_arrival_order(self):
+        source = _queue_of(1, 2, 3, 4, 5, CLOSE)
+        batcher = MicroBatcher(source, max_batch=2)
+        assert batcher.next_batch() == [1, 2]
+        assert batcher.next_batch() == [3, 4]
+        assert batcher.next_batch() == [5]
+        assert batcher.next_batch() is None
+        assert batcher.closed
+
+    def test_greedy_drains_only_the_backlog(self):
+        source = _queue_of(1, 2, 3)
+        batcher = MicroBatcher(source, max_batch=10)
+        assert batcher.next_batch() == [1, 2, 3]
+
+    def test_max_batch_one_never_coalesces(self):
+        source = _queue_of(1, 2, CLOSE)
+        batcher = MicroBatcher(source, max_batch=1)
+        assert batcher.next_batch() == [1]
+        assert batcher.next_batch() == [2]
+        assert batcher.next_batch() is None
+
+    def test_close_mid_batch_flushes_partial_batch(self):
+        source = _queue_of(1, CLOSE, 99)
+        batcher = MicroBatcher(source, max_batch=4)
+        assert batcher.next_batch() == [1]
+        assert batcher.closed
+        # items after CLOSE are never consumed
+        assert batcher.next_batch() is None
+        assert source.get_nowait() == 99
+
+    def test_close_first_returns_none(self):
+        batcher = MicroBatcher(_queue_of(CLOSE), max_batch=4)
+        assert batcher.next_batch() is None
+
+
+class TestDeadlineCoalescing:
+    def test_waits_for_late_arrivals_within_deadline(self):
+        source = queue.Queue()
+        source.put("early")
+        batcher = MicroBatcher(source, max_batch=4, max_wait_s=0.5)
+
+        def late_producer():
+            time.sleep(0.05)
+            source.put("late")
+            source.put(CLOSE)
+
+        thread = threading.Thread(target=late_producer)
+        thread.start()
+        batch = batcher.next_batch()
+        thread.join()
+        assert batch == ["early", "late"]
+
+    def test_deadline_flushes_underfilled_batch(self):
+        source = _queue_of("only")
+        batcher = MicroBatcher(source, max_batch=4, max_wait_s=0.02)
+        start = time.monotonic()
+        assert batcher.next_batch() == ["only"]
+        assert time.monotonic() - start < 1.0
+
+    def test_blocks_for_first_request(self):
+        source = queue.Queue()
+        batcher = MicroBatcher(source, max_batch=2, max_wait_s=0.0)
+        result = {}
+
+        def consume():
+            result["batch"] = batcher.next_batch()
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        assert thread.is_alive()  # still blocked on the empty queue
+        source.put("first")
+        thread.join(timeout=5.0)
+        assert result["batch"] == ["first"]
+
+
+class TestValidation:
+    def test_bad_parameters_raise(self):
+        source = queue.Queue()
+        with pytest.raises(ValueError):
+            MicroBatcher(source, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(source, max_batch=1, max_wait_s=-1.0)

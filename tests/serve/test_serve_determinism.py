@@ -1,0 +1,96 @@
+"""The serving determinism contract.
+
+Serving N requests through the runtime — any replica count, any
+``max_batch``, thread or process pool — must produce per-request
+predictions ``array_equal`` to ONE offline pass of the same warm chip over
+the same inputs (for the device backend: a single
+:meth:`ChipSimulator.run`).  This is the property that makes micro-batching
+and replication pure throughput levers with zero accuracy semantics.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeRuntime
+
+
+@pytest.fixture(scope="module")
+def device_offline(device_program, request_images):
+    """The single offline ChipSimulator.run over the request workload."""
+    report = device_program.instantiate().run(request_images)
+    return report.predictions
+
+
+@pytest.fixture(scope="module")
+def functional_offline(functional_program, request_images):
+    """The offline warm functional pass over the request workload."""
+    return functional_program.instantiate().predict(request_images)
+
+
+class TestDeviceDeterminism:
+    def test_offline_reference_is_batch_split_independent(
+        self, device_program, request_images, device_offline
+    ):
+        chip = device_program.instantiate()
+        np.testing.assert_array_equal(
+            device_offline, chip.run(request_images, batch_size=5).predictions
+        )
+
+    @pytest.mark.parametrize("replicas", [1, 2])
+    @pytest.mark.parametrize("max_batch", [1, 3, 8])
+    def test_serving_equals_offline_run(
+        self,
+        device_serve_config,
+        device_program,
+        request_images,
+        device_offline,
+        replicas,
+        max_batch,
+    ):
+        config = dataclasses.replace(
+            device_serve_config, replicas=replicas, max_batch=max_batch
+        )
+        with ServeRuntime(config, program=device_program) as runtime:
+            predictions = runtime.serve(request_images)
+        np.testing.assert_array_equal(predictions, device_offline)
+
+    def test_process_pool_equals_offline_run(
+        self, device_serve_config, device_program, request_images, device_offline
+    ):
+        config = dataclasses.replace(
+            device_serve_config, replicas=2, max_batch=4, pool="process"
+        )
+        with ServeRuntime(config, program=device_program) as runtime:
+            predictions = runtime.serve(request_images)
+        np.testing.assert_array_equal(predictions, device_offline)
+
+    def test_repeat_serving_runs_are_identical(
+        self, device_serve_config, device_program, request_images
+    ):
+        config = dataclasses.replace(device_serve_config, max_batch=5)
+        with ServeRuntime(config, program=device_program) as runtime:
+            first = runtime.serve(request_images)
+            second = runtime.serve(request_images)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestFunctionalDeterminism:
+    @pytest.mark.parametrize("replicas", [1, 2])
+    @pytest.mark.parametrize("max_batch", [1, 4])
+    def test_serving_equals_offline_pass(
+        self,
+        functional_serve_config,
+        functional_program,
+        request_images,
+        functional_offline,
+        replicas,
+        max_batch,
+    ):
+        config = dataclasses.replace(
+            functional_serve_config, replicas=replicas, max_batch=max_batch
+        )
+        with ServeRuntime(config, program=functional_program) as runtime:
+            predictions = runtime.serve(request_images)
+        np.testing.assert_array_equal(predictions, functional_offline)

@@ -1,0 +1,43 @@
+"""Meta-guard on the test suite's own layout.
+
+The ``tests/`` subdirectories deliberately carry no ``__init__.py`` files,
+so pytest imports every test module by its *basename*.  Two test files
+with the same basename in different subdirectories would then silently
+collide at collection time (one shadows the other, or collection errors
+out depending on the importmode) — a whole file's worth of coverage can
+vanish without any test failing.  This guard makes the collision loud.
+"""
+
+from collections import defaultdict
+from pathlib import Path
+
+TESTS_ROOT = Path(__file__).resolve().parent
+
+
+def test_test_file_basenames_are_unique():
+    by_basename = defaultdict(list)
+    for path in sorted(TESTS_ROOT.rglob("test_*.py")):
+        by_basename[path.name].append(path.relative_to(TESTS_ROOT))
+    duplicates = {
+        name: [str(p) for p in paths]
+        for name, paths in by_basename.items()
+        if len(paths) > 1
+    }
+    assert not duplicates, (
+        "duplicate test-file basenames collide at pytest collection "
+        f"(tests/ subdirs have no __init__.py): {duplicates}"
+    )
+
+
+def test_test_directories_have_no_init_py():
+    # The uniqueness guard above is what makes the no-__init__ layout safe;
+    # conversely a stray __init__.py would change import semantics for one
+    # subdirectory only.  Keep the layout consistent either way.
+    offenders = [
+        str(path.relative_to(TESTS_ROOT))
+        for path in TESTS_ROOT.rglob("__init__.py")
+    ]
+    assert not offenders, (
+        f"tests/ is an __init__-less layout; remove {offenders} or convert "
+        "every test directory to a package at once"
+    )
