@@ -174,12 +174,15 @@ SCENARIO_SCHEMA = {
     "description": str,
     "images": int,
     "bit_identical_fast": bool,
+    "bit_identical_fused": bool,
     "monolithic_s": float,
     "monolithic_images_per_s": float,
     "tiled_fast_s": float,
     "tiled_fast_images_per_s": float,
     "tiled_turbo_s": float,
     "tiled_turbo_images_per_s": float,
+    "tiled_fused_s": float,
+    "tiled_fused_images_per_s": float,
     "tiles_per_s": float,
     "total_macros": int,
     "modeled_tops_per_watt": float,
@@ -187,6 +190,8 @@ SCENARIO_SCHEMA = {
     "calibrated_layers": int,
     "speedup_tiled_fast": float,
     "speedup_tiled_turbo": float,
+    "speedup_tiled_fused": float,
+    "speedup_fused_vs_turbo": float,
 }
 
 

@@ -174,9 +174,11 @@ class ChipSimulator:
             ``"monolithic"`` (PR-1 single oversized macro; activity falls
             back to the analytic mapping — results are bit-identical
             either way).
-        device_exec: Engine row-reduction method — ``"exact"``, ``"fast"``
-            (default), or ``"turbo"`` (throughput mode, ULP-class
-            differences).
+        device_exec: Engine kernel name resolved through the
+            :mod:`repro.engine.kernels` registry — ``"exact"``, ``"fast"``
+            (default), ``"turbo"`` (throughput mode, ULP-class
+            differences), or ``"fused"`` (layer-level batched GEMM,
+            bit-identical to ``"turbo"``).
         tile_workers: Worker threads per tiled layer matmul (0 = auto).
         calibration: ``"workload"`` (default) programs each layer's ADC
             reference bank from its first batch, which is what reaches the

@@ -64,6 +64,7 @@ import numpy as np
 from ..core.macro import IMCMacroConfig
 from ..devices.variation import NO_VARIATION, VariationModel
 from ..engine.array_state import ArrayState
+from ..engine.kernels import get_kernel
 from ..engine.macro_engine import MacroEngine
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
 from ..quant.calibration import DEFAULT_MAX_SAMPLES, reference_levels_for_plan
@@ -199,7 +200,11 @@ class TiledLayerEngine:
         self.padded_rows = -(-self.weight_rows // block) * block
         padded = np.zeros((self.padded_rows, self.weight_cols), dtype=np.int64)
         padded[: self.weight_rows] = weights
+        self._padded_weights = padded
         self._reference_levels: Optional[Dict[str, np.ndarray]] = None
+        # Lazily built full-layer engine backing the layer-level kernels
+        # (``method="fused"``); shares ``array_state`` with the tile views.
+        self._layer_engine: Optional[MacroEngine] = None
 
         # One characterisation pass for the whole layer, identical to the
         # monolithic single-macro build (same config, same rng consumption);
@@ -331,6 +336,8 @@ class TiledLayerEngine:
         """
         for engine in self._engines:
             engine.apply_reference_levels(levels)
+        if self._layer_engine is not None:
+            self._layer_engine.apply_reference_levels(levels)
         # Cache the engines' normalised (sorted, deduplicated) form so the
         # layer-level view always equals what every tile reports.
         self._reference_levels = {
@@ -343,6 +350,8 @@ class TiledLayerEngine:
         """Drop workload calibration on every tile (back to nominal)."""
         for engine in self._engines:
             engine.clear_calibration()
+        if self._layer_engine is not None:
+            self._layer_engine.clear_calibration()
         self._reference_levels = None
 
     def calibrate_references(
@@ -396,6 +405,28 @@ class TiledLayerEngine:
 
     # -------------------------------------------------------------- operation
 
+    def _full_layer_engine(self) -> MacroEngine:
+        """The lazily-built engine spanning the whole padded layer.
+
+        It is programmed on the *same* :class:`ArrayState` the tile views
+        share — characterisation is not repeated and no variation draws are
+        consumed — and carries the layer's calibration, so a layer-level
+        kernel run on it sees float-for-float the voltages the tile grid
+        would produce.
+        """
+        engine = self._layer_engine
+        if engine is None:
+            engine = MacroEngine(
+                self.array_state,
+                adc_bits=self.adc_bits,
+                weight_bits=self.weight_bits,
+            )
+            engine.program_weights(self._padded_weights)
+            if self._reference_levels is not None:
+                engine.apply_reference_levels(self._reference_levels)
+            self._layer_engine = engine
+        return engine
+
     def matmat(
         self,
         inputs: np.ndarray,
@@ -412,13 +443,17 @@ class TiledLayerEngine:
                 padding is applied internally).
             bits: Input precision (1..8).
             method: ``"exact"`` / ``"fast"`` (both bit-identical to the
-                monolithic macro) or ``"turbo"`` (fastest, ULP-class
-                differences).
+                monolithic macro), ``"turbo"`` (per-tile BLAS kernel,
+                ULP-class differences), or ``"fused"`` (layer-level batched
+                kernel, bit-identical to turbo and fastest); any layer-level
+                kernel registered in :mod:`repro.engine.kernels` hoists the
+                per-tile loop the same way.
             batch_chunk: Input columns per internal engine chunk.
 
         Returns:
             Float array of shape (weight_cols, batch).
         """
+        kernel = get_kernel(method)
         inputs = np.asarray(inputs)
         if inputs.ndim == 1:
             inputs = inputs[:, None]
@@ -432,6 +467,23 @@ class TiledLayerEngine:
         block = self.geometry.block_rows
         padded = np.zeros((self.padded_rows, batch), dtype=np.int64)
         padded[: self.weight_rows] = inputs
+
+        if kernel.level == "layer":
+            # Hoisted path: one whole-layer call instead of the per-tile
+            # loop.  The cross-tile accumulation below walks blocks in
+            # global order; summing the full-layer block totals in that
+            # same order performs the identical sequence of elementwise
+            # additions, so the psum contract (and the counters, which
+            # price the same chip activity) are unchanged.
+            engine = self._full_layer_engine()
+            blocks = engine.matmat_blocks(
+                padded, bits=bits, method=method, batch_chunk=batch_chunk
+            )
+            totals = np.zeros((self.weight_cols, batch))
+            for block_row in range(blocks.shape[1]):
+                totals = totals + blocks[:, block_row, :]
+            self._count_matmat(batch)
+            return totals
 
         def run_tile(index: int) -> np.ndarray:
             tile = self.tiles[index]
@@ -465,14 +517,19 @@ class TiledLayerEngine:
                     totals = totals + blocks[:, block_row, :]
             results[first.col_start : first.col_stop] = totals
 
+        self._count_matmat(batch)
+        return results
+
+    def _count_matmat(self, batch: int) -> None:
+        """Record one batch of chip activity (identical for every kernel:
+        the simulated chip performs the same block MACs and psum additions
+        regardless of how the host computes them)."""
         self.columns_processed += batch
         self.block_macs += batch * sum(
             tile.num_blocks * tile.banks for tile in self.tiles
         )
-        row_tiles = self.row_tiles
-        self.psum_adds += batch * (row_tiles - 1) * self.weight_cols
+        self.psum_adds += batch * (self.row_tiles - 1) * self.weight_cols
         self.tile_matmats += self.num_tiles
-        return results
 
     def ideal_matmat(self, inputs: np.ndarray) -> np.ndarray:
         """Exact integer reference for the stored weights."""

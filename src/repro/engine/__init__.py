@@ -33,7 +33,22 @@ __all__ = [
     "ArrayState",
     "GroupArrays",
     "MacroEngine",
+    "Kernel",
+    "get_kernel",
+    "register_kernel",
+    "registered_kernels",
+    "unregister_kernel",
+    "validate_device_exec",
 ]
+
+_KERNEL_API = (
+    "Kernel",
+    "get_kernel",
+    "register_kernel",
+    "registered_kernels",
+    "unregister_kernel",
+    "validate_device_exec",
+)
 
 
 def __getattr__(name):
@@ -45,4 +60,8 @@ def __getattr__(name):
         from .macro_engine import MacroEngine
 
         return MacroEngine
+    if name in _KERNEL_API:
+        from . import kernels
+
+        return getattr(kernels, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,548 @@
+"""Pluggable device-execution kernels for the macro engine.
+
+Every ``device_exec`` method of the device-detailed path — the value users
+pass to :class:`~repro.system.inference.InferenceConfig`,
+:class:`~repro.chipsim.ChipSimulator`, the sweep grid, and the serving
+stack — resolves here to a :class:`Kernel`: a named implementation of the
+bit-serial MAC arithmetic over an
+:class:`~repro.engine.array_state.ArrayState`.  The registry is the single
+source of truth for which methods exist, so validation errors everywhere
+list the same set and a new backend (a compiled kernel, a GPU path) is one
+:func:`register_kernel` call away.
+
+Two kernel granularities exist:
+
+``level="plane"``
+    The kernel reduces **one input bit plane** over the array rows and
+    returns the per-column analog contributions; the engine then applies
+    the shared readout pipeline (TIA / charge sharing, ADC, nibble
+    combine, shift-add) per plane.  ``"exact"``, ``"fast"`` and
+    ``"turbo"`` are plane kernels.
+
+``level="layer"``
+    The kernel consumes the **whole batch of input values** at once and
+    returns the per-block digital totals directly, free to reorganise the
+    entire pipeline for throughput.  ``"fused"`` (and the optional
+    ``"numba"`` variant) are layer kernels: they pack all bit planes into
+    stacked GEMM operands, run one BLAS call per 32-row block against
+    tables whose four physical columns are pre-combined where the design
+    allows it, and quantise/combine/shift-add with in-place array ops over
+    cache-resident block slices.
+
+Exactness
+---------
+
+``"fused"`` reproduces ``"turbo"`` bit for bit on both designs, calibrated
+and uncalibrated, tiled and monolithic: every floating-point difference it
+introduces lives in the analog voltage *before* ADC quantisation and is at
+ULP scale, far below an LSB (or the spacing of calibrated reference
+levels), so the quantised codes — and everything digital after them — are
+identical.  The golden-equivalence suite (``tests/chipsim/
+test_fused_kernel.py``) asserts ``array_equal`` across the whole matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.adc import CalibratedMACQuantizer
+from .array_state import CURFE_DESIGN, NUM_COLUMNS
+
+__all__ = [
+    "Kernel",
+    "register_kernel",
+    "unregister_kernel",
+    "get_kernel",
+    "registered_kernels",
+    "validate_device_exec",
+    "fused_block_totals",
+]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One registered device-execution backend.
+
+    Attributes:
+        name: Registry key; the ``device_exec`` string users select.
+        level: ``"plane"`` (per-bit-plane row reduction, engine applies the
+            shared readout pipeline) or ``"layer"`` (whole-batch kernel
+            returning per-block digital totals directly).
+        description: One-line summary shown in docs and error messages.
+        reduce_plane: For plane kernels: ``f(engine, plane, key)`` mapping a
+            (batch, num_block_rows, block_rows) bit plane to the per-column
+            analog contributions of shape (batch, banks, num_block_rows, 4).
+        block_totals: For layer kernels: ``f(engine, values, bits)`` mapping
+            a (rows, batch) unsigned input chunk to per-block digital totals
+            of shape (batch, banks, num_block_rows).
+        integer_plane: Plane kernels only — whether ``reduce_plane`` wants
+            the raw integer bit plane instead of a float cast (the
+            ``"exact"`` kernel preserves the legacy integer expression
+            structure).
+    """
+
+    name: str
+    level: str
+    description: str
+    reduce_plane: Optional[Callable] = None
+    block_totals: Optional[Callable] = None
+    integer_plane: bool = False
+
+    def __post_init__(self) -> None:
+        if self.level not in ("plane", "layer"):
+            raise ValueError("kernel level must be 'plane' or 'layer'")
+        if self.level == "plane" and self.reduce_plane is None:
+            raise ValueError(f"plane kernel {self.name!r} needs reduce_plane")
+        if self.level == "layer" and self.block_totals is None:
+            raise ValueError(f"layer kernel {self.name!r} needs block_totals")
+
+
+_REGISTRY: Dict[str, Kernel] = {}
+
+
+def register_kernel(kernel: Kernel, *, replace: bool = False) -> Kernel:
+    """Add a kernel to the registry (the new backend hook).
+
+    Args:
+        kernel: The kernel to register.
+        replace: Allow overwriting an existing registration.
+
+    Returns:
+        The registered kernel.
+    """
+    if not replace and kernel.name in _REGISTRY:
+        raise ValueError(
+            f"kernel {kernel.name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def unregister_kernel(name: str) -> Kernel:
+    """Remove a kernel registration (mainly for tests and plugins)."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise ValueError(f"kernel {name!r} is not registered") from None
+
+
+def registered_kernels() -> Tuple[str, ...]:
+    """Names of all registered kernels, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by its ``device_exec`` name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device_exec {name!r}; registered kernels: "
+            f"{registered_kernels()}"
+        ) from None
+
+
+def validate_device_exec(name: str) -> str:
+    """Validate a ``device_exec`` string against the registry.
+
+    The one place every config surface (engine, inference config, chip
+    simulator, sweep, serve) funnels through, so a typo always produces the
+    same error listing the registered kernels.
+    """
+    get_kernel(name)
+    return name
+
+
+# --------------------------------------------------------------------------
+# Plane-level kernels: exact / fast / turbo row reductions.
+# --------------------------------------------------------------------------
+
+
+def _exact_reduce(engine, plane, key: str) -> np.ndarray:
+    """Legacy expression structure, batched (bit-identical per device)."""
+    selected = engine._selected[key]
+    unselected = engine.state.group(key).unselected
+    x = plane[:, None, :, :, None]
+    contributions = x * selected + (1 - x) * unselected
+    return contributions.sum(axis=3)
+
+
+def _fast_reduce(engine, plane, key: str) -> np.ndarray:
+    """Einsum row reduction (ULP-class voltage differences)."""
+    group = engine.state.group(key)
+    difference = engine._selected[key] - group.unselected
+    return group.unselected.sum(axis=2)[None] + np.einsum(
+        "njr,bjrc->nbjc", plane, difference
+    )
+
+
+def _turbo_reduce(engine, plane, key: str) -> np.ndarray:
+    """BLAS gemm row reduction against cached difference tables."""
+    state = engine.state
+    difference_t, unselected_sum = engine._turbo_group_tables(key)
+    batch = plane.shape[0]
+    reduced = np.empty((batch, state.banks, state.num_block_rows, NUM_COLUMNS))
+    for j in range(state.num_block_rows):
+        reduced[:, :, j, :] = (plane[:, j] @ difference_t[j]).reshape(
+            batch, state.banks, NUM_COLUMNS
+        )
+    return unselected_sum[None] + reduced
+
+
+# --------------------------------------------------------------------------
+# Layer-level fused kernel.
+# --------------------------------------------------------------------------
+
+
+def _fused_group_tables(engine, key: str) -> tuple:
+    """Cached fused gemm operands for the stored pattern of one group.
+
+    CurFe sums its four physical columns *before* the TIA, so the column
+    sum commutes (to ULP accuracy) with the row reduction and is folded
+    into the table: ``D`` is (num_block_rows, block_rows, banks) and one
+    gemm per block row yields the summed difference directly — a quarter
+    of the turbo FLOPs and an output that fits in cache.  ChgFe clips each
+    bitline before charge sharing, so its four columns stay separate:
+    ``D`` is (4, num_block_rows, block_rows, banks), one small gemm per
+    column.  ``U`` carries the matching unselected-row sums.
+    """
+    tables = engine._fused_tables.get(key)
+    if tables is None:
+        state = engine.state
+        group = state.group(key)
+        # (banks, num_block_rows, block_rows, 4) like the stored pattern.
+        difference = engine._selected[key] - group.unselected
+        unselected_sum = group.unselected.sum(axis=2)  # (banks, R, 4)
+        if state.design == CURFE_DESIGN:
+            table = np.ascontiguousarray(difference.sum(axis=3).transpose(1, 2, 0))
+            offsets = np.ascontiguousarray(unselected_sum.sum(axis=2).T)
+        else:
+            table = np.ascontiguousarray(difference.transpose(3, 1, 2, 0))
+            offsets = np.ascontiguousarray(unselected_sum.transpose(2, 1, 0))
+        tables = (table, offsets)
+        engine._fused_tables[key] = tables
+    return tables
+
+
+#: Cells of the bucketed nearest-level index (see :func:`_calibrated_lut`).
+_LUT_GRID = 2048
+#: Above this many residual comparison steps the bucket table degenerates
+#: (pathologically clustered levels) and plain searchsorted is used instead.
+_LUT_MAX_STEPS = 8
+_LUT_ATTR = "_fused_bucket_lut"
+
+
+def _calibrated_lut(quantizer: CalibratedMACQuantizer):
+    """Bucketed index table for the calibrated nearest-level search.
+
+    ``searchsorted`` over the threshold midpoints costs ~30 ns/element; at
+    fused-kernel throughput that dominates the whole pipeline.  This table
+    maps a voltage to a uniform grid cell, looks up a conservative lower
+    bound of its threshold index, and finishes with ``steps`` data-parallel
+    ``index += (next_threshold < v)`` corrections.  The bounds are chosen
+    so the result equals ``np.searchsorted(thresholds, v)`` *exactly* (one
+    grid cell of slack on each side absorbs the float cell arithmetic), so
+    calibrated fused output stays bit-identical to the turbo path.
+
+    Returns ``(start, steps, tmin, scale, ext)`` or None when the level
+    set is degenerate (single level / zero span / clustered beyond
+    ``_LUT_MAX_STEPS``) and the caller should fall back to searchsorted.
+    """
+    cached = quantizer.__dict__.get(_LUT_ATTR, "unset")
+    if cached != "unset":
+        return cached
+    lut = None
+    thresholds = quantizer._thresholds
+    if thresholds.size >= 2:
+        tmin = float(thresholds[0])
+        span = float(thresholds[-1]) - tmin
+        if span > 0.0 and np.isfinite(span):
+            scale = _LUT_GRID / span
+            cells = np.arange(_LUT_GRID, dtype=float)
+            # One cell of slack either side: any voltage whose computed
+            # (clipped) cell is c satisfies lo_edge[c] <= v < hi_edge[c].
+            lo_edges = tmin + (cells - 1.0) / scale
+            hi_edges = tmin + (cells + 2.0) / scale
+            start = np.searchsorted(thresholds, lo_edges, side="left")
+            upper = np.searchsorted(thresholds, hi_edges, side="right")
+            steps = int(np.max(upper - start))
+            if steps <= _LUT_MAX_STEPS:
+                ext = np.append(thresholds, np.inf)
+                lut = (start, steps, tmin, scale, ext)
+    quantizer.__dict__[_LUT_ATTR] = lut
+    return lut
+
+
+def _quantize_macs_inplace(quantizer, buf: np.ndarray) -> None:
+    """In-place ADC conversion of analog voltages to reported MAC values.
+
+    Performs the identical elementwise float operations (in the identical
+    order) as ``MACQuantizer.quantize_voltages`` /
+    ``CalibratedMACQuantizer.quantize_voltages``, with ``out=`` buffers
+    instead of temporaries — bit-identical results, no allocation in the
+    hot loop.
+    """
+    if isinstance(quantizer, CalibratedMACQuantizer):
+        levels = quantizer._levels_by_voltage
+        if quantizer.levels.size == 1:
+            buf[...] = quantizer.levels[0]
+            return
+        lut = _calibrated_lut(quantizer)
+        if lut is None:
+            indices = np.searchsorted(quantizer._thresholds, buf)
+        else:
+            start, steps, tmin, scale, ext = lut
+            cells = np.subtract(buf, tmin)
+            np.multiply(cells, scale, out=cells)
+            np.floor(cells, out=cells)
+            cell_idx = cells.astype(np.int64)
+            np.clip(cell_idx, 0, start.size - 1, out=cell_idx)
+            indices = start[cell_idx]
+            for _ in range(steps):
+                np.add(indices, ext[indices] < buf, out=indices)
+        np.take(levels, indices, out=buf)
+        return
+    adc = quantizer.adc
+    params = adc.params
+    top = params.num_levels - 1
+    # adc_raw_codes, op for op, in place.
+    np.add(buf, adc.offset_voltage, out=buf)
+    np.subtract(buf, params.v_min, out=buf)
+    np.divide(buf, params.v_max - params.v_min, out=buf)
+    np.multiply(buf, top, out=buf)
+    np.rint(buf, out=buf)
+    np.clip(buf, 0, top, out=buf)
+    # codes_to_mac.
+    np.multiply(buf, quantizer.mac_per_lsb, out=buf)
+    np.add(buf, quantizer.mac_at_v_min, out=buf)
+
+
+def fused_block_totals(engine, values: np.ndarray, bits: int) -> np.ndarray:
+    """Whole-batch fused pipeline: per-block totals in one pass.
+
+    All ``bits`` input bit planes are packed into one stacked operand whose
+    per-block slice is a zero-copy (bits*batch, block_rows) gemm input;
+    each 32-row block then runs gemm → readout → ADC → nibble combine →
+    shift-add entirely on cache-resident (bits*batch, banks) buffers with
+    in-place array ops.  Output matches ``MacroEngine._block_totals_chunk``
+    of the ``"turbo"`` kernel bit for bit (see module docstring).
+
+    Args:
+        engine: A programmed :class:`~repro.engine.MacroEngine`.
+        values: Unsigned input chunk of shape (rows, batch), int64.
+        bits: Input precision (1..8).
+
+    Returns:
+        Float array of shape (batch, banks, num_block_rows).
+    """
+    state = engine.state
+    batch = values.shape[1]
+    num_block_rows, block_rows = state.num_block_rows, state.block_rows
+    banks = state.banks
+    stacked_rows = bits * batch
+    curfe = state.design == CURFE_DESIGN
+
+    # Bit planes, bit-major over the gemm row axis; planes[:, :, j, :]
+    # reshaped to (bits*batch, block_rows) is a strided view BLAS consumes
+    # without copying (leading dimension = num_block_rows * block_rows).
+    planes = np.empty((bits, batch, num_block_rows, block_rows))
+    for bit in range(bits):
+        planes[bit] = ((values >> bit) & 1).T.reshape(
+            batch, num_block_rows, block_rows
+        )
+    stacked = planes.reshape(stacked_rows, num_block_rows, block_rows)
+
+    keys = ("high", "low") if engine.weight_bits == 8 else ("high",)
+    macs = {key: np.empty((stacked_rows, banks)) for key in keys}
+    bitlines = (
+        None if curfe else [np.empty((stacked_rows, banks)) for _ in range(NUM_COLUMNS)]
+    )
+    block_totals = np.empty((num_block_rows, batch, banks))
+    plane_scaled = np.empty((batch, banks))
+
+    for j in range(num_block_rows):
+        operand = stacked[:, j, :]
+        for key in keys:
+            group = state.group(key)
+            table, offsets = _fused_group_tables(engine, key)
+            out = macs[key]
+            if curfe:
+                np.matmul(operand, table[j], out=out)
+                np.add(out, offsets[j], out=out)
+                np.multiply(out, group.feedback_resistance, out=out)
+                np.add(out, state.tia_virtual_ground, out=out)
+                np.clip(out, state.tia_clamp_low, state.tia_clamp_high, out=out)
+            else:
+                for column in range(NUM_COLUMNS):
+                    line = bitlines[column]
+                    np.matmul(operand, table[column, j], out=line)
+                    np.add(line, offsets[column, j], out=line)
+                    np.add(line, state.precharge_voltage, out=line)
+                    np.clip(line, 0.0, state.sign_supply_voltage, out=line)
+                    np.multiply(line, group.capacitance[:, j, column], out=line)
+                # charge_share's length-4 reduction order, then the shared
+                # capacitance divide.
+                np.add(bitlines[0], bitlines[1], out=out)
+                np.add(out, bitlines[2], out=out)
+                np.add(out, bitlines[3], out=out)
+                np.divide(out, group.capacitance_total[:, j], out=out)
+            quantizer = engine._calibrated.get(key) or engine._quantizers[key]
+            _quantize_macs_inplace(quantizer, out)
+        combined = macs["high"]
+        if engine.weight_bits == 8:
+            np.multiply(combined, 16.0, out=combined)
+            np.add(combined, macs["low"], out=combined)
+        per_bit = combined.reshape(bits, batch, banks)
+        # Input shift-add, LSB first (legacy accumulation order).
+        accumulator = block_totals[j]
+        accumulator[...] = 0.0
+        for bit in range(bits):
+            np.multiply(per_bit[bit], float(2**bit), out=plane_scaled)
+            np.add(accumulator, plane_scaled, out=accumulator)
+    return np.ascontiguousarray(block_totals.transpose(1, 2, 0))
+
+
+# --------------------------------------------------------------------------
+# Optional numba backend.
+# --------------------------------------------------------------------------
+
+
+def _register_numba_kernel() -> bool:
+    """Register the ``"numba"`` layer kernel when numba is importable.
+
+    The container CI image deliberately does not pin numba (see
+    ``requirements-ci.txt``); environments that have it get a jit-compiled
+    replacement for the per-block BLAS call, reusing the fused readout /
+    quantisation pipeline for everything after the row reduction.
+    """
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba
+    except ImportError:
+        return False
+
+    @numba.njit(cache=True, fastmath=False)  # pragma: no cover
+    def _reduce_block(operand, table, out):
+        rows, inner = operand.shape
+        cols = table.shape[1]
+        for i in range(rows):
+            for c in range(cols):
+                acc = 0.0
+                for k in range(inner):
+                    acc += operand[i, k] * table[k, c]
+                out[i, c] = acc
+
+    def _numba_block_totals(engine, values, bits):  # pragma: no cover
+        # Same structure as fused_block_totals with the gemm swapped for
+        # the jitted reduction; carries the same ULP-class caveat (the
+        # sequential dot order differs from BLAS, absorbed by the ADC).
+        state = engine.state
+        batch = values.shape[1]
+        num_block_rows, block_rows = state.num_block_rows, state.block_rows
+        banks = state.banks
+        stacked_rows = bits * batch
+        curfe = state.design == CURFE_DESIGN
+        planes = np.empty((bits, batch, num_block_rows, block_rows))
+        for bit in range(bits):
+            planes[bit] = ((values >> bit) & 1).T.reshape(
+                batch, num_block_rows, block_rows
+            )
+        stacked = planes.reshape(stacked_rows, num_block_rows, block_rows)
+        keys = ("high", "low") if engine.weight_bits == 8 else ("high",)
+        macs = {key: np.empty((stacked_rows, banks)) for key in keys}
+        lines = [np.empty((stacked_rows, banks)) for _ in range(NUM_COLUMNS)]
+        block_totals = np.empty((num_block_rows, batch, banks))
+        plane_scaled = np.empty((batch, banks))
+        for j in range(num_block_rows):
+            operand = np.ascontiguousarray(stacked[:, j, :])
+            for key in keys:
+                group = state.group(key)
+                table, offsets = _fused_group_tables(engine, key)
+                out = macs[key]
+                if curfe:
+                    _reduce_block(operand, table[j], out)
+                    np.add(out, offsets[j], out=out)
+                    np.multiply(out, group.feedback_resistance, out=out)
+                    np.add(out, state.tia_virtual_ground, out=out)
+                    np.clip(out, state.tia_clamp_low, state.tia_clamp_high, out=out)
+                else:
+                    for column in range(NUM_COLUMNS):
+                        line = lines[column]
+                        _reduce_block(operand, table[column, j], line)
+                        np.add(line, offsets[column, j], out=line)
+                        np.add(line, state.precharge_voltage, out=line)
+                        np.clip(line, 0.0, state.sign_supply_voltage, out=line)
+                        np.multiply(line, group.capacitance[:, j, column], out=line)
+                    np.add(lines[0], lines[1], out=out)
+                    np.add(out, lines[2], out=out)
+                    np.add(out, lines[3], out=out)
+                    np.divide(out, group.capacitance_total[:, j], out=out)
+                quantizer = engine._calibrated.get(key) or engine._quantizers[key]
+                _quantize_macs_inplace(quantizer, out)
+            combined = macs["high"]
+            if engine.weight_bits == 8:
+                np.multiply(combined, 16.0, out=combined)
+                np.add(combined, macs["low"], out=combined)
+            per_bit = combined.reshape(bits, batch, banks)
+            accumulator = block_totals[j]
+            accumulator[...] = 0.0
+            for bit in range(bits):
+                np.multiply(per_bit[bit], float(2**bit), out=plane_scaled)
+                np.add(accumulator, plane_scaled, out=accumulator)
+        return np.ascontiguousarray(block_totals.transpose(1, 2, 0))
+
+    register_kernel(
+        Kernel(
+            name="numba",
+            level="layer",
+            description="fused pipeline with a jit-compiled row reduction",
+            block_totals=_numba_block_totals,
+        ),
+        replace=True,
+    )
+    return True
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations.
+# --------------------------------------------------------------------------
+
+register_kernel(
+    Kernel(
+        name="exact",
+        level="plane",
+        description="legacy expression structure, bit-identical per device",
+        reduce_plane=_exact_reduce,
+        integer_plane=True,
+    )
+)
+register_kernel(
+    Kernel(
+        name="fast",
+        level="plane",
+        description="einsum row reduction (ULP-class voltage differences)",
+        reduce_plane=_fast_reduce,
+    )
+)
+register_kernel(
+    Kernel(
+        name="turbo",
+        level="plane",
+        description="cached-operand BLAS gemm row reduction",
+        reduce_plane=_turbo_reduce,
+    )
+)
+register_kernel(
+    Kernel(
+        name="fused",
+        level="layer",
+        description="whole-layer batched gemm + vectorised readout pipeline",
+        block_totals=fused_block_totals,
+    )
+)
+
+#: Whether the optional numba backend registered at import time.
+NUMBA_KERNEL_AVAILABLE = _register_numba_kernel()

@@ -22,8 +22,14 @@ ULPs of analog voltage (which only matters for voltages landing exactly on
 an ADC decision boundary).  ``method="turbo"`` goes one step further and
 routes the same row reduction through BLAS ``dgemm`` against per-block
 transposed difference tables cached at programming time (weights are
-stationary); it is the throughput mode of the tiled chip simulator and
-carries the same ULP-class caveat as ``fast``.
+stationary), with the same ULP-class caveat as ``fast``.
+``method="fused"`` hoists the whole pipeline to layer level — all bit
+planes packed into stacked gemm operands, readout/ADC/combine/shift-add as
+in-place array ops per 32-row block — and is bit-identical to ``turbo``
+(the quantiser absorbs the ULP-scale voltage reordering; the golden suite
+asserts it).  Methods resolve through the pluggable registry in
+:mod:`repro.engine.kernels`; registering a new backend there makes it
+available everywhere a ``device_exec`` string is accepted.
 
 Tiling support
 --------------
@@ -64,6 +70,7 @@ from ..core.weights import WeightPlan, encode_weight_matrix
 from ..quant.calibration import DEFAULT_MAX_SAMPLES, reference_levels_for_plan
 from ..quant.quantize import coerce_unsigned_codes
 from .array_state import CURFE_DESIGN, NUM_COLUMNS, ArrayState
+from .kernels import Kernel, get_kernel, validate_device_exec
 from .readout_core import charge_share, combine_nibbles
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
@@ -75,8 +82,6 @@ __all__ = ["MacroEngine"]
 #: :meth:`MacroEngine.matmat`; bounds the transient tensor memory without
 #: affecting results (columns are independent).
 DEFAULT_BATCH_CHUNK = 256
-
-_METHODS = ("exact", "fast", "turbo")
 
 
 class MacroEngine:
@@ -128,6 +133,7 @@ class MacroEngine:
         self._stored: Dict[str, np.ndarray] = {}
         self._selected: Dict[str, np.ndarray] = {}
         self._turbo_tables: Dict[str, tuple] = {}
+        self._fused_tables: Dict[str, tuple] = {}
         self._calibrated: Dict[str, CalibratedMACQuantizer] = {}
 
     # ----------------------------------------------------------- construction
@@ -193,6 +199,7 @@ class MacroEngine:
         # legacy blocks evaluate per conversion).
         self._selected = {}
         self._turbo_tables = {}
+        self._fused_tables = {}
         # New stored pattern -> any workload calibration derived from the
         # previous pattern is stale; fall back to the nominal references.
         self._calibrated = {}
@@ -356,44 +363,23 @@ class MacroEngine:
         if self._plan is None:
             raise RuntimeError("program_weights must be called before computing MACs")
 
-    def _convert_group(self, plane, key: str, method: str) -> np.ndarray:
+    def _convert_group(self, plane, key: str, kernel: Kernel) -> np.ndarray:
         """ADC-reported partial MACs of one group type for one bit plane.
 
         Args:
             plane: Bit plane reshaped to (batch, num_block_rows, block_rows)
-                (int for exact, float for fast).
+                (int for the ``"exact"`` kernel, float otherwise).
             key: ``"high"`` or ``"low"``.
-            method: ``"exact"`` or ``"fast"``.
+            kernel: A plane-level kernel from the registry; its row
+                reduction produces the per-column analog contributions and
+                the shared readout pipeline below converts them.
 
         Returns:
             Array of shape (batch, banks, num_block_rows).
         """
         state = self.state
         group = state.group(key)
-        selected = self._selected[key]
-        unselected = group.unselected
-        if method == "exact":
-            # Same expression structure and reduction axis as the legacy
-            # per-block evaluation, batched over (batch, banks, block rows).
-            x = plane[:, None, :, :, None]
-            contributions = x * selected + (1 - x) * unselected
-            columns = contributions.sum(axis=3)
-        elif method == "fast":
-            difference = selected - unselected
-            columns = unselected.sum(axis=2)[None] + np.einsum(
-                "njr,bjrc->nbjc", plane, difference
-            )
-        else:  # turbo: the same row reduction through cached BLAS operands
-            difference_t, unselected_sum = self._turbo_group_tables(key)
-            batch = plane.shape[0]
-            reduced = np.empty(
-                (batch, state.banks, state.num_block_rows, NUM_COLUMNS)
-            )
-            for j in range(state.num_block_rows):
-                reduced[:, :, j, :] = (plane[:, j] @ difference_t[j]).reshape(
-                    batch, state.banks, NUM_COLUMNS
-                )
-            columns = unselected_sum[None] + reduced
+        columns = kernel.reduce_plane(self, plane, key)
         if state.design == CURFE_DESIGN:
             summed = columns.sum(axis=-1)
             voltages = np.clip(
@@ -443,10 +429,13 @@ class MacroEngine:
                 activation vector per column — with values in the unsigned
                 ``bits`` range.  A 1-D vector is treated as batch 1.
             bits: Input precision (1..8).
-            method: ``"exact"`` (bit-identical to column-stacked
-                :meth:`matvec`), ``"fast"`` (einsum row reduction, ULP-level
-                differences), or ``"turbo"`` (cached-operand BLAS gemm row
-                reduction, same ULP-level caveat, fastest).
+            method: A kernel from :mod:`repro.engine.kernels` —
+                ``"exact"`` (bit-identical to column-stacked
+                :meth:`matvec`), ``"fast"`` (einsum row reduction,
+                ULP-level differences), ``"turbo"`` (cached-operand BLAS
+                gemm row reduction, same ULP-level caveat), or ``"fused"``
+                (layer-level batched pipeline, bit-identical to turbo,
+                fastest).
             batch_chunk: Input columns processed per internal chunk; bounds
                 transient memory without affecting results.
 
@@ -485,7 +474,7 @@ class MacroEngine:
         Args:
             inputs: Integer array of shape (rows, batch); see :meth:`matmat`.
             bits: Input precision (1..8).
-            method: ``"exact"``, ``"fast"``, or ``"turbo"``.
+            method: Any registered kernel (see :meth:`matmat`).
             batch_chunk: Input columns per internal chunk.
 
         Returns:
@@ -507,8 +496,7 @@ class MacroEngine:
         self, inputs: np.ndarray, bits: int, method: str, *, name: str = "inputs"
     ) -> np.ndarray:
         self._check_programmed()
-        if method not in _METHODS:
-            raise ValueError(f"method must be one of {_METHODS}")
+        validate_device_exec(method)
         if not 1 <= bits <= 8:
             raise ValueError("bits must be between 1 and 8")
         inputs = np.asarray(inputs)
@@ -533,17 +521,22 @@ class MacroEngine:
         self, values: np.ndarray, bits: int, method: str
     ) -> np.ndarray:
         """Per-block-row totals of one batch chunk, shape (batch, banks, R)."""
+        kernel = get_kernel(method)
+        if kernel.level == "layer":
+            # Layer kernels own the whole pipeline for the chunk (bit-plane
+            # packing, row reduction, readout, combine, shift-add).
+            return kernel.block_totals(self, values, bits)
         state = self.state
         batch = values.shape[1]
         num_block_rows, block_rows = state.num_block_rows, state.block_rows
         combined = np.empty((bits, batch, self.banks, num_block_rows))
         for bit in range(bits):
             plane = ((values >> bit) & 1).T.reshape(batch, num_block_rows, block_rows)
-            if method != "exact":
+            if not kernel.integer_plane:
                 plane = plane.astype(float)
-            mac_high = self._convert_group(plane, "high", method)
+            mac_high = self._convert_group(plane, "high", kernel)
             mac_low = (
-                self._convert_group(plane, "low", method)
+                self._convert_group(plane, "low", kernel)
                 if self.weight_bits == 8
                 else None
             )

@@ -37,8 +37,10 @@ class ServeConfig:
         input_bits: Activation precision (1..8).
         weight_bits: Weight precision (4 or 8).
         adc_bits: SAR ADC resolution.
-        device_exec: Device-backend kernel; ``"turbo"`` (default) is the
-            serving throughput mode.
+        device_exec: Device-backend kernel name from the
+            :mod:`repro.engine.kernels` registry; ``"turbo"`` (default) is
+            the serving throughput mode and ``"fused"`` is the layer-level
+            batched variant (bit-identical, faster on large layers).
         calibration: ``"workload"`` (default) or ``"nominal"`` ADC
             reference placement, applied once at program-build time.
         seed: Programming-variation seed shared by every replica — equal

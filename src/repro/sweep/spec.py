@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..chipsim.scenarios import get_scenario
 from ..devices.variation import DEFAULT_VARIATION, VariationModel
+from ..engine.kernels import validate_device_exec
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
 from ..system.inference import InferenceConfig
 from .hashing import digest_payload, stable_seed
@@ -102,7 +103,9 @@ class SweepSpec:
         adc_bits: ADC resolutions.
         calibrations: ``"workload"`` / ``"nominal"`` axis (inference only).
         tilings: ``"tiled"`` / ``"monolithic"`` axis (device only).
-        device_execs: Engine kernels (device only).
+        device_execs: Engine kernel names (device only), validated against
+            the :mod:`repro.engine.kernels` registry — e.g. ``"fast"``,
+            ``"turbo"``, ``"fused"``.
         images: Images per job.
         batch_size: Inference batch size.
         seed: Master seed — programming draws use it directly (so jobs that
@@ -143,6 +146,8 @@ class SweepSpec:
         for backend in self.backends:
             if backend not in BACKENDS:
                 raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        for device_exec in self.device_execs:
+            validate_device_exec(device_exec)
         pairs = tuple(tuple(pair) for pair in self.precisions)
         if any(len(pair) != 2 for pair in pairs):
             raise ValueError("precisions entries must be (input_bits, weight_bits)")

@@ -56,6 +56,7 @@ from ..core.functional import (
     FunctionalModelConfig,
 )
 from ..devices.variation import DEFAULT_VARIATION, VariationModel
+from ..engine.kernels import validate_device_exec
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
 from ..quant.calibration import CALIBRATION_MODES
 from ..quant.quantize import signed_range, unsigned_range
@@ -68,7 +69,6 @@ __all__ = ["InferenceConfig", "QuantizedInferenceEngine"]
 
 _BACKENDS = ("functional", "device")
 _TILINGS = ("tiled", "monolithic")
-_DEVICE_METHODS = ("exact", "fast", "turbo")
 
 
 @dataclass(frozen=True)
@@ -82,9 +82,11 @@ class InferenceConfig:
             an ADC resolution).
         tiling: Device-backend execution layout — ``"tiled"`` (macro grid,
             default) or ``"monolithic"`` (single oversized macro).
-        device_exec: Row-reduction method of the device backend:
-            ``"exact"``, ``"fast"`` (default), or ``"turbo"`` (cached BLAS
-            operands; ULP-class differences, fastest).
+        device_exec: Execution kernel of the device backend, resolved
+            against the :mod:`repro.engine.kernels` registry: ``"exact"``,
+            ``"fast"`` (default), ``"turbo"`` (cached BLAS operands;
+            ULP-class differences), or ``"fused"`` (layer-level batched
+            kernel, bit-identical to turbo, fastest).
         input_bits: Activation precision (unsigned, 1..8).
         weight_bits: Weight precision (signed, 4 or 8).
         adc_bits: ADC resolution; None disables ADC quantisation
@@ -130,8 +132,7 @@ class InferenceConfig:
             raise ValueError(f"backend must be one of {_BACKENDS}")
         if self.tiling not in _TILINGS:
             raise ValueError(f"tiling must be one of {_TILINGS}")
-        if self.device_exec not in _DEVICE_METHODS:
-            raise ValueError(f"device_exec must be one of {_DEVICE_METHODS}")
+        validate_device_exec(self.device_exec)
         if self.calibration not in CALIBRATION_MODES:
             raise ValueError(f"calibration must be one of {CALIBRATION_MODES}")
         if self.calibration_samples < 1:

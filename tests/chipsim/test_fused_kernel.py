@@ -1,0 +1,172 @@
+"""Bit-identity gate of the fused layer-level kernel.
+
+The golden contract of the kernel-dispatch layer: ``device_exec="fused"``
+must be ``array_equal`` to ``"turbo"`` everywhere it can run — both
+designs, calibrated and uncalibrated, tiled and monolithic, raw engine
+matmats and full scenario inference — and a serving deployment built on a
+fused program must reproduce its own offline :meth:`ChipSimulator.run`
+bit-for-bit.  Activity counters are a property of the simulated chip, not
+of the host kernel, so fused and turbo must report identical counts.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.chipsim.tiling import TiledLayerEngine
+from repro.core.macro import IMCMacroConfig
+from repro.devices.variation import DEFAULT_VARIATION
+from repro.engine.array_state import ArrayState
+from repro.engine.macro_engine import MacroEngine
+from repro.serve import ChipProgram, ServeConfig, ServeRuntime
+from repro.system.inference import InferenceConfig, QuantizedInferenceEngine
+from repro.system.nn import SmallCNN
+
+
+def monolithic_engine(weights, *, design, seed=3):
+    rows, cols = weights.shape
+    padded_rows = -(-rows // 32) * 32
+    padded = np.zeros((padded_rows, cols), dtype=np.int64)
+    padded[:rows] = weights
+    config = IMCMacroConfig(
+        rows=padded_rows, banks=cols, block_rows=32,
+        adc_bits=5, weight_bits=8, variation=DEFAULT_VARIATION, seed=seed,
+    )
+    engine = MacroEngine(ArrayState.build(design, config), adc_bits=5, weight_bits=8)
+    engine.program_weights(padded)
+    return engine, padded_rows
+
+
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("design", ["curfe", "chgfe"])
+    @pytest.mark.parametrize("calibrated", [False, True])
+    def test_tiled_fused_equals_turbo(self, design, calibrated):
+        rng = np.random.default_rng(11)
+        weights = rng.integers(-128, 128, size=(200, 20))
+        tiled = TiledLayerEngine(
+            weights, design=design, variation=DEFAULT_VARIATION, seed=5
+        )
+        inputs = rng.integers(0, 16, size=(200, 9))
+        if calibrated:
+            tiled.calibrate_references(inputs, bits=4)
+        turbo = tiled.matmat(inputs, bits=4, method="turbo")
+        fused = tiled.matmat(inputs, bits=4, method="fused")
+        assert np.array_equal(fused, turbo)
+
+    @pytest.mark.parametrize("design", ["curfe", "chgfe"])
+    @pytest.mark.parametrize("calibrated", [False, True])
+    def test_monolithic_fused_equals_turbo(self, design, calibrated):
+        rng = np.random.default_rng(12)
+        weights = rng.integers(-128, 128, size=(96, 12))
+        mono, padded_rows = monolithic_engine(weights, design=design)
+        inputs = rng.integers(0, 16, size=(96, 7))
+        padded = np.zeros((padded_rows, 7), dtype=np.int64)
+        padded[:96] = inputs
+        if calibrated:
+            mono.calibrate_references(padded, bits=4)
+        turbo = mono.matmat(padded, bits=4, method="turbo")
+        fused = mono.matmat(padded, bits=4, method="fused")
+        assert np.array_equal(fused, turbo)
+
+    def test_narrow_weights_and_odd_bits(self):
+        rng = np.random.default_rng(13)
+        weights = rng.integers(-8, 8, size=(160, 10))
+        tiled = TiledLayerEngine(
+            weights, design="curfe", variation=DEFAULT_VARIATION,
+            seed=1, weight_bits=4,
+        )
+        inputs = rng.integers(0, 8, size=(160, 6))
+        turbo = tiled.matmat(inputs, bits=3, method="turbo")
+        fused = tiled.matmat(inputs, bits=3, method="fused")
+        assert np.array_equal(fused, turbo)
+
+    def test_fused_tracks_recalibration(self):
+        """The hoisted layer engine must follow calibrate/clear, not cache
+        stale reference levels from a previous programming."""
+        rng = np.random.default_rng(14)
+        weights = rng.integers(-128, 128, size=(64, 8))
+        tiled = TiledLayerEngine(
+            weights, design="curfe", variation=DEFAULT_VARIATION, seed=2
+        )
+        inputs = rng.integers(0, 16, size=(64, 5))
+        nominal = tiled.matmat(inputs, bits=4, method="fused")
+        tiled.calibrate_references(inputs, bits=4)
+        calibrated = tiled.matmat(inputs, bits=4, method="fused")
+        assert np.array_equal(
+            calibrated, tiled.matmat(inputs, bits=4, method="turbo")
+        )
+        tiled.clear_calibration()
+        assert np.array_equal(nominal, tiled.matmat(inputs, bits=4, method="fused"))
+
+    def test_activity_counters_identical_to_turbo(self):
+        rng = np.random.default_rng(15)
+        weights = rng.integers(-128, 128, size=(200, 20))
+        counts = {}
+        for method in ("turbo", "fused"):
+            tiled = TiledLayerEngine(
+                weights, design="curfe", variation=DEFAULT_VARIATION, seed=5
+            )
+            inputs = rng.integers(0, 16, size=(200, 9))
+            tiled.matmat(inputs, bits=4, method=method)
+            counts[method] = (
+                tiled.columns_processed, tiled.block_macs,
+                tiled.psum_adds, tiled.tile_matmats,
+            )
+        assert counts["fused"] == counts["turbo"]
+
+
+class TestScenarioBitIdentity:
+    @pytest.fixture(scope="class")
+    def small_images(self):
+        rng = np.random.default_rng(7)
+        return rng.random((4, 3, 16, 16))
+
+    @pytest.mark.parametrize("tiling", ["tiled", "monolithic"])
+    @pytest.mark.parametrize("calibration", ["workload", "nominal"])
+    def test_smallcnn_fused_equals_turbo(self, small_images, tiling, calibration):
+        model = SmallCNN(seed=0)
+        logits = {}
+        for device_exec in ("turbo", "fused"):
+            engine = QuantizedInferenceEngine(
+                model,
+                InferenceConfig(
+                    design="curfe", backend="device", tiling=tiling,
+                    device_exec=device_exec, calibration=calibration,
+                    variation=DEFAULT_VARIATION, seed=2,
+                ),
+            )
+            logits[device_exec] = engine.forward(small_images)
+        assert np.array_equal(logits["fused"], logits["turbo"])
+
+
+class TestFusedServing:
+    def test_fused_serving_equals_offline_run(self):
+        """A fused-kernel deployment is deterministic: runtime predictions
+        equal one offline ChipSimulator.run of the same warm chip."""
+        config = ServeConfig(
+            scenario="tiny_mlp", backend="device", design="curfe",
+            device_exec="fused", calibration_images=8,
+            replicas=1, max_batch=4,
+        )
+        program = ChipProgram.build(config)
+        rng = np.random.default_rng(77)
+        images = rng.random((9, *program.input_shape))
+        offline = program.instantiate().run(images).predictions
+        with ServeRuntime(config, program=program) as runtime:
+            predictions = runtime.serve(images)
+        np.testing.assert_array_equal(predictions, offline)
+
+    def test_fused_program_matches_turbo_program(self):
+        """Same deployment, turbo vs fused kernel: identical predictions."""
+        base = ServeConfig(
+            scenario="tiny_mlp", backend="device", design="curfe",
+            device_exec="turbo", calibration_images=8,
+            replicas=1, max_batch=4,
+        )
+        fused = dataclasses.replace(base, device_exec="fused")
+        rng = np.random.default_rng(78)
+        images = rng.random((6, *ChipProgram.build(base).input_shape))
+        turbo_pred = ChipProgram.build(base).instantiate().run(images).predictions
+        fused_pred = ChipProgram.build(fused).instantiate().run(images).predictions
+        np.testing.assert_array_equal(fused_pred, turbo_pred)

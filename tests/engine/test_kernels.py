@@ -1,0 +1,184 @@
+"""The kernel-dispatch registry: one validation point, pluggable backends.
+
+Covers the registry API (lookup, registration, replacement, the ValueError
+that lists registered kernels on a typo), dispatch of a custom plane
+kernel through ``MacroEngine.matmat``, the bucketed-LUT calibrated search
+(exact ``searchsorted`` equality, the property the fused kernel's
+calibrated bit-identity rests on), and the optional numba backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adc import CalibratedMACQuantizer
+from repro.core.macro import IMCMacroConfig
+from repro.devices.variation import DEFAULT_VARIATION
+from repro.engine import kernels
+from repro.engine.array_state import ArrayState
+from repro.engine.kernels import (
+    Kernel,
+    get_kernel,
+    register_kernel,
+    registered_kernels,
+    unregister_kernel,
+    validate_device_exec,
+)
+from repro.engine.macro_engine import MacroEngine
+from repro.system.inference import InferenceConfig
+
+
+def build_engine(weights, *, design="curfe", seed=0):
+    rows, cols = weights.shape
+    config = IMCMacroConfig(
+        rows=rows, banks=cols, block_rows=32, adc_bits=5, weight_bits=8,
+        variation=DEFAULT_VARIATION, seed=seed,
+    )
+    engine = MacroEngine(ArrayState.build(design, config), adc_bits=5, weight_bits=8)
+    engine.program_weights(weights)
+    return engine
+
+
+class TestRegistry:
+    def test_builtin_kernels_registered(self):
+        names = registered_kernels()
+        for name in ("exact", "fast", "turbo", "fused"):
+            assert name in names
+
+    def test_get_kernel_levels(self):
+        assert get_kernel("exact").level == "plane"
+        assert get_kernel("fast").level == "plane"
+        assert get_kernel("turbo").level == "plane"
+        assert get_kernel("fused").level == "layer"
+
+    def test_unknown_kernel_lists_registered_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_kernel("tubro")
+        message = str(excinfo.value)
+        assert "tubro" in message
+        for name in registered_kernels():
+            assert name in message
+
+    def test_validate_device_exec_round_trips(self):
+        assert validate_device_exec("fused") == "fused"
+        with pytest.raises(ValueError, match="registered kernels"):
+            validate_device_exec("nope")
+
+    def test_inference_config_validates_through_registry(self):
+        with pytest.raises(ValueError, match="registered kernels"):
+            InferenceConfig(backend="device", device_exec="trubo")
+
+    def test_duplicate_registration_requires_replace(self):
+        kernel = get_kernel("turbo")
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel(kernel)
+        assert register_kernel(kernel, replace=True) is kernel
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ValueError, match="not registered"):
+            unregister_kernel("missing")
+
+    def test_kernel_shape_validation(self):
+        with pytest.raises(ValueError, match="plane kernel"):
+            Kernel(name="bad", level="plane", description="no fn")
+        with pytest.raises(ValueError, match="layer kernel"):
+            Kernel(name="bad", level="layer", description="no fn")
+        with pytest.raises(ValueError, match="level"):
+            Kernel(name="bad", level="block", description="x",
+                   reduce_plane=lambda *a: None)
+
+
+class TestCustomKernelDispatch:
+    def test_registered_plane_kernel_is_dispatched(self):
+        """A plugged-in kernel reusing the turbo reduction must produce
+        turbo-identical output through the standard matmat entry point."""
+        turbo = get_kernel("turbo")
+        custom = Kernel(
+            name="turbo_alias", level="plane",
+            description="test alias of turbo",
+            reduce_plane=turbo.reduce_plane,
+        )
+        register_kernel(custom)
+        try:
+            rng = np.random.default_rng(21)
+            weights = rng.integers(-128, 128, size=(64, 8))
+            engine = build_engine(weights)
+            inputs = rng.integers(0, 16, size=(64, 5))
+            assert np.array_equal(
+                engine.matmat(inputs, bits=4, method="turbo_alias"),
+                engine.matmat(inputs, bits=4, method="turbo"),
+            )
+        finally:
+            unregister_kernel("turbo_alias")
+        with pytest.raises(ValueError, match="registered kernels"):
+            engine.matmat(inputs, bits=4, method="turbo_alias")
+
+
+class TestCalibratedLut:
+    def _quantizer(self, seed, num_levels=31):
+        rng = np.random.default_rng(seed)
+        levels = np.unique(rng.normal(0.0, 40.0, size=num_levels).round(3))
+        slope = 0.001 if seed % 2 == 0 else -0.001
+        return CalibratedMACQuantizer(
+            levels, nominal_voltage_for_mac=lambda mac: 0.45 + slope * mac
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_lut_equals_searchsorted(self, seed):
+        quantizer = self._quantizer(seed)
+        lut = kernels._calibrated_lut(quantizer)
+        assert lut is not None
+        start, steps, tmin, scale, ext = lut
+        rng = np.random.default_rng(100 + seed)
+        thresholds = quantizer._thresholds
+        # Dense probes, exact threshold hits, and out-of-range values.
+        probes = np.concatenate([
+            rng.uniform(thresholds[0] - 1.0, thresholds[-1] + 1.0, size=4096),
+            thresholds,
+            np.nextafter(thresholds, -np.inf),
+            np.nextafter(thresholds, np.inf),
+        ])
+        expected = np.searchsorted(thresholds, probes)
+        cells = np.clip(((probes - tmin) * scale).astype(np.int64), 0,
+                        start.size - 1)
+        indices = start[cells]
+        for _ in range(steps):
+            indices += ext[indices] < probes
+        np.testing.assert_array_equal(indices, expected)
+
+    def test_degenerate_levels_fall_back(self):
+        quantizer = CalibratedMACQuantizer(
+            np.array([3.0]), nominal_voltage_for_mac=lambda mac: 0.5
+        )
+        assert kernels._calibrated_lut(quantizer) is None
+
+    def test_quantize_macs_inplace_matches_quantizer(self):
+        quantizer = self._quantizer(7)
+        rng = np.random.default_rng(7)
+        buf = rng.uniform(0.0, 1.0, size=257)
+        expected = quantizer.quantize_voltages(buf)
+        kernels._quantize_macs_inplace(quantizer, buf)
+        np.testing.assert_array_equal(buf, expected)
+
+
+class TestNumbaKernel:
+    def test_numba_kernel_matches_turbo(self):
+        pytest.importorskip("numba")
+        assert kernels.NUMBA_KERNEL_AVAILABLE
+        assert "numba" in registered_kernels()
+        rng = np.random.default_rng(31)
+        weights = rng.integers(-128, 128, size=(64, 8))
+        engine = build_engine(weights)
+        inputs = rng.integers(0, 16, size=(64, 5))
+        assert np.array_equal(
+            engine.matmat(inputs, bits=4, method="numba"),
+            engine.matmat(inputs, bits=4, method="turbo"),
+        )
+
+    def test_registry_reflects_numba_availability(self):
+        try:
+            import numba  # noqa: F401
+            available = True
+        except ImportError:
+            available = False
+        assert kernels.NUMBA_KERNEL_AVAILABLE == available
+        assert ("numba" in registered_kernels()) == available
