@@ -137,6 +137,8 @@ SERVE_SCHEMA = {
     "chip_energy_j": float,
     "points": list,
     "batching_probe": dict,
+    "cold_start": dict,
+    "first_request": dict,
     "deterministic": bool,
     "predictions_sha256": str,
 }
@@ -166,6 +168,40 @@ SERVE_PROBE_SCHEMA = {
     "batched_rps": float,
     "unbatched_rps": float,
     "speedup": float,
+}
+
+#: Cold-start (pickle-vs-shared-memory worker bring-up) probe of
+#: BENCH_serve.json.
+SERVE_COLD_SCHEMA = {
+    "scenario": str,
+    "device_exec": str,
+    "fanout_workers": int,
+    "program_build_s": float,
+    "single_copy_bytes": int,
+    "arena_bytes": int,
+    "points": list,
+    "worker_startup_speedup": float,
+    "rss_ratio": float,
+    "rss_efficiency": float,
+}
+
+#: One (transport, worker-count) bring-up measurement of the cold-start probe.
+SERVE_COLD_POINT_SCHEMA = {
+    "transport": str,
+    "workers": int,
+    "pool_start_s": float,
+    "init_s_mean": float,
+    "init_s_max": float,
+    "private_bytes": int,
+    "pss_bytes": int,
+}
+
+#: First-request-vs-steady-state latency probe of BENCH_serve.json.
+SERVE_FIRST_SCHEMA = {
+    "first_s": float,
+    "steady_p50_s": float,
+    "steady_p99_s": float,
+    "ratio": float,
 }
 
 
@@ -277,6 +313,27 @@ def check_serve_record(record: dict, filename: str) -> list:
                 record["batching_probe"],
                 SERVE_PROBE_SCHEMA,
                 f"{filename}:batching_probe",
+            )
+        )
+    if isinstance(record.get("cold_start"), dict):
+        cold = record["cold_start"]
+        errors.extend(check_record(cold, SERVE_COLD_SCHEMA, f"{filename}:cold_start"))
+        cold_points = cold.get("points")
+        if isinstance(cold_points, list):
+            if not cold_points:
+                errors.append(f"{filename}: cold_start points is empty")
+            for index, point in enumerate(cold_points):
+                context = f"{filename}:cold_start.points[{index}]"
+                if not isinstance(point, dict):
+                    errors.append(f"{context}: bring-up point is not an object")
+                    continue
+                errors.extend(check_record(point, SERVE_COLD_POINT_SCHEMA, context))
+    if isinstance(record.get("first_request"), dict):
+        errors.extend(
+            check_record(
+                record["first_request"],
+                SERVE_FIRST_SCHEMA,
+                f"{filename}:first_request",
             )
         )
     points = record.get("points")

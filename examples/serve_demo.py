@@ -1,25 +1,39 @@
 """Online inference serving over a pool of pre-programmed simulated chips.
 
 Programs the ``small_cnn`` scenario's chip **once** (cell characterisation,
-workload-calibrated ADC references, pinned activation scales — a
-:class:`repro.serve.ChipProgram`), stamps out two warm replicas, and serves
-closed-loop traffic through the dynamic micro-batching scheduler at three
-client counts.  The closing checks demonstrate the two serving guarantees:
+workload-calibrated ADC references, pinned activation scales, ahead-of-time
+compiled kernel plans — a :class:`repro.serve.ChipProgram`), stamps out two
+warm replicas, and serves closed-loop traffic through the dynamic
+micro-batching scheduler at three client counts.  The closing sections
+demonstrate the serving guarantees:
 
-* **determinism** — the per-request predictions equal one offline
-  :meth:`ChipSimulator.run` of the same warm program over the same inputs;
 * **batching wins** — coalesced micro-batches beat batch-size-1 serving
-  throughput on the same warm pool.
+  throughput on the same warm pool;
+* **zero-copy process pools** — shipping the program to worker processes
+  as a shared-memory arena (``program_transport="shm"``) starts workers
+  faster and maps one physical copy of the arrays, versus every worker
+  unpickling its own private copy (measured side by side below);
+* **determinism** — the per-request predictions equal one offline
+  :meth:`ChipSimulator.run` of the same warm program over the same inputs,
+  for thread pools and shared-memory process pools alike.
 
 Run with:  python examples/serve_demo.py
 """
 
 import dataclasses
+import pickle
 import time
 
 import numpy as np
 
-from repro.serve import ChipProgram, LoadGenerator, ServeConfig, ServeRuntime
+from repro.engine.shm import shm_available
+from repro.serve import (
+    ChipProgram,
+    LoadGenerator,
+    ServeConfig,
+    ServeRuntime,
+    WorkerPool,
+)
 
 CONFIG = ServeConfig(
     scenario="small_cnn",
@@ -34,16 +48,53 @@ CONFIG = ServeConfig(
 REQUESTS = 96
 
 
+def compare_transports(program: ChipProgram) -> None:
+    """Start the same 2-worker process pool over pickle and shm, side by side."""
+    single_copy = len(pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL))
+    print(
+        f"process pools, {CONFIG.replicas} workers, one program copy = "
+        f"{single_copy / 1e6:.1f} MB pickled:"
+    )
+    transports = ("pickle", "shm") if shm_available() else ("pickle",)
+    for transport in transports:
+        pool = WorkerPool(
+            program,
+            dataclasses.replace(CONFIG, pool="process", program_transport=transport),
+        )
+        start = time.perf_counter()
+        pool.start()
+        start_s = time.perf_counter() - start
+        try:
+            workers = pool.warmup()
+            init_ms = [1e3 * float(rec["init_s"]) for rec in workers]
+            private = sum(int(rec["private_bytes"]) for rec in workers)
+        finally:
+            pool.shutdown()
+        print(
+            f"  {transport:6s}: pool up in {start_s * 1e3:7.1f} ms | worker init "
+            f"{max(init_ms):7.1f} ms max | combined private RSS "
+            f"{private / 1e6:6.1f} MB ({private / single_copy:.2f}x one copy)"
+        )
+    if len(transports) == 1:
+        print("  (shared memory unavailable on this host — pickle only)")
+    print()
+
+
 def main() -> None:
-    print("programming the chip once (characterise + calibrate + pin scales)...")
+    print("programming the chip once (characterise + calibrate + compile plans)...")
     start = time.perf_counter()
     program = ChipProgram.build(CONFIG)
     print(
         f"  built in {time.perf_counter() - start:.2f} s | layers: "
         f"{sorted(program.model_arrays)} | modeled "
         f"{program.chip_latency_s * 1e6:.2f} us, "
-        f"{program.chip_energy_j * 1e6:.3f} uJ per image\n"
+        f"{program.chip_energy_j * 1e6:.3f} uJ per image"
     )
+    # One warm replica in the parent: forked workers inherit the warmed
+    # nominal-table memos, so the transport comparison isolates transport cost.
+    start = time.perf_counter()
+    offline_chip = program.instantiate()
+    print(f"  warm replica stamped in {(time.perf_counter() - start) * 1e3:.1f} ms\n")
 
     images = program.calibration_images
     generator = LoadGenerator(images, seed=9)
@@ -72,12 +123,24 @@ def main() -> None:
         "(micro-batching is the difference)\n"
     )
 
+    compare_transports(program)
+
     print("determinism: serving == one offline ChipSimulator.run ...")
-    offline = program.instantiate().run(images).predictions
+    offline = offline_chip.run(images).predictions
     with ServeRuntime(CONFIG, program=program) as runtime:
         served = runtime.serve(images)
     assert np.array_equal(served, offline)
-    print(f"  array_equal over {len(images)} requests: True")
+    print(f"  thread pool, array_equal over {len(images)} requests: True")
+    if shm_available():
+        shm_config = dataclasses.replace(
+            CONFIG, pool="process", program_transport="shm"
+        )
+        with ServeRuntime(shm_config, program=program) as runtime:
+            served = runtime.serve(images)
+        assert np.array_equal(served, offline)
+        print(
+            f"  shm process pool, array_equal over {len(images)} requests: True"
+        )
 
 
 if __name__ == "__main__":

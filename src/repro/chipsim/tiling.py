@@ -334,10 +334,21 @@ class TiledLayerEngine:
         keeps tiled execution bit-identical to a monolithic macro
         calibrated with the same levels.
         """
+        shared = None
         for engine in self._engines:
-            engine.apply_reference_levels(levels)
+            if shared is None:
+                engine.apply_reference_levels(levels)
+                shared = engine._calibrated
+            else:
+                # Tiles are views of one state with identical readout
+                # transfers, so the first tile's quantisers (and their
+                # cached search LUTs) are shared rather than rebuilt.
+                engine._adopt_calibration(shared)
         if self._layer_engine is not None:
-            self._layer_engine.apply_reference_levels(levels)
+            if shared is not None:
+                self._layer_engine._adopt_calibration(shared)
+            else:
+                self._layer_engine.apply_reference_levels(levels)
         # Cache the engines' normalised (sorted, deduplicated) form so the
         # layer-level view always equals what every tile reports.
         self._reference_levels = {
@@ -403,6 +414,67 @@ class TiledLayerEngine:
         )
         return self.apply_reference_levels(levels)
 
+    # --------------------------------------------------- compiled kernel plans
+
+    def precompile(self, device_exec: str = "fast") -> None:
+        """Eagerly build every table the *device_exec* kernel will touch.
+
+        Layer-level kernels precompile the full-layer engine (building it
+        if needed); plane-level kernels precompile every tile engine.  A
+        replica precompiled at program time serves request #1 on the hot
+        path only.
+        """
+        kernel = get_kernel(device_exec)
+        if kernel.level == "layer":
+            self._full_layer_engine().precompile(device_exec)
+        else:
+            for engine in self._engines:
+                engine.precompile(device_exec)
+
+    def export_kernel_plan(self, device_exec: str = "fast") -> Dict[str, np.ndarray]:
+        """Precompile and export the layer's kernel tables as flat arrays.
+
+        Keys are prefixed ``layer__`` (layer-level kernels, full-layer
+        engine) or ``tile{i}__`` (plane-level kernels, one set per tile);
+        :meth:`apply_kernel_plan` re-installs them without recompute.
+        """
+        kernel = get_kernel(device_exec)
+        plan: Dict[str, np.ndarray] = {}
+        if kernel.level == "layer":
+            exported = self._full_layer_engine().export_kernel_plan(device_exec)
+            plan.update({f"layer__{key}": value for key, value in exported.items()})
+        else:
+            for index, engine in enumerate(self._engines):
+                exported = engine.export_kernel_plan(device_exec)
+                plan.update(
+                    {f"tile{index}__{key}": value for key, value in exported.items()}
+                )
+        return plan
+
+    def apply_kernel_plan(
+        self, device_exec: str, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Install exported kernel tables (possibly shared-memory views)."""
+        kernel = get_kernel(device_exec)
+        if kernel.level == "layer":
+            prefix = "layer__"
+            tables = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            self._full_layer_engine().apply_kernel_plan(device_exec, tables)
+            return
+        # One pass over the plan: partition ``tile{i}__{name}`` keys by tile
+        # index instead of rescanning every key once per tile.
+        per_tile: Dict[int, Dict[str, np.ndarray]] = {}
+        for key, value in arrays.items():
+            tile_prefix, sep, name = key.partition("__")
+            if sep and tile_prefix.startswith("tile") and tile_prefix[4:].isdigit():
+                per_tile.setdefault(int(tile_prefix[4:]), {})[name] = value
+        for index, engine in enumerate(self._engines):
+            engine.apply_kernel_plan(device_exec, per_tile.get(index, {}))
+
     # -------------------------------------------------------------- operation
 
     def _full_layer_engine(self) -> MacroEngine:
@@ -423,7 +495,10 @@ class TiledLayerEngine:
             )
             engine.program_weights(self._padded_weights)
             if self._reference_levels is not None:
-                engine.apply_reference_levels(self._reference_levels)
+                if self._engines and self._engines[0]._calibrated:
+                    engine._adopt_calibration(self._engines[0]._calibrated)
+                else:
+                    engine.apply_reference_levels(self._reference_levels)
             self._layer_engine = engine
         return engine
 

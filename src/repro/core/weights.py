@@ -18,6 +18,7 @@ used by tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 import numpy as np
@@ -83,6 +84,13 @@ def bits_to_nibble(bits: np.ndarray, signed: bool) -> np.ndarray:
 class WeightPlan:
     """Encoded weight storage plan for a weight matrix.
 
+    Only the validated signed matrix is stored; the nibble and per-cell
+    bit tensors are derived views of it, materialised lazily on first
+    access and cached (``cached_property`` writes straight into
+    ``__dict__``, which the frozen dataclass permits).  A plan that is
+    never asked for its bit tensors — e.g. a serving replica stamped from
+    a precompiled kernel plan — therefore costs only the matrix itself.
+
     Attributes:
         weight_bits: 4 or 8.
         weights: The original signed weight matrix, shape (rows, columns).
@@ -97,10 +105,35 @@ class WeightPlan:
 
     weight_bits: int
     weights: np.ndarray
-    high_nibbles: np.ndarray
-    low_nibbles: np.ndarray
-    high_bits: np.ndarray
-    low_bits: np.ndarray
+
+    def _nibbles(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self.weight_bits == 4:
+            return self.weights.copy(), np.zeros_like(self.weights)
+        patterns = np.where(self.weights < 0, self.weights + 256, self.weights)
+        low = patterns & 0xF
+        high_patterns = (patterns >> 4) & 0xF
+        high = np.where(high_patterns >= 8, high_patterns - 16, high_patterns)
+        return high, low
+
+    @cached_property
+    def high_nibbles(self) -> np.ndarray:
+        high, low = self._nibbles()
+        self.__dict__["low_nibbles"] = low
+        return high
+
+    @cached_property
+    def low_nibbles(self) -> np.ndarray:
+        high, low = self._nibbles()
+        self.__dict__["high_nibbles"] = high
+        return low
+
+    @cached_property
+    def high_bits(self) -> np.ndarray:
+        return nibble_to_bits(self.high_nibbles, signed=True)
+
+    @cached_property
+    def low_bits(self) -> np.ndarray:
+        return nibble_to_bits(self.low_nibbles, signed=False)
 
     @property
     def rows(self) -> int:
@@ -149,23 +182,7 @@ def encode_weight_matrix(weights: np.ndarray, weight_bits: int) -> WeightPlan:
     if np.any(weights < lo) or np.any(weights > hi):
         raise ValueError(f"weights outside signed {weight_bits}-bit range [{lo}, {hi}]")
 
-    if weight_bits == 4:
-        high = weights.copy()
-        low = np.zeros_like(weights)
-    else:
-        patterns = np.where(weights < 0, weights + 256, weights)
-        low = patterns & 0xF
-        high_patterns = (patterns >> 4) & 0xF
-        high = np.where(high_patterns >= 8, high_patterns - 16, high_patterns)
-
-    return WeightPlan(
-        weight_bits=weight_bits,
-        weights=weights,
-        high_nibbles=high,
-        low_nibbles=low,
-        high_bits=nibble_to_bits(high, signed=True),
-        low_bits=nibble_to_bits(low, signed=False),
-    )
+    return WeightPlan(weight_bits=weight_bits, weights=weights)
 
 
 def decode_weight_plan(plan: WeightPlan) -> np.ndarray:

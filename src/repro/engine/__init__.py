@@ -39,7 +39,20 @@ __all__ = [
     "registered_kernels",
     "unregister_kernel",
     "validate_device_exec",
+    "ArenaManifest",
+    "SharedArena",
+    "ShmArrayState",
+    "host_shared_arrays",
+    "shm_available",
 ]
+
+_SHM_API = (
+    "ArenaManifest",
+    "SharedArena",
+    "ShmArrayState",
+    "host_shared_arrays",
+    "shm_available",
+)
 
 _KERNEL_API = (
     "Kernel",
@@ -64,4 +77,8 @@ def __getattr__(name):
         from . import kernels
 
         return getattr(kernels, name)
+    if name in _SHM_API:
+        from . import shm
+
+        return getattr(shm, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -96,6 +96,36 @@ def _characterise_group(design: str, vth_offsets, resistor_tolerances, signed, p
     return characterise_chgfe_group(vth_offsets, signed=signed, params=params)
 
 
+#: Memoised variation-free characterisations, keyed by
+#: (design, signed, cell_params).  The nominal tables are a pure function of
+#: those three values, yet computing them runs the iterative cell solver —
+#: the dominant cost of restoring a cached/shared state, where every tensor
+#: is immediately replaced anyway.  Cell-parameter dataclasses are frozen,
+#: so they hash; exotic unhashable params simply bypass the cache.
+_NOMINAL_GROUP_CACHE: dict = {}
+
+
+def _nominal_group_tables(design: str, signed: bool, params):
+    """One characterised nominal row (on, off_selected, unselected), memoised."""
+    try:
+        key = (design, signed, params)
+        cached = _NOMINAL_GROUP_CACHE.get(key)
+    except TypeError:
+        key = None
+        cached = None
+    if cached is None:
+        zeros = np.zeros((1, NUM_COLUMNS))
+        tables = []
+        for table in _characterise_group(design, zeros, zeros, signed, params):
+            table = np.asarray(table)
+            table.flags.writeable = False
+            tables.append(table)
+        cached = tuple(tables)
+        if key is not None:
+            _NOMINAL_GROUP_CACHE[key] = cached
+    return cached
+
+
 def _draw_curfe_offsets(
     variation: VariationModel, rng: Optional[np.random.Generator], rows: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -399,13 +429,11 @@ class ArrayState:
                 )
             else:
                 # Variation-free arrays are identical per cell position:
-                # characterise one row and broadcast (read-only views).
-                zeros = np.zeros((1, NUM_COLUMNS))
+                # characterise one row (memoised) and broadcast (read-only
+                # views) — restoring a cached state costs no solver time.
                 on, off_sel, unsel = (
                     np.broadcast_to(table, shape)
-                    for table in _characterise_group(
-                        design, zeros, zeros, signed, cell_params
-                    )
+                    for table in _nominal_group_tables(design, signed, cell_params)
                 )
             feedback = None
             caps = None

@@ -164,7 +164,7 @@ def validate_device_exec(name: str) -> str:
 
 def _exact_reduce(engine, plane, key: str) -> np.ndarray:
     """Legacy expression structure, batched (bit-identical per device)."""
-    selected = engine._selected[key]
+    selected = engine.selected(key)
     unselected = engine.state.group(key).unselected
     x = plane[:, None, :, :, None]
     contributions = x * selected + (1 - x) * unselected
@@ -174,7 +174,7 @@ def _exact_reduce(engine, plane, key: str) -> np.ndarray:
 def _fast_reduce(engine, plane, key: str) -> np.ndarray:
     """Einsum row reduction (ULP-class voltage differences)."""
     group = engine.state.group(key)
-    difference = engine._selected[key] - group.unselected
+    difference = engine.selected(key) - group.unselected
     return group.unselected.sum(axis=2)[None] + np.einsum(
         "njr,bjrc->nbjc", plane, difference
     )
@@ -215,7 +215,7 @@ def _fused_group_tables(engine, key: str) -> tuple:
         state = engine.state
         group = state.group(key)
         # (banks, num_block_rows, block_rows, 4) like the stored pattern.
-        difference = engine._selected[key] - group.unselected
+        difference = engine.selected(key) - group.unselected
         unselected_sum = group.unselected.sum(axis=2)  # (banks, R, 4)
         if state.design == CURFE_DESIGN:
             table = np.ascontiguousarray(difference.sum(axis=3).transpose(1, 2, 0))

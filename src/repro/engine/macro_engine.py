@@ -83,6 +83,33 @@ __all__ = ["MacroEngine"]
 #: affecting results (columns are independent).
 DEFAULT_BATCH_CHUNK = 256
 
+#: Memoised nominal MAC quantisers, keyed by (signed, block_rows, readout,
+#: adc_bits).  Readouts are frozen (value-hashable) dataclasses, and the
+#: default-reference-bank quantiser is a pure function of these values —
+#: every tile engine of a layer, and every replica of a serving program,
+#: would otherwise rebuild identical converters.
+_NOMINAL_QUANTIZER_CACHE: dict = {}
+
+
+def _nominal_quantizer(signed: bool, block_rows: int, readout, adc_bits: int):
+    mode = ADCMode.TWOS_COMPLEMENT if signed else ADCMode.NON_TWOS_COMPLEMENT
+    try:
+        key = (signed, block_rows, readout, adc_bits)
+        quantizer = _NOMINAL_QUANTIZER_CACHE.get(key)
+    except TypeError:
+        key = None
+        quantizer = None
+    if quantizer is None:
+        quantizer = build_mac_quantizer(
+            mac_range=mac_range_for_group(signed, block_rows),
+            nominal_voltage_for_mac=readout.voltage,
+            adc_bits=adc_bits,
+            mode=mode,
+        )
+        if key is not None:
+            _NOMINAL_QUANTIZER_CACHE[key] = quantizer
+    return quantizer
+
 
 class MacroEngine:
     """Batched matvec/matmat over a structure-of-arrays macro state.
@@ -112,23 +139,34 @@ class MacroEngine:
         self.state = state
         self.adc_bits = int(adc_bits)
         self.weight_bits = int(weight_bits)
-        self._quantizers: Dict[str, MACQuantizer] = {
-            "high": build_mac_quantizer(
-                mac_range=mac_range_for_group(True, state.block_rows),
-                nominal_voltage_for_mac=state.readout_high.voltage,
-                adc_bits=self.adc_bits,
-                mode=ADCMode.TWOS_COMPLEMENT,
-                reference_bank=reference_bank,
-            )
-        }
-        if self.weight_bits == 8:
-            self._quantizers["low"] = build_mac_quantizer(
-                mac_range=mac_range_for_group(False, state.block_rows),
-                nominal_voltage_for_mac=state.readout_low.voltage,
-                adc_bits=self.adc_bits,
-                mode=ADCMode.NON_TWOS_COMPLEMENT,
-                reference_bank=reference_bank,
-            )
+        if reference_bank is None:
+            self._quantizers: Dict[str, MACQuantizer] = {
+                "high": _nominal_quantizer(
+                    True, state.block_rows, state.readout_high, self.adc_bits
+                )
+            }
+            if self.weight_bits == 8:
+                self._quantizers["low"] = _nominal_quantizer(
+                    False, state.block_rows, state.readout_low, self.adc_bits
+                )
+        else:
+            self._quantizers = {
+                "high": build_mac_quantizer(
+                    mac_range=mac_range_for_group(True, state.block_rows),
+                    nominal_voltage_for_mac=state.readout_high.voltage,
+                    adc_bits=self.adc_bits,
+                    mode=ADCMode.TWOS_COMPLEMENT,
+                    reference_bank=reference_bank,
+                )
+            }
+            if self.weight_bits == 8:
+                self._quantizers["low"] = build_mac_quantizer(
+                    mac_range=mac_range_for_group(False, state.block_rows),
+                    nominal_voltage_for_mac=state.readout_low.voltage,
+                    adc_bits=self.adc_bits,
+                    mode=ADCMode.NON_TWOS_COMPLEMENT,
+                    reference_bank=reference_bank,
+                )
         self._plan: Optional[WeightPlan] = None
         self._stored: Dict[str, np.ndarray] = {}
         self._selected: Dict[str, np.ndarray] = {}
@@ -191,45 +229,69 @@ class MacroEngine:
         if plan.weights.shape != expected:
             raise ValueError(f"weights must have shape {expected}, got {plan.weights.shape}")
         self._plan = plan
-        self._stored = {"high": self._group_bits(plan.high_bits)}
-        if self.weight_bits == 8:
-            self._stored["low"] = self._group_bits(plan.low_bits)
-        # Precompute the selected-row contribution of every cell for the
-        # stored pattern: stored ? on : off_selected (same expression the
-        # legacy blocks evaluate per conversion).
+        # Derived per-pattern state is materialised lazily (stored_bits /
+        # selected / the kernel table caches) so programming is cheap and a
+        # replica stamped from a precompiled kernel plan never pays for it.
+        self._stored = {}
         self._selected = {}
         self._turbo_tables = {}
         self._fused_tables = {}
         # New stored pattern -> any workload calibration derived from the
         # previous pattern is stale; fall back to the nominal references.
         self._calibrated = {}
-        for key, stored in self._stored.items():
-            group = self.state.group(key)
-            self._selected[key] = (
-                stored * group.on + (1 - stored) * group.off_selected
-            )
         return plan
+
+    def _group_keys(self) -> tuple:
+        return ("high", "low") if self.weight_bits == 8 else ("high",)
+
+    def stored_bits(self, key: str) -> np.ndarray:
+        """Stored per-cell bits of one group, (banks, R, block_rows, 4)."""
+        self._check_programmed()
+        bits = self._stored.get(key)
+        if bits is None:
+            plan_bits = (
+                self._plan.high_bits if key == "high" else self._plan.low_bits
+            )
+            bits = self._group_bits(plan_bits)
+            self._stored[key] = bits
+        return bits
+
+    def selected(self, key: str) -> np.ndarray:
+        """Selected-row contribution of every cell for the stored pattern.
+
+        ``stored ? on : off_selected`` — the same expression the legacy
+        blocks evaluate per conversion; computed once per group on demand.
+        """
+        contribution = self._selected.get(key)
+        if contribution is None:
+            stored = self.stored_bits(key)
+            group = self.state.group(key)
+            contribution = stored * group.on + (1 - stored) * group.off_selected
+            self._selected[key] = contribution
+        return contribution
 
     def _turbo_group_tables(self, key: str) -> tuple:
         """Cached per-block gemm operands for the stored pattern of a group.
 
-        Returns ``(difference_t, unselected_sum)`` where ``difference_t[j]``
-        is the (block_rows, banks*4) right-hand operand of block row ``j``
-        and ``unselected_sum`` has shape (banks, num_block_rows, 4).
+        Returns ``(difference_t, unselected_sum)`` where ``difference_t``
+        is one contiguous (num_block_rows, block_rows, banks*4) stack —
+        ``difference_t[j]`` is the right-hand operand of block row ``j`` —
+        and ``unselected_sum`` has shape (banks, num_block_rows, 4).  One
+        array per group keeps the operands exportable as a flat kernel
+        plan (and mappable zero-copy from a shared arena).
         """
         tables = self._turbo_tables.get(key)
         if tables is None:
             state = self.state
             group = state.group(key)
-            difference = self._selected[key] - group.unselected
-            difference_t = [
-                np.ascontiguousarray(
-                    difference[:, j]
-                    .transpose(1, 0, 2)
-                    .reshape(state.block_rows, state.banks * NUM_COLUMNS)
+            difference = self.selected(key) - group.unselected
+            difference_t = np.ascontiguousarray(
+                difference.transpose(1, 2, 0, 3).reshape(
+                    state.num_block_rows,
+                    state.block_rows,
+                    state.banks * NUM_COLUMNS,
                 )
-                for j in range(state.num_block_rows)
-            ]
+            )
             tables = (difference_t, group.unselected.sum(axis=2))
             self._turbo_tables[key] = tables
         return tables
@@ -254,13 +316,91 @@ class MacroEngine:
         """
         if self._plan is None:
             return False
-        if not np.array_equal(self._stored["high"], high_bits):
+        if not np.array_equal(self.stored_bits("high"), high_bits):
             return False
         if self.weight_bits == 8:
             return low_bits is not None and np.array_equal(
-                self._stored["low"], low_bits
+                self.stored_bits("low"), low_bits
             )
         return True
+
+    # --------------------------------------------------- compiled kernel plans
+
+    def precompile(self, device_exec: str = "turbo") -> None:
+        """Eagerly materialise every table the *device_exec* kernel needs.
+
+        After this call the first request served by the engine runs the hot
+        path only — no lazy operand-table or LUT population.  Layer-level
+        kernels (``"fused"``/``"numba"``) get their fused gemm tables,
+        plane-level ``"turbo"`` its stacked difference tables, other plane
+        kernels the selected-contribution tensor; the bucketed calibrated-
+        search LUT is built for every calibrated quantiser.
+        """
+        from . import kernels as _kernels
+
+        self._check_programmed()
+        kernel = get_kernel(device_exec)
+        for key in self._group_keys():
+            if kernel.level == "layer":
+                _kernels._fused_group_tables(self, key)
+            elif device_exec == "turbo":
+                self._turbo_group_tables(key)
+            else:
+                self.selected(key)
+        for quantizer in self._calibrated.values():
+            _kernels._calibrated_lut(quantizer)
+
+    def export_kernel_plan(self, device_exec: str = "turbo") -> Dict[str, np.ndarray]:
+        """Precompile for *device_exec* and export the tables as flat arrays.
+
+        The returned dict maps ``{group}_{tensor}`` names to the exact
+        operand arrays the kernel computes on — suitable for packing into a
+        :class:`~repro.engine.shm.SharedArena` and re-installing with
+        :meth:`apply_kernel_plan` (zero-copy, no recompute).  The
+        calibrated-search LUT is *not* exported: it keys on the quantiser
+        instance and is cheap to rebuild at apply time.
+        """
+        self.precompile(device_exec)
+        kernel = get_kernel(device_exec)
+        plan: Dict[str, np.ndarray] = {}
+        for key in self._group_keys():
+            if kernel.level == "layer":
+                table, offsets = self._fused_tables[key]
+                plan[f"{key}_table"] = table
+                plan[f"{key}_offsets"] = offsets
+            elif device_exec == "turbo":
+                difference_t, unselected_sum = self._turbo_tables[key]
+                plan[f"{key}_difference"] = difference_t
+                plan[f"{key}_unselected_sum"] = unselected_sum
+            else:
+                plan[f"{key}_selected"] = self._selected[key]
+        return plan
+
+    def apply_kernel_plan(
+        self, device_exec: str, arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Install exported kernel tables without recomputing them.
+
+        *arrays* may be read-only shared-memory views; they are adopted
+        as-is (zero-copy).  Calibrated LUTs are rebuilt locally via
+        :meth:`precompile`, which also covers any table the plan omits.
+        """
+        self._check_programmed()
+        kernel = get_kernel(device_exec)
+        for key in self._group_keys():
+            if kernel.level == "layer":
+                self._fused_tables[key] = (
+                    arrays[f"{key}_table"],
+                    arrays[f"{key}_offsets"],
+                )
+            elif device_exec == "turbo":
+                self._turbo_tables[key] = (
+                    arrays[f"{key}_difference"],
+                    arrays[f"{key}_unselected_sum"],
+                )
+            else:
+                self._selected[key] = arrays[f"{key}_selected"]
+        self.precompile(device_exec)
 
     # ------------------------------------------------------------ calibration
 
@@ -316,6 +456,17 @@ class MacroEngine:
             for key, values in levels.items()
         }
         return self.reference_levels
+
+    def _adopt_calibration(self, quantizers: Dict[str, object]) -> None:
+        """Share another engine's calibrated quantisers instance-for-instance.
+
+        Only valid between engines whose readout transfers are identical —
+        e.g. tile views of one layer's :class:`ArrayState`, which all
+        program the same level set.  Sharing the quantiser objects also
+        shares the bucketed-search LUTs cached on them, so a layer pays
+        the quantiser construction cost once, not once per tile.
+        """
+        self._calibrated = dict(quantizers)
 
     def calibrate_references(
         self,

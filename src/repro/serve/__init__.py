@@ -23,10 +23,15 @@ inputs, ``array_equal`` — enforced by ``tests/serve/``.
 """
 
 from .batcher import MicroBatcher
-from .config import BACKPRESSURE_POLICIES, POOL_MODES, ServeConfig
+from .config import (
+    BACKPRESSURE_POLICIES,
+    POOL_MODES,
+    PROGRAM_TRANSPORTS,
+    ServeConfig,
+)
 from .loadgen import LoadGenerator, LoadResult
 from .metrics import MetricsSnapshot, ServeMetrics
-from .program import ChipProgram, WarmChip
+from .program import ChipProgram, SharedProgramHandle, WarmChip
 from .runtime import (
     InferenceRequest,
     InferenceResponse,
@@ -38,6 +43,7 @@ from .worker import ChipWorker, WorkerPool
 __all__ = [
     "BACKPRESSURE_POLICIES",
     "POOL_MODES",
+    "PROGRAM_TRANSPORTS",
     "ChipProgram",
     "ChipWorker",
     "InferenceRequest",
@@ -50,6 +56,7 @@ __all__ = [
     "ServeConfig",
     "ServeMetrics",
     "ServeRuntime",
+    "SharedProgramHandle",
     "WarmChip",
     "WorkerPool",
 ]

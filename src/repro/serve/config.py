@@ -14,13 +14,21 @@ from typing import Optional
 
 from ..system.inference import InferenceConfig
 
-__all__ = ["ServeConfig", "BACKPRESSURE_POLICIES", "POOL_MODES"]
+__all__ = [
+    "ServeConfig",
+    "BACKPRESSURE_POLICIES",
+    "POOL_MODES",
+    "PROGRAM_TRANSPORTS",
+]
 
 #: What :meth:`ServeRuntime.submit` does when the bounded queue is full.
 BACKPRESSURE_POLICIES = ("block", "reject")
 
 #: How the replica pool executes batches.
 POOL_MODES = ("thread", "process")
+
+#: How the process pool ships the chip program to its workers.
+PROGRAM_TRANSPORTS = ("auto", "shm", "pickle")
 
 _BACKENDS = ("device", "functional")
 
@@ -64,6 +72,12 @@ class ServeConfig:
             :class:`~repro.serve.runtime.QueueFullError` immediately.
         service_delay_s: Artificial extra service time per batch (fault
             injection for backpressure / queueing tests; 0 in production).
+        program_transport: How process-pool workers receive the program —
+            ``"auto"`` (default: one shared-memory arena when the platform
+            supports it, pickle otherwise), ``"shm"`` (require the arena;
+            raise when shared memory is unavailable), or ``"pickle"`` (ship
+            each worker its own serialised copy — the portable baseline).
+            Thread pools always alias the in-process program directly.
     """
 
     scenario: str = "tiny_mlp"
@@ -84,12 +98,17 @@ class ServeConfig:
     queue_depth: int = 256
     backpressure: str = "block"
     service_delay_s: float = 0.0
+    program_transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}")
         if self.pool not in POOL_MODES:
             raise ValueError(f"pool must be one of {POOL_MODES}")
+        if self.program_transport not in PROGRAM_TRANSPORTS:
+            raise ValueError(
+                f"program_transport must be one of {PROGRAM_TRANSPORTS}"
+            )
         if self.backpressure not in BACKPRESSURE_POLICIES:
             raise ValueError(
                 f"backpressure must be one of {BACKPRESSURE_POLICIES}"

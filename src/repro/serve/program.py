@@ -35,12 +35,16 @@ import numpy as np
 
 from ..chipsim.scenarios import get_scenario
 from ..chipsim.simulator import ChipSimulator, network_spec_from_model
+from ..engine.shm import ArenaManifest, SharedArena
 from ..system.inference import InferenceConfig, QuantizedInferenceEngine
 from ..system.performance import SystemPerformanceModel
 from ..sweep.cache import arrays_from_state, restore_state
 from .config import ServeConfig
 
-__all__ = ["ChipProgram", "WarmChip"]
+__all__ = ["ChipProgram", "SharedProgramHandle", "WarmChip"]
+
+#: Separator of the flat ``section__layer__tensor`` arena keys.
+_SEP = "__"
 
 
 class WarmChip:
@@ -124,6 +128,12 @@ class ChipProgram:
         chip_latency_s: Modeled chip latency per image.
         chip_energy_j: Modeled chip energy per image.
         build_seconds: Wall time the one-off build took.
+        kernel_plans: Ahead-of-time compiled kernel operand tables per
+            weight layer (``{layer: {table: array}}``), exported by the
+            builder engine for the configured ``device_exec``.  Replicas
+            install them with
+            :meth:`~repro.system.inference.QuantizedInferenceEngine.apply_kernel_plans`
+            instead of recompiling, so request #1 runs the hot path only.
     """
 
     scenario: str
@@ -139,6 +149,7 @@ class ChipProgram:
     chip_latency_s: float
     chip_energy_j: float
     build_seconds: float = field(default=0.0)
+    kernel_plans: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ build
 
@@ -191,6 +202,7 @@ class ChipProgram:
             layer_dims = {
                 layer: (state.rows, state.banks) for layer, state in states.items()
             }
+            kernel_plans = engine.export_kernel_plans()
             chip_latency = float(report.performance.total_latency)
             chip_energy = float(report.performance.total_energy)
         else:
@@ -199,6 +211,7 @@ class ChipProgram:
             levels = {}
             layer_arrays = None
             layer_dims = {}
+            kernel_plans = {}
             if config.adc_bits is None:
                 raise ValueError(
                     "a served chip needs a concrete adc_bits to price its "
@@ -235,6 +248,7 @@ class ChipProgram:
             chip_latency_s=chip_latency,
             chip_energy_j=chip_energy,
             build_seconds=time.perf_counter() - start,
+            kernel_plans=kernel_plans,
         )
 
     # ------------------------------------------------------------ instantiate
@@ -286,6 +300,14 @@ class ChipProgram:
             if self.calibration_levels:
                 engine.apply_calibration(self.calibration_levels)
             engine.apply_activation_scales(self.activation_scales)
+            # Warm start: install the ahead-of-time compiled kernel tables
+            # (zero-copy when they are shared-memory views), then precompile
+            # whatever remains (calibrated-search LUTs; everything, for a
+            # program that predates kernel plans) — request #1 runs the hot
+            # path only.
+            if self.kernel_plans:
+                engine.apply_kernel_plans(self.kernel_plans)
+            engine.precompile()
             return WarmChip(engine, simulator, self)
         engine = QuantizedInferenceEngine(model, config)
         engine.predict(
@@ -303,3 +325,129 @@ class ChipProgram:
                 f"network's input shape {self.input_shape}"
             )
         return image
+
+    # ------------------------------------------------------------ shared memory
+
+    def _flat_arrays(self) -> Dict[str, np.ndarray]:
+        """Every tensor of the program under one flat arena key space.
+
+        ``model__{layer}__{name}`` float weights/biases,
+        ``state__{layer}__{tensor}`` characterised cell arrays,
+        ``levels__{layer}__{group}`` calibrated reference levels,
+        ``plan__{layer}__{table}`` compiled kernel tables, and the
+        ``calibration_images`` batch.  Layer names must not contain the
+        ``__`` separator (scenario layer names never do).
+        """
+        sections = [
+            ("model", self.model_arrays),
+            ("state", self.layer_arrays or {}),
+            ("levels", self.calibration_levels),
+            ("plan", self.kernel_plans),
+        ]
+        flat: Dict[str, np.ndarray] = {"calibration_images": self.calibration_images}
+        for section, payload in sections:
+            for layer, arrays in payload.items():
+                if _SEP in layer:
+                    raise ValueError(
+                        f"layer name {layer!r} contains the reserved "
+                        f"separator {_SEP!r}"
+                    )
+                for tensor, array in arrays.items():
+                    flat[f"{section}{_SEP}{layer}{_SEP}{tensor}"] = np.asarray(array)
+        return flat
+
+    def _arena_meta(self) -> Dict[str, Any]:
+        """The program's JSON-safe scalars, stored in the arena manifest."""
+        return {
+            "scenario": self.scenario,
+            "name": self.name,
+            "config": self.config,
+            "input_shape": [int(dim) for dim in self.input_shape],
+            "layer_dims": {
+                layer: [int(rows), int(banks)]
+                for layer, (rows, banks) in self.layer_dims.items()
+            },
+            "activation_scales": {
+                layer: float(scale)
+                for layer, scale in self.activation_scales.items()
+            },
+            "chip_latency_s": float(self.chip_latency_s),
+            "chip_energy_j": float(self.chip_energy_j),
+            "build_seconds": float(self.build_seconds),
+            "has_layer_arrays": self.layer_arrays is not None,
+        }
+
+    def share(self) -> Tuple["SharedProgramHandle", SharedArena]:
+        """Pack the whole program into one shared-memory arena.
+
+        Returns ``(handle, arena)``: the picklable handle is what crosses
+        the process boundary (a few hundred bytes), the owning arena is
+        what the caller must :meth:`~repro.engine.shm.SharedArena.unlink`
+        when the deployment shuts down.  Workers reconstruct a zero-copy
+        program with :meth:`SharedProgramHandle.load`.
+        """
+        arena = SharedArena.create(self._flat_arrays(), meta=self._arena_meta())
+        return SharedProgramHandle(manifest=arena.manifest), arena
+
+    @classmethod
+    def from_arena(cls, arena: SharedArena) -> "ChipProgram":
+        """Rebuild a program whose tensors are views into *arena*.
+
+        The views are read-only; every consumer of a program either only
+        reads its arrays (cell state, kernel tables, calibration batch) or
+        copies out of them (model rebuild), so a shared program behaves
+        exactly like a private one — ``instantiate()`` replicas are
+        array-equal to pickle-path replicas.
+        """
+        meta = arena.meta
+        sections: Dict[str, Dict[str, Dict[str, np.ndarray]]] = {
+            "model": {}, "state": {}, "levels": {}, "plan": {}
+        }
+        calibration_images = None
+        for key in arena.keys():
+            if key == "calibration_images":
+                calibration_images = arena.view(key)
+                continue
+            section, layer, tensor = key.split(_SEP, 2)
+            sections[section].setdefault(layer, {})[tensor] = arena.view(key)
+        return cls(
+            scenario=meta["scenario"],
+            name=meta["name"],
+            config=meta["config"],
+            input_shape=tuple(meta["input_shape"]),
+            model_arrays=sections["model"],
+            layer_arrays=sections["state"] if meta["has_layer_arrays"] else None,
+            layer_dims={
+                layer: (rows, banks)
+                for layer, (rows, banks) in meta["layer_dims"].items()
+            },
+            calibration_levels=sections["levels"],
+            activation_scales=meta["activation_scales"],
+            calibration_images=calibration_images,
+            chip_latency_s=meta["chip_latency_s"],
+            chip_energy_j=meta["chip_energy_j"],
+            build_seconds=meta["build_seconds"],
+            kernel_plans=sections["plan"],
+        )
+
+
+@dataclass(frozen=True)
+class SharedProgramHandle:
+    """Picklable pointer to a :class:`ChipProgram` published in an arena.
+
+    This is what the process pool ships to each worker instead of the
+    pickled program: the worker attaches the segment and maps every tensor
+    read-only, zero-copy.
+    """
+
+    manifest: ArenaManifest
+
+    def load(self) -> Tuple[ChipProgram, SharedArena]:
+        """Attach the arena and rebuild the zero-copy program.
+
+        Returns ``(program, arena)``; keep the arena referenced for the
+        program's lifetime (the worker global of
+        :mod:`repro.serve.worker` does).
+        """
+        arena = SharedArena.attach(self.manifest)
+        return ChipProgram.from_arena(arena), arena

@@ -10,12 +10,21 @@ Two pool modes share the interface:
 ``"thread"``
     Replicas are instantiated up front in the serving process and handed
     out through a free-list; the heavy numpy kernels release the GIL, so
-    replicas genuinely overlap on multicore hosts.
+    replicas genuinely overlap on multicore hosts.  All replicas alias the
+    one in-process program (its arrays are immutable).
 
 ``"process"``
-    One replica per worker process, instantiated by the pool initializer
-    from the pickled :class:`~repro.serve.program.ChipProgram` — the
-    program is built once and shipped once, never re-characterised.
+    One replica per worker process, stamped by the pool initializer.  How
+    the program reaches the workers is the ``program_transport`` knob:
+    ``"shm"`` publishes every tensor once in a
+    :class:`~repro.engine.shm.SharedArena` and ships only the picklable
+    manifest — workers map the arrays read-only, zero-copy, so program
+    memory is O(1) in the worker count and startup skips the deserialise
+    entirely; ``"pickle"`` ships each worker its own serialised copy (the
+    portable baseline); ``"auto"`` picks shm when the platform has it.
+    The pool owns the arena and unlinks it on :meth:`WorkerPool.shutdown`
+    — including after a worker crash, so no stale ``/dev/shm`` segment
+    outlives the deployment.
 
 Replicas are interchangeable by construction (same program, no variation
 draws consumed at instantiation), so *which* replica serves a batch can
@@ -25,13 +34,15 @@ never change a result — only its timing.
 from __future__ import annotations
 
 import os
+import pickle
 import queue
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..engine.shm import shm_available
 from .config import ServeConfig
 from .program import ChipProgram, WarmChip
 
@@ -74,14 +85,34 @@ class ChipWorker:
 
 #: The per-process replica of the process-pool mode (set by the initializer).
 _PROCESS_WORKER: Optional[ChipWorker] = None
+#: The worker's mapping of the shared program arena (shm transport only);
+#: kept referenced for the replica's lifetime.
+_PROCESS_ARENA = None
+#: Initialisation facts of this worker process (pid, transport, init time).
+_PROCESS_INFO: Dict[str, object] = {}
 
 
-def _init_process_worker(program: ChipProgram, service_delay_s: float) -> None:
-    """Process-pool initializer: stamp this process's replica from the program."""
-    global _PROCESS_WORKER
+def _init_process_worker(payload, transport: str, service_delay_s: float) -> None:
+    """Process-pool initializer: stamp this process's replica.
+
+    *payload* is a :class:`~repro.serve.program.SharedProgramHandle` for the
+    ``"shm"`` transport (attach + map, zero-copy) or pickled program bytes
+    for ``"pickle"`` (private deserialised copy).
+    """
+    global _PROCESS_WORKER, _PROCESS_ARENA, _PROCESS_INFO
+    start = time.perf_counter()
+    if transport == "shm":
+        program, _PROCESS_ARENA = payload.load()
+    else:
+        program = pickle.loads(payload)
     _PROCESS_WORKER = ChipWorker(
         os.getpid(), program.instantiate(), service_delay_s=service_delay_s
     )
+    _PROCESS_INFO = {
+        "pid": os.getpid(),
+        "transport": transport,
+        "init_s": time.perf_counter() - start,
+    }
 
 
 def _process_infer(images: np.ndarray) -> np.ndarray:
@@ -90,13 +121,49 @@ def _process_infer(images: np.ndarray) -> np.ndarray:
     return _PROCESS_WORKER.infer(images)
 
 
+def _memory_bytes() -> Dict[str, int]:
+    """This process's private and proportional RSS from smaps_rollup.
+
+    ``private`` counts only pages exclusive to the process — fork-shared
+    interpreter pages and mapped shared-memory file pages are excluded, so
+    it isolates exactly the per-worker cost the shm transport removes.
+    Returns zeros where /proc is unavailable.
+    """
+    private = pss = 0
+    try:
+        with open("/proc/self/smaps_rollup", encoding="ascii") as handle:
+            for line in handle:
+                fields = line.split()
+                if fields[0] in ("Private_Clean:", "Private_Dirty:"):
+                    private += int(fields[1]) * 1024
+                elif fields[0] == "Pss:":
+                    pss = int(fields[1]) * 1024
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return {"private_bytes": private, "pss_bytes": pss}
+
+
+def _worker_probe(hold_s: float = 0.0) -> Dict[str, object]:
+    """Occupying warmup task: report this worker's init facts and memory.
+
+    ``hold_s`` keeps the worker busy briefly so a round of probes spreads
+    across *distinct* workers instead of one fast worker draining them all.
+    """
+    assert _PROCESS_WORKER is not None, "worker process was not initialised"
+    if hold_s > 0:
+        time.sleep(hold_s)
+    info = dict(_PROCESS_INFO)
+    info.update(_memory_bytes())
+    return info
+
+
 class WorkerPool:
     """``replicas`` warm chips behind an executor, one batch per free chip.
 
     Args:
         program: The programmed chip every replica is stamped from.
         config: The deployment configuration (replica count, pool mode,
-            service-delay injection).
+            program transport, service-delay injection).
     """
 
     def __init__(self, program: ChipProgram, config: ServeConfig) -> None:
@@ -104,17 +171,36 @@ class WorkerPool:
         self.config = config
         self.replicas = config.replicas
         self.mode = config.pool
+        #: The transport the pool resolved at start ("shm" / "pickle" for
+        #: process pools, "inproc" for thread pools); None before start.
+        self.transport: Optional[str] = None
         self._executor = None
         self._free: Optional[queue.SimpleQueue] = None
         self._workers: List[ChipWorker] = []
+        self._arena = None
 
     # -------------------------------------------------------------- lifecycle
+
+    def _resolve_transport(self) -> str:
+        """The concrete program transport of this deployment."""
+        requested = self.config.program_transport
+        if requested == "pickle":
+            return "pickle"
+        if requested == "shm":
+            if not shm_available():
+                raise RuntimeError(
+                    "program_transport='shm' requested but shared memory is "
+                    "unavailable on this platform"
+                )
+            return "shm"
+        return "shm" if shm_available() else "pickle"
 
     def start(self) -> None:
         """Instantiate the replicas and open the executor."""
         if self._executor is not None:
             raise RuntimeError("worker pool is already started")
         if self.mode == "thread":
+            self.transport = "inproc"
             self._workers = [
                 ChipWorker(
                     replica,
@@ -130,19 +216,39 @@ class WorkerPool:
                 max_workers=self.replicas, thread_name_prefix="chip-worker"
             )
         else:
+            self.transport = self._resolve_transport()
+            if self.transport == "shm":
+                handle, self._arena = self.program.share()
+                payload = handle
+            else:
+                payload = pickle.dumps(
+                    self.program, protocol=pickle.HIGHEST_PROTOCOL
+                )
             self._executor = ProcessPoolExecutor(
                 max_workers=self.replicas,
                 initializer=_init_process_worker,
-                initargs=(self.program, self.config.service_delay_s),
+                initargs=(payload, self.transport, self.config.service_delay_s),
             )
 
     def shutdown(self) -> None:
-        """Finish in-flight batches and release the replicas (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        """Finish in-flight batches and release the replicas (idempotent).
+
+        The program arena is closed and unlinked even when the executor
+        refuses a clean shutdown (e.g. a worker was killed and the pool is
+        broken) — a crashed worker must not leak a stale shared-memory
+        segment.
+        """
+        try:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+        finally:
             self._executor = None
-        self._workers = []
-        self._free = None
+            self._workers = []
+            self._free = None
+            if self._arena is not None:
+                arena, self._arena = self._arena, None
+                arena.close()
+                arena.unlink()
 
     # -------------------------------------------------------------- dispatch
 
@@ -161,6 +267,47 @@ class WorkerPool:
         if self.mode == "thread":
             return self._executor.submit(self._thread_infer, images)
         return self._executor.submit(_process_infer, images)
+
+    # ------------------------------------------------------------ observation
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (empty for thread pools)."""
+        processes = getattr(self._executor, "_processes", None) or {}
+        return sorted(processes)
+
+    def warmup(self, *, timeout_s: float = 120.0) -> List[Dict[str, object]]:
+        """Block until every replica exists; return per-worker init facts.
+
+        Process pools spawn workers lazily (one per submitted task, up to
+        ``replicas``); this floods the pool with short occupying probes
+        until ``replicas`` distinct worker pids have answered, so the
+        per-worker initialisation cost is paid *now* rather than on the
+        first real request.  Each returned record carries the worker's
+        ``pid``, ``transport``, ``init_s`` (program receive + instantiate
+        time) and its ``private_bytes`` / ``pss_bytes`` memory split.
+        Thread pools are fully built by :meth:`start`; an empty list is
+        returned.
+        """
+        if self._executor is None:
+            raise RuntimeError("worker pool is not started")
+        if self.mode == "thread":
+            return []
+        seen: Dict[int, Dict[str, object]] = {}
+        deadline = time.monotonic() + timeout_s
+        while len(seen) < self.replicas:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"only {len(seen)}/{self.replicas} workers initialised "
+                    f"within {timeout_s:.0f}s"
+                )
+            futures = [
+                self._executor.submit(_worker_probe, 0.05)
+                for _ in range(self.replicas)
+            ]
+            for future in futures:
+                info = future.result(timeout=timeout_s)
+                seen.setdefault(int(info["pid"]), info)
+        return [seen[pid] for pid in sorted(seen)]
 
     def worker_stats(self) -> List[dict]:
         """Per-replica batch/image counters (thread mode only; empty otherwise)."""

@@ -39,7 +39,9 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from ..core.macro import IMCMacroConfig
+from ..devices.variation import NO_VARIATION
 from ..engine.array_state import ArrayState
+from ..engine.shm import host_shared_arrays, shm_available
 from ..system.inference import InferenceConfig
 from .hashing import digest_arrays, digest_payload
 
@@ -167,6 +169,7 @@ def restore_state(
         banks=banks,
         block_rows=block_rows,
         weight_bits=weight_bits,
+        variation=NO_VARIATION,
     )
     state = ArrayState.build(design, config)
     for key in ("high", "low"):
@@ -197,6 +200,9 @@ class SweepCache:
         self.root = Path(root)
         self.hits: Dict[str, int] = {kind: 0 for kind in KINDS}
         self.misses: Dict[str, int] = {kind: 0 for kind in KINDS}
+        # Shared-memory arenas this handle has mapped (kept alive so the
+        # zero-copy views handed to engines stay valid for the process).
+        self._arenas: list = []
 
     def _path(self, kind: str, key: str) -> Path:
         if kind not in KINDS:
@@ -237,6 +243,48 @@ class SweepCache:
     ) -> Optional[Dict[str, Dict[str, np.ndarray]]]:
         """Load an entry of per-layer array dicts (``layer__tensor`` keys)."""
         flat = self.get(kind, key)
+        if flat is None:
+            return None
+        layered: Dict[str, Dict[str, np.ndarray]] = {}
+        for name, array in flat.items():
+            layer, _, tensor = name.partition(_SEP)
+            layered.setdefault(layer, {})[tensor] = array
+        return layered
+
+    def get_layered_shared(
+        self, kind: str, key: str
+    ) -> Optional[Dict[str, Dict[str, np.ndarray]]]:
+        """Like :meth:`get_layered`, but one physical copy per host.
+
+        The first worker process to ask for *(kind, key)* loads the ``.npz``
+        from disk and publishes its arrays in a shared-memory arena; every
+        later worker on the host maps them zero-copy instead of re-reading
+        and re-allocating the bundle (layer states dominate a device sweep
+        job's memory).  The returned views are read-only — callers must
+        treat them as immutable, which sweep restore paths already do.
+        Falls back to the private :meth:`get_layered` when shared memory is
+        unavailable; a cache miss publishes nothing and returns None.
+        """
+        if not shm_available():
+            return self.get_layered(kind, key)
+        loaded = False
+
+        def _loader() -> Optional[Dict[str, np.ndarray]]:
+            nonlocal loaded
+            loaded = True
+            return self.get(kind, key)
+
+        # The tag is scoped to the cache root: an arena may only stand in
+        # for entries of *this* store (a cleared cache directory must look
+        # cold, never resurrect content through a stale host arena).
+        tag = f"sweep-{self.root.resolve()}-{kind}-{key}"
+        flat, arena = host_shared_arrays(tag, _loader)
+        if arena is not None:
+            self._arenas.append(arena)
+            if not loaded:
+                # Attached to another worker's arena: the disk store was
+                # never touched, but semantically this is a cache hit.
+                self.hits[kind] += 1
         if flat is None:
             return None
         layered: Dict[str, Dict[str, np.ndarray]] = {}

@@ -307,7 +307,7 @@ def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict
     layer_states = None
     if cache is not None and config.variation.enabled:
         prog_key = programming_key(config, wdigest)
-        layered = cache.get_layered("programming", prog_key)
+        layered = cache.get_layered_shared("programming", prog_key)
         if layered is not None:
             layer_states = _restore_layer_states(layered, model, config)
         cache_events["programming"] = "hit" if layer_states is not None else "miss"
@@ -330,7 +330,7 @@ def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict
         cal_key = calibration_key(
             config, wdigest, digest_arrays(workload.images), job.batch_size
         )
-        cached_levels = cache.get_layered("calibration", cal_key)
+        cached_levels = cache.get_layered_shared("calibration", cal_key)
         if cached_levels is not None:
             simulator.inference.apply_calibration(cached_levels)
             cache_events["calibration"] = "hit"

@@ -585,6 +585,58 @@ class QuantizedInferenceEngine:
                 harvested[name] = levels
         return harvested
 
+    def precompile(self) -> int:
+        """Eagerly build every kernel table the configured execution needs.
+
+        Device backend: every layer engine materialises the operand tables
+        and calibrated-search LUTs of ``config.device_exec``, so the first
+        request after :meth:`precompile` runs the hot path only.  The
+        functional backend has no lazy tables — no-op, returns 0.
+
+        Returns:
+            The number of layers precompiled.
+        """
+        if self.config.backend != "device":
+            return 0
+        for layer in self._layers.values():
+            layer.engine.precompile(self.config.device_exec)
+        return len(self._layers)
+
+    def export_kernel_plans(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Precompile and export every layer's kernel tables as flat arrays.
+
+        ``{layer_name: {table_name: array}}`` — the ahead-of-time compiled
+        form :meth:`apply_kernel_plans` (and the serving
+        :class:`~repro.serve.ChipProgram`) re-installs without recompute.
+        Empty for the functional backend.
+        """
+        if self.config.backend != "device":
+            return {}
+        return {
+            name: layer.engine.export_kernel_plan(self.config.device_exec)
+            for name, layer in self._layers.items()
+        }
+
+    def apply_kernel_plans(
+        self, plans: Mapping[str, Mapping[str, np.ndarray]]
+    ) -> int:
+        """Install exported kernel tables (possibly shared-memory views).
+
+        Layers absent from the map keep their lazy build.  Returns the
+        number of layers stamped.
+        """
+        if self.config.backend != "device":
+            raise ValueError("apply_kernel_plans requires the device backend")
+        count = 0
+        for name, arrays in plans.items():
+            if name not in self._layers:
+                raise KeyError(f"unknown weight layer {name!r}")
+            self._layers[name].engine.apply_kernel_plan(
+                self.config.device_exec, dict(arrays)
+            )
+            count += 1
+        return count
+
     def freeze_activation_scales(
         self, images: Optional[np.ndarray] = None
     ) -> Dict[str, float]:

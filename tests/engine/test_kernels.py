@@ -160,6 +160,107 @@ class TestCalibratedLut:
         np.testing.assert_array_equal(buf, expected)
 
 
+class TestPrecompiledPlanInvalidation:
+    """Cache-invalidation audit of the ahead-of-time compiled kernel plans.
+
+    Every mutator that changes what a kernel computes must drop or rebuild
+    the precompiled operand tables and the calibrated-search LUT:
+    ``program_weights`` invalidates everything, ``apply_reference_levels``
+    swaps in fresh quantisers (hence fresh LUTs), ``clear_calibration``
+    reverts conversion to the nominal grid.  The pattern-derived fused /
+    turbo tables legitimately survive calibration changes — they depend
+    only on the programmed cell state.
+    """
+
+    def _calibrated_engine(self, seed=3):
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-128, 128, size=(64, 8))
+        engine = build_engine(weights)
+        engine.calibrate_references(rng.integers(0, 16, size=(64, 12)), bits=4)
+        return engine, weights, rng
+
+    def test_precompile_materialises_all_tables(self):
+        engine, _, _ = self._calibrated_engine()
+        assert not engine._turbo_tables and not engine._fused_tables
+        engine.precompile("turbo")
+        assert set(engine._turbo_tables) == set(engine._group_keys())
+        engine.precompile("fused")
+        assert set(engine._fused_tables) == set(engine._group_keys())
+        for quantizer in engine._calibrated.values():
+            assert kernels._LUT_ATTR in quantizer.__dict__
+
+    def test_program_weights_invalidates_precompiled_state(self):
+        engine, _, rng = self._calibrated_engine()
+        engine.precompile("turbo")
+        engine.precompile("fused")
+        new_weights = rng.integers(-128, 128, size=(64, 8))
+        engine.program_weights(new_weights)
+        assert not engine._turbo_tables
+        assert not engine._fused_tables
+        assert not engine._calibrated
+        # And the invalidated engine computes exactly what a never-
+        # precompiled engine programmed with the new weights computes.
+        fresh = build_engine(new_weights)
+        inputs = rng.integers(0, 16, size=(64, 5))
+        for method in ("turbo", "fused"):
+            assert np.array_equal(
+                engine.matmat(inputs, bits=4, method=method),
+                fresh.matmat(inputs, bits=4, method=method),
+            )
+
+    def test_apply_reference_levels_swaps_in_fresh_luts(self):
+        engine, _, rng = self._calibrated_engine()
+        engine.precompile("fused")
+        old = dict(engine._calibrated)
+        assert all(kernels._LUT_ATTR in q.__dict__ for q in old.values())
+        shifted = {k: v + 1.0 for k, v in engine.reference_levels.items()}
+        engine.apply_reference_levels(shifted)
+        for key, quantizer in engine._calibrated.items():
+            assert quantizer is not old[key]
+            assert kernels._LUT_ATTR not in quantizer.__dict__
+        engine.precompile("fused")
+        # The rebuilt LUT must reproduce searchsorted semantics: fused
+        # (LUT path) equals turbo (direct quantiser path) bit for bit.
+        inputs = rng.integers(0, 16, size=(64, 5))
+        assert np.array_equal(
+            engine.matmat(inputs, bits=4, method="fused"),
+            engine.matmat(inputs, bits=4, method="turbo"),
+        )
+
+    def test_clear_calibration_reverts_to_nominal(self):
+        engine, weights, rng = self._calibrated_engine()
+        engine.precompile("turbo")
+        inputs = rng.integers(0, 16, size=(64, 5))
+        engine.clear_calibration()
+        assert not engine._calibrated
+        nominal = build_engine(weights)
+        for method in ("turbo", "fused"):
+            assert np.array_equal(
+                engine.matmat(inputs, bits=4, method=method),
+                nominal.matmat(inputs, bits=4, method=method),
+            )
+
+    @pytest.mark.parametrize("device_exec", ["turbo", "fused", "fast"])
+    def test_kernel_plan_round_trip_is_bit_identical(self, device_exec):
+        engine, weights, rng = self._calibrated_engine()
+        plan = engine.export_kernel_plan(device_exec)
+        # Emulate shared-memory transport: the applied arrays are
+        # read-only foreign buffers, adopted without copies.
+        frozen = {}
+        for key, value in plan.items():
+            array = np.asarray(value).copy()
+            array.flags.writeable = False
+            frozen[key] = array
+        target = build_engine(weights)
+        target.apply_reference_levels(engine.reference_levels)
+        target.apply_kernel_plan(device_exec, frozen)
+        inputs = rng.integers(0, 16, size=(64, 5))
+        assert np.array_equal(
+            target.matmat(inputs, bits=4, method=device_exec),
+            engine.matmat(inputs, bits=4, method=device_exec),
+        )
+
+
 class TestNumbaKernel:
     def test_numba_kernel_matches_turbo(self):
         pytest.importorskip("numba")

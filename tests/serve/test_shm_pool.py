@@ -1,0 +1,221 @@
+"""The shared-memory program transport of the process worker pool.
+
+The headline contract: which transport ships the program to the worker
+processes is invisible in the results.  For every design × calibration ×
+device_exec combination, predictions served through a shared-memory arena
+replica equal the pickle-transport replica AND the offline warm-chip pass,
+``array_equal``.  Around that sit the lifecycle guarantees: the arena is
+unlinked on shutdown (even after a worker crash), ``"auto"`` degrades to
+pickle when the platform has no shared memory, and ``"shm"`` refuses
+loudly rather than silently copying.
+"""
+
+import dataclasses
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+import repro.engine.shm as shm_module
+from repro.serve import ChipProgram, ServeConfig, WorkerPool
+from repro.serve.worker import _memory_bytes
+
+
+def _segment_path(name: str) -> str:
+    return f"/dev/shm/{name.lstrip('/')}"
+
+
+@pytest.fixture
+def shm_images(request_images):
+    return request_images[:5]
+
+
+class TestTransportBitIdentity:
+    @pytest.mark.parametrize("design", ["curfe", "chgfe"])
+    @pytest.mark.parametrize("calibration", ["workload", "nominal"])
+    @pytest.mark.parametrize("device_exec", ["turbo", "fused"])
+    def test_shm_equals_pickle_equals_offline(
+        self, design, calibration, device_exec, shm_images
+    ):
+        config = ServeConfig(
+            scenario="tiny_mlp",
+            design=design,
+            calibration=calibration,
+            device_exec=device_exec,
+            calibration_images=6,
+            replicas=1,
+            pool="process",
+            max_batch=8,
+        )
+        program = ChipProgram.build(config)
+        offline = program.instantiate().predict(shm_images)
+        served = {}
+        for transport in ("shm", "pickle"):
+            if transport == "shm" and not shm_module.shm_available():
+                pytest.skip("platform has no POSIX shared memory")
+            pool = WorkerPool(
+                program,
+                dataclasses.replace(config, program_transport=transport),
+            )
+            pool.start()
+            try:
+                assert pool.transport == transport
+                served[transport] = pool.submit(shm_images).result(timeout=300)
+            finally:
+                pool.shutdown()
+        np.testing.assert_array_equal(served["shm"], offline)
+        np.testing.assert_array_equal(served["pickle"], offline)
+
+
+@pytest.mark.skipif(
+    not shm_module.shm_available(), reason="platform has no POSIX shared memory"
+)
+class TestArenaLifecycle:
+    def test_shutdown_unlinks_the_arena(
+        self, device_serve_config, device_program, shm_images
+    ):
+        config = dataclasses.replace(
+            device_serve_config, pool="process", program_transport="shm"
+        )
+        pool = WorkerPool(device_program, config)
+        pool.start()
+        name = pool._arena.name
+        assert os.path.exists(_segment_path(name))
+        pool.submit(shm_images).result(timeout=300)
+        pool.shutdown()
+        assert not os.path.exists(_segment_path(name))
+        pool.shutdown()  # idempotent
+
+    def test_killed_worker_does_not_leak_the_segment(
+        self, device_serve_config, device_program, shm_images
+    ):
+        config = dataclasses.replace(
+            device_serve_config, pool="process", program_transport="shm"
+        )
+        pool = WorkerPool(device_program, config)
+        pool.start()
+        name = pool._arena.name
+        pool.warmup()
+        pids = pool.worker_pids()
+        assert pids
+        os.kill(pids[0], signal.SIGKILL)
+        # The pool is now broken; shutdown must still reclaim the segment.
+        pool.shutdown()
+        assert not os.path.exists(_segment_path(name))
+
+    def test_warmup_reports_every_worker(
+        self, device_serve_config, device_program
+    ):
+        config = dataclasses.replace(
+            device_serve_config,
+            pool="process",
+            program_transport="shm",
+            replicas=2,
+        )
+        pool = WorkerPool(device_program, config)
+        pool.start()
+        try:
+            info = pool.warmup()
+            assert len(info) == 2
+            assert sorted(r["pid"] for r in info) == pool.worker_pids()
+            for record in info:
+                assert record["transport"] == "shm"
+                assert record["init_s"] > 0
+                assert record["private_bytes"] > 0
+        finally:
+            pool.shutdown()
+
+
+class TestTransportResolution:
+    def test_auto_falls_back_to_pickle_without_shm(
+        self, device_serve_config, device_program, shm_images, monkeypatch
+    ):
+        monkeypatch.setattr(shm_module, "SHM_AVAILABLE", False)
+        config = dataclasses.replace(
+            device_serve_config, pool="process", program_transport="auto"
+        )
+        pool = WorkerPool(device_program, config)
+        pool.start()
+        try:
+            assert pool.transport == "pickle"
+            assert pool._arena is None
+            offline = device_program.instantiate().predict(shm_images)
+            np.testing.assert_array_equal(
+                pool.submit(shm_images).result(timeout=300), offline
+            )
+        finally:
+            pool.shutdown()
+
+    def test_explicit_shm_raises_without_shm(
+        self, device_serve_config, device_program, monkeypatch
+    ):
+        monkeypatch.setattr(shm_module, "SHM_AVAILABLE", False)
+        config = dataclasses.replace(
+            device_serve_config, pool="process", program_transport="shm"
+        )
+        pool = WorkerPool(device_program, config)
+        with pytest.raises(RuntimeError, match="shared memory"):
+            pool.start()
+
+    def test_thread_pool_ignores_transport(
+        self, device_serve_config, device_program, shm_images
+    ):
+        config = dataclasses.replace(
+            device_serve_config, pool="thread", program_transport="shm"
+        )
+        pool = WorkerPool(device_program, config)
+        pool.start()
+        try:
+            assert pool.transport == "inproc"
+            assert pool._arena is None
+            assert pool.warmup() == []
+        finally:
+            pool.shutdown()
+
+    def test_unknown_transport_rejected_by_config(self):
+        with pytest.raises(ValueError, match="program_transport"):
+            ServeConfig(program_transport="carrier-pigeon")
+
+
+class TestColdStartLatency:
+    def test_first_request_close_to_steady_state(
+        self, device_program, shm_images
+    ):
+        """A precompiled warm chip has no lazy table population left: its
+        first request must sit within 1.5x of the steady-state median.
+        One retry absorbs scheduler noise on loaded single-core hosts."""
+        for attempt in range(2):
+            chip = device_program.instantiate()
+            start = time.perf_counter()
+            chip.predict(shm_images)
+            first_s = time.perf_counter() - start
+            steady = []
+            for _ in range(15):
+                start = time.perf_counter()
+                chip.predict(shm_images)
+                steady.append(time.perf_counter() - start)
+            ratio = first_s / float(np.median(steady))
+            if ratio <= 1.5:
+                break
+        assert ratio <= 1.5, f"first request {ratio:.2f}x steady-state median"
+
+
+class TestMemoryProbe:
+    def test_memory_bytes_reports_positive_on_linux(self):
+        info = _memory_bytes()
+        if not os.path.exists("/proc/self/smaps_rollup"):
+            pytest.skip("no smaps_rollup on this platform")
+        assert info["private_bytes"] > 0
+        assert info["pss_bytes"] > 0
+
+    def test_probe_counts_scale_with_allocations(self):
+        before = _memory_bytes()["private_bytes"]
+        ballast = np.ones(4_000_000)  # ~32 MB of private dirty pages
+        ballast += 1.0
+        after = _memory_bytes()["private_bytes"]
+        del ballast
+        if before == 0:
+            pytest.skip("no smaps_rollup on this platform")
+        assert after - before > 16_000_000
