@@ -24,6 +24,10 @@ device-detailed ``turbo`` path, three ways:
 5. **first-request probe** — a freshly stamped replica (ahead-of-time
    compiled kernel plans, no lazy tables) must serve its first request
    within 1.5x of the steady-state median.
+6. **observability probe** — the same deployment with the Prometheus
+   ``/metrics`` endpoint and the JSONL event log switched on: the scrape
+   must parse as valid exposition text, and the event stream must carry
+   one ``request_served`` per completed request.
 
 The record is written to ``BENCH_serve.json`` at the repository root;
 ``check_bench_schema.py`` validates it and ``check_perf_floor.py`` gates
@@ -221,6 +225,41 @@ def _first_request_measurements(program, images, *, attempts=3, steady=15):
     return best
 
 
+def _observability_measurements(program, generator):
+    """Serve under load with /metrics + event log on; report what they saw."""
+    import tempfile
+    import urllib.request
+    from pathlib import Path as _Path
+
+    from repro.serve import parse_exposition, read_events
+
+    requests = tiny(96, 16)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        config = dataclasses.replace(
+            CONFIG,
+            metrics_port=0,
+            event_log=str(_Path(tmp) / "events.jsonl"),
+        )
+        with ServeRuntime(config, program=program) as runtime:
+            result = generator.closed_loop(
+                runtime, requests=requests, concurrency=4
+            )
+            with urllib.request.urlopen(runtime.metrics_url, timeout=10) as r:
+                scrape = r.read().decode("utf-8")
+        families = parse_exposition(scrape)
+        events = read_events(config.event_log)
+    served = sum(1 for e in events if e["event"] == "request_served")
+    return {
+        "requests": int(result.completed),
+        "scrape_valid": True,  # parse_exposition raised otherwise
+        "metrics_families": len(families),
+        "metrics_scrape_bytes": len(scrape.encode("utf-8")),
+        "events_logged": len(events),
+        "event_kinds": len({e["event"] for e in events}),
+        "served_events": int(served),
+    }
+
+
 def run_measurements():
     program = ChipProgram.build(CONFIG)
     pool_images = program.calibration_images
@@ -258,6 +297,9 @@ def run_measurements():
     # 5. first request of a freshly stamped replica vs steady state
     first_request = _first_request_measurements(program, pool_images[:16])
 
+    # 6. observability: /metrics scrape + event log under closed-loop load
+    observability = _observability_measurements(program, generator)
+
     return {
         "benchmark": "serve_load",
         "tiny": TINY,
@@ -288,6 +330,7 @@ def run_measurements():
         },
         "cold_start": cold_start,
         "first_request": first_request,
+        "observability": observability,
         "deterministic": deterministic,
         "predictions_sha256": digest_arrays(served),
     }
@@ -344,6 +387,12 @@ def test_serve_load(benchmark):
         f"first request: {first['first_s'] * 1e3:.2f} ms vs steady p50 "
         f"{first['steady_p50_s'] * 1e3:.2f} ms ({first['ratio']:.2f}x)"
     )
+    obs = record["observability"]
+    lines.append(
+        f"observability: {obs['metrics_families']} metric families in "
+        f"{obs['metrics_scrape_bytes']} B scrape | {obs['events_logged']} "
+        f"events ({obs['event_kinds']} kinds) for {obs['requests']} requests"
+    )
     lines.append(
         f"deterministic vs offline run: {record['deterministic']} "
         f"(sha {record['predictions_sha256'][:16]}...)"
@@ -366,6 +415,7 @@ def test_serve_load(benchmark):
             <= point["latency_p99_s"]
         )
     assert first["ratio"] <= 1.5, first
+    assert obs["scrape_valid"] and obs["served_events"] == obs["requests"], obs
     if not TINY:
         assert probe["speedup"] > 1.1, probe
         if any(p["transport"] == "shm" for p in cold["points"]):

@@ -139,6 +139,7 @@ SERVE_SCHEMA = {
     "batching_probe": dict,
     "cold_start": dict,
     "first_request": dict,
+    "observability": dict,
     "deterministic": bool,
     "predictions_sha256": str,
 }
@@ -202,6 +203,18 @@ SERVE_FIRST_SCHEMA = {
     "steady_p50_s": float,
     "steady_p99_s": float,
     "ratio": float,
+}
+
+#: Observability (/metrics scrape + JSONL event log) probe of
+#: BENCH_serve.json.
+SERVE_OBSERVABILITY_SCHEMA = {
+    "requests": int,
+    "scrape_valid": bool,
+    "metrics_families": int,
+    "metrics_scrape_bytes": int,
+    "events_logged": int,
+    "event_kinds": int,
+    "served_events": int,
 }
 
 
@@ -334,6 +347,14 @@ def check_serve_record(record: dict, filename: str) -> list:
                 record["first_request"],
                 SERVE_FIRST_SCHEMA,
                 f"{filename}:first_request",
+            )
+        )
+    if isinstance(record.get("observability"), dict):
+        errors.extend(
+            check_record(
+                record["observability"],
+                SERVE_OBSERVABILITY_SCHEMA,
+                f"{filename}:observability",
             )
         )
     points = record.get("points")

@@ -1,0 +1,5 @@
+"""``python -m repro`` — the declarative-config command-line entry point."""
+
+from repro.cli import main
+
+raise SystemExit(main())

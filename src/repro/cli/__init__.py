@@ -1,0 +1,12 @@
+"""The ``python -m repro`` command-line interface.
+
+Thin argparse shell over :mod:`repro.config`: every subcommand loads one
+resolved YAML document (``extends`` overlays, ``--set`` overrides,
+``${var}`` interpolation), validates it through the document schemas, and
+drives the matching entry point — offline runs, design-space sweeps, the
+serving runtime, the serving benchmark shape, or pure validation.
+"""
+
+from .main import main
+
+__all__ = ["main"]

@@ -1,0 +1,273 @@
+"""Layered YAML configuration loading.
+
+A config document is plain YAML with two structural conventions resolved by
+:func:`load_config` before any schema sees it:
+
+``extends``
+    A path (or list of paths, applied in order) of base documents, relative
+    to the extending file.  Bases load recursively (cycles raise) and the
+    child overlays them with :func:`deep_merge` — mappings merge key-wise,
+    everything else (including lists) replaces.
+
+``vars`` + ``${name}`` interpolation
+    A top-level ``vars`` mapping declares substitution variables; any
+    string value elsewhere in the document may reference them as
+    ``${name}``.  A value that is *exactly* one reference keeps the
+    variable's native type (``batch: ${batch}`` with ``batch: 128`` stays
+    an int); embedded references substitute textually.  ``vars`` may
+    reference each other (resolution iterates to a fixed point; unresolved
+    cycles raise) and the section is stripped from the resolved document.
+
+Command-line ``--set key=value`` overrides apply after merging, keyed by
+dotted path (``serve.max_batch=16``); values parse as YAML scalars so
+``true`` / ``5`` / ``0.25`` / ``[a, b]`` keep their types.
+
+PyYAML is the only dependency and is required lazily, so importing
+:mod:`repro.config` never fails on a YAML-less host — only *using* the
+loader does, with an actionable message.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .schema import ConfigError, suggest
+
+__all__ = [
+    "deep_merge",
+    "load_config",
+    "loads_config",
+    "dump_yaml",
+    "parse_override",
+    "apply_overrides",
+    "interpolate",
+]
+
+_VAR_PATTERN = re.compile(r"\$\{([A-Za-z_][A-Za-z0-9_.]*)\}")
+
+
+def _yaml():
+    """The PyYAML module, or a clear error where it is absent."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ConfigError(
+            "YAML config files require PyYAML (`pip install pyyaml`); "
+            "programmatic construction via the dataclasses works without it"
+        ) from exc
+    return yaml
+
+
+def deep_merge(base: Mapping[str, Any], overlay: Mapping[str, Any]) -> Dict[str, Any]:
+    """Overlay *overlay* onto *base*: mappings merge, scalars/lists replace."""
+    merged: Dict[str, Any] = dict(base)
+    for key, value in overlay.items():
+        if (
+            key in merged
+            and isinstance(merged[key], Mapping)
+            and isinstance(value, Mapping)
+        ):
+            merged[key] = deep_merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+# ------------------------------------------------------------------ overrides
+
+
+def parse_override(text: str) -> Tuple[Tuple[str, ...], Any]:
+    """Parse one ``--set dotted.key=value`` into (path, typed value)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise ConfigError(
+            f"override {text!r} must have the form key=value "
+            "(dotted keys reach nested sections, e.g. serve.max_batch=16)"
+        )
+    path = tuple(part for part in key.strip().split("."))
+    if any(not part for part in path):
+        raise ConfigError(f"override key {key!r} has an empty path segment")
+    value = _yaml().safe_load(raw) if raw != "" else ""
+    return path, value
+
+
+def _set_by_path(
+    document: Dict[str, Any], path: Sequence[str], value: Any
+) -> None:
+    node = document
+    for part in path[:-1]:
+        existing = node.get(part)
+        if existing is None:
+            existing = node[part] = {}
+        elif not isinstance(existing, dict):
+            raise ConfigError(
+                f"cannot set {'.'.join(path)!r}: "
+                f"{part!r} is not a mapping"
+            )
+        node = existing
+    node[path[-1]] = value
+
+
+def apply_overrides(
+    document: Dict[str, Any], overrides: Sequence[str]
+) -> Dict[str, Any]:
+    """Apply ``key=value`` override strings to a document (in order)."""
+    for text in overrides:
+        path, value = parse_override(text)
+        _set_by_path(document, path, value)
+    return document
+
+
+# -------------------------------------------------------------- interpolation
+
+
+def _resolve_vars(variables: Mapping[str, Any]) -> Dict[str, Any]:
+    """Resolve ``${...}`` references between the vars themselves."""
+    resolved = dict(variables)
+    # Fixed-point iteration bounded by the variable count: each pass must
+    # fully resolve at least one remaining reference, else there is a cycle.
+    for _ in range(len(resolved) + 1):
+        changed = False
+        for name, value in resolved.items():
+            new = _substitute(value, resolved, _partial=True)
+            if new is not value and new != value:
+                resolved[name] = new
+                changed = True
+        if not changed:
+            break
+    for name, value in resolved.items():
+        if isinstance(value, str) and _VAR_PATTERN.search(value):
+            raise ConfigError(
+                f"config var {name!r} has an unresolvable reference "
+                f"(cycle or unknown variable): {value!r}"
+            )
+    return resolved
+
+
+def _substitute(
+    value: Any, variables: Mapping[str, Any], *, _partial: bool = False
+) -> Any:
+    """Substitute ``${name}`` references in *value* (recursively)."""
+    if isinstance(value, Mapping):
+        return {k: _substitute(v, variables, _partial=_partial) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_substitute(v, variables, _partial=_partial) for v in value]
+    if not isinstance(value, str):
+        return value
+    full = _VAR_PATTERN.fullmatch(value)
+    if full:
+        name = full.group(1)
+        if name in variables:
+            return variables[name]
+        if _partial:
+            return value
+        raise ConfigError(
+            f"unknown config variable ${{{name}}}"
+            + suggest(name, list(variables))
+        )
+
+    def _replace(match: "re.Match[str]") -> str:
+        name = match.group(1)
+        if name not in variables:
+            if _partial:
+                return match.group(0)
+            raise ConfigError(
+                f"unknown config variable ${{{name}}}"
+                + suggest(name, list(variables))
+            )
+        return str(variables[name])
+
+    return _VAR_PATTERN.sub(_replace, value)
+
+
+def interpolate(document: Mapping[str, Any]) -> Dict[str, Any]:
+    """Resolve the ``vars`` section and every ``${name}`` reference.
+
+    Returns the document with ``vars`` stripped; unknown references raise
+    with a did-you-mean suggestion.
+    """
+    variables = document.get("vars") or {}
+    if not isinstance(variables, Mapping):
+        raise ConfigError("the 'vars' section must be a mapping")
+    variables = _resolve_vars(variables)
+    resolved = {
+        key: _substitute(value, variables)
+        for key, value in document.items()
+        if key != "vars"
+    }
+    return resolved
+
+
+# -------------------------------------------------------------------- loading
+
+
+def _load_raw(path: Path, seen: Tuple[Path, ...]) -> Dict[str, Any]:
+    """Load one file and resolve its ``extends`` chain (cycles raise)."""
+    path = path.resolve()
+    if path in seen:
+        chain = " -> ".join(str(p) for p in (*seen, path))
+        raise ConfigError(f"circular 'extends' chain: {chain}")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read config file {path}: {exc}") from exc
+    document = _yaml().safe_load(text)
+    if document is None:
+        document = {}
+    if not isinstance(document, dict):
+        raise ConfigError(
+            f"config file {path} must be a YAML mapping at the top level"
+        )
+    bases = document.pop("extends", None)
+    if bases is None:
+        return document
+    if isinstance(bases, (str, Path)):
+        bases = [bases]
+    if not isinstance(bases, list):
+        raise ConfigError(f"'extends' in {path} must be a path or list of paths")
+    merged: Dict[str, Any] = {}
+    for base in bases:
+        base_path = Path(base)
+        if not base_path.is_absolute():
+            base_path = path.parent / base_path
+        merged = deep_merge(merged, _load_raw(base_path, (*seen, path)))
+    return deep_merge(merged, document)
+
+
+def load_config(
+    path: Union[str, Path], *, overrides: Sequence[str] = ()
+) -> Dict[str, Any]:
+    """Load a YAML config file fully resolved: extends, overrides, vars.
+
+    Overrides apply after the overlay merge but *before* interpolation, so
+    ``--set vars.scenario=deep_cnn`` retargets every ``${scenario}``
+    reference in the document.
+    """
+    document = _load_raw(Path(path), ())
+    apply_overrides(document, overrides)
+    return interpolate(document)
+
+
+def loads_config(
+    text: str, *, overrides: Sequence[str] = ()
+) -> Dict[str, Any]:
+    """:func:`load_config` for an in-memory YAML string (no ``extends``)."""
+    document = _yaml().safe_load(text)
+    if document is None:
+        document = {}
+    if not isinstance(document, dict):
+        raise ConfigError("config text must be a YAML mapping at the top level")
+    if "extends" in document:
+        raise ConfigError("'extends' requires a file path to resolve against")
+    apply_overrides(document, overrides)
+    return interpolate(document)
+
+
+def dump_yaml(payload: Mapping[str, Any], path: Optional[Union[str, Path]] = None) -> str:
+    """Serialise a payload to YAML (schema field order preserved)."""
+    text = _yaml().safe_dump(dict(payload), sort_keys=False, default_flow_style=False)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text

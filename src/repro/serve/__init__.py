@@ -27,11 +27,14 @@ from .config import (
     BACKPRESSURE_POLICIES,
     POOL_MODES,
     PROGRAM_TRANSPORTS,
+    SERVE_SCHEMA,
     ServeConfig,
 )
+from .events import EventLog, NullEventLog, open_event_log, read_events, tail_events
 from .loadgen import LoadGenerator, LoadResult
 from .metrics import MetricsSnapshot, ServeMetrics
 from .program import ChipProgram, SharedProgramHandle, WarmChip
+from .promexp import MetricsServer, parse_exposition, render_prometheus
 from .runtime import (
     InferenceRequest,
     InferenceResponse,
@@ -44,14 +47,18 @@ __all__ = [
     "BACKPRESSURE_POLICIES",
     "POOL_MODES",
     "PROGRAM_TRANSPORTS",
+    "SERVE_SCHEMA",
     "ChipProgram",
     "ChipWorker",
+    "EventLog",
     "InferenceRequest",
     "InferenceResponse",
     "LoadGenerator",
     "LoadResult",
+    "MetricsServer",
     "MetricsSnapshot",
     "MicroBatcher",
+    "NullEventLog",
     "QueueFullError",
     "ServeConfig",
     "ServeMetrics",
@@ -59,4 +66,9 @@ __all__ = [
     "SharedProgramHandle",
     "WarmChip",
     "WorkerPool",
+    "open_event_log",
+    "parse_exposition",
+    "read_events",
+    "render_prometheus",
+    "tail_events",
 ]

@@ -10,12 +10,16 @@ back when the offered load exceeds the pool's capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
+from ..config.schema import ConfigSchema, FieldSpec
+from ..engine.kernels import validate_device_exec
+from ..quant.calibration import CALIBRATION_MODES
 from ..system.inference import InferenceConfig
 
 __all__ = [
     "ServeConfig",
+    "SERVE_SCHEMA",
     "BACKPRESSURE_POLICIES",
     "POOL_MODES",
     "PROGRAM_TRANSPORTS",
@@ -78,6 +82,14 @@ class ServeConfig:
             raise when shared memory is unavailable), or ``"pickle"`` (ship
             each worker its own serialised copy — the portable baseline).
             Thread pools always alias the in-process program directly.
+        metrics_port: Port of the Prometheus ``/metrics`` endpoint the
+            runtime serves on a side thread — ``None`` (default) disables
+            it, ``0`` binds an ephemeral port (reported by
+            :attr:`~repro.serve.runtime.ServeRuntime.metrics_address`).
+        event_log: Path of the structured JSONL event log; ``None``
+            (default) disables event logging.
+        event_log_max_bytes: Rotation threshold of the event-log file.
+        event_log_backups: Rotated files kept (``path.1`` … ``path.N``).
     """
 
     scenario: str = "tiny_mlp"
@@ -99,6 +111,10 @@ class ServeConfig:
     backpressure: str = "block"
     service_delay_s: float = 0.0
     program_transport: str = "auto"
+    metrics_port: Optional[int] = None
+    event_log: Optional[str] = None
+    event_log_max_bytes: int = 1_000_000
+    event_log_backups: int = 3
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -125,6 +141,12 @@ class ServeConfig:
             raise ValueError("calibration_images must be at least 1")
         if self.service_delay_s < 0:
             raise ValueError("service_delay_s must be non-negative")
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ValueError("metrics_port must be in [0, 65535] or None")
+        if self.event_log_max_bytes < 1024:
+            raise ValueError("event_log_max_bytes must be at least 1024")
+        if self.event_log_backups < 1:
+            raise ValueError("event_log_backups must be at least 1")
         if self.adc_bits is None:
             # Serving co-reports modeled chip latency / energy, which price
             # a concrete ADC; the no-ADC idealisation is an offline-analysis
@@ -146,3 +168,81 @@ class ServeConfig:
             seed=self.seed,
             calibration=self.calibration,
         )
+
+    # ------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible snapshot (parity with ``InferenceConfig``).
+
+        The key set is declared by :data:`SERVE_SCHEMA`;
+        ``ServeConfig.from_dict(c.to_dict()) == c``.
+        """
+        return SERVE_SCHEMA.to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ServeConfig":
+        """Rebuild a config from a :meth:`to_dict` payload.
+
+        Unknown keys raise with a did-you-mean suggestion; deprecated
+        aliases (``pool_mode``, ``max_wait``, ``service_delay``,
+        ``transport``) load with a :class:`DeprecationWarning`.
+        """
+        return SERVE_SCHEMA.from_dict(payload)
+
+
+def _scenario_names():
+    from ..chipsim.scenarios import SCENARIOS
+
+    return tuple(SCENARIOS)
+
+
+#: The :class:`~repro.config.ConfigSchema` of :class:`ServeConfig` — the
+#: single declaration behind ``to_dict`` / ``from_dict`` and the ``serve``
+#: YAML document kind.  The scenario enum reads the live
+#: :mod:`repro.chipsim.scenarios` registry at validation time.
+SERVE_SCHEMA = ConfigSchema(
+    "ServeConfig",
+    ServeConfig,
+    [
+        FieldSpec("scenario", "tiny_mlp", choices=_scenario_names,
+                  doc="registered scenario to serve"),
+        FieldSpec("backend", "device", choices=_BACKENDS,
+                  doc="chip execution backend"),
+        FieldSpec("design", "curfe", choices=("curfe", "chgfe"),
+                  doc="IMC macro design"),
+        FieldSpec("input_bits", 4, doc="activation precision (unsigned)"),
+        FieldSpec("weight_bits", 8, doc="weight precision (signed)"),
+        FieldSpec("adc_bits", 5, doc="SAR ADC resolution (required concrete)"),
+        FieldSpec("device_exec", "turbo", aliases=("kernel",),
+                  validate=validate_device_exec,
+                  doc="device-backend kernel from the engine registry"),
+        FieldSpec("calibration", "workload", choices=CALIBRATION_MODES,
+                  doc="ADC reference placement at program-build time"),
+        FieldSpec("seed", 0, doc="programming-variation seed (all replicas)"),
+        FieldSpec("data_seed", 1, doc="calibration workload draw seed"),
+        FieldSpec("calibration_images", 32,
+                  doc="images in the one-off calibration batch"),
+        FieldSpec("replicas", 1, doc="warm chip replicas in the pool"),
+        FieldSpec("pool", "thread", aliases=("pool_mode",),
+                  choices=POOL_MODES, doc="replica pool execution mode"),
+        FieldSpec("max_batch", 8, doc="micro-batch size cap"),
+        FieldSpec("max_wait_s", 0.0, aliases=("max_wait",),
+                  doc="batch hold-open window once a replica is free"),
+        FieldSpec("queue_depth", 256, doc="request queue bound"),
+        FieldSpec("backpressure", "block", choices=BACKPRESSURE_POLICIES,
+                  doc="full-queue policy"),
+        FieldSpec("service_delay_s", 0.0, aliases=("service_delay",),
+                  doc="artificial extra service time per batch (testing)"),
+        FieldSpec("program_transport", "auto", aliases=("transport",),
+                  choices=PROGRAM_TRANSPORTS,
+                  doc="how process-pool workers receive the program"),
+        FieldSpec("metrics_port", None,
+                  doc="Prometheus /metrics port (null = off, 0 = ephemeral)"),
+        FieldSpec("event_log", None,
+                  doc="JSONL event-log path (null = off)"),
+        FieldSpec("event_log_max_bytes", 1_000_000,
+                  doc="event-log rotation threshold"),
+        FieldSpec("event_log_backups", 3,
+                  doc="rotated event-log files kept"),
+    ],
+)

@@ -1,0 +1,230 @@
+"""Structured JSONL event logging with bounded rotation and replay.
+
+Every notable state transition of the serving runtime and the sweep runner
+emits one JSON line — request admitted / rejected / served, batch
+dispatched, cache hit / miss, worker start / stop, program swap — through
+an :class:`EventLog`: a thread-safe, size-bounded rotating writer.  The
+file format is deliberately trivial (one JSON object per line, every
+object carrying a monotonically increasing ``seq`` and a wall-clock
+``ts``), so a postmortem needs nothing beyond :func:`read_events`, which
+merges the rotated generations back into one ordered stream.
+
+Rotation keeps ``backups`` old generations (``path.1`` is the most
+recent): when the live file would exceed ``max_bytes``, generations shift
+up, the oldest falls off, and the live file starts empty.  ``seq`` is what
+keeps the merged replay totally ordered across generations.
+
+A :class:`NullEventLog` shares the interface and does nothing, so call
+sites never branch on "is logging enabled".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "EVENT_TYPES",
+    "EventLog",
+    "NullEventLog",
+    "read_events",
+    "tail_events",
+]
+
+#: The event vocabulary (informative, not enforced — forward compatible).
+EVENT_TYPES = (
+    "runtime_start",
+    "runtime_stop",
+    "worker_start",
+    "worker_stop",
+    "request_admitted",
+    "request_rejected",
+    "request_served",
+    "request_failed",
+    "batch_dispatched",
+    "program_swap",
+    "cache_hit",
+    "cache_miss",
+    "sweep_start",
+    "job_finished",
+    "sweep_finish",
+)
+
+
+class NullEventLog:
+    """The disabled event sink: same interface, no I/O."""
+
+    path: Optional[Path] = None
+    enabled = False
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "NullEventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class EventLog(NullEventLog):
+    """A bounded, rotating JSONL event writer (thread-safe).
+
+    Args:
+        path: The live log file; rotated generations live next to it as
+            ``path.1`` … ``path.N``.
+        max_bytes: Rotation threshold — a write that would push the live
+            file past it rotates first.
+        backups: Rotated generations kept; the oldest is dropped.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        max_bytes: int = 1_000_000,
+        backups: int = 3,
+    ) -> None:
+        if max_bytes < 1024:
+            raise ValueError("max_bytes must be at least 1024")
+        if backups < 1:
+            raise ValueError("backups must be at least 1")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = self._handle.tell()
+        #: Next sequence number; continues past generations already on disk
+        #: so a re-opened log never reuses a seq.
+        self._seq = self._resume_seq()
+
+    def _resume_seq(self) -> int:
+        last = -1
+        for event in read_events(self.path):
+            last = max(last, int(event.get("seq", -1)))
+        return last + 1
+
+    # ------------------------------------------------------------------ write
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line ``{"seq", "ts", "event", **fields}``."""
+        record: Dict[str, Any] = {"seq": None, "ts": None, "event": event}
+        record.update(fields)
+        with self._lock:
+            record["seq"] = self._seq
+            record["ts"] = round(time.time(), 6)
+            self._seq += 1
+            line = json.dumps(record, sort_keys=False) + "\n"
+            encoded = len(line.encode("utf-8"))
+            if self._size > 0 and self._size + encoded > self.max_bytes:
+                self._rotate_locked()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += encoded
+
+    def _rotate_locked(self) -> None:
+        self._handle.close()
+        oldest = self._generation(self.backups)
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.backups - 1, 0, -1):
+            source = self._generation(index)
+            if source.exists():
+                os.replace(source, self._generation(index + 1))
+        os.replace(self.path, self._generation(1))
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def _generation(self, index: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.{index}")
+
+    def close(self) -> None:
+        """Flush and close the live file (idempotent)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_event_log(
+    path: Optional[Union[str, os.PathLike]],
+    *,
+    max_bytes: int = 1_000_000,
+    backups: int = 3,
+) -> NullEventLog:
+    """An :class:`EventLog` at *path*, or a :class:`NullEventLog` for None."""
+    if path is None:
+        return NullEventLog()
+    return EventLog(path, max_bytes=max_bytes, backups=backups)
+
+
+__all__.append("open_event_log")
+
+
+# --------------------------------------------------------------------- replay
+
+
+def _iter_file(path: Path, *, live: bool) -> Iterator[Dict[str, Any]]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return
+    for number, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            # A torn final line of the live file is expected when reading
+            # concurrently with the writer; anything else is corruption.
+            if live and number == len(lines) - 1:
+                return
+            raise
+
+
+def read_events(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Replay an event log: rotated generations + live file, ordered by seq.
+
+    The result is the full retained history (oldest first).  A half-written
+    final line of the live file is tolerated; corruption anywhere else
+    raises.  A missing live file yields whatever generations exist.
+    """
+    path = Path(path)
+    events: List[Dict[str, Any]] = []
+    generations = sorted(
+        (p for p in path.parent.glob(f"{path.name}.*")
+         if p.suffix[1:].isdigit()),
+        key=lambda p: int(p.suffix[1:]),
+        reverse=True,
+    )
+    for generation in generations:
+        events.extend(_iter_file(generation, live=False))
+    events.extend(_iter_file(path, live=True))
+    events.sort(key=lambda event: event.get("seq", 0))
+    return events
+
+
+def tail_events(
+    path: Union[str, os.PathLike], n: int = 10
+) -> List[Dict[str, Any]]:
+    """The last *n* retained events (replay convenience)."""
+    events = read_events(path)
+    return events[-n:]

@@ -1,0 +1,282 @@
+"""Prometheus text-exposition rendering of the serving metrics.
+
+:func:`render_prometheus` turns a
+:class:`~repro.serve.metrics.MetricsSnapshot` into the Prometheus text
+exposition format (version 0.0.4): monotone request/batch totals as
+``counter`` families, the live distribution statistics as ``gauge``
+families, plus one ``repro_serve_info`` labels metric carrying the
+deployment identity (scenario, design, pool mode).  Percentiles are
+exported as gauges rather than a fake ``summary`` — the snapshot's ring
+buffer already computed them, and a summary without ``_sum`` / ``_count``
+semantics would be a lie Prometheus clients act on.
+
+:class:`MetricsServer` serves the rendering over HTTP on a daemon side
+thread (stdlib ``ThreadingHTTPServer``; ``GET /metrics`` and a
+``/healthz`` liveness probe), binding ``port=0`` for an ephemeral port so
+tests and demos never collide.  :func:`parse_exposition` is the matching
+minimal parser used by the tests and the CLI to prove the output is valid.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "render_prometheus",
+    "parse_exposition",
+    "MetricsServer",
+    "CONTENT_TYPE",
+]
+
+#: The content type of exposition format version 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: (snapshot attribute, metric suffix, type, help) of every exported family.
+_FAMILIES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("submitted", "requests_submitted_total", "counter",
+     "Requests accepted into the queue."),
+    ("rejected", "requests_rejected_total", "counter",
+     "Requests refused by the backpressure policy."),
+    ("completed", "requests_completed_total", "counter",
+     "Requests served to completion."),
+    ("batches", "batches_total", "counter",
+     "Micro-batches dispatched to the replica pool."),
+    ("in_flight", "requests_in_flight", "gauge",
+     "Requests admitted but not yet completed."),
+    ("throughput_rps", "throughput_rps", "gauge",
+     "Completed requests per second over the observation window."),
+    ("latency_p50_s", "latency_p50_seconds", "gauge",
+     "Median end-to-end request latency."),
+    ("latency_p95_s", "latency_p95_seconds", "gauge",
+     "95th-percentile end-to-end request latency."),
+    ("latency_p99_s", "latency_p99_seconds", "gauge",
+     "99th-percentile end-to-end request latency."),
+    ("latency_mean_s", "latency_mean_seconds", "gauge",
+     "Mean end-to-end request latency."),
+    ("queue_wait_mean_s", "queue_wait_mean_seconds", "gauge",
+     "Mean time requests spent queued before dispatch."),
+    ("service_mean_s", "service_mean_seconds", "gauge",
+     "Mean replica service time per batch."),
+    ("batch_size_mean", "batch_size_mean", "gauge",
+     "Mean micro-batch size."),
+    ("batch_occupancy_mean", "batch_occupancy_mean", "gauge",
+     "Mean micro-batch fill fraction of max_batch."),
+    ("queue_depth_max", "queue_depth_max", "gauge",
+     "Maximum observed request-queue depth."),
+    ("queue_depth_mean", "queue_depth_mean", "gauge",
+     "Mean observed request-queue depth."),
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot,
+    *,
+    namespace: str = "repro_serve",
+    info: Optional[Mapping[str, str]] = None,
+) -> str:
+    """The exposition-format text of one metrics snapshot.
+
+    Args:
+        snapshot: A :class:`~repro.serve.metrics.MetricsSnapshot` (any
+            object with the snapshot's attributes works).
+        namespace: Metric-name prefix.
+        info: Deployment identity labels exported as the constant-1
+            ``<namespace>_info`` gauge (e.g. scenario / design / pool).
+    """
+    lines: List[str] = []
+    if info:
+        labels = ",".join(
+            f'{key}="{_escape_label(value)}"' for key, value in info.items()
+        )
+        lines.append(f"# HELP {namespace}_info Deployment identity labels.")
+        lines.append(f"# TYPE {namespace}_info gauge")
+        lines.append(f"{namespace}_info{{{labels}}} 1")
+    for attribute, suffix, family_type, help_text in _FAMILIES:
+        name = f"{namespace}_{suffix}"
+        value = getattr(snapshot, attribute)
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family_type}")
+        lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition text into ``{family: {type, help, samples}}``.
+
+    A minimal, validating reader of the subset this module emits: every
+    sample must belong to a ``# TYPE``-declared family, values must parse
+    as floats, label strings must be well-formed.  Raises ``ValueError``
+    on any violation — the tests and the CLI use it to prove ``/metrics``
+    output is consumable.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"type": None, "help": "", "samples": {}}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, family_type = rest.partition(" ")
+            if family_type not in ("counter", "gauge", "summary", "histogram",
+                                   "untyped"):
+                raise ValueError(f"invalid metric type {family_type!r}")
+            families.setdefault(
+                name, {"type": None, "help": "", "samples": {}}
+            )["type"] = family_type
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        # A sample: name[{labels}] value
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            labels_text, closed, value_text = rest.partition("}")
+            if not closed or not value_text.strip():
+                raise ValueError(f"malformed sample line: {raw!r}")
+            labels = labels_text
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = ""
+        name = name.strip()
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family.endswith(suffix) and family[: -len(suffix)] in families:
+                family = family[: -len(suffix)]
+        if family not in families or families[family]["type"] is None:
+            raise ValueError(f"sample {name!r} has no # TYPE declaration")
+        try:
+            value = float(value_text.strip())
+        except ValueError as exc:
+            raise ValueError(f"bad sample value in {raw!r}") from exc
+        families[family]["samples"][f"{name}{{{labels}}}" if labels else name] = value
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ValueError(f"family {name!r} was HELPed but never TYPEd")
+    return families
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """``GET /metrics`` + ``GET /healthz``; silent access logging."""
+
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?")[0] == "/metrics":
+            try:
+                body = self.server.render().encode("utf-8")
+            except Exception as exc:  # pragma: no cover - defensive
+                self.send_error(500, explain=str(exc))
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path.split("?")[0] == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404)
+
+    def log_message(self, *args) -> None:  # pragma: no cover - silence
+        pass
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    render: Callable[[], str]
+
+
+class MetricsServer:
+    """The ``/metrics`` HTTP endpoint on a daemon side thread.
+
+    Args:
+        render: Zero-argument callable returning exposition text — called
+            per scrape, so every scrape sees a fresh snapshot.
+        host: Bind address (loopback by default).
+        port: Bind port; ``0`` picks an ephemeral one.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._render = render
+        self._host = host
+        self._port = port
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The bound ``(host, port)``; None before :meth:`start`."""
+        if self._server is None:
+            return None
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> Optional[str]:
+        """The scrape URL; None before :meth:`start`."""
+        address = self.address
+        if address is None:
+            return None
+        return f"http://{address[0]}:{address[1]}/metrics"
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve; returns the actual (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("metrics server is already started")
+        server = _Server((self._host, self._port), _Handler)
+        server.render = self._render
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Shut the endpoint down (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

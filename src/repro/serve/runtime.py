@@ -41,8 +41,10 @@ import numpy as np
 
 from .batcher import CLOSE, MicroBatcher
 from .config import ServeConfig
+from .events import NullEventLog, open_event_log
 from .metrics import MetricsSnapshot, ServeMetrics
 from .program import ChipProgram
+from .promexp import MetricsServer, render_prometheus
 from .worker import WorkerPool
 
 __all__ = [
@@ -116,6 +118,9 @@ class ServeRuntime:
         self.config = config
         self.program = program
         self.metrics = ServeMetrics(config.max_batch)
+        #: The structured event sink (a no-op unless ``config.event_log``).
+        self.events = NullEventLog()
+        self._metrics_server: Optional[MetricsServer] = None
         self._queue: Optional[queue.Queue] = None
         self._pool: Optional[WorkerPool] = None
         self._dispatcher: Optional[threading.Thread] = None
@@ -130,17 +135,35 @@ class ServeRuntime:
         self._accept_lock = threading.Lock()
         self._outstanding = 0
         self._done_cond = threading.Condition()
+        # swap_program() support: the dispatcher submits batches under this
+        # lock (never while a swap holds it), and the in-flight batch count
+        # lets a swap wait for the old pool to go quiet.  A semaphore drain
+        # would deadlock here — the dispatcher holds a slot while *blocked*
+        # waiting for requests, so slots are not a quiescence signal.
+        self._swap_lock = threading.Lock()
+        self._inflight_batches = 0
+        self._inflight_cond = threading.Condition(self._swap_lock)
 
     # -------------------------------------------------------------- lifecycle
 
     def start(self) -> "ServeRuntime":
-        """Program the chip (if needed), warm the replicas, begin serving."""
+        """Program the chip (if needed), warm the replicas, begin serving.
+
+        When the config enables them, this also opens the JSONL event log
+        and binds the ``/metrics`` endpoint on a daemon side thread (see
+        :attr:`metrics_url`).
+        """
         if self._started:
             raise RuntimeError("runtime is already started")
+        self.events = open_event_log(
+            self.config.event_log,
+            max_bytes=self.config.event_log_max_bytes,
+            backups=self.config.event_log_backups,
+        )
         if self.program is None:
             self.program = ChipProgram.build(self.config)
         self._queue = queue.Queue(maxsize=self.config.queue_depth)
-        self._pool = WorkerPool(self.program, self.config)
+        self._pool = WorkerPool(self.program, self.config, events=self.events)
         self._pool.start()
         self._slots = threading.Semaphore(self.config.replicas)
         self._dispatcher = threading.Thread(
@@ -149,6 +172,19 @@ class ServeRuntime:
         self._started = True
         self._accepting = True
         self._dispatcher.start()
+        if self.config.metrics_port is not None:
+            self._metrics_server = MetricsServer(
+                self._render_metrics, port=self.config.metrics_port
+            )
+            self._metrics_server.start()
+        self.events.emit(
+            "runtime_start",
+            scenario=self.config.scenario,
+            design=self.config.design,
+            replicas=self.config.replicas,
+            pool=self.config.pool,
+            metrics_url=self.metrics_url,
+        )
         return self
 
     def stop(self) -> None:
@@ -168,7 +204,76 @@ class ServeRuntime:
             self._pool = None
         with self._done_cond:
             self._done_cond.wait_for(lambda: self._outstanding == 0, timeout=60.0)
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
         self._started = False
+        snapshot = self.metrics.snapshot()
+        self.events.emit(
+            "runtime_stop",
+            submitted=snapshot.submitted,
+            completed=snapshot.completed,
+            rejected=snapshot.rejected,
+            batches=snapshot.batches,
+        )
+        self.events.close()
+
+    # ---------------------------------------------------------- observability
+
+    def _render_metrics(self) -> str:
+        """Fresh exposition text (called per ``/metrics`` scrape)."""
+        return render_prometheus(
+            self.metrics.snapshot(),
+            info={
+                "scenario": self.config.scenario,
+                "design": self.config.design,
+                "backend": self.config.backend,
+                "pool": self.config.pool,
+            },
+        )
+
+    @property
+    def metrics_address(self):
+        """The bound ``(host, port)`` of ``/metrics``; None when disabled."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.address
+
+    @property
+    def metrics_url(self) -> Optional[str]:
+        """The scrape URL of ``/metrics``; None when disabled."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.url
+
+    def swap_program(self, program: ChipProgram) -> None:
+        """Hot-swap the served program without dropping queued requests.
+
+        Blocks new batch dispatches, waits for the in-flight batches to
+        complete, replaces the worker pool with one stamped from
+        *program*, and resumes.  Requests queued during the swap are
+        served by the new program; in-flight batches finish on the old
+        one.  The runtime must be started.
+        """
+        if not self._started or self._pool is None:
+            raise RuntimeError("runtime is not started")
+        with self._inflight_cond:
+            self._inflight_cond.wait_for(
+                lambda: self._inflight_batches == 0, timeout=120.0
+            )
+            if self._inflight_batches:
+                raise RuntimeError("in-flight batches did not drain for swap")
+            old_pool = self._pool
+            pool = WorkerPool(program, self.config, events=self.events)
+            pool.start()
+            self.program = program
+            self._pool = pool
+            self.events.emit(
+                "program_swap",
+                scenario=self.config.scenario,
+                build_seconds=getattr(program, "build_seconds", None),
+            )
+        old_pool.shutdown()
 
     def __enter__(self) -> "ServeRuntime":
         return self.start()
@@ -216,10 +321,20 @@ class ServeRuntime:
                 except queue.Full:
                     self._mark_done(1)
                     self.metrics.record_rejected()
+                    self.events.emit(
+                        "request_rejected",
+                        request_id=request_id,
+                        queue_depth=self.config.queue_depth,
+                    )
                     raise QueueFullError(
                         f"request queue is full ({self.config.queue_depth} deep)"
                     ) from None
         self.metrics.record_submitted(self._queue.qsize(), request.arrival_s)
+        self.events.emit(
+            "request_admitted",
+            request_id=request_id,
+            queue_depth=self._queue.qsize(),
+        )
         return request.future
 
     def serve(self, images: Sequence[np.ndarray]) -> np.ndarray:
@@ -259,10 +374,20 @@ class ServeRuntime:
             if batch is None:
                 self._slots.release()
                 return
-            assert self._pool is not None
             dispatch_s = ServeMetrics.now()
             images = np.stack([request.image for request in batch])
-            future = self._pool.submit(images)
+            # Submit under the swap lock: a program swap can never race a
+            # dispatch onto a pool that is being replaced.
+            with self._inflight_cond:
+                assert self._pool is not None
+                self._inflight_batches += 1
+                future = self._pool.submit(images)
+            self.events.emit(
+                "batch_dispatched",
+                size=len(batch),
+                first_request_id=batch[0].request_id,
+                last_request_id=batch[-1].request_id,
+            )
             future.add_done_callback(
                 partial(self._on_batch_done, batch, dispatch_s)
             )
@@ -275,6 +400,9 @@ class ServeRuntime:
     ) -> None:
         assert self._slots is not None
         self._slots.release()
+        with self._inflight_cond:
+            self._inflight_batches -= 1
+            self._inflight_cond.notify_all()
         completion_s = ServeMetrics.now()
         assert self.program is not None
         try:
@@ -282,6 +410,11 @@ class ServeRuntime:
         except BaseException as error:  # surface the failure per request
             for request in batch:
                 request.future.set_exception(error)
+                self.events.emit(
+                    "request_failed",
+                    request_id=request.request_id,
+                    error=repr(error),
+                )
             self._mark_done(len(batch))
             return
         self.metrics.record_batch(len(batch), completion_s - dispatch_s)
@@ -298,6 +431,13 @@ class ServeRuntime:
             )
             self.metrics.record_response(
                 response.latency_s, response.queue_wait_s, completion_s
+            )
+            self.events.emit(
+                "request_served",
+                request_id=request.request_id,
+                prediction=response.prediction,
+                batch_size=response.batch_size,
+                latency_s=round(response.latency_s, 6),
             )
             request.future.set_result(response)
         self._mark_done(len(batch))

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..engine.shm import shm_available
 from .config import ServeConfig
+from .events import NullEventLog
 from .program import ChipProgram, WarmChip
 
 __all__ = ["ChipWorker", "WorkerPool"]
@@ -164,11 +165,20 @@ class WorkerPool:
         program: The programmed chip every replica is stamped from.
         config: The deployment configuration (replica count, pool mode,
             program transport, service-delay injection).
+        events: Structured event sink (``worker_start`` / ``worker_stop``
+            per replica); defaults to the no-op log.
     """
 
-    def __init__(self, program: ChipProgram, config: ServeConfig) -> None:
+    def __init__(
+        self,
+        program: ChipProgram,
+        config: ServeConfig,
+        *,
+        events=None,
+    ) -> None:
         self.program = program
         self.config = config
+        self.events = events if events is not None else NullEventLog()
         self.replicas = config.replicas
         self.mode = config.pool
         #: The transport the pool resolved at start ("shm" / "pickle" for
@@ -229,6 +239,13 @@ class WorkerPool:
                 initializer=_init_process_worker,
                 initargs=(payload, self.transport, self.config.service_delay_s),
             )
+        for replica in range(self.replicas):
+            self.events.emit(
+                "worker_start",
+                replica=replica,
+                mode=self.mode,
+                transport=self.transport,
+            )
 
     def shutdown(self) -> None:
         """Finish in-flight batches and release the replicas (idempotent).
@@ -241,6 +258,10 @@ class WorkerPool:
         try:
             if self._executor is not None:
                 self._executor.shutdown(wait=True)
+                for replica in range(self.replicas):
+                    self.events.emit(
+                        "worker_stop", replica=replica, mode=self.mode
+                    )
         finally:
             self._executor = None
             self._workers = []

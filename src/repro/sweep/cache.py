@@ -194,15 +194,30 @@ class SweepCache:
         root: Cache directory (created on demand).  Safe to share between
             concurrently running worker processes: reads see only fully
             written entries, writes are atomic renames.
+        events: Optional in-process event sink
+            (:class:`~repro.serve.events.EventLog`); every counted lookup
+            also emits a ``cache_hit`` / ``cache_miss`` event.  Only wire
+            one up for a cache handle that lives in the process owning the
+            log — worker processes report through their job records
+            instead.
     """
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(self, root: os.PathLike, *, events=None) -> None:
         self.root = Path(root)
+        self.events = events
         self.hits: Dict[str, int] = {kind: 0 for kind in KINDS}
         self.misses: Dict[str, int] = {kind: 0 for kind in KINDS}
         # Shared-memory arenas this handle has mapped (kept alive so the
         # zero-copy views handed to engines stay valid for the process).
         self._arenas: list = []
+
+    def _count(self, kind: str, key: str, hit: bool) -> None:
+        """Count one lookup and mirror it to the event sink (if any)."""
+        (self.hits if hit else self.misses)[kind] += 1
+        if self.events is not None:
+            self.events.emit(
+                "cache_hit" if hit else "cache_miss", kind=kind, key=key
+            )
 
     def _path(self, kind: str, key: str) -> Path:
         if kind not in KINDS:
@@ -213,11 +228,11 @@ class SweepCache:
         """Load an entry, counting the hit/miss; None when absent."""
         path = self._path(kind, key)
         if not path.exists():
-            self.misses[kind] += 1
+            self._count(kind, key, hit=False)
             return None
         with np.load(path) as bundle:
             arrays = {name: bundle[name] for name in bundle.files}
-        self.hits[kind] += 1
+        self._count(kind, key, hit=True)
         return arrays
 
     def put(self, kind: str, key: str, arrays: Mapping[str, np.ndarray]) -> None:
@@ -284,7 +299,7 @@ class SweepCache:
             if not loaded:
                 # Attached to another worker's arena: the disk store was
                 # never touched, but semantically this is a cache hit.
-                self.hits[kind] += 1
+                self._count(kind, key, hit=True)
         if flat is None:
             return None
         layered: Dict[str, Dict[str, np.ndarray]] = {}

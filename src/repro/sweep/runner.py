@@ -528,6 +528,11 @@ class SweepRunner:
             — results are bit-identical either way.
         cache_dir: Content-addressed cache directory shared by all workers;
             None disables caching.
+        event_log: Optional JSONL event-log path
+            (:mod:`repro.serve.events`); the coordinating process emits
+            ``sweep_start`` / ``job_finished`` / ``cache_hit`` /
+            ``cache_miss`` / ``sweep_finish`` — a single writer, so worker
+            processes never contend on the log file.
     """
 
     def __init__(
@@ -536,30 +541,62 @@ class SweepRunner:
         *,
         workers: int = 1,
         cache_dir: Optional[str] = None,
+        event_log: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.spec = spec
         self.workers = workers
         self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.event_log = None if event_log is None else str(event_log)
 
     def run(self) -> SweepResult:
         """Expand the grid and execute every job, preserving job order."""
+        from ..serve.events import open_event_log
+
         jobs = self.spec.expand()
         payloads = [job.to_dict() for job in jobs]
-        start = time.perf_counter()
-        if self.workers == 1:
-            records = [run_job(payload, self.cache_dir) for payload in payloads]
-        else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                records = list(
-                    pool.map(
-                        run_job,
-                        payloads,
-                        [self.cache_dir] * len(payloads),
+        with open_event_log(self.event_log) as events:
+            events.emit(
+                "sweep_start",
+                jobs=len(jobs),
+                workers=self.workers,
+                spec_digest=self.spec.digest(),
+                cache_dir=self.cache_dir,
+            )
+            start = time.perf_counter()
+            if self.workers == 1:
+                records = [run_job(payload, self.cache_dir) for payload in payloads]
+            else:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    records = list(
+                        pool.map(
+                            run_job,
+                            payloads,
+                            [self.cache_dir] * len(payloads),
+                        )
                     )
+            wall_seconds = time.perf_counter() - start
+            for record in records:
+                for kind, status in record.get("cache", {}).items():
+                    if status in ("hit", "miss"):
+                        events.emit(
+                            f"cache_{status}",
+                            kind=kind,
+                            job_id=record["job_id"],
+                        )
+                events.emit(
+                    "job_finished",
+                    job_id=record["job_id"],
+                    backend=record["backend"],
+                    accuracy=record.get("accuracy"),
+                    wall_s=record["timing"]["wall_s"],
                 )
-        wall_seconds = time.perf_counter() - start
+            events.emit(
+                "sweep_finish",
+                jobs=len(records),
+                wall_s=round(wall_seconds, 6),
+            )
         return SweepResult(
             spec=self.spec,
             records=records,

@@ -28,13 +28,14 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..chipsim.scenarios import get_scenario
+from ..config.schema import ConfigSchema, FieldSpec
 from ..devices.variation import DEFAULT_VARIATION, VariationModel
 from ..engine.kernels import validate_device_exec
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
 from ..system.inference import InferenceConfig
 from .hashing import digest_payload, stable_seed
 
-__all__ = ["SweepJob", "SweepSpec", "BACKENDS"]
+__all__ = ["SweepJob", "SweepSpec", "SWEEP_SCHEMA", "BACKENDS"]
 
 #: Execution backends a sweep job can target.  ``"device"`` and
 #: ``"functional"`` run quantised inference (the InferenceConfig backends);
@@ -160,27 +161,22 @@ class SweepSpec:
     # ------------------------------------------------------------ serialisation
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible snapshot (recorded in ``BENCH_sweep.json``)."""
-        payload = asdict(self)
-        payload["precisions"] = [list(pair) for pair in self.precisions]
-        for axis in ("scenarios", "backends", "designs", "adc_bits",
-                     "calibrations", "tilings", "device_execs"):
-            payload[axis] = list(payload[axis])
-        return payload
+        """JSON-compatible snapshot (recorded in ``BENCH_sweep.json``).
+
+        The key set is declared by :data:`SWEEP_SCHEMA`; axes serialise to
+        lists, ``precisions`` to a list of two-element lists.
+        """
+        return SWEEP_SCHEMA.to_dict(self)
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
-        """Rebuild a spec from its :meth:`to_dict` payload."""
-        data = dict(payload)
-        data["precisions"] = tuple(tuple(pair) for pair in data["precisions"])
-        for axis in ("scenarios", "backends", "designs", "adc_bits",
-                     "calibrations", "tilings", "device_execs"):
-            data[axis] = tuple(data[axis])
-        if isinstance(data.get("variation"), Mapping):
-            data["variation"] = VariationModel(**data["variation"])
-        if isinstance(data.get("geometry"), Mapping):
-            data["geometry"] = MacroGeometry(**data["geometry"])
-        return cls(**data)
+        """Rebuild a spec from its :meth:`to_dict` payload.
+
+        Unknown keys raise with a did-you-mean suggestion; the deprecated
+        ``kernels`` alias for ``device_execs`` is accepted with a
+        :class:`DeprecationWarning`.
+        """
+        return SWEEP_SCHEMA.from_dict(payload)
 
     def digest(self) -> str:
         """Content digest of the spec (cache namespace / record identity)."""
@@ -280,3 +276,65 @@ class SweepSpec:
     def subset(self, **overrides) -> "SweepSpec":
         """A copy of the spec with some fields replaced."""
         return replace(self, **overrides)
+
+
+def _axis(value: Any) -> Tuple[Any, ...]:
+    """Normalise a YAML list / scalar axis value to a tuple."""
+    if isinstance(value, (str, int, float)):
+        return (value,)
+    return tuple(value)
+
+
+def _validate_scenarios(names: Sequence[str]) -> None:
+    for name in names:
+        get_scenario(name)  # raises with the registered names
+
+
+#: The :class:`~repro.config.ConfigSchema` of :class:`SweepSpec` — the
+#: single declaration behind ``to_dict`` / ``from_dict`` and the ``sweep``
+#: YAML document kind.  Axes accept YAML scalars as one-element axes.
+SWEEP_SCHEMA = ConfigSchema(
+    "SweepSpec",
+    SweepSpec,
+    [
+        FieldSpec("scenarios", to_payload=list, from_payload=_axis,
+                  validate=_validate_scenarios,
+                  doc="registered scenario names to sweep (required)"),
+        FieldSpec("backends", ("device",), to_payload=list, from_payload=_axis,
+                  doc=f"execution-backend axis, each of {BACKENDS}"),
+        FieldSpec("designs", ("curfe",), to_payload=list, from_payload=_axis,
+                  doc="curfe / chgfe design axis"),
+        FieldSpec("precisions", ((4, 8),),
+                  to_payload=lambda pairs: [list(pair) for pair in pairs],
+                  from_payload=lambda pairs: tuple(
+                      tuple(pair) for pair in pairs),
+                  doc="(input_bits, weight_bits) pairs"),
+        FieldSpec("adc_bits", (5,), to_payload=list, from_payload=_axis,
+                  doc="ADC resolution axis"),
+        FieldSpec("calibrations", ("workload",), to_payload=list,
+                  from_payload=_axis,
+                  doc="ADC calibration-mode axis (inference backends)"),
+        FieldSpec("tilings", ("tiled",), to_payload=list, from_payload=_axis,
+                  doc="device-backend layout axis"),
+        FieldSpec("device_execs", ("fast",), aliases=("kernels",),
+                  to_payload=list, from_payload=_axis,
+                  doc="device-kernel axis from the engine registry"),
+        FieldSpec("images", 8, doc="workload images per job"),
+        FieldSpec("batch_size", 128, doc="inference batch size"),
+        FieldSpec("seed", 0, doc="master seed (programming + data seeds)"),
+        FieldSpec("calibration_samples", 4096,
+                  doc="per-layer calibration activation budget"),
+        FieldSpec("variation", DEFAULT_VARIATION,
+                  to_payload=asdict,
+                  from_payload=lambda p: (
+                      VariationModel(**p) if isinstance(p, Mapping) else p),
+                  doc="device-variation statistics"),
+        FieldSpec("geometry", DEFAULT_GEOMETRY,
+                  to_payload=asdict,
+                  from_payload=lambda p: (
+                      MacroGeometry(**p) if isinstance(p, Mapping) else p),
+                  doc="macro geometry"),
+        FieldSpec("tile_workers", 0,
+                  doc="threads per tiled layer matmul (0 = auto)"),
+    ],
+)

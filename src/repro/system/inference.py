@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 import numpy as np
 
+from ..config.schema import ConfigSchema, FieldSpec
 from ..core.functional import (
     FunctionalIMCModel,
     FunctionalModelConfig,
@@ -65,7 +66,7 @@ from .nn import Conv2D, Linear, SequentialNet, im2col
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..engine.array_state import ArrayState
 
-__all__ = ["InferenceConfig", "QuantizedInferenceEngine"]
+__all__ = ["InferenceConfig", "QuantizedInferenceEngine", "INFERENCE_SCHEMA"]
 
 _BACKENDS = ("functional", "device")
 _TILINGS = ("tiled", "monolithic")
@@ -181,45 +182,63 @@ class InferenceConfig:
         the nested :class:`~repro.geometry.MacroGeometry` and
         :class:`~repro.devices.variation.VariationModel` are expanded to
         their fields, and :meth:`from_dict` reconstructs an equal config
-        (``InferenceConfig.from_dict(c.to_dict()) == c``).
+        (``InferenceConfig.from_dict(c.to_dict()) == c``).  The key set is
+        declared by :data:`INFERENCE_SCHEMA`; ``rows_per_block`` is derived
+        from the geometry and intentionally not serialised.
         """
-        return {
-            "design": self.design,
-            "backend": self.backend,
-            "tiling": self.tiling,
-            "device_exec": self.device_exec,
-            "input_bits": self.input_bits,
-            "weight_bits": self.weight_bits,
-            "adc_bits": self.adc_bits,
-            "geometry": asdict(self.geometry),
-            "variation": asdict(self.variation),
-            "seed": self.seed,
-            "tile_workers": self.tile_workers,
-            "calibration": self.calibration,
-            "calibration_samples": self.calibration_samples,
-        }
+        return INFERENCE_SCHEMA.to_dict(self)
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "InferenceConfig":
         """Rebuild a config from a :meth:`to_dict` payload.
 
-        Unknown keys raise — a payload produced by a newer schema should
-        fail loudly rather than silently drop configuration.
+        Unknown keys raise with a did-you-mean suggestion — a payload
+        produced by a newer schema should fail loudly rather than silently
+        drop configuration.  Deprecated aliases (e.g. ``kernel`` for
+        ``device_exec``) are accepted with a :class:`DeprecationWarning`.
         """
-        data = dict(payload)
-        known = {
-            "design", "backend", "tiling", "device_exec", "input_bits",
-            "weight_bits", "adc_bits", "geometry", "variation", "seed",
-            "tile_workers", "calibration", "calibration_samples",
-        }
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(f"unknown InferenceConfig keys: {sorted(unknown)}")
-        if "geometry" in data:
-            data["geometry"] = MacroGeometry(**data["geometry"])
-        if "variation" in data:
-            data["variation"] = VariationModel(**data["variation"])
-        return cls(**data)
+        return INFERENCE_SCHEMA.from_dict(payload)
+
+
+#: The :class:`~repro.config.ConfigSchema` of :class:`InferenceConfig` —
+#: the single declaration its ``to_dict`` / ``from_dict`` and the YAML
+#: document layer (:mod:`repro.config.documents`) all derive from.
+INFERENCE_SCHEMA = ConfigSchema(
+    "InferenceConfig",
+    InferenceConfig,
+    [
+        FieldSpec("design", "curfe", choices=("curfe", "chgfe", "ideal"),
+                  doc="IMC macro design (ideal = plain integer baseline)"),
+        FieldSpec("backend", "functional", choices=_BACKENDS,
+                  doc="layer-matmul execution backend"),
+        FieldSpec("tiling", "tiled", choices=_TILINGS,
+                  doc="device-backend layout (macro grid vs one macro)"),
+        FieldSpec("device_exec", "fast", aliases=("kernel",),
+                  validate=validate_device_exec,
+                  doc="device-backend kernel from the engine registry"),
+        FieldSpec("input_bits", 4, doc="activation precision (unsigned)"),
+        FieldSpec("weight_bits", 8, doc="weight precision (signed)"),
+        FieldSpec("adc_bits", 5,
+                  doc="SAR ADC resolution; null disables quantisation"),
+        FieldSpec("geometry", DEFAULT_GEOMETRY,
+                  to_payload=asdict,
+                  from_payload=lambda p: (
+                      MacroGeometry(**p) if isinstance(p, Mapping) else p),
+                  doc="macro geometry (rows / weight_columns / block_rows)"),
+        FieldSpec("variation", DEFAULT_VARIATION,
+                  to_payload=asdict,
+                  from_payload=lambda p: (
+                      VariationModel(**p) if isinstance(p, Mapping) else p),
+                  doc="device-variation statistics"),
+        FieldSpec("seed", 0, doc="programming-variation seed"),
+        FieldSpec("tile_workers", 0,
+                  doc="threads per tiled layer matmul (0 = auto)"),
+        FieldSpec("calibration", "workload", choices=CALIBRATION_MODES,
+                  doc="ADC reference placement mode"),
+        FieldSpec("calibration_samples", 4096,
+                  doc="per-layer calibration activation budget"),
+    ],
+)
 
 
 class _QuantizedLayer:

@@ -1,0 +1,154 @@
+"""YAML loading: extends overlays, ${var} interpolation, --set overrides."""
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    apply_overrides,
+    deep_merge,
+    dump_yaml,
+    interpolate,
+    load_config,
+    loads_config,
+    parse_override,
+)
+
+
+class TestDeepMerge:
+    def test_nested_mappings_merge(self):
+        merged = deep_merge(
+            {"a": {"x": 1, "y": 2}, "b": 1}, {"a": {"y": 3}, "c": 4}
+        )
+        assert merged == {"a": {"x": 1, "y": 3}, "b": 1, "c": 4}
+
+    def test_lists_replace_not_concatenate(self):
+        assert deep_merge({"a": [1, 2]}, {"a": [3]}) == {"a": [3]}
+
+
+class TestExtends:
+    def test_single_base_overlay(self, tmp_path):
+        (tmp_path / "base.yaml").write_text("a: 1\nnested: {x: 1, y: 2}\n")
+        (tmp_path / "child.yaml").write_text(
+            "extends: base.yaml\nnested: {y: 9}\nb: 2\n"
+        )
+        resolved = load_config(tmp_path / "child.yaml")
+        assert resolved == {"a": 1, "nested": {"x": 1, "y": 9}, "b": 2}
+
+    def test_extends_list_applies_in_order(self, tmp_path):
+        (tmp_path / "one.yaml").write_text("k: one\nonly_one: 1\n")
+        (tmp_path / "two.yaml").write_text("k: two\n")
+        (tmp_path / "child.yaml").write_text("extends: [one.yaml, two.yaml]\n")
+        resolved = load_config(tmp_path / "child.yaml")
+        assert resolved == {"k": "two", "only_one": 1}
+
+    def test_chained_extends(self, tmp_path):
+        (tmp_path / "a.yaml").write_text("v: a\ndepth: 1\n")
+        (tmp_path / "b.yaml").write_text("extends: a.yaml\nv: b\n")
+        (tmp_path / "c.yaml").write_text("extends: b.yaml\n")
+        assert load_config(tmp_path / "c.yaml") == {"v": "b", "depth": 1}
+
+    def test_extends_cycle_raises(self, tmp_path):
+        (tmp_path / "a.yaml").write_text("extends: b.yaml\n")
+        (tmp_path / "b.yaml").write_text("extends: a.yaml\n")
+        with pytest.raises(ConfigError, match="circular"):
+            load_config(tmp_path / "a.yaml")
+
+    def test_missing_base_raises(self, tmp_path):
+        (tmp_path / "child.yaml").write_text("extends: nowhere.yaml\n")
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_config(tmp_path / "child.yaml")
+
+    def test_non_mapping_document_raises(self, tmp_path):
+        (tmp_path / "list.yaml").write_text("- 1\n- 2\n")
+        with pytest.raises(ConfigError, match="mapping"):
+            load_config(tmp_path / "list.yaml")
+
+
+class TestInterpolation:
+    def test_full_reference_keeps_native_type(self):
+        resolved = interpolate({"vars": {"n": 128}, "batch": "${n}"})
+        assert resolved == {"batch": 128}
+
+    def test_embedded_reference_substitutes_text(self):
+        resolved = interpolate(
+            {"vars": {"name": "curfe"}, "label": "design-${name}-v1"}
+        )
+        assert resolved == {"label": "design-curfe-v1"}
+
+    def test_references_inside_nested_structures(self):
+        resolved = interpolate(
+            {"vars": {"s": "tiny_mlp"}, "spec": {"scenarios": ["${s}"]}}
+        )
+        assert resolved == {"spec": {"scenarios": ["tiny_mlp"]}}
+
+    def test_vars_may_reference_each_other(self):
+        resolved = interpolate(
+            {"vars": {"a": "x", "b": "${a}y"}, "value": "${b}"}
+        )
+        assert resolved == {"value": "xy"}
+
+    def test_unknown_variable_raises_with_suggestion(self):
+        with pytest.raises(ConfigError, match="did you mean 'design'"):
+            interpolate({"vars": {"design": "curfe"}, "d": "${desing}"})
+
+    def test_variable_cycle_raises(self):
+        with pytest.raises(ConfigError, match="unresolvable"):
+            interpolate({"vars": {"a": "${b}", "b": "${a}"}, "v": "${a}"})
+
+    def test_vars_section_is_stripped(self):
+        assert "vars" not in interpolate({"vars": {"a": 1}, "b": 2})
+
+
+class TestOverrides:
+    def test_values_parse_as_yaml_scalars(self):
+        assert parse_override("a=5") == (("a",), 5)
+        assert parse_override("a=true") == (("a",), True)
+        assert parse_override("a=0.25") == (("a",), 0.25)
+        assert parse_override("a=text") == (("a",), "text")
+        assert parse_override("a=[1, 2]") == (("a",), [1, 2])
+
+    def test_dotted_path_reaches_nested_sections(self):
+        doc = {"serve": {"max_batch": 8}}
+        apply_overrides(doc, ["serve.max_batch=16", "serve.new_key=x"])
+        assert doc["serve"] == {"max_batch": 16, "new_key": "x"}
+
+    def test_intermediate_mappings_are_created(self):
+        doc = {}
+        apply_overrides(doc, ["a.b.c=1"])
+        assert doc == {"a": {"b": {"c": 1}}}
+
+    def test_missing_equals_raises(self):
+        with pytest.raises(ConfigError, match="key=value"):
+            parse_override("no-equals")
+
+    def test_override_through_scalar_raises(self):
+        with pytest.raises(ConfigError, match="not a mapping"):
+            apply_overrides({"a": 5}, ["a.b=1"])
+
+    def test_override_applies_before_interpolation(self, tmp_path):
+        (tmp_path / "c.yaml").write_text(
+            "vars: {scenario: tiny_mlp}\nname: ${scenario}\n"
+        )
+        resolved = load_config(
+            tmp_path / "c.yaml", overrides=["vars.scenario=deep_cnn"]
+        )
+        assert resolved == {"name": "deep_cnn"}
+
+
+class TestLoadsAndDump:
+    def test_loads_config_applies_overrides_and_vars(self):
+        resolved = loads_config(
+            "vars: {n: 4}\nimages: ${n}\n", overrides=["extra=1"]
+        )
+        assert resolved == {"images": 4, "extra": 1}
+
+    def test_loads_config_rejects_extends(self):
+        with pytest.raises(ConfigError, match="extends"):
+            loads_config("extends: base.yaml\n")
+
+    def test_dump_preserves_key_order(self, tmp_path):
+        text = dump_yaml({"b": 1, "a": 2})
+        assert text.index("b:") < text.index("a:")
+        out = tmp_path / "out.yaml"
+        dump_yaml({"x": 1}, out)
+        assert loads_config(out.read_text()) == {"x": 1}

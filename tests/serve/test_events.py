@@ -1,0 +1,143 @@
+"""The JSONL event log: bounded rotation, replay, thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.events import (
+    EventLog,
+    NullEventLog,
+    open_event_log,
+    read_events,
+    tail_events,
+)
+
+
+class TestEmitAndReplay:
+    def test_round_trips_through_reader(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("runtime_start", scenario="tiny_mlp")
+            log.emit("request_admitted", request_id=0, queue_depth=1)
+            log.emit("runtime_stop")
+        events = read_events(path)
+        assert [e["event"] for e in events] == [
+            "runtime_start", "request_admitted", "runtime_stop",
+        ]
+        assert events[0]["scenario"] == "tiny_mlp"
+        assert events[1]["request_id"] == 0
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert all("ts" in e for e in events)
+
+    def test_lines_are_plain_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("cache_hit", kind="model")
+        line = path.read_text().strip()
+        assert json.loads(line)["kind"] == "model"
+
+    def test_tail_returns_last_n(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            for index in range(20):
+                log.emit("request_served", request_id=index)
+        tail = tail_events(path, 5)
+        assert [e["request_id"] for e in tail] == [15, 16, 17, 18, 19]
+
+    def test_reopened_log_continues_sequence(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("a")
+            log.emit("b")
+        with EventLog(path) as log:
+            log.emit("c")
+        assert [e["seq"] for e in read_events(path)] == [0, 1, 2]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("a")
+            log.emit("b")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "eve')  # writer died mid-line
+        assert [e["event"] for e in read_events(path)] == ["a", "b"]
+
+    def test_corruption_elsewhere_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('not json\n{"seq": 1, "event": "a"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path)
+
+
+class TestRotation:
+    def make_log(self, tmp_path, **kwargs):
+        return EventLog(tmp_path / "events.jsonl", **kwargs)
+
+    def test_rotation_bounds_the_live_file(self, tmp_path):
+        log = self.make_log(tmp_path, max_bytes=1024, backups=2)
+        with log:
+            for index in range(100):
+                log.emit("request_served", request_id=index, pad="x" * 40)
+        live = tmp_path / "events.jsonl"
+        assert live.stat().st_size <= 1024
+        assert (tmp_path / "events.jsonl.1").exists()
+
+    def test_backups_cap_total_generations(self, tmp_path):
+        with self.make_log(tmp_path, max_bytes=1024, backups=2) as log:
+            for index in range(500):
+                log.emit("e", i=index, pad="y" * 40)
+        generations = sorted(p.name for p in tmp_path.glob("events.jsonl.*"))
+        assert generations == ["events.jsonl.1", "events.jsonl.2"]
+
+    def test_replay_merges_generations_in_seq_order(self, tmp_path):
+        with self.make_log(tmp_path, max_bytes=1024, backups=3) as log:
+            for index in range(60):
+                log.emit("e", i=index, pad="z" * 40)
+        events = read_events(tmp_path / "events.jsonl")
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert seqs[-1] == 59  # newest retained is the last emitted
+        # Oldest generations fall off; the retained stream is a suffix.
+        assert seqs == list(range(seqs[0], 60))
+
+    def test_rotation_thresholds_validate(self, tmp_path):
+        with pytest.raises(ValueError):
+            self.make_log(tmp_path, max_bytes=10)
+        with pytest.raises(ValueError):
+            self.make_log(tmp_path, backups=0)
+
+
+class TestConcurrency:
+    def test_parallel_emitters_never_corrupt(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, max_bytes=4096, backups=5) as log:
+            def worker(worker_id):
+                for index in range(50):
+                    log.emit("e", w=worker_id, i=index)
+
+            threads = [
+                threading.Thread(target=worker, args=(w,)) for w in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        events = read_events(path)
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+class TestNullLog:
+    def test_shares_interface_and_does_nothing(self, tmp_path):
+        log = NullEventLog()
+        log.emit("anything", x=1)
+        log.close()
+        assert log.enabled is False
+
+    def test_open_event_log_dispatches_on_none(self, tmp_path):
+        assert isinstance(open_event_log(None), NullEventLog)
+        live = open_event_log(tmp_path / "e.jsonl")
+        assert isinstance(live, EventLog)
+        live.close()

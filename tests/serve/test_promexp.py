@@ -1,0 +1,132 @@
+"""Prometheus exposition: rendering, parsing, and the HTTP endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.metrics import ServeMetrics
+from repro.serve.promexp import (
+    CONTENT_TYPE,
+    MetricsServer,
+    parse_exposition,
+    render_prometheus,
+)
+
+
+def make_snapshot():
+    metrics = ServeMetrics(max_batch=8)
+    for request_id in range(8):
+        metrics.record_submitted(queue_depth=request_id % 3, arrival_s=0.0)
+    metrics.record_rejected()
+    metrics.record_batch(size=4, service_s=0.004)
+    for index in range(4):
+        metrics.record_response(
+            latency_s=0.01, queue_wait_s=0.002, completion_s=0.5 + index
+        )
+    return metrics.snapshot()
+
+
+class TestRender:
+    def test_output_parses_as_valid_exposition(self):
+        families = parse_exposition(render_prometheus(make_snapshot()))
+        assert "repro_serve_requests_submitted_total" in families
+        assert "repro_serve_latency_p95_seconds" in families
+
+    def test_counter_and_gauge_types(self):
+        families = parse_exposition(render_prometheus(make_snapshot()))
+        assert families["repro_serve_requests_completed_total"]["type"] == "counter"
+        assert families["repro_serve_batches_total"]["type"] == "counter"
+        assert families["repro_serve_throughput_rps"]["type"] == "gauge"
+        assert families["repro_serve_queue_depth_max"]["type"] == "gauge"
+
+    def test_values_match_snapshot(self):
+        snapshot = make_snapshot()
+        families = parse_exposition(render_prometheus(snapshot))
+        samples = families["repro_serve_requests_submitted_total"]["samples"]
+        assert samples["repro_serve_requests_submitted_total"] == 8.0
+        rejected = families["repro_serve_requests_rejected_total"]["samples"]
+        assert rejected["repro_serve_requests_rejected_total"] == 1.0
+
+    def test_info_labels(self):
+        text = render_prometheus(
+            make_snapshot(),
+            info={"scenario": "tiny_mlp", "design": "curfe", "pool": "thread"},
+        )
+        assert (
+            'repro_serve_info{scenario="tiny_mlp",design="curfe",'
+            'pool="thread"} 1' in text
+        )
+        families = parse_exposition(text)
+        assert families["repro_serve_info"]["type"] == "gauge"
+
+    def test_label_values_are_escaped(self):
+        text = render_prometheus(make_snapshot(), info={"k": 'a"b\\c'})
+        assert 'k="a\\"b\\\\c"' in text
+        parse_exposition(text)
+
+    def test_every_family_has_help_and_type(self):
+        for family in parse_exposition(render_prometheus(make_snapshot())).values():
+            assert family["type"] in ("counter", "gauge")
+            assert family["help"]
+
+    def test_namespace_override(self):
+        families = parse_exposition(
+            render_prometheus(make_snapshot(), namespace="acme")
+        )
+        assert "acme_requests_submitted_total" in families
+
+
+class TestParser:
+    def test_sample_without_type_raises(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_exposition("untyped_metric 1\n")
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_exposition("# TYPE m gauge\nm not-a-number\n")
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(ValueError, match="invalid metric type"):
+            parse_exposition("# TYPE m widget\nm 1\n")
+
+    def test_malformed_labels_raise(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_exposition('# TYPE m gauge\nm{k="v"\n')
+
+
+class TestMetricsServer:
+    def test_http_scrape_round_trips(self):
+        server = MetricsServer(lambda: render_prometheus(make_snapshot()))
+        try:
+            host, port = server.start()
+            assert port != 0  # ephemeral port was resolved
+            with urllib.request.urlopen(server.url, timeout=10) as response:
+                assert response.headers["Content-Type"] == CONTENT_TYPE
+                body = response.read().decode("utf-8")
+            families = parse_exposition(body)
+            assert "repro_serve_requests_completed_total" in families
+        finally:
+            server.stop()
+
+    def test_healthz_and_404(self):
+        server = MetricsServer(lambda: render_prometheus(make_snapshot()))
+        try:
+            host, port = server.start()
+            base = f"http://{host}:{port}"
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+                assert response.read() == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/nothing", timeout=10)
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_start_twice_raises(self):
+        server = MetricsServer(lambda: "")
+        server.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+        server.stop()
+        server.stop()
+        assert server.url is None
