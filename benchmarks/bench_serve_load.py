@@ -53,6 +53,9 @@ from repro.sweep import digest_arrays
 
 RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
+#: The Perfetto-loadable trace artifact of the observability probe.
+TRACE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve_trace.json"
+
 CONFIG = ServeConfig(
     scenario=tiny("small_cnn", "tiny_mlp"),
     backend="device",
@@ -231,6 +234,7 @@ def _observability_measurements(program, generator):
     import urllib.request
     from pathlib import Path as _Path
 
+    from repro.obs import Tracer, set_tracer, write_chrome_trace
     from repro.serve import parse_exposition, read_events
 
     requests = tiny(96, 16)
@@ -249,6 +253,25 @@ def _observability_measurements(program, generator):
         families = parse_exposition(scrape)
         events = read_events(config.event_log)
     served = sum(1 for e in events if e["event"] == "request_served")
+
+    # Tracing probe: a short traced serve writes the Perfetto artifact
+    # that the trace-validate CI step checks with check_trace_schema.py.
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with ServeRuntime(CONFIG, program=program) as runtime:
+            generator.closed_loop(
+                runtime, requests=tiny(32, 8), concurrency=2
+            )
+    finally:
+        set_tracer(previous)
+    spans = tracer.drain()
+    write_chrome_trace(TRACE_PATH, spans, process_name="bench-serve")
+    ids = {span["span_id"] for span in spans}
+    connected = all(
+        span["parent_id"] is None or span["parent_id"] in ids
+        for span in spans
+    )
     return {
         "requests": int(result.completed),
         "scrape_valid": True,  # parse_exposition raised otherwise
@@ -257,6 +280,10 @@ def _observability_measurements(program, generator):
         "events_logged": len(events),
         "event_kinds": len({e["event"] for e in events}),
         "served_events": int(served),
+        "trace_spans": len(spans),
+        "trace_span_kinds": len({span["name"] for span in spans}),
+        "trace_connected": bool(connected),
+        "trace_path": TRACE_PATH.name,
     }
 
 
@@ -394,6 +421,10 @@ def test_serve_load(benchmark):
         f"events ({obs['event_kinds']} kinds) for {obs['requests']} requests"
     )
     lines.append(
+        f"trace: {obs['trace_spans']} spans ({obs['trace_span_kinds']} "
+        f"kinds), connected={obs['trace_connected']} -> {obs['trace_path']}"
+    )
+    lines.append(
         f"deterministic vs offline run: {record['deterministic']} "
         f"(sha {record['predictions_sha256'][:16]}...)"
     )
@@ -416,6 +447,7 @@ def test_serve_load(benchmark):
         )
     assert first["ratio"] <= 1.5, first
     assert obs["scrape_valid"] and obs["served_events"] == obs["requests"], obs
+    assert obs["trace_spans"] > 0 and obs["trace_connected"], obs
     if not TINY:
         assert probe["speedup"] > 1.1, probe
         if any(p["transport"] == "shm" for p in cold["points"]):

@@ -215,6 +215,10 @@ SERVE_OBSERVABILITY_SCHEMA = {
     "events_logged": int,
     "event_kinds": int,
     "served_events": int,
+    "trace_spans": int,
+    "trace_span_kinds": int,
+    "trace_connected": bool,
+    "trace_path": str,
 }
 
 

@@ -1,0 +1,139 @@
+"""Schema guard for emitted Chrome trace-event JSON files.
+
+The observability probe of ``bench_serve_load.py`` (and ``python -m repro
+trace``) writes Perfetto-loadable trace files; this checker proves they
+actually load: the document shape, that every duration event is a
+*complete* ``"X"`` event with finite non-negative microsecond ``ts`` /
+``dur``, that every process/thread is named by an ``"M"`` metadata row,
+and that every span's ``parent_id`` resolves to another span in the same
+file (the "one connected tree per request" guarantee).
+
+Usage:  python benchmarks/check_trace_schema.py TRACE.json [TRACE2.json ...]
+
+Exit status 0 when every file passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+def check_trace(payload: Any, filename: str) -> List[str]:
+    """All schema violations of one parsed trace document."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"{filename}: document is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{filename}: traceEvents is not a list"]
+    if not events:
+        return [f"{filename}: traceEvents is empty"]
+
+    spans: List[Dict[str, Any]] = []
+    named_threads = set()
+    named_processes = set()
+    for index, event in enumerate(events):
+        context = f"{filename}:traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{context}: event is not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            name = event.get("name")
+            if name == "process_name":
+                named_processes.add(event.get("pid"))
+            elif name == "thread_name":
+                named_threads.add((event.get("pid"), event.get("tid")))
+            else:
+                errors.append(f"{context}: unknown metadata row {name!r}")
+            continue
+        if phase != "X":
+            errors.append(
+                f"{context}: phase {phase!r} is not a complete event "
+                "('X') or metadata ('M')"
+            )
+            continue
+        for key in ("name", "pid", "tid", "ts", "dur", "args"):
+            if key not in event:
+                errors.append(f"{context}: missing {key!r}")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                errors.append(f"{context}: {key} is not a finite number")
+            elif value < 0:
+                errors.append(f"{context}: {key} is negative ({value})")
+        args = event.get("args")
+        if not isinstance(args, dict) or "span_id" not in args:
+            errors.append(f"{context}: args.span_id missing")
+            continue
+        spans.append(event)
+
+    if not spans:
+        errors.append(f"{filename}: no complete ('X') span events")
+        return errors
+
+    span_ids = {event["args"]["span_id"] for event in spans}
+    if len(span_ids) != len(spans):
+        errors.append(f"{filename}: duplicate span ids")
+    for event in spans:
+        parent = event["args"].get("parent_id")
+        if parent is not None and parent not in span_ids:
+            errors.append(
+                f"{filename}: span {event['args']['span_id']!r} "
+                f"({event.get('name')!r}) has unresolved parent {parent!r}"
+            )
+        pid = event.get("pid")
+        if pid not in named_processes:
+            errors.append(f"{filename}: pid {pid} has no process_name row")
+        if (pid, event.get("tid")) not in named_threads:
+            errors.append(
+                f"{filename}: thread {event.get('tid')} of pid {pid} "
+                "has no thread_name row"
+            )
+
+    timestamps = [event["ts"] for event in spans
+                  if isinstance(event.get("ts"), (int, float))]
+    if timestamps and min(timestamps) != 0.0:
+        errors.append(
+            f"{filename}: timestamps are not rebased (min ts "
+            f"{min(timestamps)}, expected 0.0)"
+        )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(
+            "usage: python benchmarks/check_trace_schema.py TRACE.json ...",
+            file=sys.stderr,
+        )
+        return 1
+    failures = 0
+    for name in argv:
+        path = Path(name)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"FAIL {path}: {error}")
+            failures += 1
+            continue
+        errors = check_trace(payload, path.name)
+        if errors:
+            failures += 1
+            print(f"FAIL {path}:")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            spans = sum(
+                1 for e in payload["traceEvents"] if e.get("ph") == "X"
+            )
+            print(f"OK   {path}: {spans} spans")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,6 +19,10 @@ Typical entry points:
 * ``repro.serve`` — the online serving runtime: warm pre-programmed chip
   replicas behind a dynamic micro-batching scheduler (``ServeRuntime`` /
   ``ChipProgram``), with seeded load generation and latency metrics.
+* ``repro.obs`` — cross-stack observability: hierarchical spans from a
+  served request down to kernel calls (``Tracer`` / ``obs_session``),
+  Perfetto-loadable trace export, and the unified metrics registry the
+  ``/metrics`` endpoint renders.
 * ``repro.geometry`` — the shared ``MacroGeometry`` single source of truth.
 * ``repro.energy`` — circuit-level energy efficiency (Fig. 9, Table 1).
 * ``repro.system`` — system-level performance and accuracy (Figs. 10-12).

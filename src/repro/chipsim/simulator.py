@@ -22,7 +22,6 @@ Typical use::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -30,6 +29,7 @@ import numpy as np
 
 from ..devices.variation import DEFAULT_VARIATION, VariationModel
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
+from ..obs.tracer import get_tracer, timed
 from ..system.activity import LayerActivity
 from ..system.chip import ChipParameters
 from ..system.htree import HTreeParameters
@@ -353,18 +353,41 @@ class ChipSimulator:
         engines = self._tiled_engines()
         for engine in engines.values():
             engine.reset_counters()
-        start = time.perf_counter()
-        predictions = self.inference.predict(images, batch_size=batch_size)
-        wall_seconds = time.perf_counter() - start
-        accuracy = (
-            float(np.mean(predictions == np.asarray(labels)))
-            if labels is not None
+        tracer = get_tracer()
+        run_span = (
+            tracer.span(
+                "chipsim.run",
+                network=self.network.name,
+                design=self.config.design,
+                images=len(images),
+                batch_size=batch_size,
+            )
+            if tracer.enabled
             else None
         )
-        activities = self.layer_activities(len(images))
-        performance = self.performance_model.evaluate_activities(
-            self.network, activities
-        )
+        if run_span is not None:
+            run_span.__enter__()
+        try:
+            # timed() always measures the perf_counter pair (the report's
+            # wall_seconds) and doubles as the predict span when tracing.
+            with timed("chipsim.predict", images=len(images)) as predict_t:
+                predictions = self.inference.predict(
+                    images, batch_size=batch_size
+                )
+            wall_seconds = predict_t.duration_s
+            accuracy = (
+                float(np.mean(predictions == np.asarray(labels)))
+                if labels is not None
+                else None
+            )
+            with timed("chipsim.evaluate"):
+                activities = self.layer_activities(len(images))
+                performance = self.performance_model.evaluate_activities(
+                    self.network, activities
+                )
+        finally:
+            if run_span is not None:
+                run_span.__exit__(None, None, None)
         tiles_executed = sum(engine.tile_matmats for engine in engines.values())
         return ChipReport(
             network=self.network,

@@ -67,6 +67,7 @@ from ..engine.array_state import ArrayState
 from ..engine.kernels import get_kernel
 from ..engine.macro_engine import MacroEngine
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
+from ..obs.tracer import get_tracer
 from ..quant.calibration import DEFAULT_MAX_SAMPLES, reference_levels_for_plan
 from ..quant.quantize import coerce_unsigned_codes
 
@@ -528,6 +529,37 @@ class TiledLayerEngine:
         Returns:
             Float array of shape (weight_cols, batch).
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._matmat_impl(
+                inputs, bits=bits, method=method, batch_chunk=batch_chunk
+            )
+        kernel = get_kernel(method)
+        macs_before = self.block_macs
+        with tracer.span(
+            "tiled_layer",
+            kernel=kernel.name,
+            level=kernel.level,
+            tiles=self.num_tiles,
+            bits=bits,
+        ) as span:
+            result = self._matmat_impl(
+                inputs, bits=bits, method=method, batch_chunk=batch_chunk
+            )
+            span.set(
+                batch=int(result.shape[1]),
+                block_macs=int(self.block_macs - macs_before),
+            )
+        return result
+
+    def _matmat_impl(
+        self,
+        inputs: np.ndarray,
+        *,
+        bits: int,
+        method: str,
+        batch_chunk: Optional[int],
+    ) -> np.ndarray:
         kernel = get_kernel(method)
         inputs = np.asarray(inputs)
         if inputs.ndim == 1:

@@ -19,13 +19,22 @@ serve     Stand up a ``kind: serve`` deployment, drive the closed-loop
           and the tail of the JSONL event log.
 bench     Measure a ``kind: bench`` deployment at each configured client
           concurrency (one shared chip program).
+trace     Run any runnable kind with tracing forced on; write a
+          Perfetto-loadable trace file and print the exclusive-time
+          rollup table (``repro.obs``).
 validate  Schema-check config files without running anything.
 ========  =============================================================
+
+Every runnable document also carries an ``obs:`` section; when it is
+enabled the command body runs inside :func:`repro.obs.obs_session`, the
+payload gains an ``obs`` key (span count, trace path, rollup, metrics
+snapshot), and the trace file is written next to the other outputs.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
@@ -36,8 +45,12 @@ __all__ = [
     "cmd_sweep",
     "cmd_serve",
     "cmd_bench",
+    "cmd_trace",
     "cmd_validate",
 ]
+
+#: Runnable document kinds and their command bodies (filled in below).
+RUNNABLE_COMMANDS: Dict[str, Any] = {}
 
 
 def _load_document(path: str, overrides: Sequence[str], expected_kind: str):
@@ -212,6 +225,64 @@ def cmd_bench(document) -> Dict[str, Any]:
     }
 
 
+RUNNABLE_COMMANDS.update(
+    {"run": cmd_run, "sweep": cmd_sweep, "serve": cmd_serve, "bench": cmd_bench}
+)
+
+
+def run_with_obs(command, document, *, kind: str) -> Dict[str, Any]:
+    """Run a command body inside the document's ``obs:`` session.
+
+    With observability disabled this is a plain call; enabled, the body
+    runs under a collecting tracer and the payload gains an ``obs`` key.
+    """
+    from ..obs.config import obs_session
+
+    obs = getattr(document, "obs", None)
+    with obs_session(obs, default_trace_path=f"{kind}-trace.json") as session:
+        payload = command(document)
+    if obs is not None and obs.enabled:
+        payload["obs"] = session.payload()
+    return payload
+
+
+def cmd_trace(
+    path: str,
+    overrides: Sequence[str] = (),
+    *,
+    trace_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run any runnable config with tracing forced on.
+
+    Loads the document, overrides its ``obs:`` section to ``enabled: true``
+    (honouring ``--trace-path`` when given), executes the matching command
+    body, and returns its payload with the ``obs`` section plus a rendered
+    ``summary`` table attached.
+    """
+    from ..config import ConfigError, load_config
+    from ..config.documents import parse_document
+    from ..obs.config import obs_session
+    from ..obs.exporters import format_summary
+
+    resolved = load_config(path, overrides=overrides)
+    kind = resolved.get("kind")
+    if kind not in RUNNABLE_COMMANDS:
+        raise ConfigError(
+            f"{path} is 'kind: {kind}', but trace needs a runnable kind "
+            f"({sorted(RUNNABLE_COMMANDS)})"
+        )
+    document = parse_document(resolved)
+    updates: Dict[str, Any] = {"enabled": True}
+    if trace_path is not None:
+        updates["trace_path"] = trace_path
+    obs = dataclasses.replace(document.obs, **updates)
+    with obs_session(obs, default_trace_path=f"{kind}-trace.json") as session:
+        payload = RUNNABLE_COMMANDS[kind](document)
+    payload["obs"] = session.payload()
+    payload["obs"]["summary"] = format_summary(session.rollup)
+    return payload
+
+
 def cmd_validate(
     paths: Sequence[str], overrides: Sequence[str] = ()
 ) -> Dict[str, Any]:
@@ -284,6 +355,19 @@ def _build_parser() -> argparse.ArgumentParser:
     ):
         add_common(subparsers.add_parser(name, help=help_text))
 
+    trace = subparsers.add_parser(
+        "trace",
+        help="run any runnable config with tracing on; write a Perfetto "
+        "trace and print the exclusive-time rollup",
+    )
+    add_common(trace)
+    trace.add_argument(
+        "--trace-path",
+        metavar="PATH",
+        default=None,
+        help="trace output file (default: <kind>-trace.json)",
+    )
+
     validate = subparsers.add_parser(
         "validate", help="schema-check config files without running"
     )
@@ -319,16 +403,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload = cmd_validate(args.configs, args.overrides)
             _emit(payload, None)
             return 0 if payload["ok"] else 1
+        if args.command == "trace":
+            payload = cmd_trace(
+                args.config, args.overrides, trace_path=args.trace_path
+            )
+            print(payload["obs"]["summary"], file=sys.stderr)
+            print(
+                f"trace written to {payload['obs']['trace_path']}",
+                file=sys.stderr,
+            )
+            _emit(payload, args.output)
+            return 0
         document = _load_document(
             args.config, args.overrides, expected_kind=args.command
         )
-        command = {
-            "run": cmd_run,
-            "sweep": cmd_sweep,
-            "serve": cmd_serve,
-            "bench": cmd_bench,
-        }[args.command]
-        payload = command(document)
+        payload = run_with_obs(
+            RUNNABLE_COMMANDS[args.command], document, kind=args.command
+        )
     except ConfigError as error:
         print(f"config error: {error}", file=sys.stderr)
         return 2

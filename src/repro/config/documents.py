@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from ..chipsim.scenarios import SCENARIOS
+from ..obs.config import OBS_SCHEMA, ObsConfig
 from ..serve.config import SERVE_SCHEMA, ServeConfig
 from ..sweep.spec import SWEEP_SCHEMA, SweepSpec
 from ..system.inference import INFERENCE_SCHEMA, InferenceConfig
@@ -130,6 +131,14 @@ _SWEEP_TO, _SWEEP_FROM = _nested(SWEEP_SCHEMA)
 _SERVE_TO, _SERVE_FROM = _nested(SERVE_SCHEMA)
 _WORK_TO, _WORK_FROM = _nested(WORKLOAD_SCHEMA)
 _SWORK_TO, _SWORK_FROM = _nested(SERVE_WORKLOAD_SCHEMA)
+_OBS_TO, _OBS_FROM = _nested(OBS_SCHEMA)
+
+#: The shared ``obs:`` section every document kind carries (off by default).
+_OBS_FIELD = FieldSpec(
+    "obs", ObsConfig(),
+    to_payload=_OBS_TO, from_payload=_OBS_FROM,
+    doc="observability section (tracing / metrics; disabled by default)",
+)
 
 
 @dataclass(frozen=True)
@@ -140,6 +149,7 @@ class RunDocument:
     scenario: str
     inference: InferenceConfig = field(default_factory=InferenceConfig)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
 
 RUN_SCHEMA = ConfigSchema(
@@ -154,6 +164,7 @@ RUN_SCHEMA = ConfigSchema(
         FieldSpec("workload", WorkloadSpec(),
                   to_payload=_WORK_TO, from_payload=_WORK_FROM,
                   doc="evaluation workload section"),
+        _OBS_FIELD,
     ],
 )
 
@@ -166,6 +177,7 @@ class SweepDocument:
     workers: int = 1
     cache_dir: Optional[str] = None
     event_log: Optional[str] = None
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -182,6 +194,7 @@ SWEEP_DOC_SCHEMA = ConfigSchema(
         FieldSpec("workers", 1, doc="sweep worker processes"),
         FieldSpec("cache_dir", None, doc="content-addressed cache directory"),
         FieldSpec("event_log", None, doc="JSONL event-log path (null = off)"),
+        _OBS_FIELD,
     ],
 )
 
@@ -192,6 +205,7 @@ class ServeDocument:
 
     serve: ServeConfig = field(default_factory=ServeConfig)
     workload: ServeWorkload = field(default_factory=ServeWorkload)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
 
 SERVE_DOC_SCHEMA = ConfigSchema(
@@ -204,6 +218,7 @@ SERVE_DOC_SCHEMA = ConfigSchema(
         FieldSpec("workload", ServeWorkload(),
                   to_payload=_SWORK_TO, from_payload=_SWORK_FROM,
                   doc="closed-loop client workload section"),
+        _OBS_FIELD,
     ],
 )
 
@@ -216,6 +231,7 @@ class BenchDocument:
     requests: int = 64
     concurrencies: tuple = (1, 4, 8)
     seed: int = 123
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -237,6 +253,7 @@ BENCH_DOC_SCHEMA = ConfigSchema(
                   to_payload=list, from_payload=tuple,
                   doc="closed-loop client concurrencies to measure"),
         FieldSpec("seed", 123, doc="seed of the request image draw"),
+        _OBS_FIELD,
     ],
 )
 

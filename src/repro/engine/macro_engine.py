@@ -67,6 +67,8 @@ from ..core.bank import build_mac_quantizer
 from ..core.inputs import InputVector
 from ..core.readout import mac_range_for_group
 from ..core.weights import WeightPlan, encode_weight_matrix
+from ..obs.metrics import REGISTRY
+from ..obs.tracer import get_tracer
 from ..quant.calibration import DEFAULT_MAX_SAMPLES, reference_levels_for_plan
 from ..quant.quantize import coerce_unsigned_codes
 from .array_state import CURFE_DESIGN, NUM_COLUMNS, ArrayState
@@ -82,6 +84,13 @@ __all__ = ["MacroEngine"]
 #: :meth:`MacroEngine.matmat`; bounds the transient tensor memory without
 #: affecting results (columns are independent).
 DEFAULT_BATCH_CHUNK = 256
+
+#: Kernel dispatches per (kernel, level), counted per batch chunk.
+#: Registered at import so the family appears on every /metrics scrape.
+_KERNEL_DISPATCHES = REGISTRY.counter(
+    "repro_engine_kernel_dispatch_total",
+    "MacroEngine kernel dispatches by kernel name and level",
+)
 
 #: Memoised nominal MAC quantisers, keyed by (signed, block_rows, readout,
 #: adc_bits).  Readouts are frozen (value-hashable) dataclasses, and the
@@ -548,6 +557,12 @@ class MacroEngine:
                 group.capacitance_total[None],
             )
         quantizer = self._calibrated.get(key) or self._quantizers[key]
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "adc_quantize", group=key, calibrated=key in self._calibrated
+            ):
+                return quantizer.quantize_voltages(voltages)
         return quantizer.quantize_voltages(voltages)
 
     def matvec(self, inputs: InputVector) -> np.ndarray:
@@ -673,6 +688,19 @@ class MacroEngine:
     ) -> np.ndarray:
         """Per-block-row totals of one batch chunk, shape (batch, banks, R)."""
         kernel = get_kernel(method)
+        _KERNEL_DISPATCHES.inc(kernel=kernel.name, level=kernel.level)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "kernel", kernel=kernel.name, level=kernel.level,
+                bits=bits, batch=int(values.shape[1]),
+            ):
+                return self._block_totals_kernel(kernel, values, bits)
+        return self._block_totals_kernel(kernel, values, bits)
+
+    def _block_totals_kernel(
+        self, kernel: Kernel, values: np.ndarray, bits: int
+    ) -> np.ndarray:
         if kernel.level == "layer":
             # Layer kernels own the whole pipeline for the chunk (bit-plane
             # packing, row reduction, readout, combine, shift-add).

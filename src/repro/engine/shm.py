@@ -44,6 +44,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY
 from .array_state import ArrayState
 
 try:  # pragma: no cover - import failure exercised via monkeypatching
@@ -73,6 +74,13 @@ _ALIGN = 64
 
 #: How long an attacher polls for the creator to finish publishing.
 _PUBLISH_TIMEOUT_S = 5.0
+
+#: Arena lifecycle events per mode (create / attach), registered at import
+#: so the family appears on every /metrics scrape.
+_ARENA_EVENTS = REGISTRY.counter(
+    "repro_shm_arena_events_total",
+    "Shared-memory arena segment events by mode (create/attach)",
+)
 
 
 def shm_available() -> bool:
@@ -245,6 +253,7 @@ class SharedArena:
             entries=entries,
             meta=dict(meta or {}),
         )
+        _ARENA_EVENTS.inc(mode="create")
         return cls(shm, manifest, owner=True)
 
     @classmethod
@@ -270,6 +279,7 @@ class SharedArena:
         except BaseException:
             shm.close()
             raise
+        _ARENA_EVENTS.inc(mode="attach")
         return cls(shm, manifest, owner=False)
 
     @staticmethod

@@ -1,0 +1,85 @@
+"""Cross-stack observability: hierarchical tracing, metrics, exporters.
+
+``repro.obs`` is the process-wide answer to "where did this request's time
+go, layer by layer, kernel by kernel": a :class:`Tracer` whose nestable
+spans connect one serve request from the runtime queue down through pool
+workers to individual kernel dispatches (``request → queue → batch →
+replica → layer[i] → kernel → adc_quantize``), a unified
+:class:`MetricsRegistry` every subsystem's counters register into, and
+exporters for Perfetto-loadable Chrome trace JSON, a rotating span JSONL
+log, and per-layer/per-kernel exclusive-time rollups.
+
+Tracing is off by default: :func:`get_tracer` returns a shared
+:class:`NullTracer` whose ``span()`` is a no-op, so the instrumented hot
+paths cost one attribute lookup until :func:`enable` (or a YAML ``obs:``
+block / ``python -m repro trace``) installs a collecting tracer.
+Predictions are bit-identical with tracing on or off — spans observe,
+never participate.
+"""
+
+from .jsonl import JsonlWriter, iter_jsonl_file, read_jsonl
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import (
+    DEFAULT_CAPACITY,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    new_id,
+    now,
+    set_tracer,
+    timed,
+)
+from .exporters import (
+    SpanLog,
+    format_summary,
+    read_spans,
+    summarize_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .config import OBS_SCHEMA, ObsConfig, ObsSession, obs_session
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlWriter",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "OBS_SCHEMA",
+    "ObsConfig",
+    "ObsSession",
+    "REGISTRY",
+    "Span",
+    "SpanLog",
+    "Tracer",
+    "disable",
+    "enable",
+    "format_summary",
+    "get_tracer",
+    "iter_jsonl_file",
+    "new_id",
+    "now",
+    "obs_session",
+    "read_jsonl",
+    "read_spans",
+    "set_tracer",
+    "summarize_trace",
+    "timed",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

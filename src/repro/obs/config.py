@@ -1,0 +1,163 @@
+"""The declarative ``obs:`` block of run / sweep / serve documents.
+
+Follows the config-driven instrumentation shape: tracing is declared in
+YAML, zero-cost when off.  :class:`ObsConfig` is the parsed form and
+:func:`obs_session` is the activation context manager the CLI commands
+wrap their workload in — it installs a collecting tracer when enabled,
+runs the workload, then writes the configured exporter output and
+restores the previous tracer.
+
+```yaml
+obs:
+  enabled: true
+  trace_path: trace.json     # Perfetto-loadable (exporter: chrome)
+  exporter: chrome           # chrome | jsonl
+  metrics: true              # include the global registry rollup
+```
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..config.schema import ConfigSchema, FieldSpec
+from .exporters import SpanLog, summarize_trace, write_chrome_trace
+from .metrics import REGISTRY
+from .tracer import DEFAULT_CAPACITY, Tracer, get_tracer, set_tracer
+
+__all__ = ["OBS_SCHEMA", "ObsConfig", "ObsSession", "obs_session"]
+
+EXPORTERS = ("chrome", "jsonl")
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability settings of one run / sweep / serve document."""
+
+    enabled: bool = False
+    trace_path: Optional[str] = None
+    exporter: str = "chrome"
+    metrics: bool = True
+    capacity: int = DEFAULT_CAPACITY
+
+    def __post_init__(self) -> None:
+        if self.exporter not in EXPORTERS:
+            raise ValueError(
+                f"exporter must be one of {EXPORTERS}, got {self.exporter!r}"
+            )
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return OBS_SCHEMA.to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ObsConfig":
+        return OBS_SCHEMA.from_dict(payload)
+
+
+OBS_SCHEMA = ConfigSchema(
+    "ObsConfig",
+    ObsConfig,
+    [
+        FieldSpec("enabled", default=False, doc="collect spans for this run"),
+        FieldSpec(
+            "trace_path",
+            default=None,
+            doc="trace output file (default: <kind>-trace.json when enabled)",
+        ),
+        FieldSpec(
+            "exporter",
+            default="chrome",
+            choices=EXPORTERS,
+            doc="chrome = Perfetto-loadable trace-event JSON, jsonl = span log",
+        ),
+        FieldSpec(
+            "metrics",
+            default=True,
+            doc="include the global metrics-registry rollup in the payload",
+        ),
+        FieldSpec(
+            "capacity",
+            default=DEFAULT_CAPACITY,
+            doc="per-thread finished-span ring size",
+        ),
+    ],
+)
+
+
+class ObsSession:
+    """The result handle of one :func:`obs_session` activation."""
+
+    def __init__(self, config: ObsConfig) -> None:
+        self.config = config
+        self.spans: List[Dict[str, Any]] = []
+        self.trace_path: Optional[str] = None
+        self.rollup: List[Dict[str, Any]] = []
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON-safe observability section of a command payload."""
+        section: Dict[str, Any] = {
+            "enabled": self.config.enabled,
+            "spans": len(self.spans),
+            "trace_path": self.trace_path,
+            "rollup": self.rollup,
+        }
+        if self.config.metrics:
+            section["metrics"] = registry_snapshot()
+        return section
+
+
+def registry_snapshot() -> Dict[str, Any]:
+    """A JSON-safe snapshot of the global registry's counter families."""
+    snapshot: Dict[str, Any] = {}
+    for collector in REGISTRY.collectors():
+        if hasattr(collector, "samples") and collector.kind in (
+            "counter",
+            "gauge",
+        ):
+            samples = {}
+            for labels, value in collector.samples():
+                key = (
+                    ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                    or "total"
+                )
+                samples[key] = value
+            snapshot[collector.name] = samples
+    return snapshot
+
+
+@contextlib.contextmanager
+def obs_session(
+    config: Optional[ObsConfig], *, default_trace_path: str = "trace.json"
+) -> Iterator[ObsSession]:
+    """Activate tracing per *config* around a workload.
+
+    Disabled configs yield an inert session without touching the tracer.
+    Enabled configs install a fresh collecting tracer, and on exit drain
+    the spans, write the configured exporter output (``trace_path`` or the
+    command's default), compute the exclusive-time rollup, and restore the
+    previous tracer — exceptions still restore.
+    """
+    config = config or ObsConfig()
+    session = ObsSession(config)
+    if not config.enabled:
+        yield session
+        return
+    tracer = Tracer(capacity=config.capacity)
+    previous = set_tracer(tracer)
+    try:
+        yield session
+    finally:
+        set_tracer(previous)
+        session.spans = tracer.drain()
+        path = config.trace_path or default_trace_path
+        if config.exporter == "chrome":
+            session.trace_path = str(write_chrome_trace(path, session.spans))
+        else:
+            with SpanLog(path) as log:
+                log.write(session.spans)
+            session.trace_path = str(log.path)
+        session.rollup = summarize_trace(session.spans)

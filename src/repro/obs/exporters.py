@@ -1,0 +1,224 @@
+"""Trace exporters: Chrome trace-event JSON, a span JSONL log, rollups.
+
+Three consumers of the span dicts a :class:`~repro.obs.tracer.Tracer`
+collects:
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``) that Perfetto and
+  ``chrome://tracing`` load directly: one complete ``"X"`` event per span
+  (microsecond ``ts`` / ``dur`` relative to the earliest span) plus
+  ``"M"`` metadata rows naming every process and thread.  Span identity
+  travels in ``args`` (``span_id`` / ``parent_id`` / ``trace_id``), which
+  is what ``benchmarks/check_trace_schema.py`` validates.
+* :class:`SpanLog` / :func:`read_spans` — a rotating JSONL span stream on
+  the shared :mod:`repro.obs.jsonl` machinery (same rotation, same
+  torn-final-line-tolerant replay as the serving event log).
+* :func:`summarize_trace` / :func:`format_summary` — per-name exclusive
+  -time rollups: each span's own duration minus its children's, grouped by
+  span name (with per-layer / per-kernel split-outs via attributes), the
+  "where did the time actually go" table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .jsonl import JsonlWriter, read_jsonl
+
+__all__ = [
+    "SpanLog",
+    "format_summary",
+    "read_spans",
+    "summarize_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def to_chrome_trace(
+    spans: Iterable[Dict[str, Any]], *, process_name: str = "repro"
+) -> Dict[str, Any]:
+    """Render spans as a Chrome trace-event JSON object (Perfetto-loadable).
+
+    Every span becomes one complete ``"X"`` event; ``ts`` is rebased to the
+    earliest span so timestamps start near zero.  Threads are numbered per
+    process in order of appearance and named via ``"M"`` metadata rows.
+    """
+    spans = list(spans)
+    events: List[Dict[str, Any]] = []
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    t0 = min(span["start_s"] for span in spans)
+    pids = sorted({int(span.get("pid", 0)) for span in spans})
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{process_name} pid {pid}"},
+            }
+        )
+    tids: Dict[tuple, int] = {}
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        thread = str(span.get("thread", "main"))
+        key = (pid, thread)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == pid]) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tids[key],
+                    "args": {"name": thread},
+                }
+            )
+        args = dict(span.get("attrs") or {})
+        args["span_id"] = span["span_id"]
+        args["parent_id"] = span.get("parent_id")
+        args["trace_id"] = span.get("trace_id")
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": (span["start_s"] - t0) * 1e6,
+                "dur": max(float(span["duration_s"]), 0.0) * 1e6,
+                "pid": pid,
+                "tid": tids[key],
+                "cat": "span",
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, os.PathLike],
+    spans: Iterable[Dict[str, Any]],
+    *,
+    process_name: str = "repro",
+) -> Path:
+    """Write :func:`to_chrome_trace` output to *path*; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = to_chrome_trace(spans, process_name=process_name)
+    path.write_text(json.dumps(payload, default=str) + "\n", encoding="utf-8")
+    return path
+
+
+class SpanLog:
+    """A rotating JSONL span sink on the shared jsonl machinery."""
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        max_bytes: int = 10_000_000,
+        backups: int = 3,
+    ) -> None:
+        self._writer = JsonlWriter(path, max_bytes=max_bytes, backups=backups)
+        self.path = self._writer.path
+
+    def write(self, spans: Iterable[Dict[str, Any]]) -> int:
+        """Append finished span dicts; returns how many were written."""
+        count = 0
+        for span in spans:
+            self._writer.write(span)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "SpanLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_spans(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Replay a span log (generations merged, ordered by start time)."""
+    spans = read_jsonl(path)
+    spans.sort(key=lambda span: span.get("start_s", 0.0))
+    return spans
+
+
+# --------------------------------------------------------------------- rollup
+
+#: Attribute keys that split a span name into finer rollup rows (a
+#: ``layer`` span grouped per layer, a ``kernel`` span per kernel).
+_SPLIT_ATTRS = ("layer", "kernel", "stage")
+
+
+def _rollup_key(span: Dict[str, Any]) -> str:
+    attrs = span.get("attrs") or {}
+    for key in _SPLIT_ATTRS:
+        if key in attrs:
+            return f"{span['name']}[{attrs[key]}]"
+    return str(span["name"])
+
+
+def summarize_trace(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Roll spans up into per-name exclusive-time rows.
+
+    *Exclusive* time is a span's duration minus the summed durations of
+    its direct children — the time the span spent in its own code.  Rows
+    are keyed by span name, split per layer / kernel / stage when those
+    attributes are present, and sorted by exclusive time (descending).
+    """
+    spans = list(spans)
+    child_time: Dict[Any, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + float(
+                span["duration_s"]
+            )
+    rows: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        key = _rollup_key(span)
+        duration = float(span["duration_s"])
+        exclusive = max(duration - child_time.get(span["span_id"], 0.0), 0.0)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = {
+                "name": key,
+                "count": 0,
+                "total_s": 0.0,
+                "exclusive_s": 0.0,
+            }
+        row["count"] += 1
+        row["total_s"] += duration
+        row["exclusive_s"] += exclusive
+    result = []
+    for row in rows.values():
+        row["mean_s"] = row["total_s"] / row["count"]
+        result.append(row)
+    result.sort(key=lambda r: r["exclusive_s"], reverse=True)
+    return result
+
+
+def format_summary(rows: List[Dict[str, Any]]) -> str:
+    """Render :func:`summarize_trace` rows as an aligned text table."""
+    if not rows:
+        return "(no spans)"
+    width = max(len(row["name"]) for row in rows)
+    lines = [
+        f"{'span':<{width}}  {'count':>7}  {'total':>10}  "
+        f"{'exclusive':>10}  {'mean':>10}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<{width}}  {row['count']:>7d}  "
+            f"{row['total_s'] * 1e3:>8.2f}ms  "
+            f"{row['exclusive_s'] * 1e3:>8.2f}ms  "
+            f"{row['mean_s'] * 1e3:>8.3f}ms"
+        )
+    return "\n".join(lines)

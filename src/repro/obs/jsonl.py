@@ -1,0 +1,154 @@
+"""Bounded rotating JSONL storage shared by event logs and span logs.
+
+One implementation of the two halves every JSONL stream in the repository
+needs — hoisted out of ``repro.serve.events`` so the serving event log and
+the ``repro.obs`` span log share it instead of growing divergent copies:
+
+* :class:`JsonlWriter` — a thread-safe, size-bounded rotating appender.
+  Rotation keeps ``backups`` old generations (``path.1`` is the most
+  recent): when the live file would exceed ``max_bytes``, generations
+  shift up, the oldest falls off, and the live file starts empty.
+* :func:`read_jsonl` — the generation-merging reader: rotated generations
+  (oldest first) followed by the live file, tolerating a half-written
+  *final* line of the live file (the writer may be mid-append), raising
+  ``json.JSONDecodeError`` on corruption anywhere else.
+
+Callers own record semantics: the serving event log stamps ``seq`` / ``ts``
+and re-sorts the merged stream by ``seq``; the span log stores finished
+span dicts and sorts by ``start_s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+__all__ = ["JsonlWriter", "iter_jsonl_file", "read_jsonl"]
+
+
+class JsonlWriter:
+    """A thread-safe, size-bounded rotating JSONL appender.
+
+    Args:
+        path: The live file; rotated generations live next to it as
+            ``path.1`` … ``path.N``.
+        max_bytes: Rotation threshold — a write that would push the live
+            file past it rotates first.
+        backups: Rotated generations kept; the oldest is dropped.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        max_bytes: int = 1_000_000,
+        backups: int = 3,
+    ) -> None:
+        if max_bytes < 1024:
+            raise ValueError("max_bytes must be at least 1024")
+        if backups < 1:
+            raise ValueError("backups must be at least 1")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = self._handle.tell()
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record as a JSON line (rotating first if needed)."""
+        line = json.dumps(record, sort_keys=False, default=str) + "\n"
+        encoded = len(line.encode("utf-8"))
+        with self._lock:
+            if self._size > 0 and self._size + encoded > self.max_bytes:
+                self._rotate_locked()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += encoded
+
+    def _rotate_locked(self) -> None:
+        self._handle.close()
+        oldest = self._generation(self.backups)
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.backups - 1, 0, -1):
+            source = self._generation(index)
+            if source.exists():
+                os.replace(source, self._generation(index + 1))
+        os.replace(self.path, self._generation(1))
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def _generation(self, index: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.{index}")
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def close(self) -> None:
+        """Flush and close the live file (idempotent)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def iter_jsonl_file(
+    path: Union[str, os.PathLike], *, live: bool
+) -> Iterator[Dict[str, Any]]:
+    """Yield the JSON records of one file.
+
+    With ``live=True`` a malformed *final* line is silently dropped — the
+    expected state when reading concurrently with an appending writer;
+    malformed lines anywhere else raise ``json.JSONDecodeError``.  A
+    missing file yields nothing.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return
+    for number, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            # A torn final line of the live file is expected when reading
+            # concurrently with the writer; anything else is corruption.
+            if live and number == len(lines) - 1:
+                return
+            raise
+
+
+def read_jsonl(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Merge a rotated JSONL stream back into one list (file order).
+
+    Rotated generations are read oldest first (``path.N`` … ``path.1``,
+    strict — a bad line there raises), then the live file with
+    torn-final-line tolerance.  Callers re-sort by their own ordering key
+    (``seq`` for event logs, ``start_s`` for span logs).
+    """
+    path = Path(path)
+    records: List[Dict[str, Any]] = []
+    generations = sorted(
+        (p for p in path.parent.glob(f"{path.name}.*")
+         if p.suffix[1:].isdigit()),
+        key=lambda p: int(p.suffix[1:]),
+        reverse=True,
+    )
+    for generation in generations:
+        records.extend(iter_jsonl_file(generation, live=False))
+    records.extend(iter_jsonl_file(path, live=True))
+    return records

@@ -9,10 +9,11 @@ object carrying a monotonically increasing ``seq`` and a wall-clock
 ``ts``), so a postmortem needs nothing beyond :func:`read_events`, which
 merges the rotated generations back into one ordered stream.
 
-Rotation keeps ``backups`` old generations (``path.1`` is the most
-recent): when the live file would exceed ``max_bytes``, generations shift
-up, the oldest falls off, and the live file starts empty.  ``seq`` is what
-keeps the merged replay totally ordered across generations.
+The rotation and generation-merging machinery itself lives in
+:mod:`repro.obs.jsonl` (:class:`~repro.obs.jsonl.JsonlWriter` /
+:func:`~repro.obs.jsonl.read_jsonl`) and is shared with the ``repro.obs``
+span log; this module owns only the event semantics — the ``seq`` / ``ts``
+stamps and the seq-ordered replay.
 
 A :class:`NullEventLog` shares the interface and does nothing, so call
 sites never branch on "is logging enabled".
@@ -20,12 +21,13 @@ sites never branch on "is logging enabled".
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs.jsonl import JsonlWriter, read_jsonl
 
 __all__ = [
     "EVENT_TYPES",
@@ -94,17 +96,11 @@ class EventLog(NullEventLog):
         max_bytes: int = 1_000_000,
         backups: int = 3,
     ) -> None:
-        if max_bytes < 1024:
-            raise ValueError("max_bytes must be at least 1024")
-        if backups < 1:
-            raise ValueError("backups must be at least 1")
-        self.path = Path(path)
-        self.max_bytes = int(max_bytes)
-        self.backups = int(backups)
+        self._writer = JsonlWriter(path, max_bytes=max_bytes, backups=backups)
+        self.path = self._writer.path
+        self.max_bytes = self._writer.max_bytes
+        self.backups = self._writer.backups
         self._lock = threading.Lock()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "a", encoding="utf-8")
-        self._size = self._handle.tell()
         #: Next sequence number; continues past generations already on disk
         #: so a re-opened log never reuses a seq.
         self._seq = self._resume_seq()
@@ -125,35 +121,11 @@ class EventLog(NullEventLog):
             record["seq"] = self._seq
             record["ts"] = round(time.time(), 6)
             self._seq += 1
-            line = json.dumps(record, sort_keys=False) + "\n"
-            encoded = len(line.encode("utf-8"))
-            if self._size > 0 and self._size + encoded > self.max_bytes:
-                self._rotate_locked()
-            self._handle.write(line)
-            self._handle.flush()
-            self._size += encoded
-
-    def _rotate_locked(self) -> None:
-        self._handle.close()
-        oldest = self._generation(self.backups)
-        if oldest.exists():
-            oldest.unlink()
-        for index in range(self.backups - 1, 0, -1):
-            source = self._generation(index)
-            if source.exists():
-                os.replace(source, self._generation(index + 1))
-        os.replace(self.path, self._generation(1))
-        self._handle = open(self.path, "a", encoding="utf-8")
-        self._size = 0
-
-    def _generation(self, index: int) -> Path:
-        return self.path.with_name(f"{self.path.name}.{index}")
+            self._writer.write(record)
 
     def close(self) -> None:
         """Flush and close the live file (idempotent)."""
-        with self._lock:
-            if not self._handle.closed:
-                self._handle.close()
+        self._writer.close()
 
     def __enter__(self) -> "EventLog":
         return self
@@ -180,26 +152,6 @@ __all__.append("open_event_log")
 # --------------------------------------------------------------------- replay
 
 
-def _iter_file(path: Path, *, live: bool) -> Iterator[Dict[str, Any]]:
-    try:
-        with open(path, encoding="utf-8") as handle:
-            lines = handle.readlines()
-    except OSError:
-        return
-    for number, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            yield json.loads(line)
-        except json.JSONDecodeError:
-            # A torn final line of the live file is expected when reading
-            # concurrently with the writer; anything else is corruption.
-            if live and number == len(lines) - 1:
-                return
-            raise
-
-
 def read_events(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
     """Replay an event log: rotated generations + live file, ordered by seq.
 
@@ -207,17 +159,7 @@ def read_events(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
     final line of the live file is tolerated; corruption anywhere else
     raises.  A missing live file yields whatever generations exist.
     """
-    path = Path(path)
-    events: List[Dict[str, Any]] = []
-    generations = sorted(
-        (p for p in path.parent.glob(f"{path.name}.*")
-         if p.suffix[1:].isdigit()),
-        key=lambda p: int(p.suffix[1:]),
-        reverse=True,
-    )
-    for generation in generations:
-        events.extend(_iter_file(generation, live=False))
-    events.extend(_iter_file(path, live=True))
+    events = read_jsonl(path)
     events.sort(key=lambda event: event.get("seq", 0))
     return events
 

@@ -10,11 +10,18 @@ accounting identity (submitted = completed + in-flight, with rejected
 counted separately — a rejected request is never "submitted") the test
 suite asserts.
 
-Counters are exact for the runtime's whole lifetime; the latency / wait /
-depth / batch-size *distributions* are kept in bounded ring buffers
-(:data:`DEFAULT_HISTORY` samples each), so an always-on runtime reports
-trailing-window percentiles at O(1) memory instead of growing without
-bound.
+Counters are exact for the runtime's whole lifetime.  The latency / queue
+-wait / service-time **percentiles** come from the shared fixed-bucket
+:class:`~repro.obs.metrics.Histogram` type (bounds:
+:data:`~repro.obs.metrics.DEFAULT_LATENCY_BUCKETS` — 100 µs to 10 s,
+roughly logarithmic, +Inf implicit), held in a per-runtime private
+:class:`~repro.obs.metrics.MetricsRegistry` so ``/metrics`` can expose the
+full bucket families alongside the snapshot counters.  Bucketed
+percentiles are O(1) memory for any lifetime and interpolate inside the
+winning bucket (clamped to the observed min/max), monotone in the
+quantile.  The *means* (and the queue-depth / batch-size stats) still use
+bounded ring buffers (:data:`DEFAULT_HISTORY` samples) — they are
+trailing-window statistics, which the test suite pins.
 """
 
 from __future__ import annotations
@@ -23,22 +30,17 @@ import threading
 import time
 from collections import deque
 from dataclasses import asdict, dataclass
-from typing import Deque, Dict, Optional, Sequence
+from typing import Deque, Dict, Optional
 
 import numpy as np
+
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["MetricsSnapshot", "ServeMetrics", "DEFAULT_HISTORY"]
 
 #: Ring-buffer length of every sampled distribution (latencies, queue
 #: waits, batch sizes, depth samples, service times).
 DEFAULT_HISTORY = 65536
-
-
-def _percentile(values: Sequence[float], q: float) -> float:
-    """The q-th percentile of a sample sequence (0.0 when empty)."""
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=float), q))
 
 
 @dataclass(frozen=True)
@@ -113,6 +115,22 @@ class ServeMetrics:
         self._depth_samples: Deque[int] = deque(maxlen=history)
         self._first_arrival: Optional[float] = None
         self._last_completion: Optional[float] = None
+        # Per-runtime registry: the percentile sources, exposed verbatim as
+        # histogram families on /metrics (private so two runtimes in one
+        # process never mix their distributions).
+        self.registry = MetricsRegistry()
+        self._latency_hist = self.registry.histogram(
+            "repro_serve_latency_seconds",
+            "Per-request latency (arrival to response)",
+        )
+        self._queue_wait_hist = self.registry.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Time requests spent queued before dispatch",
+        )
+        self._service_hist = self.registry.histogram(
+            "repro_serve_service_seconds",
+            "Host service time of a micro-batch",
+        )
 
     # -------------------------------------------------------------- recording
 
@@ -131,6 +149,7 @@ class ServeMetrics:
 
     def record_batch(self, size: int, service_s: float) -> None:
         """One micro-batch completed on a replica."""
+        self._service_hist.observe(service_s)
         with self._lock:
             self._batches += 1
             self._batch_sizes.append(int(size))
@@ -140,6 +159,8 @@ class ServeMetrics:
         self, latency_s: float, queue_wait_s: float, completion_s: float
     ) -> None:
         """One request's response resolved."""
+        self._latency_hist.observe(latency_s)
+        self._queue_wait_hist.observe(queue_wait_s)
         with self._lock:
             self._completed += 1
             self._latencies.append(float(latency_s))
@@ -171,9 +192,9 @@ class ServeMetrics:
                 in_flight=self._submitted - self._completed,
                 batches=self._batches,
                 throughput_rps=float(throughput),
-                latency_p50_s=_percentile(self._latencies, 50),
-                latency_p95_s=_percentile(self._latencies, 95),
-                latency_p99_s=_percentile(self._latencies, 99),
+                latency_p50_s=self._latency_hist.percentile(50),
+                latency_p95_s=self._latency_hist.percentile(95),
+                latency_p99_s=self._latency_hist.percentile(99),
                 latency_mean_s=(
                     float(np.mean(np.asarray(self._latencies))) if self._latencies else 0.0
                 ),

@@ -27,7 +27,6 @@ pickles cleanly across the process-pool boundary.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -36,6 +35,7 @@ import numpy as np
 from ..chipsim.scenarios import get_scenario
 from ..chipsim.simulator import ChipSimulator, network_spec_from_model
 from ..engine.shm import ArenaManifest, SharedArena
+from ..obs.tracer import get_tracer, timed
 from ..system.inference import InferenceConfig, QuantizedInferenceEngine
 from ..system.performance import SystemPerformanceModel
 from ..sweep.cache import arrays_from_state, restore_state
@@ -175,7 +175,28 @@ class ChipProgram:
             inference_config: Optional explicit replica config; defaults to
                 ``serve_config.inference_config()``.
         """
-        start = time.perf_counter()
+        # build_seconds derives from this measurement; the same block is
+        # the program.build span when tracing is enabled.
+        build_t = timed(
+            "program.build",
+            scenario=serve_config.scenario,
+            backend=serve_config.backend,
+        )
+        with build_t:
+            program = cls._build_body(
+                serve_config, model=model, inference_config=inference_config
+            )
+        program.build_seconds = build_t.duration_s
+        return program
+
+    @classmethod
+    def _build_body(
+        cls,
+        serve_config: ServeConfig,
+        *,
+        model,
+        inference_config: Optional[InferenceConfig],
+    ) -> "ChipProgram":
         scenario = get_scenario(serve_config.scenario)
         config = inference_config or serve_config.inference_config()
         if model is None:
@@ -247,7 +268,6 @@ class ChipProgram:
             calibration_images=calibration_images,
             chip_latency_s=chip_latency,
             chip_energy_j=chip_energy,
-            build_seconds=time.perf_counter() - start,
             kernel_plans=kernel_plans,
         )
 
@@ -278,6 +298,13 @@ class ChipProgram:
         batch — the builder's own warmup, reproduced exactly.  Either way
         the replica's per-image results are bit-identical to the builder's.
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("program.instantiate", scenario=self.scenario):
+                return self._instantiate_impl()
+        return self._instantiate_impl()
+
+    def _instantiate_impl(self) -> WarmChip:
         model = self._rebuild_model()
         config = InferenceConfig.from_dict(self.config)
         if config.backend == "device":

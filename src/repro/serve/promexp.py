@@ -93,6 +93,7 @@ def render_prometheus(
     *,
     namespace: str = "repro_serve",
     info: Optional[Mapping[str, str]] = None,
+    registries: Tuple = (),
 ) -> str:
     """The exposition-format text of one metrics snapshot.
 
@@ -102,6 +103,11 @@ def render_prometheus(
         namespace: Metric-name prefix.
         info: Deployment identity labels exported as the constant-1
             ``<namespace>_info`` gauge (e.g. scenario / design / pool).
+        registries: Extra :class:`~repro.obs.metrics.MetricsRegistry`
+            instances whose families (engine / sweep / shm counters, the
+            runtime's latency histograms) are appended after the snapshot
+            families; their names are already fully qualified, so the
+            namespace does not apply.
     """
     lines: List[str] = []
     if info:
@@ -117,6 +123,8 @@ def render_prometheus(
         lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {family_type}")
         lines.append(f"{name} {_format_value(value)}")
+    for registry in registries:
+        lines.extend(registry.render())
     return "\n".join(lines) + "\n"
 
 

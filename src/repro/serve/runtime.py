@@ -39,6 +39,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.tracer import get_tracer
+from ..obs.tracer import now as trace_now
 from .batcher import CLOSE, MicroBatcher
 from .config import ServeConfig
 from .events import NullEventLog, open_event_log
@@ -61,12 +63,21 @@ class QueueFullError(RuntimeError):
 
 @dataclass
 class InferenceRequest:
-    """One queued request (internal envelope around a submitted image)."""
+    """One queued request (internal envelope around a submitted image).
+
+    ``trace_ctx`` is the request span's pre-minted ``(trace_id, span_id)``
+    (None when tracing is off); the span itself is recorded at completion,
+    once its duration is known.  ``trace_arrival_s`` is the arrival stamp
+    on the *span* clock (``perf_counter``) — the metrics clock
+    (``monotonic``) is not interchangeable with it.
+    """
 
     request_id: int
     image: np.ndarray
     arrival_s: float
     future: Future = field(repr=False)
+    trace_ctx: Optional[tuple] = None
+    trace_arrival_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -221,7 +232,20 @@ class ServeRuntime:
     # ---------------------------------------------------------- observability
 
     def _render_metrics(self) -> str:
-        """Fresh exposition text (called per ``/metrics`` scrape)."""
+        """Fresh exposition text (called per ``/metrics`` scrape).
+
+        Appends the runtime's latency/wait/service histogram families and
+        the process-wide registry (engine kernel dispatches, sweep cache
+        hit/miss, shm arena events) after the snapshot families.
+        """
+        from ..obs.metrics import REGISTRY
+
+        # Imported for the registration side effect: the sweep-cache family
+        # must exist on every scrape even before any sweep code has run in
+        # this process (the engine and shm families register when the
+        # program machinery imports them).
+        from ..sweep import cache as _sweep_cache  # noqa: F401
+
         return render_prometheus(
             self.metrics.snapshot(),
             info={
@@ -230,6 +254,7 @@ class ServeRuntime:
                 "backend": self.config.backend,
                 "pool": self.config.pool,
             },
+            registries=(self.metrics.registry, REGISTRY),
         )
 
     @property
@@ -301,11 +326,14 @@ class ServeRuntime:
             request_id = self._next_id
             self._next_id += 1
             self._outstanding += 1
+        tracer = get_tracer()
         request = InferenceRequest(
             request_id=request_id,
             image=image,
             arrival_s=ServeMetrics.now(),
             future=Future(),
+            trace_ctx=tracer.new_context() if tracer.enabled else None,
+            trace_arrival_s=trace_now(),
         )
         with self._accept_lock:
             if not self._accepting:  # lost the race against stop()
@@ -375,13 +403,27 @@ class ServeRuntime:
                 self._slots.release()
                 return
             dispatch_s = ServeMetrics.now()
+            trace_dispatch_s = trace_now()
+            # Mint the batch span's ids now (recorded at completion): its
+            # parent is the batch's first request, and the replica spans —
+            # possibly in a worker process — parent under it, so one
+            # request's tree stays connected across the pool boundary.
+            tracer = get_tracer()
+            batch_ctx = None
+            if tracer.enabled:
+                anchor = next(
+                    (r.trace_ctx for r in batch if r.trace_ctx is not None),
+                    None,
+                )
+                if anchor is not None:
+                    batch_ctx = tracer.new_context(parent=anchor)
             images = np.stack([request.image for request in batch])
             # Submit under the swap lock: a program swap can never race a
             # dispatch onto a pool that is being replaced.
             with self._inflight_cond:
                 assert self._pool is not None
                 self._inflight_batches += 1
-                future = self._pool.submit(images)
+                future = self._pool.submit(images, trace_ctx=batch_ctx)
             self.events.emit(
                 "batch_dispatched",
                 size=len(batch),
@@ -389,13 +431,21 @@ class ServeRuntime:
                 last_request_id=batch[-1].request_id,
             )
             future.add_done_callback(
-                partial(self._on_batch_done, batch, dispatch_s)
+                partial(
+                    self._on_batch_done,
+                    batch,
+                    dispatch_s,
+                    batch_ctx,
+                    trace_dispatch_s,
+                )
             )
 
     def _on_batch_done(
         self,
         batch: List[InferenceRequest],
         dispatch_s: float,
+        batch_ctx: Optional[tuple],
+        trace_dispatch_s: float,
         future: Future,
     ) -> None:
         assert self._slots is not None
@@ -417,6 +467,7 @@ class ServeRuntime:
                 )
             self._mark_done(len(batch))
             return
+        self._record_batch_spans(batch, batch_ctx, trace_dispatch_s)
         self.metrics.record_batch(len(batch), completion_s - dispatch_s)
         for request, prediction in zip(batch, predictions):
             response = InferenceResponse(
@@ -441,6 +492,58 @@ class ServeRuntime:
             )
             request.future.set_result(response)
         self._mark_done(len(batch))
+
+    def _record_batch_spans(
+        self,
+        batch: List[InferenceRequest],
+        batch_ctx: Optional[tuple],
+        trace_dispatch_s: float,
+    ) -> None:
+        """Synthesize the request / queue / batch spans of one served batch.
+
+        The request and queue spans cover already-elapsed intervals (their
+        start is the request's trace-clock arrival stamp), so they are
+        recorded here with explicit timing.  The batch span is recorded
+        under its pre-minted context — the one the replica spans already
+        parented to — and the batch parents under its first request, which
+        gives that request the full connected tree
+        ``request → queue → batch → replica → layer → kernel``.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled or batch_ctx is None:
+            return
+        trace_completion_s = trace_now()
+        anchor = next(
+            (r.trace_ctx for r in batch if r.trace_ctx is not None), None
+        )
+        tracer.record_span(
+            "batch",
+            start_s=trace_dispatch_s,
+            duration_s=trace_completion_s - trace_dispatch_s,
+            parent=anchor,
+            context=batch_ctx,
+            size=len(batch),
+            first_request_id=batch[0].request_id,
+        )
+        for request in batch:
+            if request.trace_ctx is None:
+                continue
+            tracer.record_span(
+                "queue",
+                start_s=request.trace_arrival_s,
+                duration_s=max(
+                    trace_dispatch_s - request.trace_arrival_s, 0.0
+                ),
+                parent=request.trace_ctx,
+                request_id=request.request_id,
+            )
+            tracer.record_span(
+                "request",
+                start_s=request.trace_arrival_s,
+                duration_s=trace_completion_s - request.trace_arrival_s,
+                context=request.trace_ctx,
+                request_id=request.request_id,
+            )
 
     def _mark_done(self, count: int) -> None:
         with self._done_cond:

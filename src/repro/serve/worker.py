@@ -43,6 +43,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..engine.shm import shm_available
+from ..obs.tracer import NULL_TRACER, Tracer, get_tracer, set_tracer
 from .config import ServeConfig
 from .events import NullEventLog
 from .program import ChipProgram, WarmChip
@@ -101,6 +102,11 @@ def _init_process_worker(payload, transport: str, service_delay_s: float) -> Non
     for ``"pickle"`` (private deserialised copy).
     """
     global _PROCESS_WORKER, _PROCESS_ARENA, _PROCESS_INFO
+    # A fork-started worker inherits the parent's tracer object — and with
+    # it copies of the parent's finished-span rings, which would replay as
+    # duplicates.  Workers always start quiet; tracing is re-established
+    # per batch when a trace context rides in on the dispatch.
+    set_tracer(NULL_TRACER)
     start = time.perf_counter()
     if transport == "shm":
         program, _PROCESS_ARENA = payload.load()
@@ -116,10 +122,32 @@ def _init_process_worker(payload, transport: str, service_delay_s: float) -> Non
     }
 
 
-def _process_infer(images: np.ndarray) -> np.ndarray:
-    """Process-pool task body: run one micro-batch on this process's replica."""
+def _process_infer(images: np.ndarray, trace_ctx=None):
+    """Process-pool task body: run one micro-batch on this process's replica.
+
+    Without *trace_ctx* the return value is the bare predictions array (the
+    original pickling contract).  With a ``(trace_id, span_id)`` context the
+    batch runs under a fresh process-local tracer — the replica span (and
+    every layer/kernel span beneath it) parents under the shipped context —
+    and the result is ``(predictions, spans)`` for the pool to re-ingest on
+    the serving side.
+    """
     assert _PROCESS_WORKER is not None, "worker process was not initialised"
-    return _PROCESS_WORKER.infer(images)
+    if trace_ctx is None:
+        return _PROCESS_WORKER.infer(images)
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span(
+            "replica",
+            parent=tuple(trace_ctx),
+            replica=_PROCESS_WORKER.replica_id,
+            mode="process",
+        ):
+            predictions = _PROCESS_WORKER.infer(images)
+    finally:
+        set_tracer(previous)
+    return predictions, tracer.drain()
 
 
 def _memory_bytes() -> Dict[str, int]:
@@ -273,21 +301,55 @@ class WorkerPool:
 
     # -------------------------------------------------------------- dispatch
 
-    def _thread_infer(self, images: np.ndarray) -> np.ndarray:
+    def _thread_infer(self, images: np.ndarray, trace_ctx=None) -> np.ndarray:
         assert self._free is not None
         worker = self._free.get()  # a free replica always exists: the
         try:                       # runtime caps in-flight batches at
-            return worker.infer(images)  # the replica count
+            tracer = get_tracer()  # the replica count
+            if trace_ctx is not None and tracer.enabled:
+                with tracer.span(
+                    "replica",
+                    parent=trace_ctx,
+                    replica=worker.replica_id,
+                    mode="thread",
+                ):
+                    return worker.infer(images)
+            return worker.infer(images)
         finally:
             self._free.put(worker)
 
-    def submit(self, images: np.ndarray) -> Future:
-        """Run one micro-batch on a free replica; resolves to predictions."""
+    def submit(self, images: np.ndarray, *, trace_ctx=None) -> Future:
+        """Run one micro-batch on a free replica; resolves to predictions.
+
+        *trace_ctx* — the dispatching batch span's ``(trace_id, span_id)``
+        — makes the replica (and the engine spans beneath it) parent under
+        the batch.  For process pools the worker's spans travel back with
+        the result and are re-ingested into this process's tracer before
+        the returned future resolves, so one request's tree is connected
+        by the time the response future fires.
+        """
         if self._executor is None:
             raise RuntimeError("worker pool is not started")
         if self.mode == "thread":
-            return self._executor.submit(self._thread_infer, images)
-        return self._executor.submit(_process_infer, images)
+            return self._executor.submit(self._thread_infer, images, trace_ctx)
+        if trace_ctx is None:
+            return self._executor.submit(_process_infer, images)
+        inner = self._executor.submit(_process_infer, images, trace_ctx)
+        outer: Future = Future()
+
+        def _collect(done: Future) -> None:
+            try:
+                predictions, spans = done.result()
+            except BaseException as error:
+                outer.set_exception(error)
+                return
+            tracer = get_tracer()
+            if tracer.enabled and spans:
+                tracer.ingest(spans)
+            outer.set_result(predictions)
+
+        inner.add_done_callback(_collect)
+        return outer
 
     # ------------------------------------------------------------ observation
 

@@ -42,6 +42,7 @@ from ..core.macro import IMCMacroConfig
 from ..devices.variation import NO_VARIATION
 from ..engine.array_state import ArrayState
 from ..engine.shm import host_shared_arrays, shm_available
+from ..obs.metrics import REGISTRY
 from ..system.inference import InferenceConfig
 from .hashing import digest_arrays, digest_payload
 
@@ -57,6 +58,13 @@ __all__ = [
 
 #: Cache kinds (subdirectories of the cache root).
 KINDS = ("model", "programming", "calibration")
+
+#: Cache lookups per (kind, outcome), registered at import so the family
+#: appears on every /metrics scrape.
+_CACHE_EVENTS = REGISTRY.counter(
+    "repro_sweep_cache_events_total",
+    "Sweep cache lookups by entry kind and hit/miss outcome",
+)
 
 #: Separator between layer name and tensor name inside an ``.npz`` entry
 #: (layer names are Python identifiers, so ``"__"`` cannot collide).
@@ -214,6 +222,7 @@ class SweepCache:
     def _count(self, kind: str, key: str, hit: bool) -> None:
         """Count one lookup and mirror it to the event sink (if any)."""
         (self.hits if hit else self.misses)[kind] += 1
+        _CACHE_EVENTS.inc(kind=kind, outcome="hit" if hit else "miss")
         if self.events is not None:
             self.events.emit(
                 "cache_hit" if hit else "cache_miss", kind=kind, key=key

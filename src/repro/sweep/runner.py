@@ -24,7 +24,6 @@ and ``benchmarks/check_perf_floor.py`` gates.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -33,6 +32,7 @@ import numpy as np
 
 from ..chipsim.scenarios import Scenario, get_scenario
 from ..chipsim.simulator import ChipSimulator, network_spec_from_model
+from ..obs.tracer import Tracer, get_tracer, set_tracer, timed
 from ..system.inference import InferenceConfig, QuantizedInferenceEngine
 from ..system.performance import SystemPerformanceModel, SystemPerformanceResult
 from .cache import (
@@ -207,8 +207,35 @@ def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict
     so ``ProcessPoolExecutor`` can dispatch it, and it takes the job in
     ``SweepJob.to_dict()`` form — the config round-trips through
     :meth:`InferenceConfig.from_dict` exactly as the cache keys assume.
+
+    A coordinating :class:`SweepRunner` with tracing enabled ships its
+    sweep-span context in the reserved ``__trace__`` payload key; the
+    worker then collects its own spans under a fresh process-local tracer
+    and returns them in the reserved ``__spans__`` record key (both popped
+    before the job / record proper are interpreted, so job hashing and the
+    record schema are untouched).
     """
-    wall_start = time.perf_counter()
+    payload = dict(payload)
+    trace_ctx = payload.pop("__trace__", None)
+    if trace_ctx is None:
+        return _run_job_body(payload, cache_dir, get_tracer().current_context())
+    # Worker process: a fork-inherited tracer would replay the parent's
+    # rings, so always collect under a fresh one and ship the spans back.
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        record = _run_job_body(payload, cache_dir, tuple(trace_ctx))
+    finally:
+        set_tracer(previous)
+    record["__spans__"] = tracer.drain()
+    return record
+
+
+def _run_job_body(
+    payload: Mapping[str, Any],
+    cache_dir: Optional[str],
+    parent: Optional[Tuple[str, str]],
+) -> Dict[str, Any]:
     job = SweepJob.from_dict(payload)
     scenario = get_scenario(job.scenario)
     cache = SweepCache(cache_dir) if cache_dir else None
@@ -230,7 +257,49 @@ def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict
         "images": job.images,
     }
 
-    if job.backend == "analytic":
+    # One perf_counter pair per stage, shared by all three backends: the
+    # record's timing fields derive from the ``timed`` objects (wall = the
+    # job block, run = the run stage, setup = the gap between their starts),
+    # and the same objects become the job/run spans when tracing is on.
+    with timed(
+        "job",
+        parent=parent,
+        job_id=job.job_id,
+        scenario=job.scenario,
+        backend=job.backend,
+    ) as wall_t:
+        if job.backend == "analytic":
+            run_t, tiles = _run_analytic(job, scenario, cache, cache_events, record)
+        else:
+            config = job.inference_config()
+            with timed("train", scenario=job.scenario):
+                model, cache_events["model"] = _acquire_model(
+                    scenario, config.seed, cache
+                )
+            workload = scenario.workload(images=job.images, seed=job.data_seed)
+            if job.backend == "functional":
+                run_t, tiles = _run_functional(
+                    job, scenario, config, model, workload, record
+                )
+            else:
+                run_t, tiles = _run_device(
+                    job, scenario, config, model, workload,
+                    cache, cache_events, record,
+                )
+
+    record["cache"] = cache_events
+    record["timing"] = _timing_payload(wall_t, run_t, job.images, tiles=tiles)
+    return record
+
+
+def _run_analytic(
+    job: SweepJob,
+    scenario: Scenario,
+    cache: Optional[SweepCache],
+    cache_events: Dict[str, str],
+    record: Dict[str, Any],
+) -> Tuple[timed, int]:
+    with timed("train", scenario=job.scenario):
         if scenario.runtime:
             model, cache_events["model"] = _acquire_model(
                 scenario, int(job.config["seed"]), cache
@@ -244,32 +313,31 @@ def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict
             weight_bits=int(job.config["weight_bits"]),
             adc_bits=int(job.config["adc_bits"]),
         )
-        setup_seconds = time.perf_counter() - wall_start
-        run_start = time.perf_counter()
+    with timed("run", images=job.images) as run_t:
         perf = perf_model.evaluate(network)
-        run_seconds = time.perf_counter() - run_start
-        record.update(
-            {
-                "accuracy": None,
-                "float_baseline": None,
-                "float_agreement": None,
-                "predictions_sha256": None,
-                "tiles_executed": 0,
-                "calibrated_layers": 0,
-                "modeled": _performance_payload(perf),
-            }
-        )
-        record["cache"] = cache_events
-        record["timing"] = _timing_payload(
-            setup_seconds, run_seconds, wall_start, job.images, tiles=0
-        )
-        return record
+    record.update(
+        {
+            "accuracy": None,
+            "float_baseline": None,
+            "float_agreement": None,
+            "predictions_sha256": None,
+            "tiles_executed": 0,
+            "calibrated_layers": 0,
+            "modeled": _performance_payload(perf),
+        }
+    )
+    return run_t, 0
 
-    config = job.inference_config()
-    model, cache_events["model"] = _acquire_model(scenario, config.seed, cache)
-    workload = scenario.workload(images=job.images, seed=job.data_seed)
 
-    if job.backend == "functional":
+def _run_functional(
+    job: SweepJob,
+    scenario: Scenario,
+    config: InferenceConfig,
+    model,
+    workload,
+    record: Dict[str, Any],
+) -> Tuple[timed, int]:
+    with timed("program", backend="functional"):
         engine = QuantizedInferenceEngine(model, config)
         perf = SystemPerformanceModel(
             config.design,
@@ -278,43 +346,49 @@ def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict
             adc_bits=config.adc_bits or 5,
             geometry=config.geometry,
         ).evaluate(network_spec_from_model(model, name=scenario.name))
-        setup_seconds = time.perf_counter() - wall_start
-        run_start = time.perf_counter()
+    with timed("run", images=job.images) as run_t:
         predictions = engine.predict(workload.images, batch_size=job.batch_size)
-        run_seconds = time.perf_counter() - run_start
-        record.update(
-            _quality_payload(
-                predictions,
-                workload.labels,
-                _float_predictions(job, model, workload.images),
-            )
+    record.update(
+        _quality_payload(
+            predictions,
+            workload.labels,
+            _float_predictions(job, model, workload.images),
         )
-        record.update(
-            {
-                "tiles_executed": 0,
-                "calibrated_layers": 0,
-                "modeled": _performance_payload(perf),
-            }
-        )
-        record["cache"] = cache_events
-        record["timing"] = _timing_payload(
-            setup_seconds, run_seconds, wall_start, job.images, tiles=0
-        )
-        return record
+    )
+    record.update(
+        {
+            "tiles_executed": 0,
+            "calibrated_layers": 0,
+            "modeled": _performance_payload(perf),
+        }
+    )
+    return run_t, 0
 
-    # ------------------------------------------------------- device backend
+
+def _run_device(
+    job: SweepJob,
+    scenario: Scenario,
+    config: InferenceConfig,
+    model,
+    workload,
+    cache: Optional[SweepCache],
+    cache_events: Dict[str, str],
+    record: Dict[str, Any],
+) -> Tuple[timed, int]:
     wdigest = _model_weights_digest(model)
     layer_states = None
     if cache is not None and config.variation.enabled:
-        prog_key = programming_key(config, wdigest)
-        layered = cache.get_layered_shared("programming", prog_key)
-        if layered is not None:
-            layer_states = _restore_layer_states(layered, model, config)
+        with timed("cache_lookup", kind="programming"):
+            prog_key = programming_key(config, wdigest)
+            layered = cache.get_layered_shared("programming", prog_key)
+            if layered is not None:
+                layer_states = _restore_layer_states(layered, model, config)
         cache_events["programming"] = "hit" if layer_states is not None else "miss"
 
-    simulator = ChipSimulator(
-        model, config=config, layer_states=layer_states, name=scenario.name
-    )
+    with timed("program", cached=layer_states is not None):
+        simulator = ChipSimulator(
+            model, config=config, layer_states=layer_states, name=scenario.name
+        )
     if cache is not None and config.variation.enabled and layer_states is None:
         cache.put_layered(
             "programming",
@@ -327,22 +401,21 @@ def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict
 
     cal_key = None
     if cache is not None and config.calibration == "workload":
-        cal_key = calibration_key(
-            config, wdigest, digest_arrays(workload.images), job.batch_size
-        )
-        cached_levels = cache.get_layered_shared("calibration", cal_key)
-        if cached_levels is not None:
-            simulator.inference.apply_calibration(cached_levels)
-            cache_events["calibration"] = "hit"
-        else:
-            cache_events["calibration"] = "miss"
+        with timed("calibrate"):
+            cal_key = calibration_key(
+                config, wdigest, digest_arrays(workload.images), job.batch_size
+            )
+            cached_levels = cache.get_layered_shared("calibration", cal_key)
+            if cached_levels is not None:
+                simulator.inference.apply_calibration(cached_levels)
+                cache_events["calibration"] = "hit"
+            else:
+                cache_events["calibration"] = "miss"
 
-    setup_seconds = time.perf_counter() - wall_start
-    run_start = time.perf_counter()
-    report = simulator.run(
-        workload.images, workload.labels, batch_size=job.batch_size
-    )
-    run_seconds = time.perf_counter() - run_start
+    with timed("run", images=job.images) as run_t:
+        report = simulator.run(
+            workload.images, workload.labels, batch_size=job.batch_size
+        )
 
     if cal_key is not None and cache_events["calibration"] == "miss":
         levels = simulator.inference.calibration_levels()
@@ -363,22 +436,18 @@ def run_job(payload: Mapping[str, Any], cache_dir: Optional[str] = None) -> Dict
             "modeled": _performance_payload(report.performance),
         }
     )
-    record["cache"] = cache_events
-    record["timing"] = _timing_payload(
-        setup_seconds, run_seconds, wall_start, job.images,
-        tiles=int(report.tiles_executed),
-    )
-    return record
+    return run_t, int(report.tiles_executed)
 
 
 def _timing_payload(
-    setup_seconds: float, run_seconds: float, wall_start: float, images: int, *, tiles: int
+    wall_t: timed, run_t: timed, images: int, *, tiles: int
 ) -> Dict[str, float]:
-    wall = time.perf_counter() - wall_start
+    """Record timing fields derived from the job's span measurements."""
+    run_seconds = run_t.duration_s
     return {
-        "setup_s": float(setup_seconds),
+        "setup_s": float(max(run_t.start_s - wall_t.start_s, 0.0)),
         "run_s": float(run_seconds),
-        "wall_s": float(wall),
+        "wall_s": float(wall_t.duration_s),
         "images_per_s": float(images / run_seconds) if run_seconds > 0 else 0.0,
         "tiles_per_s": float(tiles / run_seconds) if run_seconds > 0 else 0.0,
     }
@@ -556,6 +625,7 @@ class SweepRunner:
 
         jobs = self.spec.expand()
         payloads = [job.to_dict() for job in jobs]
+        tracer = get_tracer()
         with open_event_log(self.event_log) as events:
             events.emit(
                 "sweep_start",
@@ -564,19 +634,33 @@ class SweepRunner:
                 spec_digest=self.spec.digest(),
                 cache_dir=self.cache_dir,
             )
-            start = time.perf_counter()
-            if self.workers == 1:
-                records = [run_job(payload, self.cache_dir) for payload in payloads]
-            else:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    records = list(
-                        pool.map(
-                            run_job,
-                            payloads,
-                            [self.cache_dir] * len(payloads),
+            with timed(
+                "sweep",
+                jobs=len(jobs),
+                workers=self.workers,
+                spec=self.spec.digest(),
+            ) as sweep_t:
+                if self.workers == 1:
+                    records = [run_job(payload, self.cache_dir) for payload in payloads]
+                else:
+                    ctx = tracer.current_context() if tracer.enabled else None
+                    if ctx is not None:
+                        payloads = [
+                            dict(payload, __trace__=ctx) for payload in payloads
+                        ]
+                    with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                        records = list(
+                            pool.map(
+                                run_job,
+                                payloads,
+                                [self.cache_dir] * len(payloads),
+                            )
                         )
-                    )
-            wall_seconds = time.perf_counter() - start
+                    for record in records:
+                        spans = record.pop("__spans__", None)
+                        if spans and tracer.enabled:
+                            tracer.ingest(spans)
+            wall_seconds = sweep_t.duration_s
             for record in records:
                 for kind, status in record.get("cache", {}).items():
                     if status in ("hit", "miss"):

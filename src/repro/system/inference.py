@@ -59,6 +59,7 @@ from ..core.functional import (
 from ..devices.variation import DEFAULT_VARIATION, VariationModel
 from ..engine.kernels import validate_device_exec
 from ..geometry import DEFAULT_GEOMETRY, MacroGeometry
+from ..obs.tracer import get_tracer
 from ..quant.calibration import CALIBRATION_MODES
 from ..quant.quantize import signed_range, unsigned_range
 from .nn import Conv2D, Linear, SequentialNet, im2col
@@ -542,6 +543,13 @@ class QuantizedInferenceEngine:
         return scale
 
     def _conv(self, name: str, layer: Conv2D, x: np.ndarray) -> np.ndarray:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("layer", layer=name, op="conv", batch=int(x.shape[0])):
+                return self._conv_impl(name, layer, x)
+        return self._conv_impl(name, layer, x)
+
+    def _conv_impl(self, name: str, layer: Conv2D, x: np.ndarray) -> np.ndarray:
         cols, out_h, out_w = im2col(x, layer.kernel_size, layer.stride, layer.padding)
         scale = self._layer_scale(name, cols)
         out = self._layers[name].matmul(cols, scale)
@@ -549,6 +557,13 @@ class QuantizedInferenceEngine:
         return out.reshape(n, out_h, out_w, layer.out_channels).transpose(0, 3, 1, 2)
 
     def _linear(self, name: str, layer: Linear, x: np.ndarray) -> np.ndarray:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("layer", layer=name, op="linear", batch=int(x.shape[0])):
+                return self._linear_impl(name, layer, x)
+        return self._linear_impl(name, layer, x)
+
+    def _linear_impl(self, name: str, layer: Linear, x: np.ndarray) -> np.ndarray:
         scale = self._layer_scale(name, x)
         return self._layers[name].matmul(x, scale)
 

@@ -1,0 +1,106 @@
+"""Chrome trace export and the exclusive-time rollup."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    format_summary,
+    summarize_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _span(name, span_id, parent_id, start, duration, **attrs):
+    return {
+        "name": name,
+        "trace_id": "t1",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_s": start,
+        "duration_s": duration,
+        "pid": 10,
+        "thread": "main",
+        "attrs": attrs,
+    }
+
+
+TREE = [
+    _span("request", "a", None, 100.0, 0.10),
+    _span("batch", "b", "a", 100.02, 0.06, size=4),
+    _span("layer", "c", "b", 100.03, 0.02, layer="fc1"),
+    _span("layer", "d", "b", 100.05, 0.02, layer="fc2"),
+]
+
+
+class TestChromeTrace:
+    def test_events_are_complete_and_rebased(self):
+        trace = to_chrome_trace(TREE)
+        x_events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(x_events) == len(TREE)
+        assert min(e["ts"] for e in x_events) == 0.0
+        request = next(e for e in x_events if e["name"] == "request")
+        assert request["dur"] == 100.0 * 1e3  # 0.10 s in microseconds
+        assert request["args"]["span_id"] == "a"
+        assert request["args"]["parent_id"] is None
+
+    def test_metadata_rows_name_processes_and_threads(self):
+        trace = to_chrome_trace(TREE, process_name="demo")
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert names == {"process_name", "thread_name"}
+        process = next(e for e in meta if e["name"] == "process_name")
+        assert process["args"]["name"] == "demo pid 10"
+
+    def test_parent_ids_resolve(self):
+        trace = to_chrome_trace(TREE)
+        x_events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        ids = {e["args"]["span_id"] for e in x_events}
+        for event in x_events:
+            parent = event["args"]["parent_id"]
+            assert parent is None or parent in ids
+
+    def test_empty_trace(self):
+        assert to_chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", TREE)
+        loaded = json.loads(path.read_text())
+        assert {e["ph"] for e in loaded["traceEvents"]} == {"X", "M"}
+
+
+class TestRollup:
+    def test_exclusive_time_subtracts_direct_children(self):
+        rows = {row["name"]: row for row in summarize_trace(TREE)}
+        # request 0.10s minus its one direct child (batch, 0.06s)
+        assert rows["request"]["exclusive_s"] == pytest.approx(0.04)
+        # batch 0.06s minus two layer children (0.02s each)
+        assert rows["batch"]["exclusive_s"] == pytest.approx(0.02)
+
+    def test_split_attributes_make_separate_rows(self):
+        rows = {row["name"] for row in summarize_trace(TREE)}
+        assert {"layer[fc1]", "layer[fc2]"} <= rows
+
+    def test_exclusive_time_clamps_at_zero(self):
+        spans = [
+            _span("parent", "p", None, 0.0, 0.01),
+            _span("child", "c", "p", 0.0, 0.05),  # overlapping workers
+        ]
+        rows = {row["name"]: row for row in summarize_trace(spans)}
+        assert rows["parent"]["exclusive_s"] == 0.0
+
+    def test_rows_sorted_by_exclusive_time(self):
+        rows = summarize_trace(TREE)
+        exclusives = [row["exclusive_s"] for row in rows]
+        assert exclusives == sorted(exclusives, reverse=True)
+
+    def test_format_summary_renders_every_row(self):
+        text = format_summary(summarize_trace(TREE))
+        lines = text.splitlines()
+        assert lines[0].split() == ["span", "count", "total", "exclusive", "mean"]
+        assert len(lines) == 1 + 4
+        assert format_summary([]) == "(no spans)"

@@ -1,0 +1,101 @@
+"""The shared rotating-JSONL machinery and the span log built on it."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import SpanLog, read_spans
+from repro.obs.jsonl import JsonlWriter, iter_jsonl_file, read_jsonl
+
+
+def _span(index, start):
+    return {
+        "name": f"s{index}",
+        "trace_id": "t",
+        "span_id": f"id{index}",
+        "parent_id": None,
+        "start_s": start,
+        "duration_s": 0.1,
+        "pid": 1,
+        "thread": "main",
+        "attrs": {},
+    }
+
+
+class TestJsonlWriter:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path) as writer:
+            for index in range(5):
+                writer.write({"index": index})
+        assert read_jsonl(path) == [{"index": i} for i in range(5)]
+
+    def test_rotation_keeps_bounded_generations(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        record = {"payload": "x" * 300}
+        with JsonlWriter(path, max_bytes=1024, backups=2) as writer:
+            for _ in range(20):
+                writer.write(record)
+        generations = sorted(p.name for p in tmp_path.glob("log.jsonl.*"))
+        assert generations == ["log.jsonl.1", "log.jsonl.2"]
+        assert path.stat().st_size <= 1024
+
+    def test_merged_read_orders_generations_oldest_first(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlWriter(path, max_bytes=1024, backups=5) as writer:
+            for index in range(30):
+                writer.write({"index": index, "pad": "x" * 100})
+        merged = [record["index"] for record in read_jsonl(path)]
+        # Rotation drops the oldest records but never reorders survivors.
+        assert merged == sorted(merged)
+        assert merged[-1] == 29
+
+    def test_validates_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlWriter(tmp_path / "log.jsonl", max_bytes=10)
+        with pytest.raises(ValueError):
+            JsonlWriter(tmp_path / "log.jsonl", backups=0)
+
+
+class TestTornLines:
+    def test_torn_final_live_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"index": 0}\n{"index": 1}\n{"index": 2, "tru')
+        assert read_jsonl(path) == [{"index": 0}, {"index": 1}]
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"index": 0}\n{"tru\n{"index": 2}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_rotated_generation_is_strict(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        (tmp_path / "log.jsonl.1").write_text('{"index": 0}\n{"tru')
+        path.write_text('{"index": 1}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert read_jsonl(tmp_path / "absent.jsonl") == []
+        assert list(iter_jsonl_file(tmp_path / "absent.jsonl", live=True)) == []
+
+
+class TestSpanLog:
+    def test_round_trip_sorted_by_start(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path) as log:
+            written = log.write([_span(1, 3.0), _span(2, 1.0), _span(3, 2.0)])
+        assert written == 3
+        assert [s["name"] for s in read_spans(path)] == ["s2", "s3", "s1"]
+
+    def test_torn_final_span_line_is_dropped(self, tmp_path):
+        """Regression: replaying a span log mid-write must not raise."""
+        path = tmp_path / "spans.jsonl"
+        with SpanLog(path) as log:
+            log.write([_span(1, 1.0), _span(2, 2.0)])
+        # Simulate the writer dying (or being read) mid-append.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"name": "s3", "start_s": 3.0, "dur')
+        spans = read_spans(path)
+        assert [s["name"] for s in spans] == ["s1", "s2"]

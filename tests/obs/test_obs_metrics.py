@@ -1,0 +1,140 @@
+"""The unified metrics registry and its Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serve.promexp import parse_exposition
+
+
+class TestCounter:
+    def test_labelled_increments_accumulate(self):
+        counter = Counter("events_total", "events")
+        counter.inc(kind="a")
+        counter.inc(2.0, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 3.0
+        assert counter.value(kind="b") == 1.0
+        assert counter.value(kind="absent") == 0.0
+
+    def test_counters_only_go_up(self):
+        counter = Counter("events_total", "events")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_thread_safety(self):
+        counter = Counter("events_total", "events")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc(kind="x")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value(kind="x") == 4000.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth", "queue depth")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec()
+        assert gauge.value() == 6.0
+
+
+class TestHistogram:
+    def test_percentiles_are_monotone_and_clamped(self):
+        hist = Histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.2, 0.3, 2.0, 7.0):
+            hist.observe(value)
+        p50, p95, p99 = (hist.percentile(q) for q in (50, 95, 99))
+        assert p50 <= p95 <= p99
+        assert 0.05 <= p50 <= 7.0
+        assert p99 <= 7.0  # clamped to the observed max
+        assert hist.percentile(0) == pytest.approx(0.05)
+        assert hist.percentile(100) == pytest.approx(7.0)
+
+    def test_mean_is_exact(self):
+        hist = Histogram("lat", "latency", buckets=(1.0,))
+        for value in (0.5, 1.5, 4.0):
+            hist.observe(value)
+        assert hist.mean() == pytest.approx(2.0)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(6.0)
+
+    def test_empty_histogram(self):
+        hist = Histogram("lat", "latency")
+        assert hist.percentile(99) == 0.0
+        assert hist.mean() == 0.0
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=(1.0, float("inf")))
+
+    def test_default_buckets_span_the_serving_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 0.0001
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_samples_are_cumulative(self):
+        hist = Histogram("lat", "latency", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        view = hist.samples()
+        assert view["buckets"] == [("1.0", 1), ("2.0", 2), ("+Inf", 3)]
+        assert view["count"] == 3
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_collector(self):
+        registry = MetricsRegistry()
+        first = registry.counter("events_total", "events")
+        second = registry.counter("events_total")
+        assert first is second
+        assert registry.get("events_total") is first
+        assert registry.get("absent") is None
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "events")
+        with pytest.raises(ValueError):
+            registry.gauge("events_total")
+
+    def test_render_parses_as_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_events_total", "demo events").inc(
+            3.0, kind="hit"
+        )
+        registry.gauge("demo_depth", "demo depth").set(2.0)
+        hist = registry.histogram(
+            "demo_latency_seconds", "demo latency", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = "\n".join(registry.render()) + "\n"
+        families = parse_exposition(text)
+        assert families["demo_events_total"]["type"] == "counter"
+        counter_samples = families["demo_events_total"]["samples"]
+        assert counter_samples['demo_events_total{kind="hit"}'] == 3.0
+        assert families["demo_depth"]["samples"]["demo_depth"] == 2.0
+        hist_family = families["demo_latency_seconds"]
+        assert hist_family["type"] == "histogram"
+        samples = hist_family["samples"]
+        assert samples['demo_latency_seconds_bucket{le="+Inf"}'] == 2.0
+        assert samples["demo_latency_seconds_count"] == 2.0
+        assert samples["demo_latency_seconds_sum"] == pytest.approx(0.55)
